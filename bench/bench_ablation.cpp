@@ -1,0 +1,155 @@
+// Ablation benches for the design choices DESIGN.md calls out:
+//
+//   A. channel back-pressure depth (ChannelAttr::capacity_items) — the
+//      bound that keeps producers from flooding a pipeline; too small
+//      serializes the stages, unbounded hides overload;
+//   B. dispatcher pool width (AddressSpace::Options::dispatcher_threads)
+//      — blocking remote gets occupy a worker each, so width bounds the
+//      number of simultaneously parked remote waiters;
+//   C. the CLF shared-memory fast path vs the UDP path, measured at the
+//      application level (the micro-level comparison lives in
+//      bench_micro_ops).
+//
+// Each table reports sustained relay throughput: producer in AS0 puts
+// S-byte items into a channel owned by AS1, a consumer thread gets and
+// consumes them in timestamp order.
+#include <thread>
+
+#include "bench_util.hpp"
+#include "dstampede/core/runtime.hpp"
+
+using namespace dstampede;
+
+namespace {
+
+struct RelayResult {
+  double items_per_sec = 0;
+  double mbytes_per_sec = 0;
+};
+
+// Runs one producer->channel->consumer relay and reports throughput.
+RelayResult RunRelay(core::Runtime& rt, std::size_t payload_bytes,
+                     Timestamp items, std::size_t capacity) {
+  core::ChannelAttr attr;
+  attr.capacity_items = capacity;
+  auto ch = rt.as(1).CreateChannel(attr);
+  if (!ch.ok()) bench::Die(ch.status(), "channel");
+  auto out = rt.as(0).Connect(*ch, core::ConnMode::kOutput);
+  auto in = rt.as(0).Connect(*ch, core::ConnMode::kInput);
+  if (!out.ok() || !in.ok()) bench::Die(out.status(), "connect");
+
+  Buffer payload(payload_bytes);
+  FillPattern(payload, 1);
+  const TimePoint start = Now();
+  std::thread producer([&] {
+    for (Timestamp ts = 0; ts < items; ++ts) {
+      DS_BENCH_CHECK(rt.as(0).Put(*out, ts, payload), "put");
+    }
+  });
+  for (Timestamp ts = 0; ts < items; ++ts) {
+    auto item = rt.as(0).Get(*in, core::GetSpec::Exact(ts),
+                             Deadline::AfterMillis(60000));
+    if (!item.ok()) bench::Die(item.status(), "get");
+    DS_BENCH_CHECK(rt.as(0).Consume(*in, ts), "consume");
+  }
+  producer.join();
+  const double secs =
+      static_cast<double>(ToMicros(Now() - start)) / 1e6;
+  RelayResult result;
+  result.items_per_sec = static_cast<double>(items) / secs;
+  result.mbytes_per_sec = result.items_per_sec *
+                          static_cast<double>(payload_bytes) / (1024.0 * 1024.0);
+  return result;
+}
+
+std::unique_ptr<core::Runtime> MakeRuntime(std::size_t dispatchers,
+                                           bool shm_fastpath) {
+  core::Runtime::Options opts;
+  opts.num_address_spaces = 2;
+  opts.dispatcher_threads = dispatchers;
+  opts.shm_fastpath = shm_fastpath;
+  opts.gc_interval = Millis(10);
+  auto rt = core::Runtime::Create(opts);
+  if (!rt.ok()) bench::Die(rt.status(), "runtime");
+  return std::move(rt).value();
+}
+
+}  // namespace
+
+int main() {
+  const Timestamp items = bench::EnvLong("DS_BENCH_FRAMES", 60) * 3;
+
+  std::printf("# Ablation A: channel back-pressure depth (64 KB items)\n");
+  std::printf("%10s %14s %10s\n", "capacity", "items_per_sec", "MB_per_sec");
+  for (std::size_t capacity : {std::size_t{1}, std::size_t{2}, std::size_t{4},
+                               std::size_t{16}, std::size_t{64},
+                               std::size_t{0} /* unbounded */}) {
+    auto rt = MakeRuntime(8, /*shm_fastpath=*/false);
+    RelayResult r = RunRelay(*rt, 64 * 1024, items, capacity);
+    if (capacity == 0) {
+      std::printf("%10s %14.0f %10.1f\n", "unbounded", r.items_per_sec,
+                  r.mbytes_per_sec);
+    } else {
+      std::printf("%10zu %14.0f %10.1f\n", capacity, r.items_per_sec,
+                  r.mbytes_per_sec);
+    }
+    rt->Shutdown();
+  }
+
+  // Every blocking remote get parks one dispatcher worker at the owner
+  // until its item arrives. If parked waiters exhaust the pool, the
+  // puts that would satisfy them cannot be processed: the pipeline
+  // stalls until the get deadlines expire. Width must exceed the number
+  // of concurrently parked waiters — this run demonstrates the cliff.
+  std::printf("\n# Ablation B: dispatcher pool width vs 4 parked remote "
+              "getters (liveness cliff)\n");
+  std::printf("%10s %12s %12s\n", "width", "outcome", "elapsed_ms");
+  for (std::size_t width : {std::size_t{2}, std::size_t{4}, std::size_t{5},
+                            std::size_t{8}, std::size_t{16}}) {
+    auto rt = MakeRuntime(width, /*shm_fastpath=*/false);
+    constexpr int kWaiters = 4;
+    std::vector<ChannelId> channels;
+    for (int p = 0; p < kWaiters; ++p) {
+      auto ch = rt->as(1).CreateChannel();
+      if (!ch.ok()) bench::Die(ch.status(), "channel");
+      channels.push_back(*ch);
+    }
+    std::atomic<int> satisfied{0};
+    std::vector<std::thread> waiters;
+    const TimePoint start = Now();
+    for (int p = 0; p < kWaiters; ++p) {
+      waiters.emplace_back([&, p] {
+        auto in = rt->as(0).Connect(channels[p], core::ConnMode::kInput);
+        if (!in.ok()) bench::Die(in.status(), "connect");
+        // Parks a worker at AS1 until the producer's put lands.
+        auto item = rt->as(0).Get(*in, core::GetSpec::Exact(0),
+                                  Deadline::AfterMillis(2000));
+        if (item.ok()) satisfied.fetch_add(1);
+      });
+    }
+    std::this_thread::sleep_for(Millis(200));  // let all four park
+    for (int p = 0; p < kWaiters; ++p) {
+      auto out = rt->as(0).Connect(channels[p], core::ConnMode::kOutput);
+      if (!out.ok()) bench::Die(out.status(), "connect out");
+      // With the pool exhausted this put waits behind the parked gets.
+      (void)rt->as(0).Put(*out, 0, Buffer(1024), Deadline::AfterMillis(2500));
+    }
+    for (auto& t : waiters) t.join();
+    const double ms = static_cast<double>(ToMicros(Now() - start)) / 1e3;
+    std::printf("%10zu %12s %12.0f\n", width,
+                satisfied.load() == kWaiters ? "flows" : "STALLS", ms);
+    rt->Shutdown();
+  }
+
+  std::printf("\n# Ablation C: CLF transport path, 256 KB items "
+              "(fragmented over UDP vs shared-memory fast path)\n");
+  std::printf("%10s %14s %10s\n", "path", "items_per_sec", "MB_per_sec");
+  for (bool shm : {false, true}) {
+    auto rt = MakeRuntime(8, shm);
+    RelayResult r = RunRelay(*rt, 256 * 1024, items / 2, /*capacity=*/16);
+    std::printf("%10s %14.0f %10.1f\n", shm ? "shm" : "udp", r.items_per_sec,
+                r.mbytes_per_sec);
+    rt->Shutdown();
+  }
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Experiment 1 (Figure 11): intra-cluster data exchange.
+//
+// A producer in address space AS0 puts items into a channel located in
+// the consumer's address space AS1; the consumer gets them locally.
+// Put and get are orchestrated not to overlap; the reported latency is
+// the sum of the two, exactly as §5.1 describes. The comparison series
+// are a raw UDP exchange and a raw TCP exchange (half of a
+// non-overlapping ping-pong cycle).
+//
+// Paper shape to reproduce: D-Stampede adds a bounded overhead over raw
+// UDP (<2x at large payloads) and tracks/approaches TCP.
+//
+// Output: one row per payload size:
+//   bytes  udp_us  tcp_us  dstampede_us
+#include "bench_util.hpp"
+#include "dstampede/core/runtime.hpp"
+
+using namespace dstampede;
+
+int main() {
+  // Two address spaces over CLF/UDP loopback — the fast path is off so
+  // the exchange exercises the real packet layer, as the paper's
+  // cross-node cluster measurement does.
+  core::Runtime::Options rt_opts;
+  rt_opts.num_address_spaces = 2;
+  auto runtime = core::Runtime::Create(rt_opts);
+  if (!runtime.ok()) bench::Die(runtime.status(), "runtime");
+
+  core::AddressSpace& producer_as = (*runtime)->as(0);
+  core::AddressSpace& consumer_as = (*runtime)->as(1);
+  auto channel = consumer_as.CreateChannel();  // channel at the consumer
+  if (!channel.ok()) bench::Die(channel.status(), "channel");
+  auto out = producer_as.Connect(*channel, core::ConnMode::kOutput);
+  auto in = consumer_as.Connect(*channel, core::ConnMode::kInput);
+  if (!out.ok()) bench::Die(out.status(), "connect out");
+  if (!in.ok()) bench::Die(in.status(), "connect in");
+
+  bench::UdpPingPong udp(60000);
+  bench::TcpPingPong tcp(60000);
+
+  std::printf("# Experiment 1 (Figure 11): intra-cluster exchange latency\n");
+  std::printf("# one network traversal; channel co-located with consumer\n");
+  std::printf("%8s %12s %12s %14s\n", "bytes", "udp_us", "tcp_us",
+              "dstampede_us");
+
+  Timestamp ts = 0;
+  for (std::size_t size : bench::PayloadSweep()) {
+    const double udp_us =
+        bench::MeasureMedianMicros([&] { udp.Cycle(size); }) / 2.0;
+    const double tcp_us =
+        bench::MeasureMedianMicros([&] { tcp.Cycle(size); }) / 2.0;
+
+    Buffer payload(size);
+    FillPattern(payload, size);
+    const double ds_us = bench::MeasureMedianMicros([&] {
+      // put (AS0 -> channel@AS1 over CLF), then non-overlapping get.
+      DS_BENCH_CHECK(producer_as.Put(*out, ts, payload), "put");
+      auto item = consumer_as.Get(*in, core::GetSpec::Exact(ts),
+                                  Deadline::AfterMillis(30000));
+      if (!item.ok()) bench::Die(item.status(), "get");
+      DS_BENCH_CHECK(consumer_as.Consume(*in, ts), "consume");
+      ++ts;
+    });
+    std::printf("%8zu %12.1f %12.1f %14.1f\n", size, udp_us, tcp_us, ds_us);
+  }
+  if (udp.retries() > 0) {
+    std::printf("# udp baseline retried %llu drops\n",
+                static_cast<unsigned long long>(udp.retries()));
+  }
+  (*runtime)->Shutdown();
+  return 0;
+}

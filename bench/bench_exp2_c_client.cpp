@@ -1,0 +1,121 @@
+// Experiment 2 (Figure 12): C client library, end device <-> cluster.
+//
+// The producer thread runs on an end device (client library over TCP);
+// three configurations vary the consumer's location exactly as §5.1:
+//   config 1  consumer co-located with the channel on the cluster
+//             (one device->cluster traversal)
+//   config 2  consumer on the cluster, channel in a different address
+//             space (adds one intra-cluster traversal)
+//   config 3  consumer on a second end device (two device->cluster
+//             traversals)
+// Baseline: raw TCP producer-consumer in C (half a ping-pong cycle).
+//
+// Paper shape: every config tracks the TCP curve; config1 overhead over
+// TCP is nominal (~12%); config2 > config1; config3 largest.
+//
+// Output rows: bytes tcp_us cfg1_us cfg2_us cfg3_us
+#include "bench_util.hpp"
+#include "dstampede/client/client.hpp"
+#include "dstampede/client/listener.hpp"
+#include "dstampede/core/runtime.hpp"
+
+using namespace dstampede;
+
+namespace {
+
+std::unique_ptr<client::CClient> Join(const client::Listener& listener,
+                                      const char* name, int preferred_as) {
+  client::CClient::Options opts;
+  opts.server = listener.addr();
+  opts.name = name;
+  opts.preferred_as = preferred_as;
+  auto c = client::CClient::Join(opts);
+  if (!c.ok()) bench::Die(c.status(), "join");
+  return std::move(c).value();
+}
+
+}  // namespace
+
+int main() {
+  core::Runtime::Options rt_opts;
+  rt_opts.num_address_spaces = 2;
+  auto runtime = core::Runtime::Create(rt_opts);
+  if (!runtime.ok()) bench::Die(runtime.status(), "runtime");
+  auto listener = client::Listener::Start(**runtime);
+  if (!listener.ok()) bench::Die(listener.status(), "listener");
+
+  // One producer device per configuration, each with its own channel on
+  // its host AS (AS0), so the three series do not interfere.
+  auto producer1 = Join(**listener, "producer-cfg1", 0);
+  auto producer2 = Join(**listener, "producer-cfg2", 0);
+  auto producer3 = Join(**listener, "producer-cfg3", 0);
+  auto ch1 = producer1->CreateChannel();
+  auto ch2 = producer2->CreateChannel();
+  auto ch3 = producer3->CreateChannel();
+  if (!ch1.ok() || !ch2.ok() || !ch3.ok()) bench::Die(ch1.status(), "channel");
+
+  auto out1 = producer1->Connect(*ch1, core::ConnMode::kOutput);
+  auto out2 = producer2->Connect(*ch2, core::ConnMode::kOutput);
+  auto out3 = producer3->Connect(*ch3, core::ConnMode::kOutput);
+  if (!out1.ok() || !out2.ok() || !out3.ok()) {
+    bench::Die(out1.status(), "connect");
+  }
+
+  // Config 1: consumer thread on the cluster, same AS as the channel.
+  auto in1 = (*runtime)->as(0).Connect(*ch1, core::ConnMode::kInput);
+  // Config 2: consumer thread on the cluster, different AS.
+  auto in2 = (*runtime)->as(1).Connect(*ch2, core::ConnMode::kInput);
+  // Config 3: consumer on a second end device.
+  auto consumer3 = Join(**listener, "consumer-cfg3", 1);
+  auto in3 = consumer3->Connect(*ch3, core::ConnMode::kInput);
+  if (!in1.ok() || !in2.ok() || !in3.ok()) bench::Die(in1.status(), "connect in");
+
+  bench::TcpPingPong tcp(60000);
+
+  std::printf("# Experiment 2 (Figure 12): C end device <-> cluster\n");
+  std::printf("%8s %12s %12s %12s %12s\n", "bytes", "tcp_us", "cfg1_us",
+              "cfg2_us", "cfg3_us");
+
+  Timestamp ts = 0;
+  for (std::size_t size : bench::PayloadSweep()) {
+    const double tcp_us =
+        bench::MeasureMedianMicros([&] { tcp.Cycle(size); }) / 2.0;
+    Buffer payload(size);
+    FillPattern(payload, size);
+
+    const double cfg1 = bench::MeasureMedianMicros([&] {
+      DS_BENCH_CHECK(producer1->Put(*out1, ts, payload), "put1");
+      auto item = (*runtime)->as(0).Get(*in1, core::GetSpec::Exact(ts),
+                                        Deadline::AfterMillis(30000));
+      if (!item.ok()) bench::Die(item.status(), "get1");
+      DS_BENCH_CHECK((*runtime)->as(0).Consume(*in1, ts), "consume1");
+      ++ts;
+    });
+    const double cfg2 = bench::MeasureMedianMicros([&] {
+      DS_BENCH_CHECK(producer2->Put(*out2, ts, payload), "put2");
+      auto item = (*runtime)->as(1).Get(*in2, core::GetSpec::Exact(ts),
+                                        Deadline::AfterMillis(30000));
+      if (!item.ok()) bench::Die(item.status(), "get2");
+      DS_BENCH_CHECK((*runtime)->as(1).Consume(*in2, ts), "consume2");
+      ++ts;
+    });
+    const double cfg3 = bench::MeasureMedianMicros([&] {
+      DS_BENCH_CHECK(producer3->Put(*out3, ts, payload), "put3");
+      auto item = consumer3->Get(*in3, core::GetSpec::Exact(ts),
+                                 Deadline::AfterMillis(30000));
+      if (!item.ok()) bench::Die(item.status(), "get3");
+      DS_BENCH_CHECK(consumer3->Consume(*in3, ts), "consume3");
+      ++ts;
+    });
+    std::printf("%8zu %12.1f %12.1f %12.1f %12.1f\n", size, tcp_us, cfg1, cfg2,
+                cfg3);
+  }
+
+  (void)producer1->Leave();
+  (void)producer2->Leave();
+  (void)producer3->Leave();
+  (void)consumer3->Leave();
+  (*listener)->Shutdown();
+  (*runtime)->Shutdown();
+  return 0;
+}

@@ -1,0 +1,134 @@
+// Experiment 3 (Figure 13): Java client library, end device <-> cluster.
+//
+// Identical to Experiment 2 except the end devices use the Java-style
+// client personality: all argument marshalling/unmarshalling runs
+// through the object-stream codec (boxed fields, byte-at-a-time double
+// copies) instead of the C client's pointer manipulation. The TCP
+// baseline is likewise "written in Java": each leg of the ping-pong
+// passes its payload through one boxed object-stream copy, which is
+// how a JVM socket program of the era moved byte arrays.
+//
+// Paper shape: the Java TCP baseline is close to the C TCP baseline,
+// while Java D-Stampede is several times slower than C D-Stampede —
+// the disparity is object construction in marshalling (§5.1 Result 2).
+//
+// Output rows: bytes javatcp_us cfg1_us cfg2_us cfg3_us
+#include "bench_util.hpp"
+#include "dstampede/client/java_client.hpp"
+#include "dstampede/client/listener.hpp"
+#include "dstampede/core/runtime.hpp"
+#include "dstampede/marshal/java_style.hpp"
+
+using namespace dstampede;
+
+namespace {
+
+std::unique_ptr<client::JavaStyleClient> Join(const client::Listener& listener,
+                                              const char* name,
+                                              int preferred_as) {
+  client::JavaStyleClient::Options opts;
+  opts.server = listener.addr();
+  opts.name = name;
+  opts.preferred_as = preferred_as;
+  auto c = client::JavaStyleClient::Join(opts);
+  if (!c.ok()) bench::Die(c.status(), "join");
+  return std::move(c).value();
+}
+
+// One boxed object-stream pass over the payload: the Java socket
+// program's stream handling cost, applied to each ping-pong leg.
+Buffer JavaStreamPass(std::span<const std::uint8_t> payload) {
+  marshal::JavaStyleEncoder enc;
+  enc.PutOpaque(payload);
+  Buffer staged = enc.Take();
+  marshal::JavaStyleDecoder dec(staged);
+  auto out = dec.GetOpaque();
+  if (!out.ok()) bench::Die(out.status(), "java stream pass");
+  return std::move(out).value();
+}
+
+}  // namespace
+
+int main() {
+  core::Runtime::Options rt_opts;
+  rt_opts.num_address_spaces = 2;
+  auto runtime = core::Runtime::Create(rt_opts);
+  if (!runtime.ok()) bench::Die(runtime.status(), "runtime");
+  auto listener = client::Listener::Start(**runtime);
+  if (!listener.ok()) bench::Die(listener.status(), "listener");
+
+  auto producer1 = Join(**listener, "jproducer-cfg1", 0);
+  auto producer2 = Join(**listener, "jproducer-cfg2", 0);
+  auto producer3 = Join(**listener, "jproducer-cfg3", 0);
+  auto ch1 = producer1->CreateChannel();
+  auto ch2 = producer2->CreateChannel();
+  auto ch3 = producer3->CreateChannel();
+  if (!ch1.ok() || !ch2.ok() || !ch3.ok()) bench::Die(ch1.status(), "channel");
+
+  auto out1 = producer1->Connect(*ch1, core::ConnMode::kOutput);
+  auto out2 = producer2->Connect(*ch2, core::ConnMode::kOutput);
+  auto out3 = producer3->Connect(*ch3, core::ConnMode::kOutput);
+  if (!out1.ok() || !out2.ok() || !out3.ok()) {
+    bench::Die(out1.status(), "connect");
+  }
+
+  auto in1 = (*runtime)->as(0).Connect(*ch1, core::ConnMode::kInput);
+  auto in2 = (*runtime)->as(1).Connect(*ch2, core::ConnMode::kInput);
+  auto consumer3 = Join(**listener, "jconsumer-cfg3", 1);
+  auto in3 = consumer3->Connect(*ch3, core::ConnMode::kInput);
+  if (!in1.ok() || !in2.ok() || !in3.ok()) bench::Die(in1.status(), "connect in");
+
+  bench::TcpPingPong tcp(60000);
+
+  std::printf("# Experiment 3 (Figure 13): Java end device <-> cluster\n");
+  std::printf("%8s %12s %12s %12s %12s\n", "bytes", "javatcp_us", "cfg1_us",
+              "cfg2_us", "cfg3_us");
+
+  Timestamp ts = 0;
+  for (std::size_t size : bench::PayloadSweep()) {
+    Buffer payload(size);
+    FillPattern(payload, size);
+
+    const double tcp_us = bench::MeasureMedianMicros([&] {
+      Buffer staged = JavaStreamPass(payload);
+      tcp.Cycle(size);
+      Buffer received = JavaStreamPass(staged);
+      (void)received;
+    }) / 2.0;
+
+    const double cfg1 = bench::MeasureMedianMicros([&] {
+      DS_BENCH_CHECK(producer1->Put(*out1, ts, payload), "put1");
+      auto item = (*runtime)->as(0).Get(*in1, core::GetSpec::Exact(ts),
+                                        Deadline::AfterMillis(30000));
+      if (!item.ok()) bench::Die(item.status(), "get1");
+      DS_BENCH_CHECK((*runtime)->as(0).Consume(*in1, ts), "consume1");
+      ++ts;
+    });
+    const double cfg2 = bench::MeasureMedianMicros([&] {
+      DS_BENCH_CHECK(producer2->Put(*out2, ts, payload), "put2");
+      auto item = (*runtime)->as(1).Get(*in2, core::GetSpec::Exact(ts),
+                                        Deadline::AfterMillis(30000));
+      if (!item.ok()) bench::Die(item.status(), "get2");
+      DS_BENCH_CHECK((*runtime)->as(1).Consume(*in2, ts), "consume2");
+      ++ts;
+    });
+    const double cfg3 = bench::MeasureMedianMicros([&] {
+      DS_BENCH_CHECK(producer3->Put(*out3, ts, payload), "put3");
+      auto item = consumer3->Get(*in3, core::GetSpec::Exact(ts),
+                                 Deadline::AfterMillis(30000));
+      if (!item.ok()) bench::Die(item.status(), "get3");
+      DS_BENCH_CHECK(consumer3->Consume(*in3, ts), "consume3");
+      ++ts;
+    });
+    std::printf("%8zu %12.1f %12.1f %12.1f %12.1f\n", size, tcp_us, cfg1, cfg2,
+                cfg3);
+  }
+
+  (void)producer1->Leave();
+  (void)producer2->Leave();
+  (void)producer3->Leave();
+  (void)consumer3->Leave();
+  (*listener)->Shutdown();
+  (*runtime)->Shutdown();
+  return 0;
+}

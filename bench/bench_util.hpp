@@ -1,0 +1,150 @@
+// Shared plumbing for the figure-reproduction benches: payload sweeps,
+// ping-pong baselines, latency measurement, row printing.
+//
+// Environment knobs (all optional):
+//   DS_BENCH_STEP   payload step for Experiments 1-3 (default 1000, the
+//                   paper's step; larger = quicker runs)
+//   DS_BENCH_ITERS  measured repetitions per point (default 15)
+//   DS_BENCH_FRAMES frames per conference run in Fig 14/15 (default 60)
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "dstampede/common/bytes.hpp"
+#include "dstampede/common/clock.hpp"
+#include "dstampede/common/stats.hpp"
+#include "dstampede/common/status.hpp"
+#include "dstampede/transport/tcp.hpp"
+#include "dstampede/transport/udp.hpp"
+
+namespace dstampede::bench {
+
+inline long EnvLong(const char* name, long fallback) {
+  const char* value = std::getenv(name);
+  return value ? std::atol(value) : fallback;
+}
+
+// The paper's Experiment 1-3 sweep: 1000..60000 bytes, step 1000.
+inline std::vector<std::size_t> PayloadSweep() {
+  const long step = EnvLong("DS_BENCH_STEP", 1000);
+  std::vector<std::size_t> sizes;
+  for (long n = 1000; n <= 60000; n += step) {
+    sizes.push_back(static_cast<std::size_t>(n));
+  }
+  return sizes;
+}
+
+inline int Iterations() {
+  return static_cast<int>(EnvLong("DS_BENCH_ITERS", 15));
+}
+
+inline void Die(const Status& status, const char* what) {
+  std::fprintf(stderr, "%s: %s\n", what, status.ToString().c_str());
+  std::exit(1);
+}
+
+#define DS_BENCH_CHECK(expr, what)                         \
+  do {                                                     \
+    ::dstampede::Status ds_s_ = (expr);                    \
+    if (!ds_s_.ok()) ::dstampede::bench::Die(ds_s_, what); \
+  } while (false)
+
+// Measures the median latency (microseconds) of fn() over the
+// configured iterations, after `warmup` unrecorded calls.
+template <typename Fn>
+double MeasureMedianMicros(Fn&& fn, int warmup = 3) {
+  for (int i = 0; i < warmup; ++i) fn();
+  LatencyRecorder recorder;
+  const int iters = Iterations();
+  for (int i = 0; i < iters; ++i) {
+    const TimePoint start = Now();
+    fn();
+    recorder.AddDuration(Now() - start);
+  }
+  return static_cast<double>(recorder.Median());
+}
+
+// --- raw baselines (the paper's comparison series) --------------------------
+//
+// Both ping-pongs run single-threaded: the exchange is deliberately
+// non-overlapping (§5.1), and loopback kernel buffers hold a 60 KB leg
+// comfortably, so send-then-receive from one thread is safe.
+
+// TCP ping-pong pair on loopback. One exchange = half a cycle.
+class TcpPingPong {
+ public:
+  explicit TcpPingPong(std::size_t max_payload) : out_(max_payload) {
+    FillPattern(out_, 1);
+    in_.resize(max_payload);
+    auto listener = transport::TcpListener::Bind(0);
+    if (!listener.ok()) Die(listener.status(), "tcp bind");
+    auto client = transport::TcpConnection::Connect(listener->bound_addr());
+    if (!client.ok()) Die(client.status(), "tcp connect");
+    auto server = listener->Accept(Deadline::AfterMillis(5000));
+    if (!server.ok()) Die(server.status(), "tcp accept");
+    client_ = std::move(client).value();
+    server_ = std::move(server).value();
+  }
+
+  // A -> B then B -> A with `size`-byte payloads.
+  void Cycle(std::size_t size) {
+    auto leg = std::span<const std::uint8_t>(out_.data(), size);
+    auto sink = std::span<std::uint8_t>(in_.data(), size);
+    DS_BENCH_CHECK(client_.SendAll(leg), "tcp send");
+    DS_BENCH_CHECK(server_.RecvExact(sink, Deadline::AfterMillis(30000)),
+                   "tcp recv");
+    DS_BENCH_CHECK(server_.SendAll(leg), "tcp reply");
+    DS_BENCH_CHECK(client_.RecvExact(sink, Deadline::AfterMillis(30000)),
+                   "tcp reply recv");
+  }
+
+ private:
+  transport::TcpConnection client_;
+  transport::TcpConnection server_;
+  Buffer out_;
+  Buffer in_;
+};
+
+// UDP ping-pong pair on loopback (Experiment 1's second baseline).
+// Retries (rare loopback drops) are counted so a perturbed run shows.
+class UdpPingPong {
+ public:
+  explicit UdpPingPong(std::size_t max_payload) : out_(max_payload) {
+    FillPattern(out_, 2);
+    auto a = transport::UdpSocket::Bind(0);
+    auto b = transport::UdpSocket::Bind(0);
+    if (!a.ok()) Die(a.status(), "udp bind");
+    if (!b.ok()) Die(b.status(), "udp bind");
+    a_ = std::move(a).value();
+    b_ = std::move(b).value();
+  }
+
+  void Cycle(std::size_t size) {
+    auto leg = std::span<const std::uint8_t>(out_.data(), size);
+    transport::SockAddr from;
+    for (;;) {
+      DS_BENCH_CHECK(a_.SendTo(b_.bound_addr(), leg), "udp send");
+      if (b_.RecvFrom(in_, from, Deadline::AfterMillis(200)).ok()) break;
+      ++retries_;
+    }
+    for (;;) {
+      DS_BENCH_CHECK(b_.SendTo(a_.bound_addr(), leg), "udp reply");
+      if (a_.RecvFrom(in_, from, Deadline::AfterMillis(200)).ok()) break;
+      ++retries_;
+    }
+  }
+
+  std::uint64_t retries() const { return retries_; }
+
+ private:
+  transport::UdpSocket a_;
+  transport::UdpSocket b_;
+  Buffer out_;
+  Buffer in_;
+  std::uint64_t retries_ = 0;
+};
+
+}  // namespace dstampede::bench

@@ -1,0 +1,115 @@
+// Real-time synchrony + end devices (§3.1): a camera end device joins
+// the cluster through the client library, publishes its channel on the
+// name server, and paces itself with D-Stampede's loose temporal
+// synchrony — "a camera ... can pace itself to grab images and put
+// them into its output channel at 30 frames per second, using absolute
+// frame numbers as timestamps". A display end device consumes the
+// stream and reports the achieved rate, while a slippage handler
+// counts missed ticks. Run with:
+//
+//   paced_camera [fps=30] [seconds=2] [image_kb=16]
+#include <cstdio>
+#include <cstdlib>
+
+#include "dstampede/app/image.hpp"
+#include "dstampede/client/client.hpp"
+#include "dstampede/client/listener.hpp"
+#include "dstampede/common/stats.hpp"
+#include "dstampede/core/rt_sync.hpp"
+#include "dstampede/core/runtime.hpp"
+
+using namespace dstampede;
+
+int main(int argc, char** argv) {
+  const double fps = argc > 1 ? std::atof(argv[1]) : 30.0;
+  const double seconds = argc > 2 ? std::atof(argv[2]) : 2.0;
+  const std::size_t image_kb =
+      argc > 3 ? static_cast<std::size_t>(std::atoi(argv[3])) : 16;
+  const Timestamp frames = static_cast<Timestamp>(fps * seconds);
+
+  core::Runtime::Options rt_opts;
+  rt_opts.num_address_spaces = 1;
+  auto runtime = core::Runtime::Create(rt_opts);
+  if (!runtime.ok()) return 1;
+  auto listener = client::Listener::Start(**runtime);
+  if (!listener.ok()) return 1;
+
+  std::printf("camera pacing at %.0f fps for %.1fs (%lld frames)\n", fps,
+              seconds, static_cast<long long>(frames));
+
+  // Camera end device.
+  std::thread camera_thread([&] {
+    client::CClient::Options opts;
+    opts.server = (*listener)->addr();
+    opts.name = "camera";
+    auto camera = client::CClient::Join(opts);
+    if (!camera.ok()) return;
+    auto ch = (*camera)->CreateChannel();
+    if (!ch.ok()) return;
+    (void)(*camera)->NsRegister(core::NsEntry{
+        "paced/video", core::NsEntry::Kind::kChannel, ch->bits(),
+        "paced camera stream"});
+    auto out = (*camera)->Connect(*ch, core::ConnMode::kOutput);
+    if (!out.ok()) return;
+
+    app::VirtualCamera sensor(0, image_kb * 1024);
+    std::uint64_t slips = 0;
+    core::RtSync pace(
+        std::chrono::duration_cast<Duration>(
+            std::chrono::duration<double>(1.0 / fps)),
+        Millis(5), [&](std::int64_t slip_us) {
+          ++slips;
+          std::printf("  [camera] slipped %lldus past tolerance\n",
+                      static_cast<long long>(slip_us));
+        });
+    pace.Start();
+    for (Timestamp frame = 0; frame < frames; ++frame) {
+      if (!(*camera)->Put(*out, frame, sensor.Grab(frame)).ok()) return;
+      (void)pace.Synchronize();
+    }
+    std::printf("  [camera] %lld frames put, %llu slips\n",
+                static_cast<long long>(frames),
+                static_cast<unsigned long long>(slips));
+    (void)(*camera)->Leave();
+  });
+
+  // Display end device.
+  std::thread display_thread([&] {
+    client::CClient::Options opts;
+    opts.server = (*listener)->addr();
+    opts.name = "display";
+    auto display = client::CClient::Join(opts);
+    if (!display.ok()) return;
+    auto entry = (*display)->NsLookup("paced/video", Deadline::AfterMillis(5000));
+    if (!entry.ok()) return;
+    auto in = (*display)->Connect(ChannelId::FromBits(entry->id_bits),
+                                  core::ConnMode::kInput);
+    if (!in.ok()) return;
+
+    RateMeter meter;
+    meter.Start();
+    for (Timestamp frame = 0; frame < frames; ++frame) {
+      auto item = (*display)->Get(*in, core::GetSpec::Exact(frame),
+                                  Deadline::AfterMillis(10000));
+      if (!item.ok()) return;
+      auto info = app::InspectFrame(item->payload.span());
+      if (!info.ok() || info->frame_no != frame) {
+        std::fprintf(stderr, "frame %lld failed validation\n",
+                     static_cast<long long>(frame));
+        return;
+      }
+      (void)(*display)->Consume(*in, frame);
+      meter.Tick();
+    }
+    std::printf("  [display] received %lld validated frames at %.1f fps "
+                "(target %.0f)\n",
+                static_cast<long long>(frames), meter.Rate(), fps);
+    (void)(*display)->Leave();
+  });
+
+  camera_thread.join();
+  display_thread.join();
+  (*listener)->Shutdown();
+  (*runtime)->Shutdown();
+  return 0;
+}

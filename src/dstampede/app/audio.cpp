@@ -1,0 +1,102 @@
+#include "dstampede/app/audio.hpp"
+
+namespace dstampede::app {
+namespace {
+
+constexpr std::uint32_t kChunkMagic = 0xAD10u;
+
+// A cheap deterministic waveform: a participant-specific mix of two
+// integer "oscillators". Not audible art, but bit-exactly recomputable
+// anywhere, which is what validation needs.
+std::int16_t Waveform(std::uint32_t participant, std::uint64_t n) {
+  const std::uint64_t a = (participant + 3) * 131ULL;
+  const std::uint64_t b = (participant + 7) * 17ULL;
+  const auto tri = [](std::uint64_t x, std::uint64_t period) -> std::int32_t {
+    const std::uint64_t phase = x % period;
+    const std::uint64_t half = period / 2;
+    const std::int64_t up = static_cast<std::int64_t>(phase) -
+                            static_cast<std::int64_t>(half);
+    return static_cast<std::int32_t>(phase < half ? phase : 2 * half - phase) -
+           static_cast<std::int32_t>(half / 2) + static_cast<std::int32_t>(up % 3);
+  };
+  const std::int32_t sample = tri(n * a, 480) * 23 + tri(n * b, 97) * 5;
+  return AudioMixer::Saturate(sample);
+}
+
+}  // namespace
+
+ToneSource::ToneSource(std::uint32_t participant, AudioFormat format)
+    : participant_(participant), format_(format) {}
+
+std::int16_t ToneSource::SampleAt(std::uint64_t n) const {
+  return Waveform(participant_, n);
+}
+
+Buffer ToneSource::Chunk(Timestamp chunk_no) const {
+  Buffer out;
+  out.reserve(kAudioHeaderBytes + format_.samples_per_chunk * 2);
+  ByteWriter writer(out);
+  writer.U32(kChunkMagic);
+  writer.U32(participant_);
+  writer.I64(chunk_no);
+  const std::uint64_t base =
+      static_cast<std::uint64_t>(chunk_no) * format_.samples_per_chunk;
+  for (std::uint32_t i = 0; i < format_.samples_per_chunk; ++i) {
+    writer.U16(static_cast<std::uint16_t>(SampleAt(base + i)));
+  }
+  return out;
+}
+
+Result<AudioChunkInfo> InspectChunk(std::span<const std::uint8_t> chunk) {
+  ByteReader reader(chunk);
+  DS_ASSIGN_OR_RETURN(std::uint32_t magic, reader.U32());
+  if (magic != kChunkMagic) return InternalError("bad audio magic");
+  AudioChunkInfo info;
+  DS_ASSIGN_OR_RETURN(info.participant, reader.U32());
+  DS_ASSIGN_OR_RETURN(info.chunk_no, reader.I64());
+  if (reader.remaining() % 2 != 0) return InternalError("odd PCM length");
+  info.samples = reader.remaining() / 2;
+  return info;
+}
+
+Result<std::int16_t> ChunkSample(std::span<const std::uint8_t> chunk,
+                                 std::size_t i) {
+  const std::size_t offset = kAudioHeaderBytes + i * 2;
+  if (offset + 2 > chunk.size()) return InvalidArgumentError("sample index");
+  return static_cast<std::int16_t>(
+      static_cast<std::uint16_t>((chunk[offset] << 8) | chunk[offset + 1]));
+}
+
+Result<Buffer> AudioMixer::Mix(std::span<const Buffer> chunks) const {
+  if (chunks.empty()) return InvalidArgumentError("nothing to mix");
+  Timestamp chunk_no = kInvalidTimestamp;
+  for (const Buffer& chunk : chunks) {
+    DS_ASSIGN_OR_RETURN(AudioChunkInfo info, InspectChunk(chunk));
+    if (info.samples != format_.samples_per_chunk) {
+      return InvalidArgumentError("sample count mismatch");
+    }
+    if (chunk_no == kInvalidTimestamp) {
+      chunk_no = info.chunk_no;
+    } else if (info.chunk_no != chunk_no) {
+      return InvalidArgumentError("mixing chunks of different timestamps");
+    }
+  }
+
+  Buffer out;
+  out.reserve(kAudioHeaderBytes + format_.samples_per_chunk * 2);
+  ByteWriter writer(out);
+  writer.U32(kChunkMagic);
+  writer.U32(kMixedParticipant);
+  writer.I64(chunk_no);
+  for (std::uint32_t i = 0; i < format_.samples_per_chunk; ++i) {
+    std::int32_t sum = 0;
+    for (const Buffer& chunk : chunks) {
+      DS_ASSIGN_OR_RETURN(std::int16_t sample, ChunkSample(chunk, i));
+      sum += sample;
+    }
+    writer.U16(static_cast<std::uint16_t>(Saturate(sum)));
+  }
+  return out;
+}
+
+}  // namespace dstampede::app

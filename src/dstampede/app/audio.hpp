@@ -1,0 +1,100 @@
+// Audio streaming and mixing.
+//
+// The paper's application domain is audio as well as video: "speech is
+// a sequence of audio samples", "stereo audio combines data from two
+// or more microphones" (§2), and its acknowledgments cite an "audio and
+// video meeting application" built on D-Stampede. This module supplies
+// the audio half of that application class:
+//
+//   * ToneSource — a deterministic microphone: each participant emits
+//     16-bit PCM chunks of a participant-specific waveform, so any
+//     stage can recompute the exact samples a (participant, chunk)
+//     pair must contain;
+//   * AudioMixer — sums the participants' chunks sample-wise with
+//     saturation, the standard conference-bridge mix;
+//   * InspectChunk / ExpectedSample — validation hooks used by tests
+//     and the AV-meeting example to check the mix bit-exactly.
+//
+// Chunks are timestamped by chunk number, exactly like video frames by
+// frame number, which is what makes audio/video temporal correlation
+// (TemporalCorrelator) work across the two media.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "dstampede/common/bytes.hpp"
+#include "dstampede/common/ids.hpp"
+#include "dstampede/common/status.hpp"
+
+namespace dstampede::app {
+
+struct AudioFormat {
+  std::uint32_t sample_rate = 16000;     // Hz
+  std::uint32_t samples_per_chunk = 320; // 20 ms at 16 kHz
+
+  double chunk_seconds() const {
+    return static_cast<double>(samples_per_chunk) / sample_rate;
+  }
+};
+
+inline constexpr std::size_t kAudioHeaderBytes = 16;
+
+struct AudioChunkInfo {
+  std::uint32_t participant = 0;
+  Timestamp chunk_no = 0;
+  std::size_t samples = 0;
+};
+
+// One participant's deterministic microphone.
+class ToneSource {
+ public:
+  ToneSource(std::uint32_t participant, AudioFormat format);
+
+  // Chunk layout: [u32 magic][u32 participant][i64 chunk no][i16 PCM...].
+  Buffer Chunk(Timestamp chunk_no) const;
+
+  // The exact sample this participant produces at absolute sample
+  // index `n` (chunk_no * samples_per_chunk + offset).
+  std::int16_t SampleAt(std::uint64_t n) const;
+
+  std::uint32_t participant() const { return participant_; }
+  const AudioFormat& format() const { return format_; }
+
+ private:
+  std::uint32_t participant_;
+  AudioFormat format_;
+};
+
+// Parses and validates one chunk against the source that made it.
+Result<AudioChunkInfo> InspectChunk(std::span<const std::uint8_t> chunk);
+
+// Reads sample `i` out of an encoded chunk.
+Result<std::int16_t> ChunkSample(std::span<const std::uint8_t> chunk,
+                                 std::size_t i);
+
+// Conference-bridge mixer: output sample = saturated sum of the
+// corresponding input samples.
+class AudioMixer {
+ public:
+  explicit AudioMixer(AudioFormat format) : format_(format) {}
+
+  // All chunks must agree on participant-distinct headers, the same
+  // chunk number, and the format's sample count. The mixed chunk keeps
+  // the chunk number and gets participant id 0xFFFF ("the bridge").
+  Result<Buffer> Mix(std::span<const Buffer> chunks) const;
+
+  static std::int16_t Saturate(std::int32_t sum) {
+    if (sum > INT16_MAX) return INT16_MAX;
+    if (sum < INT16_MIN) return INT16_MIN;
+    return static_cast<std::int16_t>(sum);
+  }
+
+ private:
+  AudioFormat format_;
+};
+
+inline constexpr std::uint32_t kMixedParticipant = 0xFFFF;
+
+}  // namespace dstampede::app

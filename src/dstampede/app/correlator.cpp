@@ -1,0 +1,41 @@
+#include "dstampede/app/correlator.hpp"
+
+#include <algorithm>
+
+namespace dstampede::app {
+
+Result<CorrelatedTuple> TemporalCorrelator::NextTuple(Deadline deadline) {
+  if (inputs_.empty()) return InvalidArgumentError("no inputs");
+
+  Timestamp candidate = cursor_;
+  for (;;) {
+    // Round: every input reports its first item at/after `candidate`.
+    CorrelatedTuple tuple;
+    tuple.items.reserve(inputs_.size());
+    Timestamp max_seen = candidate;
+    bool aligned = true;
+    for (const core::Connection& input : inputs_) {
+      DS_ASSIGN_OR_RETURN(
+          core::ItemView item,
+          as_.Get(input, core::GetSpec::NextAfter(candidate - 1), deadline));
+      if (item.timestamp != candidate) aligned = false;
+      max_seen = std::max(max_seen, item.timestamp);
+      tuple.items.push_back(std::move(item));
+    }
+    if (aligned) {
+      tuple.timestamp = candidate;
+      // Release the tuple and everything older on every stream.
+      for (const core::Connection& input : inputs_) {
+        DS_RETURN_IF_ERROR(as_.ConsumeUntil(input, candidate));
+      }
+      cursor_ = candidate + 1;
+      return tuple;
+    }
+    // At least one stream has nothing at `candidate`: everything below
+    // the maximum seen can never correlate. Account the gap and retry.
+    skipped_ += static_cast<std::uint64_t>(max_seen - candidate);
+    candidate = max_seen;
+  }
+}
+
+}  // namespace dstampede::app

@@ -1,0 +1,57 @@
+// Temporal correlation of multiple streams (paper §2, requirement 2):
+// "a stereo vision application would combine images captured at the
+// same time from two different camera sensors, and stereo audio
+// combines data from two or more microphones".
+//
+// TemporalCorrelator aligns N channel streams by timestamp. Each call
+// to NextTuple() returns one item per input, all carrying the SAME
+// timestamp — the smallest common timestamp not yet delivered. Streams
+// may skip timestamps (dropped frames); the correlator advances past
+// gaps using the align-to-max protocol:
+//
+//   candidate = cursor
+//   repeat: ask every input for its first item at/after candidate;
+//           if they all landed on the same timestamp, done;
+//           otherwise retry from the maximum seen.
+//
+// Everything at or below a delivered (or skipped-past) timestamp is
+// consume-until'd on every input, so the distributed GC reclaims
+// uncorrelatable items promptly — dropped frames don't accumulate.
+#pragma once
+
+#include <vector>
+
+#include "dstampede/core/address_space.hpp"
+
+namespace dstampede::app {
+
+struct CorrelatedTuple {
+  Timestamp timestamp = kInvalidTimestamp;
+  std::vector<core::ItemView> items;  // one per input, same order
+};
+
+class TemporalCorrelator {
+ public:
+  // All connections must be input-capable channel connections usable
+  // from `as` (local or remote — location transparent as ever).
+  TemporalCorrelator(core::AddressSpace& as,
+                     std::vector<core::Connection> inputs)
+      : as_(as), inputs_(std::move(inputs)) {}
+
+  // Blocks until one timestamp is present on every input (or deadline).
+  // Consumes the tuple and everything older on all inputs.
+  Result<CorrelatedTuple> NextTuple(Deadline deadline = Deadline::Infinite());
+
+  // How many candidate timestamps were skipped because at least one
+  // stream never produced them (dropped-frame accounting).
+  std::uint64_t skipped_timestamps() const { return skipped_; }
+  Timestamp cursor() const { return cursor_; }
+
+ private:
+  core::AddressSpace& as_;
+  std::vector<core::Connection> inputs_;
+  Timestamp cursor_ = 0;  // next timestamp we may deliver
+  std::uint64_t skipped_ = 0;
+};
+
+}  // namespace dstampede::app

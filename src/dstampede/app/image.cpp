@@ -1,0 +1,79 @@
+#include "dstampede/app/image.hpp"
+
+#include <cstring>
+
+namespace dstampede::app {
+namespace {
+constexpr std::uint32_t kFrameMagic = 0xF7A3Eu;
+
+void WriteHeader(Buffer& frame, std::uint32_t client_id, Timestamp frame_no) {
+  ByteWriter writer(frame);
+  writer.U32(kFrameMagic);
+  writer.U32(client_id);
+  writer.I64(frame_no);
+}
+}  // namespace
+
+VirtualCamera::VirtualCamera(std::uint32_t client_id, std::size_t frame_bytes)
+    : client_id_(client_id), frame_bytes_(frame_bytes) {
+  if (frame_bytes_ < kFrameHeaderBytes) frame_bytes_ = kFrameHeaderBytes;
+}
+
+Buffer VirtualCamera::Grab(Timestamp frame_no) const {
+  Buffer frame;
+  frame.reserve(frame_bytes_);
+  WriteHeader(frame, client_id_, frame_no);
+  Buffer body(frame_bytes_ - frame.size());
+  FillPattern(body, (static_cast<std::uint64_t>(client_id_) << 40) ^
+                        static_cast<std::uint64_t>(frame_no));
+  frame.insert(frame.end(), body.begin(), body.end());
+  return frame;
+}
+
+Result<FrameInfo> InspectFrame(std::span<const std::uint8_t> frame) {
+  ByteReader reader(frame);
+  DS_ASSIGN_OR_RETURN(std::uint32_t magic, reader.U32());
+  if (magic != kFrameMagic) return InternalError("bad frame magic");
+  FrameInfo info;
+  DS_ASSIGN_OR_RETURN(info.client_id, reader.U32());
+  DS_ASSIGN_OR_RETURN(info.frame_no, reader.I64());
+  auto body = frame.subspan(kFrameHeaderBytes);
+  if (!CheckPattern(body, (static_cast<std::uint64_t>(info.client_id) << 40) ^
+                              static_cast<std::uint64_t>(info.frame_no))) {
+    return InternalError("frame body corrupted");
+  }
+  return info;
+}
+
+Compositor::Compositor(std::size_t num_clients, std::size_t frame_bytes)
+    : num_clients_(num_clients), frame_bytes_(frame_bytes) {}
+
+Status Compositor::Blend(Buffer& composite, std::size_t index,
+                         std::span<const std::uint8_t> frame) const {
+  if (index >= num_clients_) return InvalidArgumentError("tile index");
+  if (frame.size() != frame_bytes_) {
+    return InvalidArgumentError("frame size mismatch");
+  }
+  if (composite.size() != composite_bytes()) {
+    return InvalidArgumentError("composite size mismatch");
+  }
+  std::memcpy(composite.data() + index * frame_bytes_, frame.data(),
+              frame_bytes_);
+  return OkStatus();
+}
+
+Status Compositor::ValidateTile(std::span<const std::uint8_t> composite,
+                                std::size_t index, std::uint32_t client_id,
+                                Timestamp frame_no) const {
+  if (index >= num_clients_ || composite.size() != composite_bytes()) {
+    return InvalidArgumentError("tile out of range");
+  }
+  auto tile = composite.subspan(index * frame_bytes_, frame_bytes_);
+  DS_ASSIGN_OR_RETURN(FrameInfo info, InspectFrame(tile));
+  if (info.client_id != client_id || info.frame_no != frame_no) {
+    return InternalError("tile holds the wrong frame");
+  }
+  return OkStatus();
+}
+
+}  // namespace dstampede::app

@@ -1,0 +1,72 @@
+// Virtual video frames for the §5.2 methodology: "the producer thread
+// in the client program reads a 'virtual' camera (a memory buffer)",
+// and the display "simply absorbs the composite output". Frames carry a
+// small self-describing header so every stage can validate that the
+// right client's frame with the right frame number arrived intact.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "dstampede/common/bytes.hpp"
+#include "dstampede/common/ids.hpp"
+#include "dstampede/common/status.hpp"
+
+namespace dstampede::app {
+
+inline constexpr std::size_t kFrameHeaderBytes = 16;
+
+// One participant's camera. Grab() synthesizes a frame of exactly
+// frame_bytes: [u32 magic][u32 client id][i64 frame number][pattern...].
+class VirtualCamera {
+ public:
+  VirtualCamera(std::uint32_t client_id, std::size_t frame_bytes);
+
+  Buffer Grab(Timestamp frame_no) const;
+
+  std::uint32_t client_id() const { return client_id_; }
+  std::size_t frame_bytes() const { return frame_bytes_; }
+
+ private:
+  std::uint32_t client_id_;
+  std::size_t frame_bytes_;
+};
+
+struct FrameInfo {
+  std::uint32_t client_id = 0;
+  Timestamp frame_no = 0;
+};
+
+// Parses and validates one camera frame (header + pattern).
+Result<FrameInfo> InspectFrame(std::span<const std::uint8_t> frame);
+
+// The mixer's composite: the K client frames tiled back to back, as the
+// paper's display receives "a frame K times bigger than the client
+// image size".
+class Compositor {
+ public:
+  Compositor(std::size_t num_clients, std::size_t frame_bytes);
+
+  std::size_t composite_bytes() const { return num_clients_ * frame_bytes_; }
+
+  // Copies one client's frame into its tile. Distinct indices may be
+  // filled concurrently (the multi-threaded mixer does).
+  Status Blend(Buffer& composite, std::size_t index,
+               std::span<const std::uint8_t> frame) const;
+
+  // Allocates a composite-sized buffer.
+  Buffer MakeComposite() const { return Buffer(composite_bytes()); }
+
+  // Checks that tile `index` holds a valid frame from `client_id` with
+  // this frame number.
+  Status ValidateTile(std::span<const std::uint8_t> composite,
+                      std::size_t index, std::uint32_t client_id,
+                      Timestamp frame_no) const;
+
+ private:
+  std::size_t num_clients_;
+  std::size_t frame_bytes_;
+};
+
+}  // namespace dstampede::app

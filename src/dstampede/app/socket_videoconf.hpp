@@ -1,0 +1,40 @@
+// The paper's first application version (§5.2): the same video
+// conference written directly on TCP sockets, for comparison with the
+// D-Stampede channel versions. A single-threaded mixer accepts one
+// producer and one display connection per participant, then loops:
+// receive one frame from each producer, composite, send the composite
+// to each display. This is the Fig 14 "socket version" baseline — and
+// the paper's point that it took "much more effort" than the channel
+// version is visible in the bookkeeping below.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dstampede/common/ids.hpp"
+#include "dstampede/common/status.hpp"
+
+namespace dstampede::app {
+
+struct SocketVideoConfConfig {
+  std::size_t num_clients = 2;
+  std::size_t image_bytes = 74 * 1024;
+  Timestamp num_frames = 120;
+  Timestamp warmup_frames = 20;
+  bool validate_frames = false;
+};
+
+struct SocketVideoConfReport {
+  std::vector<double> display_fps;
+  double min_display_fps = 0.0;
+  Timestamp frames_completed = 0;
+};
+
+class SocketVideoConfApp {
+ public:
+  // Self-contained: starts its own TCP server on loopback, runs the
+  // client threads, returns the measured sustained frame rates.
+  static Result<SocketVideoConfReport> Run(const SocketVideoConfConfig& config);
+};
+
+}  // namespace dstampede::app

@@ -1,0 +1,218 @@
+#include "dstampede/app/tracker.hpp"
+
+#include <atomic>
+#include <map>
+#include <mutex>
+#include <thread>
+
+#include "dstampede/common/bytes.hpp"
+
+namespace dstampede::app {
+namespace {
+
+constexpr std::uint32_t kSentinelFragment = 0xffffffffu;
+
+// Fragment payload: [u32 fragment index][u32 fragment count][body...]
+Buffer MakeFragment(std::uint32_t index, std::uint32_t count,
+                    std::span<const std::uint8_t> body) {
+  Buffer out;
+  ByteWriter writer(out);
+  writer.U32(index);
+  writer.U32(count);
+  writer.Bytes(body);
+  return out;
+}
+
+// Result payload: [u32 fragment index][u64 checksum]
+Buffer MakeResult(std::uint32_t index, std::uint64_t checksum) {
+  Buffer out;
+  ByteWriter writer(out);
+  writer.U32(index);
+  writer.U64(checksum);
+  return out;
+}
+
+class FailBox {
+ public:
+  void Set(const Status& status) {
+    if (status.ok()) return;
+    std::lock_guard<std::mutex> lock(mu_);
+    if (first_.ok()) first_ = status;
+    failed_.store(true);
+  }
+  bool failed() const { return failed_.load(std::memory_order_relaxed); }
+  Status first() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return first_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  Status first_;
+  std::atomic<bool> failed_{false};
+};
+
+Deadline OpDeadline() { return Deadline::AfterMillis(60000); }
+
+}  // namespace
+
+std::uint64_t AnalyzeFragment(std::span<const std::uint8_t> data) {
+  std::uint64_t hash = 0xcbf29ce484222325ULL;
+  for (std::uint8_t byte : data) {
+    hash ^= byte;
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+Result<TrackerReport> SplitJoinPipeline::Run(core::Runtime& runtime,
+                                             const TrackerConfig& config) {
+  if (config.fragments_per_frame == 0 || config.num_workers == 0) {
+    return InvalidArgumentError("bad tracker config");
+  }
+  core::AddressSpace& work_as = runtime.as(config.work_queue_as);
+  core::AddressSpace& result_as = runtime.as(config.result_queue_as);
+
+  core::QueueAttr work_attr;
+  work_attr.capacity_items = config.queue_capacity;
+  work_attr.debug_name = "tracker/work";
+  DS_ASSIGN_OR_RETURN(QueueId work_q, work_as.CreateQueue(work_attr));
+  core::QueueAttr result_attr;
+  result_attr.capacity_items = config.queue_capacity;
+  result_attr.debug_name = "tracker/results";
+  DS_ASSIGN_OR_RETURN(QueueId result_q, result_as.CreateQueue(result_attr));
+
+  FailBox fail;
+  TrackerReport report;
+  report.per_worker_fragments.assign(config.num_workers, 0);
+  const std::uint32_t frag_count =
+      static_cast<std::uint32_t>(config.fragments_per_frame);
+
+  std::vector<std::thread> threads;
+
+  // --- splitter ---------------------------------------------------------
+  threads.emplace_back([&] {
+    auto out = work_as.Connect(work_q, core::ConnMode::kOutput, "splitter");
+    if (!out.ok()) return fail.Set(out.status());
+    for (Timestamp ts = 0; ts < config.num_frames && !fail.failed(); ++ts) {
+      Buffer frame(config.frame_bytes);
+      FillPattern(frame, static_cast<std::uint64_t>(ts));
+      const std::size_t chunk =
+          (frame.size() + config.fragments_per_frame - 1) /
+          config.fragments_per_frame;
+      for (std::uint32_t f = 0; f < frag_count; ++f) {
+        const std::size_t begin = std::min<std::size_t>(f * chunk, frame.size());
+        const std::size_t end =
+            std::min<std::size_t>(begin + chunk, frame.size());
+        Buffer fragment = MakeFragment(
+            f, frag_count,
+            std::span<const std::uint8_t>(frame.data() + begin, end - begin));
+        Status s = work_as.Put(*out, ts, std::move(fragment), OpDeadline());
+        if (!s.ok()) return fail.Set(s);
+      }
+    }
+    // One sentinel per tracker so every worker drains and exits.
+    for (std::size_t w = 0; w < config.num_workers; ++w) {
+      Buffer sentinel = MakeFragment(kSentinelFragment, 0, {});
+      Status s = work_as.Put(*out, config.num_frames, std::move(sentinel),
+                             OpDeadline());
+      if (!s.ok()) return fail.Set(s);
+    }
+    (void)work_as.Disconnect(*out);
+  });
+
+  // --- trackers ---------------------------------------------------------
+  for (std::size_t w = 0; w < config.num_workers; ++w) {
+    threads.emplace_back([&, w] {
+      auto in = work_as.Connect(work_q, core::ConnMode::kInput, "tracker");
+      auto out =
+          result_as.Connect(result_q, core::ConnMode::kOutput, "tracker");
+      if (!in.ok()) return fail.Set(in.status());
+      if (!out.ok()) return fail.Set(out.status());
+      std::uint64_t processed = 0;
+      while (!fail.failed()) {
+        auto item = work_as.Get(*in, OpDeadline());
+        if (!item.ok()) return fail.Set(item.status());
+        ByteReader reader(item->payload.span());
+        auto index = reader.U32();
+        auto count = reader.U32();
+        if (!index.ok() || !count.ok()) {
+          return fail.Set(InternalError("bad fragment"));
+        }
+        if (*index == kSentinelFragment) {
+          (void)work_as.Consume(*in, item->timestamp);
+          break;
+        }
+        const auto body = item->payload.span().subspan(8);
+        const std::uint64_t checksum = AnalyzeFragment(body);
+        Status p = result_as.Put(*out, item->timestamp,
+                                 MakeResult(*index, checksum), OpDeadline());
+        if (!p.ok()) return fail.Set(p);
+        Status c = work_as.Consume(*in, item->timestamp);
+        if (!c.ok()) return fail.Set(c);
+        ++processed;
+      }
+      report.per_worker_fragments[w] = processed;
+      (void)work_as.Disconnect(*in);
+      (void)result_as.Disconnect(*out);
+    });
+  }
+
+  // --- joiner -----------------------------------------------------------
+  threads.emplace_back([&] {
+    auto in = result_as.Connect(result_q, core::ConnMode::kInput, "joiner");
+    if (!in.ok()) return fail.Set(in.status());
+    std::map<Timestamp, std::map<std::uint32_t, std::uint64_t>> partial;
+    Timestamp joined = 0;
+    std::uint64_t fragments = 0;
+    const std::uint64_t expected_total =
+        static_cast<std::uint64_t>(config.num_frames) * frag_count;
+    while (fragments < expected_total && !fail.failed()) {
+      auto item = result_as.Get(*in, OpDeadline());
+      if (!item.ok()) return fail.Set(item.status());
+      ByteReader reader(item->payload.span());
+      auto index = reader.U32();
+      auto checksum = reader.U64();
+      if (!index.ok() || !checksum.ok()) {
+        return fail.Set(InternalError("bad result"));
+      }
+      auto& frame_parts = partial[item->timestamp];
+      if (!frame_parts.emplace(*index, *checksum).second) {
+        return fail.Set(InternalError("duplicate fragment result"));
+      }
+      ++fragments;
+      Status c = result_as.Consume(*in, item->timestamp);
+      if (!c.ok()) return fail.Set(c);
+      if (frame_parts.size() == frag_count) {
+        // Verify the join against a locally recomputed frame.
+        Buffer frame(config.frame_bytes);
+        FillPattern(frame, static_cast<std::uint64_t>(item->timestamp));
+        const std::size_t chunk =
+            (frame.size() + config.fragments_per_frame - 1) /
+            config.fragments_per_frame;
+        for (std::uint32_t f = 0; f < frag_count; ++f) {
+          const std::size_t begin =
+              std::min<std::size_t>(f * chunk, frame.size());
+          const std::size_t end =
+              std::min<std::size_t>(begin + chunk, frame.size());
+          const std::uint64_t expect = AnalyzeFragment(
+              std::span<const std::uint8_t>(frame.data() + begin, end - begin));
+          if (frame_parts.at(f) != expect) {
+            return fail.Set(InternalError("checksum mismatch at join"));
+          }
+        }
+        partial.erase(item->timestamp);
+        ++joined;
+      }
+    }
+    report.frames_joined = joined;
+    report.fragments_processed = fragments;
+    (void)result_as.Disconnect(*in);
+  });
+
+  for (auto& thread : threads) thread.join();
+  if (fail.failed()) return fail.first();
+  return report;
+}
+
+}  // namespace dstampede::app

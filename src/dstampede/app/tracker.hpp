@@ -1,0 +1,48 @@
+// The task-and-data parallelism harness of Fig 3: a splitter thread
+// partitions each frame into fragments that all carry the frame's
+// timestamp and drops them into a D-Stampede queue; a pool of tracker
+// threads analyzes fragments in parallel (each queue item goes to
+// exactly one tracker); a joiner stitches the per-fragment results for
+// each timestamp back together through a result queue.
+//
+// "Analysis" here is a checksum scan over the fragment — a stand-in
+// with a real data dependency so corruption anywhere in the pipeline
+// is caught at the joiner.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dstampede/common/ids.hpp"
+#include "dstampede/common/status.hpp"
+#include "dstampede/core/runtime.hpp"
+
+namespace dstampede::app {
+
+struct TrackerConfig {
+  std::size_t fragments_per_frame = 4;
+  std::size_t num_workers = 4;
+  Timestamp num_frames = 16;
+  std::size_t frame_bytes = 64 * 1024;
+  std::size_t work_queue_as = 0;    // runtime index owning the work queue
+  std::size_t result_queue_as = 0;  // runtime index owning the result queue
+  std::size_t queue_capacity = 64;
+};
+
+struct TrackerReport {
+  Timestamp frames_joined = 0;
+  std::uint64_t fragments_processed = 0;
+  // How the queue load-shared fragments across trackers.
+  std::vector<std::uint64_t> per_worker_fragments;
+};
+
+class SplitJoinPipeline {
+ public:
+  static Result<TrackerReport> Run(core::Runtime& runtime,
+                                   const TrackerConfig& config);
+};
+
+// FNV-1a over a byte span; the "tracker analysis".
+std::uint64_t AnalyzeFragment(std::span<const std::uint8_t> data);
+
+}  // namespace dstampede::app

@@ -1,0 +1,59 @@
+// The video-conferencing application of §4 and §5.2, on D-Stampede.
+//
+// Structure (Fig 5): each participant has two end devices — a camera
+// whose producer thread puts timestamped frames into its own channel
+// C_j (created in the address space its client session landed on), and
+// a display whose thread gets the composite stream from channel C_0.
+// A mixer in address space N_M gets corresponding-timestamp frames
+// from every C_j, composites them, and puts the result into C_0.
+//
+// Two mixer variants reproduce the paper's second and third app
+// versions: single-threaded (one thread does all gets, the composite,
+// and the put) and multi-threaded (one thread per participant blends
+// its tile; a barrier hands the finished composite to the put).
+// Sustained frames/sec at the slowest display is the reported metric.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dstampede/client/listener.hpp"
+#include "dstampede/core/runtime.hpp"
+
+namespace dstampede::app {
+
+struct VideoConfConfig {
+  std::size_t num_clients = 2;
+  std::size_t image_bytes = 74 * 1024;
+  bool multithreaded_mixer = false;
+  std::size_t mixer_as = 0;          // runtime index of N_M
+  std::size_t channel_capacity = 16; // per-channel live-item bound
+  Timestamp num_frames = 120;        // frames produced per participant
+  Timestamp warmup_frames = 20;      // excluded from the rate
+  // 0 = producers free-run (the paper's max-rate stress); otherwise
+  // cameras pace themselves with real-time synchrony at this fps.
+  double producer_fps = 0.0;
+  // Validate every frame's content end to end (tests); benches keep it
+  // off to measure transport, as the paper's absorbing display does.
+  bool validate_frames = false;
+};
+
+struct VideoConfReport {
+  std::vector<double> display_fps;  // per participant
+  double min_display_fps = 0.0;     // the paper's reported number
+  Timestamp frames_completed = 0;
+  std::uint64_t producer_slips = 0; // real-time synchrony slippages
+};
+
+class VideoConfApp {
+ public:
+  // Runs one complete conference on the given cluster: server-side
+  // setup, K producer sessions, K display sessions, mixer thread(s).
+  // Blocks until num_frames flowed end to end everywhere.
+  static Result<VideoConfReport> Run(core::Runtime& runtime,
+                                     client::Listener& listener,
+                                     const VideoConfConfig& config);
+};
+
+}  // namespace dstampede::app

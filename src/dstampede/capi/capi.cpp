@@ -1,0 +1,280 @@
+// Implementation of the flat C API (dstampede.h) over the C++ runtime.
+#include "dstampede/capi/dstampede.h"
+
+#include <cstring>
+
+#include "dstampede/core/rt_sync.hpp"
+#include "dstampede/core/runtime.hpp"
+
+using namespace dstampede;
+
+struct spd_runtime {
+  std::unique_ptr<core::Runtime> runtime;
+};
+
+struct spd_rt_sync {
+  std::unique_ptr<core::RtSync> sync;
+};
+
+namespace {
+
+spd_status ToC(const Status& status) {
+  switch (status.code()) {
+    case StatusCode::kOk: return SPD_OK;
+    case StatusCode::kInvalidArgument: return SPD_ERR_INVALID_ARGUMENT;
+    case StatusCode::kNotFound: return SPD_ERR_NOT_FOUND;
+    case StatusCode::kAlreadyExists: return SPD_ERR_ALREADY_EXISTS;
+    case StatusCode::kFailedPrecondition: return SPD_ERR_FAILED_PRECONDITION;
+    case StatusCode::kPermissionDenied: return SPD_ERR_PERMISSION_DENIED;
+    case StatusCode::kTimeout: return SPD_ERR_TIMEOUT;
+    case StatusCode::kUnavailable: return SPD_ERR_UNAVAILABLE;
+    case StatusCode::kConnectionClosed: return SPD_ERR_CONNECTION_CLOSED;
+    case StatusCode::kResourceExhausted: return SPD_ERR_RESOURCE_EXHAUSTED;
+    case StatusCode::kGarbageCollected: return SPD_ERR_GARBAGE_COLLECTED;
+    case StatusCode::kCancelled: return SPD_ERR_CANCELLED;
+    case StatusCode::kInternal: return SPD_ERR_INTERNAL;
+  }
+  return SPD_ERR_INTERNAL;
+}
+
+Deadline ToDeadline(int64_t timeout_ms) {
+  if (timeout_ms < 0) return Deadline::Infinite();
+  if (timeout_ms == 0) return Deadline::Poll();
+  return Deadline::AfterMillis(timeout_ms);
+}
+
+core::AddressSpace* AsOf(spd_runtime* rt, int as_index) {
+  if (rt == nullptr || rt->runtime == nullptr) return nullptr;
+  if (as_index < 0 ||
+      static_cast<std::size_t>(as_index) >= rt->runtime->size()) {
+    return nullptr;
+  }
+  return &rt->runtime->as(static_cast<std::size_t>(as_index));
+}
+
+bool ValidConn(const spd_conn* conn) {
+  return conn != nullptr && conn->slot != 0 && conn->mode >= 1 &&
+         conn->mode <= 3;
+}
+
+core::Connection ToConnection(const spd_conn& conn) {
+  return core::Connection(conn.container_bits, conn.is_queue != 0,
+                          static_cast<core::ConnMode>(conn.mode),
+                          ChannelId::FromBits(conn.container_bits).owner(),
+                          conn.slot);
+}
+
+spd_status CopyOut(const SharedBuffer& payload, void* buf, size_t buf_len,
+                   size_t* item_len) {
+  if (item_len != nullptr) *item_len = payload.size();
+  if (payload.size() > buf_len) return SPD_ERR_BUFFER_TOO_SMALL;
+  if (payload.size() > 0 && buf != nullptr) {
+    std::memcpy(buf, payload.data(), payload.size());
+  }
+  return SPD_OK;
+}
+
+}  // namespace
+
+extern "C" {
+
+spd_status spd_runtime_create(int num_address_spaces, spd_runtime** out) {
+  if (out == nullptr || num_address_spaces <= 0) {
+    return SPD_ERR_INVALID_ARGUMENT;
+  }
+  core::Runtime::Options options;
+  options.num_address_spaces = static_cast<std::size_t>(num_address_spaces);
+  auto runtime = core::Runtime::Create(options);
+  if (!runtime.ok()) return ToC(runtime.status());
+  *out = new spd_runtime{std::move(runtime).value()};
+  return SPD_OK;
+}
+
+void spd_runtime_destroy(spd_runtime* rt) {
+  if (rt == nullptr) return;
+  rt->runtime->Shutdown();
+  delete rt;
+}
+
+int spd_runtime_size(const spd_runtime* rt) {
+  return rt == nullptr ? 0 : static_cast<int>(rt->runtime->size());
+}
+
+spd_status spd_chan_create(spd_runtime* rt, int as_index, size_t capacity,
+                           uint64_t* chan_out) {
+  core::AddressSpace* as = AsOf(rt, as_index);
+  if (as == nullptr || chan_out == nullptr) return SPD_ERR_INVALID_ARGUMENT;
+  core::ChannelAttr attr;
+  attr.capacity_items = capacity;
+  auto created = as->CreateChannel(attr);
+  if (!created.ok()) return ToC(created.status());
+  *chan_out = created->bits();
+  return SPD_OK;
+}
+
+spd_status spd_queue_create(spd_runtime* rt, int as_index, size_t capacity,
+                            uint64_t* queue_out) {
+  core::AddressSpace* as = AsOf(rt, as_index);
+  if (as == nullptr || queue_out == nullptr) return SPD_ERR_INVALID_ARGUMENT;
+  core::QueueAttr attr;
+  attr.capacity_items = capacity;
+  auto created = as->CreateQueue(attr);
+  if (!created.ok()) return ToC(created.status());
+  *queue_out = created->bits();
+  return SPD_OK;
+}
+
+spd_status spd_chan_connect(spd_runtime* rt, int as_index, uint64_t chan,
+                            int mode, spd_conn* conn_out) {
+  core::AddressSpace* as = AsOf(rt, as_index);
+  if (as == nullptr || conn_out == nullptr || mode < 1 || mode > 3) {
+    return SPD_ERR_INVALID_ARGUMENT;
+  }
+  auto conn = as->Connect(ChannelId::FromBits(chan),
+                          static_cast<core::ConnMode>(mode), "c-api");
+  if (!conn.ok()) return ToC(conn.status());
+  *conn_out = spd_conn{chan, 0, static_cast<uint32_t>(mode), conn->slot()};
+  return SPD_OK;
+}
+
+spd_status spd_queue_connect(spd_runtime* rt, int as_index, uint64_t queue,
+                             int mode, spd_conn* conn_out) {
+  core::AddressSpace* as = AsOf(rt, as_index);
+  if (as == nullptr || conn_out == nullptr || mode < 1 || mode > 3) {
+    return SPD_ERR_INVALID_ARGUMENT;
+  }
+  auto conn = as->Connect(QueueId::FromBits(queue),
+                          static_cast<core::ConnMode>(mode), "c-api");
+  if (!conn.ok()) return ToC(conn.status());
+  *conn_out = spd_conn{queue, 1, static_cast<uint32_t>(mode), conn->slot()};
+  return SPD_OK;
+}
+
+spd_status spd_disconnect(spd_runtime* rt, int as_index,
+                          const spd_conn* conn) {
+  core::AddressSpace* as = AsOf(rt, as_index);
+  if (as == nullptr || !ValidConn(conn)) return SPD_ERR_INVALID_ARGUMENT;
+  return ToC(as->Disconnect(ToConnection(*conn)));
+}
+
+spd_status spd_put_item(spd_runtime* rt, int as_index, const spd_conn* conn,
+                        spd_timestamp ts, const void* data, size_t len,
+                        int64_t timeout_ms) {
+  core::AddressSpace* as = AsOf(rt, as_index);
+  if (as == nullptr || !ValidConn(conn) || (data == nullptr && len > 0)) {
+    return SPD_ERR_INVALID_ARGUMENT;
+  }
+  const auto* bytes = static_cast<const std::uint8_t*>(data);
+  return ToC(as->Put(ToConnection(*conn), ts, Buffer(bytes, bytes + len),
+                     ToDeadline(timeout_ms)));
+}
+
+spd_status spd_get_item(spd_runtime* rt, int as_index, const spd_conn* conn,
+                        spd_timestamp ts, void* buf, size_t buf_len,
+                        size_t* item_len, int64_t timeout_ms) {
+  core::AddressSpace* as = AsOf(rt, as_index);
+  if (as == nullptr || !ValidConn(conn)) return SPD_ERR_INVALID_ARGUMENT;
+  auto item = as->Get(ToConnection(*conn), core::GetSpec::Exact(ts),
+                      ToDeadline(timeout_ms));
+  if (!item.ok()) return ToC(item.status());
+  return CopyOut(item->payload, buf, buf_len, item_len);
+}
+
+spd_status spd_get_next(spd_runtime* rt, int as_index, const spd_conn* conn,
+                        spd_timestamp* ts_out, void* buf, size_t buf_len,
+                        size_t* item_len, int64_t timeout_ms) {
+  core::AddressSpace* as = AsOf(rt, as_index);
+  if (as == nullptr || !ValidConn(conn)) return SPD_ERR_INVALID_ARGUMENT;
+  auto item = as->Get(ToConnection(*conn), ToDeadline(timeout_ms));
+  if (!item.ok()) return ToC(item.status());
+  if (ts_out != nullptr) *ts_out = item->timestamp;
+  return CopyOut(item->payload, buf, buf_len, item_len);
+}
+
+spd_status spd_consume_item(spd_runtime* rt, int as_index,
+                            const spd_conn* conn, spd_timestamp ts) {
+  core::AddressSpace* as = AsOf(rt, as_index);
+  if (as == nullptr || !ValidConn(conn)) return SPD_ERR_INVALID_ARGUMENT;
+  return ToC(as->Consume(ToConnection(*conn), ts));
+}
+
+spd_status spd_consume_until(spd_runtime* rt, int as_index,
+                             const spd_conn* conn, spd_timestamp ts) {
+  core::AddressSpace* as = AsOf(rt, as_index);
+  if (as == nullptr || !ValidConn(conn)) return SPD_ERR_INVALID_ARGUMENT;
+  return ToC(as->ConsumeUntil(ToConnection(*conn), ts));
+}
+
+spd_status spd_ns_register(spd_runtime* rt, int as_index, const char* name,
+                           uint64_t id_bits, int is_queue, const char* meta) {
+  core::AddressSpace* as = AsOf(rt, as_index);
+  if (as == nullptr || name == nullptr) return SPD_ERR_INVALID_ARGUMENT;
+  core::NsEntry entry;
+  entry.name = name;
+  entry.kind =
+      is_queue ? core::NsEntry::Kind::kQueue : core::NsEntry::Kind::kChannel;
+  entry.id_bits = id_bits;
+  entry.meta = meta == nullptr ? "" : meta;
+  return ToC(as->NsRegister(entry));
+}
+
+spd_status spd_ns_lookup(spd_runtime* rt, int as_index, const char* name,
+                         int64_t timeout_ms, uint64_t* id_bits_out,
+                         int* is_queue_out) {
+  core::AddressSpace* as = AsOf(rt, as_index);
+  if (as == nullptr || name == nullptr) return SPD_ERR_INVALID_ARGUMENT;
+  auto entry = as->NsLookup(name, ToDeadline(timeout_ms));
+  if (!entry.ok()) return ToC(entry.status());
+  if (id_bits_out != nullptr) *id_bits_out = entry->id_bits;
+  if (is_queue_out != nullptr) {
+    *is_queue_out = entry->kind == core::NsEntry::Kind::kQueue ? 1 : 0;
+  }
+  return SPD_OK;
+}
+
+spd_status spd_ns_unregister(spd_runtime* rt, int as_index, const char* name) {
+  core::AddressSpace* as = AsOf(rt, as_index);
+  if (as == nullptr || name == nullptr) return SPD_ERR_INVALID_ARGUMENT;
+  return ToC(as->NsUnregister(name));
+}
+
+spd_rt_sync* spd_rt_sync_create(int64_t tick_us, int64_t tolerance_us) {
+  if (tick_us <= 0 || tolerance_us < 0) return nullptr;
+  auto* wrapper = new spd_rt_sync;
+  wrapper->sync = std::make_unique<core::RtSync>(Micros(tick_us),
+                                                 Micros(tolerance_us));
+  return wrapper;
+}
+
+void spd_rt_sync_destroy(spd_rt_sync* sync) { delete sync; }
+
+spd_status spd_rt_sync_wait(spd_rt_sync* sync) {
+  if (sync == nullptr) return SPD_ERR_INVALID_ARGUMENT;
+  return ToC(sync->sync->Synchronize());
+}
+
+uint64_t spd_rt_sync_slips(const spd_rt_sync* sync) {
+  return sync == nullptr ? 0 : sync->sync->slips();
+}
+
+const char* spd_status_name(spd_status status) {
+  switch (status) {
+    case SPD_OK: return "SPD_OK";
+    case SPD_ERR_INVALID_ARGUMENT: return "SPD_ERR_INVALID_ARGUMENT";
+    case SPD_ERR_NOT_FOUND: return "SPD_ERR_NOT_FOUND";
+    case SPD_ERR_ALREADY_EXISTS: return "SPD_ERR_ALREADY_EXISTS";
+    case SPD_ERR_FAILED_PRECONDITION: return "SPD_ERR_FAILED_PRECONDITION";
+    case SPD_ERR_PERMISSION_DENIED: return "SPD_ERR_PERMISSION_DENIED";
+    case SPD_ERR_TIMEOUT: return "SPD_ERR_TIMEOUT";
+    case SPD_ERR_UNAVAILABLE: return "SPD_ERR_UNAVAILABLE";
+    case SPD_ERR_CONNECTION_CLOSED: return "SPD_ERR_CONNECTION_CLOSED";
+    case SPD_ERR_RESOURCE_EXHAUSTED: return "SPD_ERR_RESOURCE_EXHAUSTED";
+    case SPD_ERR_GARBAGE_COLLECTED: return "SPD_ERR_GARBAGE_COLLECTED";
+    case SPD_ERR_CANCELLED: return "SPD_ERR_CANCELLED";
+    case SPD_ERR_INTERNAL: return "SPD_ERR_INTERNAL";
+    case SPD_ERR_BUFFER_TOO_SMALL: return "SPD_ERR_BUFFER_TOO_SMALL";
+  }
+  return "SPD_ERR_UNKNOWN";
+}
+
+}  // extern "C"

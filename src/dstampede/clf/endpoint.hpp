@@ -1,0 +1,144 @@
+// CLF: reliable, ordered, point-to-point message transport.
+//
+// This is the reproduction of the paper's CLF packet layer (§3.2.2): it
+// gives the D-Stampede address spaces "reliable, ordered point-to-point
+// packet transport ... with the illusion of an infinite packet queue",
+// exploiting shared memory within the process and UDP otherwise.
+//
+// Mechanics: messages are fragmented into datagrams (first fragment
+// carries the message length), each datagram carries a per-peer
+// sequence number, the receiver acks cumulatively, the sender keeps a
+// sliding window of unacked packets and retransmits on timeout with
+// exponential backoff. Delivery to the application is exactly-once and
+// in order per peer, regardless of drops, duplicates or reordering
+// underneath (see tests/clf_test.cpp property suite).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+
+#include "dstampede/clf/fault_injector.hpp"
+#include "dstampede/clf/shm_ring.hpp"
+#include "dstampede/common/bytes.hpp"
+#include "dstampede/common/clock.hpp"
+#include "dstampede/common/status.hpp"
+#include "dstampede/transport/udp.hpp"
+
+namespace dstampede::clf {
+
+struct EndpointStats {
+  std::atomic<std::uint64_t> data_packets_sent{0};
+  std::atomic<std::uint64_t> data_packets_received{0};
+  std::atomic<std::uint64_t> retransmissions{0};
+  std::atomic<std::uint64_t> acks_sent{0};
+  std::atomic<std::uint64_t> duplicates_discarded{0};
+  std::atomic<std::uint64_t> messages_delivered{0};
+  std::atomic<std::uint64_t> shm_messages{0};
+};
+
+class Endpoint {
+ public:
+  struct Options {
+    std::uint16_t port = 0;           // 0: pick a free port
+    bool enable_shm_fastpath = false; // in-process peers bypass UDP
+    std::size_t window_packets = 128; // max unacked packets per peer
+    Duration initial_rto = Millis(10);
+    Duration max_rto = Millis(320);
+    FaultInjector::Config faults;     // all-zero: faithful wire
+  };
+
+  static Result<std::unique_ptr<Endpoint>> Create(const Options& options);
+  ~Endpoint();
+
+  Endpoint(const Endpoint&) = delete;
+  Endpoint& operator=(const Endpoint&) = delete;
+
+  const transport::SockAddr& addr() const { return addr_; }
+
+  // Reliable ordered send. Blocks while the per-peer window is full;
+  // returns once every fragment has been handed to the wire (delivery
+  // is then guaranteed by retransmission as long as both ends live).
+  Status Send(const transport::SockAddr& to,
+              std::span<const std::uint8_t> message);
+
+  // Next fully reassembled message from any peer, in per-peer order.
+  Status Recv(Buffer& out, transport::SockAddr& from,
+              Deadline deadline = Deadline::Infinite());
+
+  // Stops the background thread and closes the socket. Unacked data is
+  // abandoned (the paper's CLF has no teardown handshake either).
+  void Shutdown();
+
+  const EndpointStats& stats() const { return stats_; }
+
+ private:
+  explicit Endpoint(const Options& options);
+
+  struct SendPeer {
+    std::uint32_t next_seq = 0;
+    // seq -> (datagram, next retransmit time, current rto)
+    struct Unacked {
+      Buffer datagram;
+      TimePoint resend_at;
+      Duration rto;
+    };
+    std::map<std::uint32_t, Unacked> unacked;
+    // Held across ALL fragments of one message: concurrent senders to
+    // the same peer must not interleave fragments, or the receiver's
+    // reassembly sees a foreign first-fragment mid message.
+    std::shared_ptr<std::mutex> message_mu = std::make_shared<std::mutex>();
+  };
+
+  struct RecvPeer {
+    std::uint32_t expected_seq = 0;
+    std::map<std::uint32_t, Buffer> out_of_order;  // seq -> payload w/ flags
+    // Message reassembly.
+    bool assembling = false;
+    std::size_t message_length = 0;
+    Buffer partial;
+  };
+
+  void ReceiverLoop();
+  void HandleDatagram(const transport::SockAddr& from,
+                      std::span<const std::uint8_t> datagram);
+  void HandleAck(const transport::SockAddr& from, std::uint32_t ack);
+  void DeliverInOrderFragment(const transport::SockAddr& from, RecvPeer& peer,
+                              std::span<const std::uint8_t> payload,
+                              bool first_fragment);
+  void PushInbox(const transport::SockAddr& from, Buffer message);
+  void SendAck(const transport::SockAddr& to, std::uint32_t ack);
+  void RetransmitScan();
+  // Applies fault injection and writes datagrams to the socket.
+  void WireSend(const transport::SockAddr& to, Buffer datagram);
+
+  Options options_;
+  transport::UdpSocket socket_;
+  transport::SockAddr addr_;
+  EndpointStats stats_;
+
+  std::mutex send_mu_;
+  std::condition_variable window_cv_;
+  std::unordered_map<transport::SockAddr, SendPeer> send_peers_;
+
+  // Receiver-side state is touched only by the receiver thread.
+  std::unordered_map<transport::SockAddr, RecvPeer> recv_peers_;
+
+  std::mutex inbox_mu_;
+  std::condition_variable inbox_cv_;
+  std::deque<std::pair<transport::SockAddr, Buffer>> inbox_;
+
+  FaultInjector injector_;
+  std::shared_ptr<ShmRing> shm_ring_;
+
+  std::atomic<bool> stopping_{false};
+  std::thread receiver_;
+};
+
+}  // namespace dstampede::clf

@@ -1,0 +1,54 @@
+#include "dstampede/clf/fault_injector.hpp"
+
+namespace dstampede::clf {
+
+FaultInjector::FaultInjector(const Config& config)
+    : config_(config), rng_(config.seed) {}
+
+bool FaultInjector::Chance(double p) {
+  if (p <= 0.0) return false;
+  return unit_(rng_) < p;
+}
+
+std::vector<Buffer> FaultInjector::Filter(Buffer datagram) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<Buffer> out;
+
+  if (Chance(config_.drop_probability)) {
+    ++dropped_;
+    // Still release a held packet so reordering can't mask the drop.
+    if (held_) {
+      out.push_back(std::move(*held_));
+      held_.reset();
+    }
+    return out;
+  }
+
+  if (Chance(config_.reorder_probability) && !held_) {
+    // Hold this one back; it will ship after the next packet.
+    ++reordered_;
+    held_ = std::move(datagram);
+    return out;
+  }
+
+  const bool dup = Chance(config_.duplicate_probability);
+  out.push_back(datagram);  // copy kept if duplicating
+  if (dup) {
+    ++duplicated_;
+    out.push_back(datagram);
+  }
+  if (held_) {
+    out.push_back(std::move(*held_));
+    held_.reset();
+  }
+  return out;
+}
+
+std::optional<Buffer> FaultInjector::Flush() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::optional<Buffer> out = std::move(held_);
+  held_.reset();
+  return out;
+}
+
+}  // namespace dstampede::clf

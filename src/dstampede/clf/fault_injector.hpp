@@ -1,0 +1,60 @@
+// Deterministic packet-fault injection for CLF tests.
+//
+// CLF promises reliable, ordered delivery over an unreliable datagram
+// layer; the property tests drive it through this injector, which can
+// drop, duplicate and reorder outgoing datagrams under a seeded RNG.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <random>
+#include <vector>
+
+#include "dstampede/common/bytes.hpp"
+
+namespace dstampede::clf {
+
+class FaultInjector {
+ public:
+  struct Config {
+    double drop_probability = 0.0;
+    double duplicate_probability = 0.0;
+    double reorder_probability = 0.0;
+    std::uint64_t seed = 1;
+  };
+
+  FaultInjector() : FaultInjector(Config{}) {}
+  explicit FaultInjector(const Config& config);
+
+  // Given one datagram about to go on the wire, returns the datagrams
+  // that should actually be sent now (possibly none, possibly several:
+  // duplicates or a previously held-back packet). Thread-safe.
+  std::vector<Buffer> Filter(Buffer datagram);
+
+  // Releases any held-back packet (call when idle so reordered packets
+  // are not stranded forever).
+  std::optional<Buffer> Flush();
+
+  std::uint64_t dropped() const { return dropped_; }
+  std::uint64_t duplicated() const { return duplicated_; }
+  std::uint64_t reordered() const { return reordered_; }
+  bool active() const {
+    return config_.drop_probability > 0 || config_.duplicate_probability > 0 ||
+           config_.reorder_probability > 0;
+  }
+
+ private:
+  bool Chance(double p);
+
+  Config config_;
+  std::mutex mu_;
+  std::mt19937_64 rng_;
+  std::uniform_real_distribution<double> unit_{0.0, 1.0};
+  std::optional<Buffer> held_;
+  std::uint64_t dropped_ = 0;
+  std::uint64_t duplicated_ = 0;
+  std::uint64_t reordered_ = 0;
+};
+
+}  // namespace dstampede::clf

@@ -1,0 +1,46 @@
+#include "dstampede/clf/shm_ring.hpp"
+
+#include <cstring>
+
+namespace dstampede::clf {
+
+void ShmRing::Transfer(const transport::SockAddr& from,
+                       std::span<const std::uint8_t> message) {
+  Buffer assembled;
+  assembled.reserve(message.size());
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::size_t off = 0;
+    while (off < message.size()) {
+      const std::size_t n = std::min(kChunk, message.size() - off);
+      std::memcpy(staging_, message.data() + off, n);
+      assembled.insert(assembled.end(), staging_, staging_ + n);
+      off += n;
+    }
+  }
+  deliver_(from, std::move(assembled));
+}
+
+ShmRegistry& ShmRegistry::Instance() {
+  static auto* registry = new ShmRegistry();
+  return *registry;
+}
+
+void ShmRegistry::Register(const transport::SockAddr& addr,
+                           std::shared_ptr<ShmRing> ring) {
+  std::lock_guard<std::mutex> lock(mu_);
+  rings_[addr] = std::move(ring);
+}
+
+void ShmRegistry::Unregister(const transport::SockAddr& addr) {
+  std::lock_guard<std::mutex> lock(mu_);
+  rings_.erase(addr);
+}
+
+std::shared_ptr<ShmRing> ShmRegistry::Lookup(const transport::SockAddr& addr) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = rings_.find(addr);
+  return it == rings_.end() ? nullptr : it->second;
+}
+
+}  // namespace dstampede::clf

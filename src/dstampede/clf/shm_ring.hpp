@@ -1,0 +1,64 @@
+// The shared-memory fast path of CLF.
+//
+// The paper's CLF "exploits shared memory within an SMP" and falls back
+// to the network between nodes (§3.2.2). Here, address spaces that live
+// in the same OS process register their CLF address in a process-wide
+// registry; a sender that finds its peer in the registry moves the
+// message through a bounded staging ring (chunked copies, mimicking a
+// memory-channel style transfer) instead of the UDP path.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "dstampede/common/bytes.hpp"
+#include "dstampede/common/status.hpp"
+#include "dstampede/transport/socket.hpp"
+
+namespace dstampede::clf {
+
+// A message sink: the endpoint's inbox push, bound at registration.
+using ShmDeliverFn =
+    std::function<void(const transport::SockAddr& from, Buffer message)>;
+
+// Bounded staging buffer through which fast-path messages are copied in
+// fixed-size chunks. One ring per receiving endpoint; senders serialize
+// on it (an SMP memory channel is a shared resource too).
+class ShmRing {
+ public:
+  static constexpr std::size_t kChunk = 64 * 1024;
+
+  explicit ShmRing(ShmDeliverFn deliver) : deliver_(std::move(deliver)) {}
+
+  // Copies message chunk-by-chunk through the staging area, then hands
+  // the reassembled message to the delivery function.
+  void Transfer(const transport::SockAddr& from, std::span<const std::uint8_t> message);
+
+ private:
+  std::mutex mu_;
+  std::uint8_t staging_[kChunk]{};
+  ShmDeliverFn deliver_;
+};
+
+// Process-wide registry mapping CLF addresses to their in-process ring.
+// Endpoints register on creation (when the fast path is enabled) and
+// unregister on shutdown.
+class ShmRegistry {
+ public:
+  static ShmRegistry& Instance();
+
+  void Register(const transport::SockAddr& addr, std::shared_ptr<ShmRing> ring);
+  void Unregister(const transport::SockAddr& addr);
+  // Null if the peer is not an in-process fast-path endpoint.
+  std::shared_ptr<ShmRing> Lookup(const transport::SockAddr& addr);
+
+ private:
+  std::mutex mu_;
+  std::unordered_map<transport::SockAddr, std::shared_ptr<ShmRing>> rings_;
+};
+
+}  // namespace dstampede::clf

@@ -1,0 +1,8 @@
+#include "dstampede/client/client_impl.hpp"
+
+namespace dstampede::client {
+
+// The C client library personality (paper §3.2.1): XDR marshalling.
+template class BasicClient<CCodec>;
+
+}  // namespace dstampede::client

@@ -1,0 +1,158 @@
+// End-device client library (paper §3.2.1).
+//
+// BasicClient<Codec> exports the full D-Stampede API to an end device
+// "in a manner analogous to exporting a procedure call using an RPC
+// interface": every call is marshalled, sent over TCP to the device's
+// surrogate on the cluster, and the reply unmarshalled. The codec
+// parameter selects the language personality:
+//
+//   CClient        — XDR codec, pointer-manipulation marshalling (the
+//                    paper's C client library);
+//   JavaStyleClient— object-stream codec with per-field boxing and
+//                    byte-at-a-time copies (the paper's Java client;
+//                    see java_client.hpp and DESIGN.md substitutions).
+//
+// Both personalities emit identical octets and can take part in the
+// same application against the same cluster (§3.2.3's heterogeneity).
+//
+// Threading: one BasicClient is one session with one surrogate; calls
+// are serialized on the session, matching the paper's one-surrogate-
+// per-device design. Run concurrent activities (camera producer and
+// display consumer) as separate sessions — §4 models them as separate
+// end devices anyway.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "dstampede/client/protocol.hpp"
+#include "dstampede/common/ids.hpp"
+#include "dstampede/core/address_space.hpp"
+#include "dstampede/marshal/java_style.hpp"
+#include "dstampede/marshal/xdr.hpp"
+#include "dstampede/transport/tcp.hpp"
+
+namespace dstampede::client {
+
+struct CCodec {
+  using Encoder = marshal::XdrEncoder;
+  using Decoder = marshal::XdrDecoder;
+  static constexpr std::uint32_t kKind = kClientKindC;
+};
+
+struct JavaCodec {
+  using Encoder = marshal::JavaStyleEncoder;
+  using Decoder = marshal::JavaStyleDecoder;
+  static constexpr std::uint32_t kKind = kClientKindJava;
+};
+
+template <typename Codec>
+class BasicClient {
+ public:
+  using GcNoticeHandler = std::function<void(const core::GcNotice&)>;
+
+  struct Options {
+    transport::SockAddr server;       // the cluster listener
+    std::string name = "end-device";
+    std::int32_t preferred_as = -1;   // -1: listener picks
+  };
+
+  // Joins the computation: connects, sends Hello, learns the host AS.
+  static Result<std::unique_ptr<BasicClient>> Join(const Options& options);
+
+  ~BasicClient();
+  BasicClient(const BasicClient&) = delete;
+  BasicClient& operator=(const BasicClient&) = delete;
+
+  AsId host_as() const { return host_as_; }
+  std::uint64_t session_id() const { return session_id_; }
+
+  // --- containers (created in the host AS, §4 step 2) --------------------
+  Result<ChannelId> CreateChannel(const core::ChannelAttr& attr = {});
+  Result<QueueId> CreateQueue(const core::QueueAttr& attr = {});
+
+  // --- plumbing ----------------------------------------------------------
+  Result<core::Connection> Connect(ChannelId ch, core::ConnMode mode,
+                                   std::string label = {});
+  Result<core::Connection> Connect(QueueId q, core::ConnMode mode,
+                                   std::string label = {});
+  Status Disconnect(const core::Connection& conn);
+
+  // --- I/O ------------------------------------------------------------------
+  Status Put(const core::Connection& conn, Timestamp ts, Buffer payload,
+             Deadline deadline = Deadline::Infinite());
+  Result<core::ItemView> Get(const core::Connection& conn, core::GetSpec spec,
+                             Deadline deadline = Deadline::Infinite());
+  Result<core::ItemView> Get(const core::Connection& conn,
+                             Deadline deadline = Deadline::Infinite());
+  Status Consume(const core::Connection& conn, Timestamp ts);
+  Status ConsumeUntil(const core::Connection& conn, Timestamp ts);
+
+  // Selective-attention filter on a channel input connection (§6
+  // future work): e.g. a preview display that only wants every 5th
+  // frame sets {.stride = 5} and never holds the rest back from GC.
+  Status SetFilter(const core::Connection& conn,
+                   const core::ItemFilter& filter);
+
+  // --- name server ------------------------------------------------------------
+  Status NsRegister(const core::NsEntry& entry);
+  Status NsUnregister(const std::string& name);
+  Result<core::NsEntry> NsLookup(const std::string& name,
+                                 Deadline deadline = Deadline::Poll());
+  Result<std::vector<core::NsEntry>> NsList(const std::string& prefix = "");
+
+  // --- GC handler (§3.2.4) ------------------------------------------------
+  // Registers interest in a container's reclamations; the handler runs
+  // on this client when notices arrive piggybacked on later calls.
+  Status SetGcHandler(std::uint64_t container_bits, bool is_queue,
+                      GcNoticeHandler handler);
+
+  // Clean departure (Bye). After this every call fails.
+  Status Leave();
+
+  std::uint64_t gc_notices_received() const { return notices_received_; }
+  std::uint64_t calls_made() const { return calls_made_; }
+
+ private:
+  BasicClient() = default;
+
+  // Sends one encoded request, receives the reply frame, dispatches the
+  // gc-notice trailer. Returns the reply for the caller to decode.
+  Result<Buffer> Call(Buffer request, Deadline deadline);
+  std::uint64_t NextId() { return next_request_id_++; }
+  void DispatchNotices(const std::vector<core::GcNotice>& notices);
+
+  // Decodes the standard reply envelope; on success returns a decoder
+  // positioned at the op payload. Trailer handling included.
+  struct ParsedReply {
+    Buffer frame;
+    std::size_t payload_offset = 0;
+    Status status;
+  };
+  Result<ParsedReply> CallAndParse(Buffer request, Deadline deadline);
+
+  std::mutex mu_;
+  transport::TcpConnection conn_;
+  AsId host_as_ = kInvalidAsId;
+  std::uint64_t session_id_ = 0;
+  std::uint64_t next_request_id_ = 1;
+  bool left_ = false;
+
+  std::mutex handlers_mu_;
+  std::unordered_map<std::uint64_t, GcNoticeHandler> gc_handlers_;
+
+  std::uint64_t notices_received_ = 0;
+  std::uint64_t calls_made_ = 0;
+};
+
+using CClient = BasicClient<CCodec>;
+
+extern template class BasicClient<CCodec>;
+extern template class BasicClient<JavaCodec>;
+
+}  // namespace dstampede::client

@@ -1,0 +1,463 @@
+// Member definitions for BasicClient<Codec>. Included by client.cpp
+// and java_client.cpp, which explicitly instantiate the C and Java
+// personalities (client code includes client.hpp only).
+#pragma once
+
+#include "dstampede/client/client.hpp"
+
+namespace dstampede::client {
+
+template <typename Codec>
+Result<std::unique_ptr<BasicClient<Codec>>> BasicClient<Codec>::Join(
+    const Options& options) {
+  auto client = std::unique_ptr<BasicClient>(new BasicClient());
+  DS_ASSIGN_OR_RETURN(client->conn_,
+                      transport::TcpConnection::Connect(options.server));
+
+  typename Codec::Encoder enc;
+  core::EncodeRequestHeader(enc, static_cast<core::Op>(ClientOp::kHello),
+                            client->NextId());
+  HelloReq hello;
+  hello.client_kind = Codec::kKind;
+  hello.name = options.name;
+  hello.preferred_as = options.preferred_as;
+  hello.Encode(enc);
+
+  DS_ASSIGN_OR_RETURN(
+      ParsedReply parsed,
+      client->CallAndParse(enc.Take(), Deadline::AfterMillis(10000)));
+  typename Codec::Decoder dec(std::span<const std::uint8_t>(parsed.frame)
+                                  .subspan(parsed.payload_offset));
+  if (!parsed.status.ok()) return parsed.status;
+  DS_ASSIGN_OR_RETURN(std::uint32_t host, dec.GetU32());
+  DS_ASSIGN_OR_RETURN(client->session_id_, dec.GetU64());
+  client->host_as_ = static_cast<AsId>(host);
+  DS_ASSIGN_OR_RETURN(auto notices, DecodeNoticeTrailerT(dec));
+  client->DispatchNotices(notices);
+  return client;
+}
+
+template <typename Codec>
+BasicClient<Codec>::~BasicClient() {
+  // Best effort clean leave; a vanished client parks its surrogate.
+  (void)Leave();
+}
+
+template <typename Codec>
+Result<Buffer> BasicClient<Codec>::Call(Buffer request, Deadline deadline) {
+  const Deadline wait =
+      deadline.infinite()
+          ? deadline
+          : Deadline::After(deadline.remaining() + Millis(5000));
+  std::lock_guard<std::mutex> lock(mu_);
+  if (left_) return ConnectionClosedError("client left the computation");
+  ++calls_made_;
+  DS_RETURN_IF_ERROR(conn_.SendFrame(request));
+  Buffer reply;
+  DS_RETURN_IF_ERROR(conn_.RecvFrame(reply, wait));
+  return reply;
+}
+
+template <typename Codec>
+Result<typename BasicClient<Codec>::ParsedReply>
+BasicClient<Codec>::CallAndParse(Buffer request, Deadline deadline) {
+  DS_ASSIGN_OR_RETURN(Buffer frame, Call(std::move(request), deadline));
+  typename Codec::Decoder dec(frame);
+  DS_ASSIGN_OR_RETURN(auto hdr, DecodeResponseHeaderT(dec));
+  ParsedReply parsed;
+  parsed.status = hdr.status;
+  parsed.payload_offset = frame.size() - dec.remaining();
+  parsed.frame = std::move(frame);
+  return parsed;
+}
+
+template <typename Codec>
+void BasicClient<Codec>::DispatchNotices(
+    const std::vector<core::GcNotice>& notices) {
+  if (notices.empty()) return;
+  notices_received_ += notices.size();
+  std::vector<std::pair<GcNoticeHandler, core::GcNotice>> to_run;
+  {
+    std::lock_guard<std::mutex> lock(handlers_mu_);
+    for (const auto& notice : notices) {
+      auto it = gc_handlers_.find(notice.container_bits);
+      if (it != gc_handlers_.end()) to_run.emplace_back(it->second, notice);
+    }
+  }
+  for (auto& [handler, notice] : to_run) handler(notice);
+}
+
+namespace internal {
+// Parses the gc-notice trailer and hands the notices back; every reply
+// parse must end with this so no reclamation information is dropped.
+template <typename Dec>
+Result<std::vector<core::GcNotice>> TakeTrailer(Dec& dec) {
+  return DecodeNoticeTrailerT(dec);
+}
+}  // namespace internal
+
+#define DS_CLIENT_FINISH(dec)                                  \
+  do {                                                         \
+    auto ds_trailer_ = internal::TakeTrailer(dec);             \
+    if (ds_trailer_.ok()) DispatchNotices(*ds_trailer_);       \
+  } while (false)
+
+template <typename Codec>
+Result<ChannelId> BasicClient<Codec>::CreateChannel(
+    const core::ChannelAttr& attr) {
+  typename Codec::Encoder enc;
+  core::EncodeRequestHeader(enc, core::Op::kCreateChannel, NextId());
+  core::CreateReq req;
+  req.capacity = attr.capacity_items;
+  req.debug_name = attr.debug_name;
+  req.Encode(enc);
+  DS_ASSIGN_OR_RETURN(ParsedReply parsed,
+                      CallAndParse(enc.Take(), Deadline::AfterMillis(10000)));
+  typename Codec::Decoder dec(std::span<const std::uint8_t>(parsed.frame)
+                                  .subspan(parsed.payload_offset));
+  if (!parsed.status.ok()) {
+    DS_CLIENT_FINISH(dec);
+    return parsed.status;
+  }
+  DS_ASSIGN_OR_RETURN(std::uint64_t bits, dec.GetU64());
+  DS_CLIENT_FINISH(dec);
+  return ChannelId::FromBits(bits);
+}
+
+template <typename Codec>
+Result<QueueId> BasicClient<Codec>::CreateQueue(const core::QueueAttr& attr) {
+  typename Codec::Encoder enc;
+  core::EncodeRequestHeader(enc, core::Op::kCreateQueue, NextId());
+  core::CreateReq req;
+  req.capacity = attr.capacity_items;
+  req.debug_name = attr.debug_name;
+  req.Encode(enc);
+  DS_ASSIGN_OR_RETURN(ParsedReply parsed,
+                      CallAndParse(enc.Take(), Deadline::AfterMillis(10000)));
+  typename Codec::Decoder dec(std::span<const std::uint8_t>(parsed.frame)
+                                  .subspan(parsed.payload_offset));
+  if (!parsed.status.ok()) {
+    DS_CLIENT_FINISH(dec);
+    return parsed.status;
+  }
+  DS_ASSIGN_OR_RETURN(std::uint64_t bits, dec.GetU64());
+  DS_CLIENT_FINISH(dec);
+  return QueueId::FromBits(bits);
+}
+
+template <typename Codec>
+Result<core::Connection> BasicClient<Codec>::Connect(ChannelId ch,
+                                                     core::ConnMode mode,
+                                                     std::string label) {
+  if (label.empty()) label = "device-session-" + std::to_string(session_id_);
+  typename Codec::Encoder enc;
+  core::EncodeRequestHeader(enc, core::Op::kAttach, NextId());
+  core::AttachReq req;
+  req.container_bits = ch.bits();
+  req.is_queue = false;
+  req.mode = mode;
+  req.label = std::move(label);
+  req.Encode(enc);
+  DS_ASSIGN_OR_RETURN(ParsedReply parsed,
+                      CallAndParse(enc.Take(), Deadline::AfterMillis(10000)));
+  typename Codec::Decoder dec(std::span<const std::uint8_t>(parsed.frame)
+                                  .subspan(parsed.payload_offset));
+  if (!parsed.status.ok()) {
+    DS_CLIENT_FINISH(dec);
+    return parsed.status;
+  }
+  DS_ASSIGN_OR_RETURN(std::uint32_t slot, dec.GetU32());
+  DS_CLIENT_FINISH(dec);
+  return core::Connection(ch.bits(), false, mode, ch.owner(), slot);
+}
+
+template <typename Codec>
+Result<core::Connection> BasicClient<Codec>::Connect(QueueId q,
+                                                     core::ConnMode mode,
+                                                     std::string label) {
+  if (label.empty()) label = "device-session-" + std::to_string(session_id_);
+  typename Codec::Encoder enc;
+  core::EncodeRequestHeader(enc, core::Op::kAttach, NextId());
+  core::AttachReq req;
+  req.container_bits = q.bits();
+  req.is_queue = true;
+  req.mode = mode;
+  req.label = std::move(label);
+  req.Encode(enc);
+  DS_ASSIGN_OR_RETURN(ParsedReply parsed,
+                      CallAndParse(enc.Take(), Deadline::AfterMillis(10000)));
+  typename Codec::Decoder dec(std::span<const std::uint8_t>(parsed.frame)
+                                  .subspan(parsed.payload_offset));
+  if (!parsed.status.ok()) {
+    DS_CLIENT_FINISH(dec);
+    return parsed.status;
+  }
+  DS_ASSIGN_OR_RETURN(std::uint32_t slot, dec.GetU32());
+  DS_CLIENT_FINISH(dec);
+  return core::Connection(q.bits(), true, mode, q.owner(), slot);
+}
+
+template <typename Codec>
+Status BasicClient<Codec>::Disconnect(const core::Connection& conn) {
+  typename Codec::Encoder enc;
+  core::EncodeRequestHeader(enc, core::Op::kDetach, NextId());
+  core::DetachReq req;
+  req.container_bits = conn.container_bits();
+  req.is_queue = conn.is_queue();
+  req.slot = conn.slot();
+  req.Encode(enc);
+  DS_ASSIGN_OR_RETURN(ParsedReply parsed,
+                      CallAndParse(enc.Take(), Deadline::AfterMillis(10000)));
+  typename Codec::Decoder dec(std::span<const std::uint8_t>(parsed.frame)
+                                  .subspan(parsed.payload_offset));
+  DS_CLIENT_FINISH(dec);
+  return parsed.status;
+}
+
+template <typename Codec>
+Status BasicClient<Codec>::Put(const core::Connection& conn, Timestamp ts,
+                               Buffer payload, Deadline deadline) {
+  if (!CanOutput(conn.mode())) {
+    return PermissionDeniedError("connection is input-only");
+  }
+  typename Codec::Encoder enc;
+  core::EncodeRequestHeader(enc, core::Op::kPut, NextId());
+  core::PutReq req;
+  req.container_bits = conn.container_bits();
+  req.is_queue = conn.is_queue();
+  req.mode = conn.mode();
+  req.slot = conn.slot();
+  req.ts = ts;
+  req.deadline_ms = core::EncodeDeadline(deadline);
+  req.payload = std::move(payload);
+  req.Encode(enc);
+  DS_ASSIGN_OR_RETURN(ParsedReply parsed,
+                      CallAndParse(enc.Take(), deadline));
+  typename Codec::Decoder dec(std::span<const std::uint8_t>(parsed.frame)
+                                  .subspan(parsed.payload_offset));
+  DS_CLIENT_FINISH(dec);
+  return parsed.status;
+}
+
+template <typename Codec>
+Result<core::ItemView> BasicClient<Codec>::Get(const core::Connection& conn,
+                                               core::GetSpec spec,
+                                               Deadline deadline) {
+  typename Codec::Encoder enc;
+  core::EncodeRequestHeader(enc, core::Op::kGet, NextId());
+  core::GetReq req;
+  req.container_bits = conn.container_bits();
+  req.is_queue = conn.is_queue();
+  req.mode = conn.mode();
+  req.slot = conn.slot();
+  req.spec = spec;
+  req.deadline_ms = core::EncodeDeadline(deadline);
+  req.Encode(enc);
+  DS_ASSIGN_OR_RETURN(ParsedReply parsed,
+                      CallAndParse(enc.Take(), deadline));
+  typename Codec::Decoder dec(std::span<const std::uint8_t>(parsed.frame)
+                                  .subspan(parsed.payload_offset));
+  if (!parsed.status.ok()) {
+    DS_CLIENT_FINISH(dec);
+    return parsed.status;
+  }
+  core::ItemView view;
+  DS_ASSIGN_OR_RETURN(view.timestamp, dec.GetI64());
+  DS_ASSIGN_OR_RETURN(Buffer payload, dec.GetOpaque());
+  view.payload = SharedBuffer(std::move(payload));
+  DS_CLIENT_FINISH(dec);
+  return view;
+}
+
+template <typename Codec>
+Result<core::ItemView> BasicClient<Codec>::Get(const core::Connection& conn,
+                                               Deadline deadline) {
+  return Get(conn, core::GetSpec::Oldest(), deadline);
+}
+
+template <typename Codec>
+Status BasicClient<Codec>::Consume(const core::Connection& conn, Timestamp ts) {
+  typename Codec::Encoder enc;
+  core::EncodeRequestHeader(enc, core::Op::kConsume, NextId());
+  core::ConsumeReq req;
+  req.container_bits = conn.container_bits();
+  req.is_queue = conn.is_queue();
+  req.mode = conn.mode();
+  req.slot = conn.slot();
+  req.ts = ts;
+  req.until = false;
+  req.Encode(enc);
+  DS_ASSIGN_OR_RETURN(ParsedReply parsed,
+                      CallAndParse(enc.Take(), Deadline::AfterMillis(10000)));
+  typename Codec::Decoder dec(std::span<const std::uint8_t>(parsed.frame)
+                                  .subspan(parsed.payload_offset));
+  DS_CLIENT_FINISH(dec);
+  return parsed.status;
+}
+
+template <typename Codec>
+Status BasicClient<Codec>::ConsumeUntil(const core::Connection& conn,
+                                        Timestamp ts) {
+  if (conn.is_queue()) {
+    return InvalidArgumentError("consume-until is channel-only");
+  }
+  typename Codec::Encoder enc;
+  core::EncodeRequestHeader(enc, core::Op::kConsume, NextId());
+  core::ConsumeReq req;
+  req.container_bits = conn.container_bits();
+  req.is_queue = false;
+  req.mode = conn.mode();
+  req.slot = conn.slot();
+  req.ts = ts;
+  req.until = true;
+  req.Encode(enc);
+  DS_ASSIGN_OR_RETURN(ParsedReply parsed,
+                      CallAndParse(enc.Take(), Deadline::AfterMillis(10000)));
+  typename Codec::Decoder dec(std::span<const std::uint8_t>(parsed.frame)
+                                  .subspan(parsed.payload_offset));
+  DS_CLIENT_FINISH(dec);
+  return parsed.status;
+}
+
+template <typename Codec>
+Status BasicClient<Codec>::SetFilter(const core::Connection& conn,
+                                     const core::ItemFilter& filter) {
+  if (conn.is_queue()) return InvalidArgumentError("filters apply to channels");
+  typename Codec::Encoder enc;
+  core::EncodeRequestHeader(enc, core::Op::kSetFilter, NextId());
+  core::SetFilterReq req;
+  req.container_bits = conn.container_bits();
+  req.slot = conn.slot();
+  req.filter = filter;
+  req.Encode(enc);
+  DS_ASSIGN_OR_RETURN(ParsedReply parsed,
+                      CallAndParse(enc.Take(), Deadline::AfterMillis(10000)));
+  typename Codec::Decoder dec(std::span<const std::uint8_t>(parsed.frame)
+                                  .subspan(parsed.payload_offset));
+  DS_CLIENT_FINISH(dec);
+  return parsed.status;
+}
+
+template <typename Codec>
+Status BasicClient<Codec>::NsRegister(const core::NsEntry& entry) {
+  typename Codec::Encoder enc;
+  core::EncodeRequestHeader(enc, core::Op::kNsRegister, NextId());
+  core::EncodeNsEntry(enc, entry);
+  DS_ASSIGN_OR_RETURN(ParsedReply parsed,
+                      CallAndParse(enc.Take(), Deadline::AfterMillis(10000)));
+  typename Codec::Decoder dec(std::span<const std::uint8_t>(parsed.frame)
+                                  .subspan(parsed.payload_offset));
+  DS_CLIENT_FINISH(dec);
+  return parsed.status;
+}
+
+template <typename Codec>
+Status BasicClient<Codec>::NsUnregister(const std::string& name) {
+  typename Codec::Encoder enc;
+  core::EncodeRequestHeader(enc, core::Op::kNsUnregister, NextId());
+  core::NsLookupReq req;
+  req.name = name;
+  req.Encode(enc);
+  DS_ASSIGN_OR_RETURN(ParsedReply parsed,
+                      CallAndParse(enc.Take(), Deadline::AfterMillis(10000)));
+  typename Codec::Decoder dec(std::span<const std::uint8_t>(parsed.frame)
+                                  .subspan(parsed.payload_offset));
+  DS_CLIENT_FINISH(dec);
+  return parsed.status;
+}
+
+template <typename Codec>
+Result<core::NsEntry> BasicClient<Codec>::NsLookup(const std::string& name,
+                                                   Deadline deadline) {
+  typename Codec::Encoder enc;
+  core::EncodeRequestHeader(enc, core::Op::kNsLookup, NextId());
+  core::NsLookupReq req;
+  req.name = name;
+  req.deadline_ms = core::EncodeDeadline(deadline);
+  req.Encode(enc);
+  DS_ASSIGN_OR_RETURN(ParsedReply parsed, CallAndParse(enc.Take(), deadline));
+  typename Codec::Decoder dec(std::span<const std::uint8_t>(parsed.frame)
+                                  .subspan(parsed.payload_offset));
+  if (!parsed.status.ok()) {
+    DS_CLIENT_FINISH(dec);
+    return parsed.status;
+  }
+  DS_ASSIGN_OR_RETURN(core::NsEntry entry, DecodeNsEntryT(dec));
+  DS_CLIENT_FINISH(dec);
+  return entry;
+}
+
+template <typename Codec>
+Result<std::vector<core::NsEntry>> BasicClient<Codec>::NsList(
+    const std::string& prefix) {
+  typename Codec::Encoder enc;
+  core::EncodeRequestHeader(enc, core::Op::kNsList, NextId());
+  core::NsLookupReq req;
+  req.name = prefix;
+  req.Encode(enc);
+  DS_ASSIGN_OR_RETURN(ParsedReply parsed,
+                      CallAndParse(enc.Take(), Deadline::AfterMillis(10000)));
+  typename Codec::Decoder dec(std::span<const std::uint8_t>(parsed.frame)
+                                  .subspan(parsed.payload_offset));
+  if (!parsed.status.ok()) {
+    DS_CLIENT_FINISH(dec);
+    return parsed.status;
+  }
+  DS_ASSIGN_OR_RETURN(std::uint32_t count, dec.GetU32());
+  std::vector<core::NsEntry> out;
+  out.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    DS_ASSIGN_OR_RETURN(core::NsEntry entry, DecodeNsEntryT(dec));
+    out.push_back(std::move(entry));
+  }
+  DS_CLIENT_FINISH(dec);
+  return out;
+}
+
+template <typename Codec>
+Status BasicClient<Codec>::SetGcHandler(std::uint64_t container_bits,
+                                        bool is_queue,
+                                        GcNoticeHandler handler) {
+  typename Codec::Encoder enc;
+  core::EncodeRequestHeader(
+      enc, static_cast<core::Op>(ClientOp::kSetGcInterest), NextId());
+  SetGcInterestReq req;
+  req.container_bits = container_bits;
+  req.is_queue = is_queue;
+  req.enable = handler != nullptr;
+  req.Encode(enc);
+  DS_ASSIGN_OR_RETURN(ParsedReply parsed,
+                      CallAndParse(enc.Take(), Deadline::AfterMillis(10000)));
+  typename Codec::Decoder dec(std::span<const std::uint8_t>(parsed.frame)
+                                  .subspan(parsed.payload_offset));
+  DS_CLIENT_FINISH(dec);
+  if (parsed.status.ok()) {
+    std::lock_guard<std::mutex> lock(handlers_mu_);
+    if (handler) {
+      gc_handlers_[container_bits] = std::move(handler);
+    } else {
+      gc_handlers_.erase(container_bits);
+    }
+  }
+  return parsed.status;
+}
+
+template <typename Codec>
+Status BasicClient<Codec>::Leave() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (left_ || !conn_.valid()) return OkStatus();
+  }
+  typename Codec::Encoder enc;
+  core::EncodeRequestHeader(enc, static_cast<core::Op>(ClientOp::kBye),
+                            NextId());
+  auto parsed = CallAndParse(enc.Take(), Deadline::AfterMillis(5000));
+  std::lock_guard<std::mutex> lock(mu_);
+  left_ = true;
+  conn_.Close();
+  return parsed.ok() ? parsed->status : parsed.status();
+}
+
+#undef DS_CLIENT_FINISH
+
+}  // namespace dstampede::client

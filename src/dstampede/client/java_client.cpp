@@ -1,0 +1,9 @@
+#include "dstampede/client/java_client.hpp"
+
+#include "dstampede/client/client_impl.hpp"
+
+namespace dstampede::client {
+
+template class BasicClient<JavaCodec>;
+
+}  // namespace dstampede::client

@@ -1,0 +1,16 @@
+// The Java client library personality (paper §3.2.1).
+//
+// Same wire protocol and API as CClient, but all marshalling and
+// unmarshalling runs through the object-stream codec: boxed objects per
+// field, byte-at-a-time double copies of payloads, no pre-sizing — the
+// cost model of a 2002 JVM client library (see DESIGN.md substitution
+// table and Experiment 3).
+#pragma once
+
+#include "dstampede/client/client.hpp"
+
+namespace dstampede::client {
+
+using JavaStyleClient = BasicClient<JavaCodec>;
+
+}  // namespace dstampede::client

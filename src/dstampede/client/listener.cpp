@@ -1,0 +1,144 @@
+#include "dstampede/client/listener.hpp"
+
+#include "dstampede/client/protocol.hpp"
+#include "dstampede/common/logging.hpp"
+
+namespace dstampede::client {
+
+Result<std::unique_ptr<Listener>> Listener::Start(core::Runtime& runtime,
+                                                  const Options& options) {
+  auto listener = std::unique_ptr<Listener>(new Listener(runtime));
+  listener->options_ = options;
+  DS_ASSIGN_OR_RETURN(listener->listener_,
+                      transport::TcpListener::Bind(options.port));
+  listener->accept_thread_ =
+      std::thread([raw = listener.get()] { raw->AcceptLoop(); });
+  if (options.reap_parked_after > Duration::zero()) {
+    listener->janitor_thread_ =
+        std::thread([raw = listener.get()] { raw->JanitorLoop(); });
+  }
+  return listener;
+}
+
+Listener::~Listener() { Shutdown(); }
+
+void Listener::AcceptLoop() {
+  while (!stopping_.load()) {
+    auto conn = listener_.Accept(Deadline::AfterMillis(100));
+    if (!conn.ok()) {
+      if (conn.status().code() == StatusCode::kTimeout) continue;
+      break;  // listener socket closed
+    }
+    Handshake(std::move(conn).value());
+  }
+}
+
+void Listener::Handshake(transport::TcpConnection conn) {
+  // Read the Hello to learn which address space the device wants; the
+  // surrogate must be bound before it can answer anything else.
+  Buffer frame;
+  if (!conn.RecvFrame(frame, Deadline::AfterMillis(5000)).ok()) return;
+
+  marshal::XdrDecoder dec(frame);
+  auto hdr = core::DecodeRequestHeader(dec);
+  if (!hdr.ok() || static_cast<ClientOp>(hdr->op) != ClientOp::kHello) {
+    DS_LOG(kWarn) << "join without hello; dropping device";
+    return;
+  }
+  auto hello = HelloReq::Decode(dec);
+  if (!hello.ok()) return;
+
+  std::unique_ptr<Surrogate> surrogate;
+  Surrogate* raw = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::size_t as_index;
+    if (hello->preferred_as >= 0 &&
+        static_cast<std::size_t>(hello->preferred_as) < runtime_.size()) {
+      as_index = static_cast<std::size_t>(hello->preferred_as);
+    } else {
+      as_index = next_as_++ % runtime_.size();
+    }
+    surrogate = std::make_unique<Surrogate>(next_session_++,
+                                            runtime_.as(as_index),
+                                            std::move(conn));
+    raw = surrogate.get();
+    surrogates_.push_back(std::move(surrogate));
+  }
+  if (!raw->ServiceHello(frame).ok()) {
+    raw->Stop();
+    return;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  threads_.emplace_back([raw] { raw->Run(); });
+}
+
+std::size_t Listener::surrogates_total() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return surrogates_.size();
+}
+
+std::size_t Listener::surrogates_in(Surrogate::State state) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::size_t n = 0;
+  for (const auto& surrogate : surrogates_) {
+    if (surrogate->state() == state) ++n;
+  }
+  return n;
+}
+
+std::size_t Listener::ReapParked() {
+  std::vector<Surrogate*> parked;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto& surrogate : surrogates_) {
+      if (surrogate->state() == Surrogate::State::kParked) {
+        parked.push_back(surrogate.get());
+      }
+    }
+  }
+  std::size_t reaped = 0;
+  for (Surrogate* surrogate : parked) {
+    if (surrogate->Reap().ok()) ++reaped;
+  }
+  return reaped;
+}
+
+void Listener::JanitorLoop() {
+  while (!stopping_.load()) {
+    std::this_thread::sleep_for(Millis(10));
+    std::vector<Surrogate*> expired;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      const TimePoint cutoff = Now() - options_.reap_parked_after;
+      for (auto& surrogate : surrogates_) {
+        if (surrogate->state() == Surrogate::State::kParked &&
+            surrogate->parked_since() <= cutoff) {
+          expired.push_back(surrogate.get());
+        }
+      }
+    }
+    for (Surrogate* surrogate : expired) {
+      (void)surrogate->Reap();
+    }
+  }
+}
+
+void Listener::Shutdown() {
+  bool expected = false;
+  if (!stopping_.compare_exchange_strong(expected, true)) return;
+  listener_.Close();
+  if (accept_thread_.joinable()) accept_thread_.join();
+  if (janitor_thread_.joinable()) janitor_thread_.join();
+  std::vector<std::thread> to_join;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto& surrogate : surrogates_) surrogate->Stop();
+    to_join.swap(threads_);
+  }
+  for (auto& t : to_join) {
+    if (t.joinable()) t.join();
+  }
+}
+
+}  // namespace dstampede::client

@@ -1,0 +1,76 @@
+// Listener (paper §3.2.2): the cluster-side thread that listens for
+// new end devices joining a D-Stampede computation. Upon a join it
+// creates a surrogate bound to one of the cluster's address spaces
+// (the device may request a specific one; otherwise round-robin) and
+// dedicates a thread to it. Surrogates whose device vanished stay
+// parked and countable — the paper's documented failure behaviour.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "dstampede/client/surrogate.hpp"
+#include "dstampede/core/runtime.hpp"
+#include "dstampede/transport/tcp.hpp"
+
+namespace dstampede::client {
+
+class Listener {
+ public:
+  struct Options {
+    std::uint16_t port = 0;  // 0: pick a free port
+    // Failure-handling extension (§6 future work): when non-zero, a
+    // background janitor reaps surrogates that have been parked longer
+    // than this — detaching the dead device's connections (releasing
+    // its GC holds) and unregistering its names. Zero preserves the
+    // paper's documented behaviour: parked surrogates linger forever.
+    Duration reap_parked_after = Duration::zero();
+  };
+
+  static Result<std::unique_ptr<Listener>> Start(core::Runtime& runtime,
+                                                 const Options& options);
+  static Result<std::unique_ptr<Listener>> Start(core::Runtime& runtime) {
+    return Start(runtime, Options{});
+  }
+  ~Listener();
+
+  Listener(const Listener&) = delete;
+  Listener& operator=(const Listener&) = delete;
+
+  const transport::SockAddr& addr() const { return listener_.bound_addr(); }
+
+  std::size_t surrogates_total() const;
+  std::size_t surrogates_in(Surrogate::State state) const;
+
+  // Reaps every currently-parked surrogate immediately (regardless of
+  // reap_parked_after); returns how many were reaped.
+  std::size_t ReapParked();
+
+  // Stops accepting, asks every surrogate to stop, joins threads.
+  void Shutdown();
+
+ private:
+  explicit Listener(core::Runtime& runtime) : runtime_(runtime) {}
+  void AcceptLoop();
+  void Handshake(transport::TcpConnection conn);
+  void JanitorLoop();
+
+  core::Runtime& runtime_;
+  Options options_;
+  transport::TcpListener listener_;
+
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<Surrogate>> surrogates_;
+  std::vector<std::thread> threads_;
+  std::uint64_t next_session_ = 1;
+  std::size_t next_as_ = 0;  // round-robin cursor
+
+  std::atomic<bool> stopping_{false};
+  std::thread accept_thread_;
+  std::thread janitor_thread_;
+};
+
+}  // namespace dstampede::client

@@ -1,0 +1,5 @@
+#include "dstampede/client/protocol.hpp"
+
+// All protocol helpers are templated and live in the header; this
+// translation unit anchors the module.
+namespace dstampede::client {}

@@ -1,0 +1,139 @@
+// Client-plane protocol (§3.2.1): end devices exchange framed messages
+// with their surrogate over TCP. STM operations reuse the core wire
+// format verbatim (core/wire.hpp); this header adds the session ops
+// (hello/bye), the GC-interest op, and the gc-notice trailer that the
+// surrogate piggybacks on every response — the paper's "communicates it
+// to the end device at an opportune time (e.g. when the next D-Stampede
+// API call comes from the end device)" (§3.2.4).
+//
+// Decode helpers here are templated on the decoder so the C client
+// (XdrDecoder, pointer manipulation) and the Java-style client
+// (JavaStyleDecoder, object reconstruction) parse the same octets with
+// their respective cost models.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dstampede/common/status.hpp"
+#include "dstampede/core/wire.hpp"
+
+namespace dstampede::client {
+
+// Values disjoint from core::Op so one dispatch switch serves both.
+enum class ClientOp : std::uint32_t {
+  kHello = 200,
+  kBye = 201,
+  kSetGcInterest = 202,
+};
+
+inline constexpr std::uint32_t kClientKindC = 0;
+inline constexpr std::uint32_t kClientKindJava = 1;
+
+struct HelloReq {
+  std::uint32_t client_kind = kClientKindC;
+  std::string name;
+  // Preferred host address space (for controlled experiments); -1
+  // lets the listener pick (round-robin over the cluster).
+  std::int32_t preferred_as = -1;
+
+  template <class Enc>
+  void Encode(Enc& enc) const {
+    enc.PutU32(client_kind);
+    enc.PutString(name);
+    enc.PutI32(preferred_as);
+  }
+  static Result<HelloReq> Decode(marshal::XdrDecoder& dec) {
+    HelloReq req;
+    DS_ASSIGN_OR_RETURN(req.client_kind, dec.GetU32());
+    DS_ASSIGN_OR_RETURN(req.name, dec.GetString());
+    DS_ASSIGN_OR_RETURN(req.preferred_as, dec.GetI32());
+    return req;
+  }
+};
+
+struct HelloResp {
+  std::uint32_t host_as = 0;
+  std::uint64_t session_id = 0;
+};
+
+struct SetGcInterestReq {
+  std::uint64_t container_bits = 0;
+  bool is_queue = false;
+  bool enable = true;
+
+  template <class Enc>
+  void Encode(Enc& enc) const {
+    enc.PutU64(container_bits);
+    enc.PutBool(is_queue);
+    enc.PutBool(enable);
+  }
+  static Result<SetGcInterestReq> Decode(marshal::XdrDecoder& dec) {
+    SetGcInterestReq req;
+    DS_ASSIGN_OR_RETURN(req.container_bits, dec.GetU64());
+    DS_ASSIGN_OR_RETURN(req.is_queue, dec.GetBool());
+    DS_ASSIGN_OR_RETURN(req.enable, dec.GetBool());
+    return req;
+  }
+};
+
+// --- templated decode mirrors of core/wire.hpp for the client side ----
+
+template <class Dec>
+Result<core::ResponseHeader> DecodeResponseHeaderT(Dec& dec) {
+  DS_ASSIGN_OR_RETURN(std::uint32_t op, dec.GetU32());
+  if (static_cast<core::Op>(op) != core::Op::kReply) {
+    return InternalError("expected reply frame");
+  }
+  core::ResponseHeader hdr;
+  DS_ASSIGN_OR_RETURN(hdr.request_id, dec.GetU64());
+  DS_ASSIGN_OR_RETURN(std::uint32_t code, dec.GetU32());
+  DS_ASSIGN_OR_RETURN(std::string message, dec.GetString());
+  hdr.status = Status(static_cast<StatusCode>(code), std::move(message));
+  return hdr;
+}
+
+template <class Dec>
+Result<core::GcNotice> DecodeGcNoticeT(Dec& dec) {
+  core::GcNotice notice;
+  DS_ASSIGN_OR_RETURN(notice.container_bits, dec.GetU64());
+  DS_ASSIGN_OR_RETURN(notice.is_queue, dec.GetBool());
+  DS_ASSIGN_OR_RETURN(notice.timestamp, dec.GetI64());
+  DS_ASSIGN_OR_RETURN(std::uint64_t size, dec.GetU64());
+  notice.payload_size = size;
+  return notice;
+}
+
+template <class Dec>
+Result<core::NsEntry> DecodeNsEntryT(Dec& dec) {
+  core::NsEntry entry;
+  DS_ASSIGN_OR_RETURN(entry.name, dec.GetString());
+  DS_ASSIGN_OR_RETURN(std::uint32_t kind, dec.GetU32());
+  if (kind > 2) return InternalError("bad NsEntry kind");
+  entry.kind = static_cast<core::NsEntry::Kind>(kind);
+  DS_ASSIGN_OR_RETURN(entry.id_bits, dec.GetU64());
+  DS_ASSIGN_OR_RETURN(entry.meta, dec.GetString());
+  return entry;
+}
+
+// The notice trailer is the LAST section of every response frame.
+template <class Enc>
+void EncodeNoticeTrailer(Enc& enc, const std::vector<core::GcNotice>& notices) {
+  enc.PutU32(static_cast<std::uint32_t>(notices.size()));
+  for (const auto& notice : notices) core::EncodeGcNotice(enc, notice);
+}
+
+template <class Dec>
+Result<std::vector<core::GcNotice>> DecodeNoticeTrailerT(Dec& dec) {
+  DS_ASSIGN_OR_RETURN(std::uint32_t count, dec.GetU32());
+  std::vector<core::GcNotice> out;
+  out.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    DS_ASSIGN_OR_RETURN(core::GcNotice notice, DecodeGcNoticeT(dec));
+    out.push_back(notice);
+  }
+  return out;
+}
+
+}  // namespace dstampede::client

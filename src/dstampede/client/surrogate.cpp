@@ -1,0 +1,225 @@
+#include "dstampede/client/surrogate.hpp"
+
+#include "dstampede/client/protocol.hpp"
+#include "dstampede/common/logging.hpp"
+
+namespace dstampede::client {
+
+Surrogate::Surrogate(std::uint64_t session_id, core::AddressSpace& host,
+                     transport::TcpConnection conn)
+    : session_id_(session_id), host_(host), conn_(std::move(conn)) {
+  gc_sink_token_ = host_.gc().AddSink(
+      [this](const std::vector<core::GcNotice>& batch) {
+        std::lock_guard<std::mutex> lock(gc_mu_);
+        for (const auto& notice : batch) {
+          if (gc_interest_.count(notice.container_bits) == 0) continue;
+          if (gc_pending_.size() >= kMaxPendingNotices) gc_pending_.pop_front();
+          gc_pending_.push_back(notice);
+        }
+      });
+}
+
+Surrogate::~Surrogate() { host_.gc().RemoveSink(gc_sink_token_); }
+
+void Surrogate::AppendNoticeTrailer(Buffer& reply) {
+  std::vector<core::GcNotice> drained;
+  {
+    std::lock_guard<std::mutex> lock(gc_mu_);
+    drained.assign(gc_pending_.begin(), gc_pending_.end());
+    gc_pending_.clear();
+  }
+  marshal::XdrEncoder enc;
+  EncodeNoticeTrailer(enc, drained);
+  const Buffer trailer = enc.Take();
+  reply.insert(reply.end(), trailer.begin(), trailer.end());
+  notices_forwarded_.fetch_add(drained.size(), std::memory_order_relaxed);
+}
+
+Buffer Surrogate::HandleHello(std::span<const std::uint8_t> frame) {
+  marshal::XdrDecoder dec(frame);
+  auto hdr = core::DecodeRequestHeader(dec);
+  if (!hdr.ok()) return Buffer();
+  auto req = HelloReq::Decode(dec);
+  marshal::XdrEncoder enc;
+  if (!req.ok()) {
+    core::EncodeResponseHeader(enc, hdr->request_id, req.status());
+    return enc.Take();
+  }
+  client_name_ = req->name;
+  core::EncodeResponseHeader(enc, hdr->request_id, OkStatus());
+  enc.PutU32(AsIndex(host_.id()));
+  enc.PutU64(session_id_);
+  return enc.Take();
+}
+
+Buffer Surrogate::HandleFrame(std::span<const std::uint8_t> frame, bool& bye) {
+  marshal::XdrDecoder dec(frame);
+  auto hdr = core::DecodeRequestHeader(dec);
+  if (!hdr.ok()) return Buffer();
+
+  switch (static_cast<ClientOp>(hdr->op)) {
+    case ClientOp::kHello:
+      return HandleHello(frame);
+    case ClientOp::kBye: {
+      bye = true;
+      marshal::XdrEncoder enc;
+      core::EncodeResponseHeader(enc, hdr->request_id, OkStatus());
+      return enc.Take();
+    }
+    case ClientOp::kSetGcInterest: {
+      auto req = SetGcInterestReq::Decode(dec);
+      marshal::XdrEncoder enc;
+      if (!req.ok()) {
+        core::EncodeResponseHeader(enc, hdr->request_id, req.status());
+        return enc.Take();
+      }
+      {
+        std::lock_guard<std::mutex> lock(gc_mu_);
+        if (req->enable) {
+          gc_interest_.insert(req->container_bits);
+        } else {
+          gc_interest_.erase(req->container_bits);
+        }
+      }
+      core::EncodeResponseHeader(enc, hdr->request_id, OkStatus());
+      return enc.Take();
+    }
+    default: {
+      // An STM op: carry it out against the cluster on the device's
+      // behalf. The executor routes to any owning address space.
+      Buffer reply = host_.ExecuteWireRequest(frame);
+      TrackSessionState(frame, reply);
+      return reply;
+    }
+  }
+}
+
+void Surrogate::TrackSessionState(std::span<const std::uint8_t> request,
+                                  std::span<const std::uint8_t> reply) {
+  marshal::XdrDecoder req_dec(request);
+  auto req_hdr = core::DecodeRequestHeader(req_dec);
+  if (!req_hdr.ok()) return;
+  if (req_hdr->op != core::Op::kAttach && req_hdr->op != core::Op::kDetach &&
+      req_hdr->op != core::Op::kNsRegister &&
+      req_hdr->op != core::Op::kNsUnregister) {
+    return;
+  }
+  marshal::XdrDecoder reply_dec(reply);
+  auto reply_hdr = core::DecodeResponseHeader(reply_dec);
+  if (!reply_hdr.ok() || !reply_hdr->status.ok()) return;
+
+  std::lock_guard<std::mutex> lock(session_mu_);
+  switch (req_hdr->op) {
+    case core::Op::kAttach: {
+      auto req = core::AttachReq::Decode(req_dec);
+      auto slot = reply_dec.GetU32();
+      if (req.ok() && slot.ok()) {
+        attachments_.push_back(
+            Attachment{req->container_bits, req->is_queue, *slot});
+      }
+      break;
+    }
+    case core::Op::kDetach: {
+      auto req = core::DetachReq::Decode(req_dec);
+      if (req.ok()) {
+        std::erase_if(attachments_, [&](const Attachment& a) {
+          return a.container_bits == req->container_bits &&
+                 a.is_queue == req->is_queue && a.slot == req->slot;
+        });
+      }
+      break;
+    }
+    case core::Op::kNsRegister: {
+      auto entry = core::DecodeNsEntry(req_dec);
+      if (entry.ok()) registered_names_.push_back(entry->name);
+      break;
+    }
+    case core::Op::kNsUnregister: {
+      auto req = core::NsLookupReq::Decode(req_dec);
+      if (req.ok()) std::erase(registered_names_, req->name);
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+Status Surrogate::Reap() {
+  State expected = State::kParked;
+  if (!state_.compare_exchange_strong(expected, State::kReaped)) {
+    return FailedPreconditionError("only parked surrogates can be reaped");
+  }
+  std::vector<Attachment> attachments;
+  std::vector<std::string> names;
+  {
+    std::lock_guard<std::mutex> lock(session_mu_);
+    attachments.swap(attachments_);
+    names.swap(registered_names_);
+  }
+  for (const Attachment& a : attachments) {
+    const core::Connection conn(
+        a.container_bits, a.is_queue, core::ConnMode::kInputOutput,
+        ChannelId::FromBits(a.container_bits).owner(), a.slot);
+    Status s = host_.Disconnect(conn);
+    if (!s.ok()) {
+      DS_LOG(kWarn) << "reap: detach failed: " << s;
+    }
+  }
+  for (const std::string& name : names) {
+    (void)host_.NsUnregister(name);
+  }
+  return OkStatus();
+}
+
+std::size_t Surrogate::tracked_attachments() const {
+  std::lock_guard<std::mutex> lock(session_mu_);
+  return attachments_.size();
+}
+
+void Surrogate::Park() {
+  parked_since_ = Now();
+  state_.store(State::kParked);
+  conn_.Close();
+}
+
+Status Surrogate::ServiceHello(std::span<const std::uint8_t> frame) {
+  Buffer reply = HandleHello(frame);
+  if (reply.empty()) return InternalError("bad hello frame");
+  AppendNoticeTrailer(reply);
+  calls_serviced_.fetch_add(1, std::memory_order_relaxed);
+  return conn_.SendFrame(reply);
+}
+
+void Surrogate::Run() {
+  Buffer frame;
+  bool bye = false;
+  while (!stopping_.load() && !bye) {
+    Status s = conn_.RecvFrame(frame, Deadline::AfterMillis(100));
+    if (!s.ok()) {
+      if (s.code() == StatusCode::kTimeout) continue;
+      // Device vanished without a clean leave: park (paper §3.3).
+      DS_LOG(kInfo) << "surrogate " << session_id_ << " parked: " << s;
+      Park();
+      return;
+    }
+    Buffer reply = HandleFrame(frame, bye);
+    if (reply.empty()) {
+      Park();
+      return;
+    }
+    AppendNoticeTrailer(reply);
+    calls_serviced_.fetch_add(1, std::memory_order_relaxed);
+    if (!conn_.SendFrame(reply).ok()) {
+      Park();
+      return;
+    }
+  }
+  if (bye) {
+    state_.store(State::kLeft);
+    conn_.Close();
+  } else {
+    Park();
+  }
+}
+
+}  // namespace dstampede::client

@@ -1,0 +1,108 @@
+// Surrogate thread (paper §3.2.2, Fig 4): created on the cluster when
+// an end device joins; all subsequent D-Stampede calls from that device
+// are fielded and carried out by this surrogate against the cluster's
+// address spaces. It also participates in garbage collection on the
+// device's behalf: a GC-service sink collects reclamation notices for
+// containers the device registered interest in, and the surrogate
+// forwards them piggybacked on the next response (§3.2.4).
+//
+// Failure model mirrors the paper's stated limitation (§3.3): if the
+// device vanishes without a clean Bye, the surrogate is left parked —
+// its connection slots remain attached and its state is retained.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "dstampede/core/address_space.hpp"
+#include "dstampede/transport/tcp.hpp"
+
+namespace dstampede::client {
+
+class Surrogate {
+ public:
+  enum class State { kActive, kLeft, kParked, kReaped };
+
+  Surrogate(std::uint64_t session_id, core::AddressSpace& host,
+            transport::TcpConnection conn);
+  ~Surrogate();
+
+  Surrogate(const Surrogate&) = delete;
+  Surrogate& operator=(const Surrogate&) = delete;
+
+  // Replies to the already-received Hello frame (the Listener reads it
+  // to learn the device's preferred address space before binding).
+  Status ServiceHello(std::span<const std::uint8_t> frame);
+
+  // Services the device until Bye, connection loss, or Stop(). Runs on
+  // the thread the Listener dedicates to this surrogate.
+  void Run();
+  void Stop() { stopping_.store(true); }
+
+  State state() const { return state_.load(); }
+  std::uint64_t session_id() const { return session_id_; }
+  const std::string& client_name() const { return client_name_; }
+  std::uint64_t calls_serviced() const { return calls_serviced_.load(); }
+  std::uint64_t notices_forwarded() const { return notices_forwarded_.load(); }
+  // Valid once parked: when the device was last heard from.
+  TimePoint parked_since() const { return parked_since_; }
+
+  // Failure-handling extension (the paper's §6 future work): the
+  // surrogate tracks every connection its device attached and every
+  // name it registered; Reap() releases them all — detaching the
+  // connections (which un-blocks GC: items the dead device was holding
+  // become reclaimable) and unregistering the names. Only legal on a
+  // parked surrogate; transitions it to kReaped.
+  Status Reap();
+
+  std::size_t tracked_attachments() const;
+
+ private:
+  // Executes one request frame; returns the response frame. Sets bye
+  // when the device asked to leave.
+  Buffer HandleFrame(std::span<const std::uint8_t> frame, bool& bye);
+  Buffer HandleHello(std::span<const std::uint8_t> frame);
+  void AppendNoticeTrailer(Buffer& reply);
+  // Inspects a successful STM request/reply pair to maintain the
+  // device's session state for Reap().
+  void TrackSessionState(std::span<const std::uint8_t> request,
+                         std::span<const std::uint8_t> reply);
+  void Park();
+
+  struct Attachment {
+    std::uint64_t container_bits;
+    bool is_queue;
+    std::uint32_t slot;
+  };
+
+  std::uint64_t session_id_;
+  core::AddressSpace& host_;
+  transport::TcpConnection conn_;
+  std::string client_name_ = "?";
+
+  std::atomic<State> state_{State::kActive};
+  std::atomic<bool> stopping_{false};
+  std::atomic<std::uint64_t> calls_serviced_{0};
+  std::atomic<std::uint64_t> notices_forwarded_{0};
+
+  // GC interest set and pending notices, fed by the GC-service sink.
+  std::mutex gc_mu_;
+  std::unordered_set<std::uint64_t> gc_interest_;
+  std::deque<core::GcNotice> gc_pending_;
+  std::uint64_t gc_sink_token_ = 0;
+
+  // Session state for the failure-handling extension.
+  mutable std::mutex session_mu_;
+  std::vector<Attachment> attachments_;
+  std::vector<std::string> registered_names_;
+  TimePoint parked_since_{};
+
+  static constexpr std::size_t kMaxPendingNotices = 65536;
+};
+
+}  // namespace dstampede::client

@@ -1,0 +1,29 @@
+#include "dstampede/common/bytes.hpp"
+
+namespace dstampede {
+namespace {
+// splitmix64: small, fast, good-enough generator for test patterns.
+std::uint64_t SplitMix64(std::uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+}  // namespace
+
+void FillPattern(Buffer& buf, std::uint64_t seed) {
+  std::uint64_t state = seed;
+  for (std::size_t i = 0; i < buf.size(); ++i) {
+    if (i % 8 == 0) state = seed + SplitMix64(state);
+    buf[i] = static_cast<std::uint8_t>(state >> ((i % 8) * 8));
+  }
+}
+
+bool CheckPattern(std::span<const std::uint8_t> buf, std::uint64_t seed) {
+  Buffer expect(buf.size());
+  FillPattern(expect, seed);
+  return std::memcmp(expect.data(), buf.data(), buf.size()) == 0;
+}
+
+}  // namespace dstampede

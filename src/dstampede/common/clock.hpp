@@ -1,0 +1,51 @@
+// Time helpers: one steady clock for all latency math, plus Deadline,
+// the unit every blocking runtime call accepts.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace dstampede {
+
+using SteadyClock = std::chrono::steady_clock;
+using TimePoint = SteadyClock::time_point;
+using Duration = SteadyClock::duration;
+
+inline TimePoint Now() { return SteadyClock::now(); }
+
+inline std::int64_t ToMicros(Duration d) {
+  return std::chrono::duration_cast<std::chrono::microseconds>(d).count();
+}
+
+inline Duration Micros(std::int64_t us) {
+  return std::chrono::microseconds(us);
+}
+inline Duration Millis(std::int64_t ms) {
+  return std::chrono::milliseconds(ms);
+}
+
+// A point in time after which a blocking call gives up with kTimeout.
+// Deadline::Infinite() never expires; Deadline::Poll() expires now.
+class Deadline {
+ public:
+  static Deadline Infinite() { return Deadline(TimePoint::max()); }
+  static Deadline Poll() { return Deadline(TimePoint::min()); }
+  static Deadline After(Duration d) { return Deadline(Now() + d); }
+  static Deadline AfterMillis(std::int64_t ms) { return After(Millis(ms)); }
+
+  bool expired() const { return when_ != TimePoint::max() && Now() >= when_; }
+  bool infinite() const { return when_ == TimePoint::max(); }
+  TimePoint when() const { return when_; }
+  // Remaining time, clamped at zero.
+  Duration remaining() const {
+    if (infinite()) return Duration::max();
+    auto now = Now();
+    return when_ > now ? when_ - now : Duration::zero();
+  }
+
+ private:
+  explicit Deadline(TimePoint when) : when_(when) {}
+  TimePoint when_;
+};
+
+}  // namespace dstampede

@@ -1,0 +1,83 @@
+// Strongly-typed identifiers used across the runtime.
+//
+// Channels and queues are "system-wide unique names" (paper §3.1): the
+// id embeds the owning address-space so any node can route an operation
+// to the owner without a directory lookup.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <ostream>
+
+namespace dstampede {
+
+// Timestamps index items in channels/queues. They are application
+// defined (e.g. frame numbers) and have no intrinsic tie to real time.
+using Timestamp = std::int64_t;
+inline constexpr Timestamp kInvalidTimestamp = INT64_MIN;
+
+// Identifies one address space (one runtime endpoint). The cluster's
+// address spaces and each end-device surrogate all get distinct ids.
+enum class AsId : std::uint32_t {};
+inline constexpr AsId kInvalidAsId = static_cast<AsId>(0xffffffffu);
+inline std::uint32_t AsIndex(AsId id) { return static_cast<std::uint32_t>(id); }
+inline std::ostream& operator<<(std::ostream& os, AsId id) {
+  return os << "AS" << AsIndex(id);
+}
+
+namespace internal {
+// Generic 64-bit handle: owner address space in the top 32 bits, local
+// slot in the bottom 32.
+template <typename Tag>
+class Handle {
+ public:
+  Handle() = default;
+  Handle(AsId owner, std::uint32_t slot)
+      : bits_((static_cast<std::uint64_t>(AsIndex(owner)) << 32) | slot) {}
+  static Handle FromBits(std::uint64_t bits) {
+    Handle h;
+    h.bits_ = bits;
+    return h;
+  }
+
+  AsId owner() const { return static_cast<AsId>(bits_ >> 32); }
+  std::uint32_t slot() const { return static_cast<std::uint32_t>(bits_); }
+  std::uint64_t bits() const { return bits_; }
+  bool valid() const { return bits_ != kInvalidBits; }
+
+  friend bool operator==(Handle a, Handle b) { return a.bits_ == b.bits_; }
+  friend bool operator<(Handle a, Handle b) { return a.bits_ < b.bits_; }
+
+ private:
+  static constexpr std::uint64_t kInvalidBits = ~0ULL;
+  std::uint64_t bits_ = kInvalidBits;
+};
+}  // namespace internal
+
+struct ChannelTag {};
+struct QueueTag {};
+struct ConnectionTag {};
+struct ThreadTag {};
+
+using ChannelId = internal::Handle<ChannelTag>;
+using QueueId = internal::Handle<QueueTag>;
+// A connection is a (thread, channel-or-queue, mode) binding; the id is
+// issued by the container's owner address space.
+using ConnectionId = internal::Handle<ConnectionTag>;
+using ThreadId = internal::Handle<ThreadTag>;
+
+template <typename Tag>
+std::ostream& operator<<(std::ostream& os, internal::Handle<Tag> h) {
+  return os << AsIndex(h.owner()) << ":" << h.slot();
+}
+
+}  // namespace dstampede
+
+namespace std {
+template <typename Tag>
+struct hash<dstampede::internal::Handle<Tag>> {
+  size_t operator()(dstampede::internal::Handle<Tag> h) const noexcept {
+    return std::hash<uint64_t>{}(h.bits());
+  }
+};
+}  // namespace std

@@ -1,0 +1,57 @@
+// Minimal leveled logger. Thread-safe, writes to stderr, off by default
+// above kWarn so benchmarks stay quiet. DS_LOG(kDebug) << ... incurs no
+// formatting cost when the level is disabled.
+#pragma once
+
+#include <atomic>
+#include <sstream>
+#include <string_view>
+
+namespace dstampede {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+class Logger {
+ public:
+  static Logger& Instance();
+
+  void set_level(LogLevel level) { level_.store(static_cast<int>(level)); }
+  LogLevel level() const { return static_cast<LogLevel>(level_.load()); }
+  bool Enabled(LogLevel level) const {
+    return static_cast<int>(level) >= level_.load(std::memory_order_relaxed);
+  }
+
+  // Writes one already-formatted line; serialized internally.
+  void Write(LogLevel level, std::string_view file, int line,
+             std::string_view message);
+
+ private:
+  std::atomic<int> level_{static_cast<int>(LogLevel::kWarn)};
+};
+
+namespace internal {
+// Accumulates a log line and emits it on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line)
+      : level_(level), file_(file), line_(line) {}
+  ~LogMessage() { Logger::Instance().Write(level_, file_, line_, os_.str()); }
+  std::ostream& stream() { return os_; }
+
+ private:
+  LogLevel level_;
+  const char* file_;
+  int line_;
+  std::ostringstream os_;
+};
+}  // namespace internal
+
+#define DS_LOG(severity)                                                    \
+  if (!::dstampede::Logger::Instance().Enabled(::dstampede::LogLevel::severity)) \
+    ;                                                                       \
+  else                                                                      \
+    ::dstampede::internal::LogMessage(::dstampede::LogLevel::severity,      \
+                                      __FILE__, __LINE__)                   \
+        .stream()
+
+}  // namespace dstampede

@@ -1,0 +1,37 @@
+#include "dstampede/common/status.hpp"
+
+namespace dstampede {
+
+std::string_view StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return "OK";
+    case StatusCode::kInvalidArgument: return "INVALID_ARGUMENT";
+    case StatusCode::kNotFound: return "NOT_FOUND";
+    case StatusCode::kAlreadyExists: return "ALREADY_EXISTS";
+    case StatusCode::kFailedPrecondition: return "FAILED_PRECONDITION";
+    case StatusCode::kPermissionDenied: return "PERMISSION_DENIED";
+    case StatusCode::kTimeout: return "TIMEOUT";
+    case StatusCode::kUnavailable: return "UNAVAILABLE";
+    case StatusCode::kConnectionClosed: return "CONNECTION_CLOSED";
+    case StatusCode::kResourceExhausted: return "RESOURCE_EXHAUSTED";
+    case StatusCode::kGarbageCollected: return "GARBAGE_COLLECTED";
+    case StatusCode::kCancelled: return "CANCELLED";
+    case StatusCode::kInternal: return "INTERNAL";
+  }
+  return "UNKNOWN";
+}
+
+std::string Status::ToString() const {
+  std::string out(StatusCodeName(code_));
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+}  // namespace dstampede

@@ -1,0 +1,136 @@
+// Status and Result<T>: the error model used across the whole library.
+//
+// D-Stampede is a runtime system: most failures (peer gone, timeout,
+// unknown channel, timestamp already present) are expected conditions
+// the application reacts to, not programming errors. We therefore
+// return Status / Result<T> everywhere and reserve exceptions for
+// nothing at all on hot paths.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+namespace dstampede {
+
+enum class StatusCode : std::uint8_t {
+  kOk = 0,
+  kInvalidArgument,   // caller passed something nonsensical
+  kNotFound,          // channel/queue/name/timestamp does not exist
+  kAlreadyExists,     // duplicate timestamp in a channel, duplicate name
+  kFailedPrecondition,// call not legal in the current state
+  kPermissionDenied,  // wrong connection mode (input vs output)
+  kTimeout,           // deadline expired on a blocking call
+  kUnavailable,       // transport or peer unavailable (retryable)
+  kConnectionClosed,  // peer cleanly went away
+  kResourceExhausted, // buffers/window full
+  kGarbageCollected,  // requested timestamp was already reclaimed
+  kCancelled,         // runtime shutting down
+  kInternal,          // bug or protocol violation
+};
+
+std::string_view StatusCodeName(StatusCode code);
+
+// A cheap value type: code + optional message. Ok carries no allocation.
+class [[nodiscard]] Status {
+ public:
+  Status() = default;
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+  explicit Status(StatusCode code) : code_(code) {}
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "code: message" or just "code".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& s);
+
+inline Status OkStatus() { return Status::Ok(); }
+
+#define DS_DEFINE_STATUS_FACTORY(Name, Code)            \
+  inline Status Name(std::string msg = {}) {            \
+    return Status(StatusCode::Code, std::move(msg));    \
+  }
+DS_DEFINE_STATUS_FACTORY(InvalidArgumentError, kInvalidArgument)
+DS_DEFINE_STATUS_FACTORY(NotFoundError, kNotFound)
+DS_DEFINE_STATUS_FACTORY(AlreadyExistsError, kAlreadyExists)
+DS_DEFINE_STATUS_FACTORY(FailedPreconditionError, kFailedPrecondition)
+DS_DEFINE_STATUS_FACTORY(PermissionDeniedError, kPermissionDenied)
+DS_DEFINE_STATUS_FACTORY(TimeoutError, kTimeout)
+DS_DEFINE_STATUS_FACTORY(UnavailableError, kUnavailable)
+DS_DEFINE_STATUS_FACTORY(ConnectionClosedError, kConnectionClosed)
+DS_DEFINE_STATUS_FACTORY(ResourceExhaustedError, kResourceExhausted)
+DS_DEFINE_STATUS_FACTORY(GarbageCollectedError, kGarbageCollected)
+DS_DEFINE_STATUS_FACTORY(CancelledError, kCancelled)
+DS_DEFINE_STATUS_FACTORY(InternalError, kInternal)
+#undef DS_DEFINE_STATUS_FACTORY
+
+// Result<T> = T or Status. Modeled after std::expected (not in
+// libstdc++ 12), with just the operations this codebase needs.
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : rep_(std::move(value)) {}            // NOLINT(google-explicit-constructor)
+  Result(Status status) : rep_(std::move(status)) {}     // NOLINT(google-explicit-constructor)
+
+  bool ok() const { return std::holds_alternative<T>(rep_); }
+
+  const Status& status() const {
+    static const Status kOkSingleton = Status::Ok();
+    if (ok()) return kOkSingleton;
+    return std::get<Status>(rep_);
+  }
+
+  T& value() & { return std::get<T>(rep_); }
+  const T& value() const& { return std::get<T>(rep_); }
+  T&& value() && { return std::get<T>(std::move(rep_)); }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+  T value_or(T fallback) const& {
+    return ok() ? value() : std::move(fallback);
+  }
+
+ private:
+  std::variant<T, Status> rep_;
+};
+
+// Propagate a non-ok Status from an expression.
+#define DS_RETURN_IF_ERROR(expr)                  \
+  do {                                            \
+    ::dstampede::Status ds_status_ = (expr);      \
+    if (!ds_status_.ok()) return ds_status_;      \
+  } while (false)
+
+// Evaluate a Result<T> expression; bind the value or return its status.
+#define DS_ASSIGN_OR_RETURN(lhs, expr)            \
+  DS_ASSIGN_OR_RETURN_IMPL_(                      \
+      DS_STATUS_CONCAT_(ds_result_, __LINE__), lhs, expr)
+#define DS_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
+  auto tmp = (expr);                              \
+  if (!tmp.ok()) return tmp.status();             \
+  lhs = std::move(tmp).value()
+#define DS_STATUS_CONCAT_(a, b) DS_STATUS_CONCAT_IMPL_(a, b)
+#define DS_STATUS_CONCAT_IMPL_(a, b) a##b
+
+}  // namespace dstampede

@@ -1,0 +1,65 @@
+// Fixed-size worker pool used by each address space's dispatcher.
+//
+// STM requests arriving from remote address spaces may block (a GET can
+// wait for a timestamp to be produced), so the dispatcher hands each
+// request to a pool worker instead of servicing it on the receive loop.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace dstampede {
+
+class ThreadPool {
+ public:
+  explicit ThreadPool(std::size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  // Enqueues work; returns false if the pool is shutting down.
+  bool Submit(std::function<void()> task);
+
+  // Stops accepting work, drains the queue, joins workers. Idempotent.
+  void Shutdown();
+
+  std::size_t size() const { return workers_.size(); }
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+// Counts in-flight operations so shutdown can wait for them to drain.
+class WaitGroup {
+ public:
+  void Add(int n = 1) {
+    std::lock_guard<std::mutex> lock(mu_);
+    count_ += n;
+  }
+  void Done() {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (--count_ == 0) cv_.notify_all();
+  }
+  void Wait() {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [&] { return count_ == 0; });
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  int count_ = 0;
+};
+
+}  // namespace dstampede

@@ -1,0 +1,809 @@
+#include "dstampede/core/address_space.hpp"
+
+#include <utility>
+
+#include "dstampede/common/logging.hpp"
+
+namespace dstampede::core {
+
+Result<std::unique_ptr<AddressSpace>> AddressSpace::Create(
+    const Options& options) {
+  auto as = std::unique_ptr<AddressSpace>(new AddressSpace(options));
+  clf::Endpoint::Options ep_opts;
+  ep_opts.port = options.clf_port;
+  ep_opts.enable_shm_fastpath = options.shm_fastpath;
+  ep_opts.faults = options.faults;
+  DS_ASSIGN_OR_RETURN(as->endpoint_, clf::Endpoint::Create(ep_opts));
+  as->dispatcher_ = std::make_unique<ThreadPool>(options.dispatcher_threads);
+  as->gc_ = std::make_unique<GcService>(options.gc_interval);
+  if (options.host_name_server) {
+    as->name_server_ = std::make_unique<NameServer>();
+    as->ns_as_ = options.id;
+  }
+  as->gc_->Start();
+  as->receiver_ = std::thread([raw = as.get()] { raw->ReceiveLoop(); });
+  return as;
+}
+
+AddressSpace::AddressSpace(const Options& options) : options_(options) {}
+
+AddressSpace::~AddressSpace() {
+  Shutdown();
+  JoinThreads();
+}
+
+void AddressSpace::Shutdown() {
+  bool expected = false;
+  if (!stopping_.compare_exchange_strong(expected, true)) return;
+
+  // Unblock every local waiter first so dispatcher tasks can finish.
+  {
+    std::lock_guard<std::mutex> lock(containers_mu_);
+    for (auto& [slot, ch] : channels_) ch->Close();
+    for (auto& [slot, q] : queues_) q->Close();
+  }
+  gc_->Stop();
+  dispatcher_->Shutdown();
+  endpoint_->Shutdown();
+  if (receiver_.joinable()) receiver_.join();
+
+  // Fail calls still waiting for replies.
+  std::vector<std::shared_ptr<PendingCall>> orphans;
+  {
+    std::lock_guard<std::mutex> lock(calls_mu_);
+    for (auto& [id, call] : calls_) orphans.push_back(call);
+    calls_.clear();
+  }
+  for (auto& call : orphans) {
+    std::lock_guard<std::mutex> lock(call->mu);
+    call->done = true;
+    call->status = CancelledError("address space shut down");
+    call->cv.notify_all();
+  }
+}
+
+// --- topology -------------------------------------------------------------
+
+void AddressSpace::AddPeer(AsId peer, const transport::SockAddr& addr) {
+  std::lock_guard<std::mutex> lock(peers_mu_);
+  peers_[AsIndex(peer)] = addr;
+}
+
+void AddressSpace::SetNameServerAs(AsId ns) { ns_as_ = ns; }
+
+Result<transport::SockAddr> AddressSpace::PeerAddr(AsId peer) const {
+  std::lock_guard<std::mutex> lock(peers_mu_);
+  auto it = peers_.find(AsIndex(peer));
+  if (it == peers_.end()) {
+    return NotFoundError("unknown peer address space");
+  }
+  return it->second;
+}
+
+// --- RPC plumbing ----------------------------------------------------------
+
+Result<Buffer> AddressSpace::Call(AsId target, Buffer request,
+                                  Deadline deadline) {
+  if (stopping_.load()) return CancelledError("address space shut down");
+  stats_.remote_calls.fetch_add(1, std::memory_order_relaxed);
+  DS_ASSIGN_OR_RETURN(transport::SockAddr addr, PeerAddr(target));
+
+  // The request id sits after the 4-byte op field.
+  marshal::XdrDecoder peek(request);
+  DS_ASSIGN_OR_RETURN(auto hdr, DecodeRequestHeader(peek));
+
+  auto pending = std::make_shared<PendingCall>();
+  {
+    std::lock_guard<std::mutex> lock(calls_mu_);
+    calls_[hdr.request_id] = pending;
+  }
+  Status sent = endpoint_->Send(addr, request);
+  if (!sent.ok()) {
+    std::lock_guard<std::mutex> lock(calls_mu_);
+    calls_.erase(hdr.request_id);
+    return sent;
+  }
+
+  // The callee may legitimately block right up to the wire deadline;
+  // allow transport slack on top before declaring the call lost.
+  Deadline wait = deadline.infinite()
+                      ? deadline
+                      : Deadline::After(deadline.remaining() + Millis(5000));
+  std::unique_lock<std::mutex> lock(pending->mu);
+  for (;;) {
+    if (pending->done) break;
+    if (wait.infinite()) {
+      pending->cv.wait(lock);
+    } else if (pending->cv.wait_until(lock, wait.when()) ==
+                   std::cv_status::timeout &&
+               !pending->done) {
+      lock.unlock();
+      std::lock_guard<std::mutex> erase_lock(calls_mu_);
+      calls_.erase(hdr.request_id);
+      return TimeoutError("rpc call");
+    }
+  }
+  if (!pending->status.ok()) return pending->status;
+  return std::move(pending->response);
+}
+
+void AddressSpace::ReceiveLoop() {
+  Buffer message;
+  transport::SockAddr from;
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    Status s = endpoint_->Recv(message, from, Deadline::AfterMillis(50));
+    if (!s.ok()) {
+      if (s.code() == StatusCode::kTimeout) continue;
+      break;  // endpoint shut down
+    }
+    marshal::XdrDecoder peek(message);
+    auto hdr = DecodeRequestHeader(peek);
+    if (!hdr.ok()) {
+      DS_LOG(kWarn) << "undecodable frame from " << from.ToString();
+      continue;
+    }
+    if (hdr->op == Op::kReply) {
+      std::shared_ptr<PendingCall> call;
+      {
+        std::lock_guard<std::mutex> lock(calls_mu_);
+        auto it = calls_.find(hdr->request_id);
+        if (it != calls_.end()) {
+          call = it->second;
+          calls_.erase(it);
+        }
+      }
+      if (call) {
+        std::lock_guard<std::mutex> lock(call->mu);
+        call->done = true;
+        call->response = std::move(message);
+        call->cv.notify_all();
+      }
+      message = Buffer();
+      continue;
+    }
+    // A request: service it on the pool, since it may block.
+    DispatchRequest(from, std::move(message));
+    message = Buffer();
+  }
+}
+
+void AddressSpace::DispatchRequest(transport::SockAddr from, Buffer message) {
+  auto task = [this, from, msg = std::move(message)]() {
+    if (stopping_.load()) return;
+    Buffer reply = ProcessRequest(msg);
+    if (!reply.empty()) {
+      (void)endpoint_->Send(from, reply);
+    }
+  };
+  if (!dispatcher_->Submit(std::move(task))) {
+    DS_LOG(kWarn) << "dispatcher rejected request (shutting down)";
+  }
+}
+
+namespace {
+
+Buffer EncodeStatusReply(std::uint64_t request_id, const Status& status) {
+  marshal::XdrEncoder enc;
+  EncodeResponseHeader(enc, request_id, status);
+  return enc.Take();
+}
+
+// Container ids embed their owner AS (ids.hpp); channels and queues
+// share the handle layout so either tag works for extraction.
+AsId OwnerOf(std::uint64_t container_bits) {
+  return ChannelId::FromBits(container_bits).owner();
+}
+
+}  // namespace
+
+Buffer AddressSpace::ProcessRequest(std::span<const std::uint8_t> message) {
+  marshal::XdrDecoder dec(message);
+  auto hdr = DecodeRequestHeader(dec);
+  if (!hdr.ok()) return Buffer();  // cannot even address a reply
+  stats_.requests_served.fetch_add(1, std::memory_order_relaxed);
+  const std::uint64_t id = hdr->request_id;
+
+  switch (hdr->op) {
+    case Op::kCreateChannel: {
+      auto req = CreateReq::Decode(dec);
+      if (!req.ok()) return EncodeStatusReply(id, req.status());
+      ChannelAttr attr;
+      attr.capacity_items = static_cast<std::size_t>(req->capacity);
+      attr.debug_name = req->debug_name;
+      auto created = CreateChannel(attr);
+      if (!created.ok()) return EncodeStatusReply(id, created.status());
+      marshal::XdrEncoder enc;
+      EncodeResponseHeader(enc, id, OkStatus());
+      enc.PutU64(created->bits());
+      return enc.Take();
+    }
+    case Op::kCreateQueue: {
+      auto req = CreateReq::Decode(dec);
+      if (!req.ok()) return EncodeStatusReply(id, req.status());
+      QueueAttr attr;
+      attr.capacity_items = static_cast<std::size_t>(req->capacity);
+      attr.debug_name = req->debug_name;
+      auto created = CreateQueue(attr);
+      if (!created.ok()) return EncodeStatusReply(id, created.status());
+      marshal::XdrEncoder enc;
+      EncodeResponseHeader(enc, id, OkStatus());
+      enc.PutU64(created->bits());
+      return enc.Take();
+    }
+    case Op::kAttach: {
+      auto req = AttachReq::Decode(dec);
+      if (!req.ok()) return EncodeStatusReply(id, req.status());
+      Result<Connection> conn =
+          req->is_queue
+              ? Connect(QueueId::FromBits(req->container_bits), req->mode,
+                        req->label)
+              : Connect(ChannelId::FromBits(req->container_bits), req->mode,
+                        req->label);
+      if (!conn.ok()) return EncodeStatusReply(id, conn.status());
+      marshal::XdrEncoder enc;
+      EncodeResponseHeader(enc, id, OkStatus());
+      enc.PutU32(conn->slot());
+      return enc.Take();
+    }
+    case Op::kDetach: {
+      auto req = DetachReq::Decode(dec);
+      if (!req.ok()) return EncodeStatusReply(id, req.status());
+      const Connection conn(req->container_bits, req->is_queue,
+                            ConnMode::kInputOutput,
+                            OwnerOf(req->container_bits), req->slot);
+      return EncodeStatusReply(id, Disconnect(conn));
+    }
+    case Op::kPut: {
+      auto req = PutReq::Decode(dec);
+      if (!req.ok()) return EncodeStatusReply(id, req.status());
+      // Rebuild the caller's connection and run through the public,
+      // location-transparent API: surrogates route client calls to
+      // containers owned by any address space this way.
+      const Connection conn(req->container_bits, req->is_queue, req->mode,
+                            OwnerOf(req->container_bits), req->slot);
+      Status status = Put(conn, req->ts, std::move(req->payload),
+                          DecodeDeadline(req->deadline_ms));
+      return EncodeStatusReply(id, status);
+    }
+    case Op::kGet: {
+      auto req = GetReq::Decode(dec);
+      if (!req.ok()) return EncodeStatusReply(id, req.status());
+      const Connection conn(req->container_bits, req->is_queue, req->mode,
+                            OwnerOf(req->container_bits), req->slot);
+      Result<ItemView> item =
+          req->is_queue ? Get(conn, DecodeDeadline(req->deadline_ms))
+                        : Get(conn, req->spec, DecodeDeadline(req->deadline_ms));
+      if (!item.ok()) return EncodeStatusReply(id, item.status());
+      marshal::XdrEncoder enc(item->payload.size() + 64);
+      EncodeResponseHeader(enc, id, OkStatus());
+      enc.PutI64(item->timestamp);
+      enc.PutOpaque(item->payload.span());
+      return enc.Take();
+    }
+    case Op::kConsume: {
+      auto req = ConsumeReq::Decode(dec);
+      if (!req.ok()) return EncodeStatusReply(id, req.status());
+      const Connection conn(req->container_bits, req->is_queue, req->mode,
+                            OwnerOf(req->container_bits), req->slot);
+      Status status = req->until ? ConsumeUntil(conn, req->ts)
+                                 : Consume(conn, req->ts);
+      return EncodeStatusReply(id, status);
+    }
+    case Op::kSetFilter: {
+      auto req = SetFilterReq::Decode(dec);
+      if (!req.ok()) return EncodeStatusReply(id, req.status());
+      const Connection conn(req->container_bits, /*is_queue=*/false,
+                            ConnMode::kInput, OwnerOf(req->container_bits),
+                            req->slot);
+      return EncodeStatusReply(id, SetFilter(conn, req->filter));
+    }
+    // Name-server ops run through the public API: executed locally on
+    // the NS address space, forwarded over CLF from anywhere else (so
+    // surrogates on any AS can serve their devices).
+    case Op::kNsRegister: {
+      auto entry = DecodeNsEntry(dec);
+      if (!entry.ok()) return EncodeStatusReply(id, entry.status());
+      return EncodeStatusReply(id, NsRegister(*entry));
+    }
+    case Op::kNsUnregister: {
+      auto req = NsLookupReq::Decode(dec);
+      if (!req.ok()) return EncodeStatusReply(id, req.status());
+      return EncodeStatusReply(id, NsUnregister(req->name));
+    }
+    case Op::kNsLookup: {
+      auto req = NsLookupReq::Decode(dec);
+      if (!req.ok()) return EncodeStatusReply(id, req.status());
+      auto entry = NsLookup(req->name, DecodeDeadline(req->deadline_ms));
+      if (!entry.ok()) return EncodeStatusReply(id, entry.status());
+      marshal::XdrEncoder enc;
+      EncodeResponseHeader(enc, id, OkStatus());
+      EncodeNsEntry(enc, *entry);
+      return enc.Take();
+    }
+    case Op::kNsList: {
+      auto req = NsLookupReq::Decode(dec);
+      if (!req.ok()) return EncodeStatusReply(id, req.status());
+      auto entries = NsList(req->name);
+      if (!entries.ok()) return EncodeStatusReply(id, entries.status());
+      marshal::XdrEncoder enc;
+      EncodeResponseHeader(enc, id, OkStatus());
+      enc.PutU32(static_cast<std::uint32_t>(entries->size()));
+      for (const auto& entry : *entries) EncodeNsEntry(enc, entry);
+      return enc.Take();
+    }
+    case Op::kReply:
+      break;
+  }
+  return EncodeStatusReply(id, InternalError("unknown op"));
+}
+
+// --- containers --------------------------------------------------------------
+
+Result<ChannelId> AddressSpace::CreateChannel(const ChannelAttr& attr) {
+  if (stopping_.load()) return CancelledError("address space shut down");
+  std::uint32_t slot;
+  std::shared_ptr<LocalChannel> ch;
+  {
+    std::lock_guard<std::mutex> lock(containers_mu_);
+    slot = next_container_slot_++;
+    ch = std::make_shared<LocalChannel>(attr);
+    channels_[slot] = ch;
+  }
+  const ChannelId cid(options_.id, slot);
+  gc_->RegisterChannel(cid.bits(), ch);
+  return cid;
+}
+
+Result<QueueId> AddressSpace::CreateQueue(const QueueAttr& attr) {
+  if (stopping_.load()) return CancelledError("address space shut down");
+  std::uint32_t slot;
+  std::shared_ptr<LocalQueue> q;
+  {
+    std::lock_guard<std::mutex> lock(containers_mu_);
+    slot = next_container_slot_++;
+    q = std::make_shared<LocalQueue>(attr);
+    queues_[slot] = q;
+  }
+  const QueueId qid(options_.id, slot);
+  gc_->RegisterQueue(qid.bits(), q);
+  return qid;
+}
+
+namespace {
+template <typename Attr>
+CreateReq MakeCreateReq(const Attr& attr) {
+  CreateReq req;
+  req.capacity = attr.capacity_items;
+  req.debug_name = attr.debug_name;
+  return req;
+}
+}  // namespace
+
+Result<ChannelId> AddressSpace::CreateChannelOn(AsId owner,
+                                                const ChannelAttr& attr) {
+  if (owner == options_.id) return CreateChannel(attr);
+  marshal::XdrEncoder enc;
+  EncodeRequestHeader(enc, Op::kCreateChannel, next_request_id_.fetch_add(1));
+  MakeCreateReq(attr).Encode(enc);
+  DS_ASSIGN_OR_RETURN(Buffer reply,
+                      Call(owner, enc.Take(), Deadline::AfterMillis(10000)));
+  marshal::XdrDecoder dec(reply);
+  DS_ASSIGN_OR_RETURN(auto hdr, DecodeResponseHeader(dec));
+  if (!hdr.status.ok()) return hdr.status;
+  DS_ASSIGN_OR_RETURN(std::uint64_t bits, dec.GetU64());
+  return ChannelId::FromBits(bits);
+}
+
+Result<QueueId> AddressSpace::CreateQueueOn(AsId owner, const QueueAttr& attr) {
+  if (owner == options_.id) return CreateQueue(attr);
+  marshal::XdrEncoder enc;
+  EncodeRequestHeader(enc, Op::kCreateQueue, next_request_id_.fetch_add(1));
+  MakeCreateReq(attr).Encode(enc);
+  DS_ASSIGN_OR_RETURN(Buffer reply,
+                      Call(owner, enc.Take(), Deadline::AfterMillis(10000)));
+  marshal::XdrDecoder dec(reply);
+  DS_ASSIGN_OR_RETURN(auto hdr, DecodeResponseHeader(dec));
+  if (!hdr.status.ok()) return hdr.status;
+  DS_ASSIGN_OR_RETURN(std::uint64_t bits, dec.GetU64());
+  return QueueId::FromBits(bits);
+}
+
+std::shared_ptr<LocalChannel> AddressSpace::FindChannel(std::uint64_t bits) {
+  const ChannelId cid = ChannelId::FromBits(bits);
+  if (cid.owner() != options_.id) return nullptr;
+  std::lock_guard<std::mutex> lock(containers_mu_);
+  auto it = channels_.find(cid.slot());
+  return it == channels_.end() ? nullptr : it->second;
+}
+
+std::shared_ptr<LocalQueue> AddressSpace::FindQueue(std::uint64_t bits) {
+  const QueueId qid = QueueId::FromBits(bits);
+  if (qid.owner() != options_.id) return nullptr;
+  std::lock_guard<std::mutex> lock(containers_mu_);
+  auto it = queues_.find(qid.slot());
+  return it == queues_.end() ? nullptr : it->second;
+}
+
+// --- plumbing ----------------------------------------------------------------
+
+Result<Connection> AddressSpace::Connect(ChannelId ch, ConnMode mode,
+                                         std::string label) {
+  stats_.attaches.fetch_add(1, std::memory_order_relaxed);
+  if (label.empty()) label = "thread@AS" + std::to_string(AsIndex(options_.id));
+  if (ch.owner() == options_.id) {
+    auto channel = FindChannel(ch.bits());
+    if (!channel) return NotFoundError("channel");
+    return Connection(ch.bits(), false, mode, ch.owner(),
+                      channel->Attach(mode, std::move(label)));
+  }
+  AttachReq req;
+  req.container_bits = ch.bits();
+  req.is_queue = false;
+  req.mode = mode;
+  req.label = label;
+  marshal::XdrEncoder enc;
+  EncodeRequestHeader(enc, Op::kAttach, next_request_id_.fetch_add(1));
+  req.Encode(enc);
+  DS_ASSIGN_OR_RETURN(Buffer reply,
+                      Call(ch.owner(), enc.Take(), Deadline::AfterMillis(10000)));
+  marshal::XdrDecoder dec(reply);
+  DS_ASSIGN_OR_RETURN(auto hdr, DecodeResponseHeader(dec));
+  if (!hdr.status.ok()) return hdr.status;
+  DS_ASSIGN_OR_RETURN(std::uint32_t slot, dec.GetU32());
+  return Connection(ch.bits(), false, mode, ch.owner(), slot);
+}
+
+Result<Connection> AddressSpace::Connect(QueueId q, ConnMode mode,
+                                         std::string label) {
+  stats_.attaches.fetch_add(1, std::memory_order_relaxed);
+  if (label.empty()) label = "thread@AS" + std::to_string(AsIndex(options_.id));
+  if (q.owner() == options_.id) {
+    auto queue = FindQueue(q.bits());
+    if (!queue) return NotFoundError("queue");
+    return Connection(q.bits(), true, mode, q.owner(),
+                      queue->Attach(mode, std::move(label)));
+  }
+  AttachReq req;
+  req.container_bits = q.bits();
+  req.is_queue = true;
+  req.mode = mode;
+  req.label = label;
+  marshal::XdrEncoder enc;
+  EncodeRequestHeader(enc, Op::kAttach, next_request_id_.fetch_add(1));
+  req.Encode(enc);
+  DS_ASSIGN_OR_RETURN(Buffer reply,
+                      Call(q.owner(), enc.Take(), Deadline::AfterMillis(10000)));
+  marshal::XdrDecoder dec(reply);
+  DS_ASSIGN_OR_RETURN(auto hdr, DecodeResponseHeader(dec));
+  if (!hdr.status.ok()) return hdr.status;
+  DS_ASSIGN_OR_RETURN(std::uint32_t slot, dec.GetU32());
+  return Connection(q.bits(), true, mode, q.owner(), slot);
+}
+
+Status AddressSpace::Disconnect(const Connection& conn) {
+  if (!conn.valid()) return InvalidArgumentError("invalid connection");
+  stats_.detaches.fetch_add(1, std::memory_order_relaxed);
+  if (conn.owner() == options_.id) {
+    if (conn.is_queue()) {
+      auto q = FindQueue(conn.container_bits());
+      return q ? q->Detach(conn.slot()) : NotFoundError("queue");
+    }
+    auto ch = FindChannel(conn.container_bits());
+    return ch ? ch->Detach(conn.slot()) : NotFoundError("channel");
+  }
+  DetachReq req;
+  req.container_bits = conn.container_bits();
+  req.is_queue = conn.is_queue();
+  req.slot = conn.slot();
+  marshal::XdrEncoder enc;
+  EncodeRequestHeader(enc, Op::kDetach, next_request_id_.fetch_add(1));
+  req.Encode(enc);
+  DS_ASSIGN_OR_RETURN(
+      Buffer reply,
+      Call(conn.owner(), enc.Take(), Deadline::AfterMillis(10000)));
+  marshal::XdrDecoder dec(reply);
+  DS_ASSIGN_OR_RETURN(auto hdr, DecodeResponseHeader(dec));
+  return hdr.status;
+}
+
+// --- I/O ------------------------------------------------------------------------
+
+Status AddressSpace::Put(const Connection& conn, Timestamp ts, Buffer payload,
+                         Deadline deadline) {
+  if (!conn.valid()) return InvalidArgumentError("invalid connection");
+  stats_.puts.fetch_add(1, std::memory_order_relaxed);
+  stats_.bytes_put.fetch_add(payload.size(), std::memory_order_relaxed);
+  if (!CanOutput(conn.mode())) {
+    return PermissionDeniedError("connection is input-only");
+  }
+  if (conn.owner() == options_.id) {
+    SharedBuffer shared(std::move(payload));
+    if (conn.is_queue()) {
+      auto q = FindQueue(conn.container_bits());
+      return q ? q->Put(ts, std::move(shared), deadline)
+               : NotFoundError("queue");
+    }
+    auto ch = FindChannel(conn.container_bits());
+    return ch ? ch->Put(ts, std::move(shared), deadline)
+              : NotFoundError("channel");
+  }
+  PutReq req;
+  req.container_bits = conn.container_bits();
+  req.is_queue = conn.is_queue();
+  req.mode = conn.mode();
+  req.slot = conn.slot();
+  req.ts = ts;
+  req.deadline_ms = EncodeDeadline(deadline);
+  req.payload = std::move(payload);
+  marshal::XdrEncoder enc(req.payload.size() + 96);
+  EncodeRequestHeader(enc, Op::kPut, next_request_id_.fetch_add(1));
+  req.Encode(enc);
+  DS_ASSIGN_OR_RETURN(Buffer reply, Call(conn.owner(), enc.Take(), deadline));
+  marshal::XdrDecoder dec(reply);
+  DS_ASSIGN_OR_RETURN(auto hdr, DecodeResponseHeader(dec));
+  return hdr.status;
+}
+
+Result<ItemView> AddressSpace::Get(const Connection& conn, GetSpec spec,
+                                   Deadline deadline) {
+  if (!conn.valid()) return InvalidArgumentError("invalid connection");
+  stats_.gets.fetch_add(1, std::memory_order_relaxed);
+  if (conn.owner() == options_.id) {
+    Result<ItemView> item = InternalError("unset");
+    if (conn.is_queue()) {
+      auto q = FindQueue(conn.container_bits());
+      if (!q) return NotFoundError("queue");
+      item = q->Get(conn.slot(), deadline);
+    } else {
+      auto ch = FindChannel(conn.container_bits());
+      if (!ch) return NotFoundError("channel");
+      item = ch->Get(conn.slot(), spec, deadline);
+    }
+    if (item.ok()) {
+      stats_.bytes_got.fetch_add(item->payload.size(),
+                                 std::memory_order_relaxed);
+    }
+    return item;
+  }
+  GetReq req;
+  req.container_bits = conn.container_bits();
+  req.is_queue = conn.is_queue();
+  req.mode = conn.mode();
+  req.slot = conn.slot();
+  req.spec = spec;
+  req.deadline_ms = EncodeDeadline(deadline);
+  marshal::XdrEncoder enc;
+  EncodeRequestHeader(enc, Op::kGet, next_request_id_.fetch_add(1));
+  req.Encode(enc);
+  DS_ASSIGN_OR_RETURN(Buffer reply, Call(conn.owner(), enc.Take(), deadline));
+  marshal::XdrDecoder dec(reply);
+  DS_ASSIGN_OR_RETURN(auto hdr, DecodeResponseHeader(dec));
+  if (!hdr.status.ok()) return hdr.status;
+  ItemView view;
+  DS_ASSIGN_OR_RETURN(view.timestamp, dec.GetI64());
+  DS_ASSIGN_OR_RETURN(Buffer payload, dec.GetOpaque());
+  view.payload = SharedBuffer(std::move(payload));
+  stats_.bytes_got.fetch_add(view.payload.size(), std::memory_order_relaxed);
+  return view;
+}
+
+Result<ItemView> AddressSpace::Get(const Connection& conn, Deadline deadline) {
+  return Get(conn, GetSpec::Oldest(), deadline);
+}
+
+Status AddressSpace::Consume(const Connection& conn, Timestamp ts) {
+  if (!conn.valid()) return InvalidArgumentError("invalid connection");
+  stats_.consumes.fetch_add(1, std::memory_order_relaxed);
+  if (conn.owner() == options_.id) {
+    if (conn.is_queue()) {
+      auto q = FindQueue(conn.container_bits());
+      return q ? q->Consume(conn.slot(), ts) : NotFoundError("queue");
+    }
+    auto ch = FindChannel(conn.container_bits());
+    return ch ? ch->Consume(conn.slot(), ts) : NotFoundError("channel");
+  }
+  ConsumeReq req;
+  req.container_bits = conn.container_bits();
+  req.is_queue = conn.is_queue();
+  req.mode = conn.mode();
+  req.slot = conn.slot();
+  req.ts = ts;
+  req.until = false;
+  marshal::XdrEncoder enc;
+  EncodeRequestHeader(enc, Op::kConsume, next_request_id_.fetch_add(1));
+  req.Encode(enc);
+  DS_ASSIGN_OR_RETURN(
+      Buffer reply,
+      Call(conn.owner(), enc.Take(), Deadline::AfterMillis(10000)));
+  marshal::XdrDecoder dec(reply);
+  DS_ASSIGN_OR_RETURN(auto hdr, DecodeResponseHeader(dec));
+  return hdr.status;
+}
+
+Status AddressSpace::ConsumeUntil(const Connection& conn, Timestamp ts) {
+  if (!conn.valid()) return InvalidArgumentError("invalid connection");
+  stats_.consumes.fetch_add(1, std::memory_order_relaxed);
+  if (conn.is_queue()) {
+    return InvalidArgumentError("consume-until is channel-only");
+  }
+  if (conn.owner() == options_.id) {
+    auto ch = FindChannel(conn.container_bits());
+    return ch ? ch->ConsumeUntil(conn.slot(), ts) : NotFoundError("channel");
+  }
+  ConsumeReq req;
+  req.container_bits = conn.container_bits();
+  req.is_queue = false;
+  req.mode = conn.mode();
+  req.slot = conn.slot();
+  req.ts = ts;
+  req.until = true;
+  marshal::XdrEncoder enc;
+  EncodeRequestHeader(enc, Op::kConsume, next_request_id_.fetch_add(1));
+  req.Encode(enc);
+  DS_ASSIGN_OR_RETURN(
+      Buffer reply,
+      Call(conn.owner(), enc.Take(), Deadline::AfterMillis(10000)));
+  marshal::XdrDecoder dec(reply);
+  DS_ASSIGN_OR_RETURN(auto hdr, DecodeResponseHeader(dec));
+  return hdr.status;
+}
+
+Status AddressSpace::SetFilter(const Connection& conn,
+                               const ItemFilter& filter) {
+  if (!conn.valid()) return InvalidArgumentError("invalid connection");
+  if (conn.is_queue()) {
+    return InvalidArgumentError("filters apply to channels");
+  }
+  if (conn.owner() == options_.id) {
+    auto ch = FindChannel(conn.container_bits());
+    return ch ? ch->SetFilter(conn.slot(), filter) : NotFoundError("channel");
+  }
+  SetFilterReq req;
+  req.container_bits = conn.container_bits();
+  req.slot = conn.slot();
+  req.filter = filter;
+  marshal::XdrEncoder enc;
+  EncodeRequestHeader(enc, Op::kSetFilter, next_request_id_.fetch_add(1));
+  req.Encode(enc);
+  DS_ASSIGN_OR_RETURN(
+      Buffer reply,
+      Call(conn.owner(), enc.Take(), Deadline::AfterMillis(10000)));
+  marshal::XdrDecoder dec(reply);
+  DS_ASSIGN_OR_RETURN(auto hdr, DecodeResponseHeader(dec));
+  return hdr.status;
+}
+
+// --- handler functions -----------------------------------------------------------
+
+Status AddressSpace::SetChannelGcHandler(ChannelId ch, GcHandler handler) {
+  auto channel = FindChannel(ch.bits());
+  if (!channel) {
+    return FailedPreconditionError(
+        "GC handlers install at the owner address space");
+  }
+  channel->set_gc_handler(std::move(handler));
+  return OkStatus();
+}
+
+Status AddressSpace::SetQueueGcHandler(QueueId q, GcHandler handler) {
+  auto queue = FindQueue(q.bits());
+  if (!queue) {
+    return FailedPreconditionError(
+        "GC handlers install at the owner address space");
+  }
+  queue->set_gc_handler(std::move(handler));
+  return OkStatus();
+}
+
+// --- name server ------------------------------------------------------------------
+
+Status AddressSpace::NsRegister(const NsEntry& entry) {
+  stats_.ns_ops.fetch_add(1, std::memory_order_relaxed);
+  if (name_server_) return name_server_->Register(entry);
+  if (ns_as_ == kInvalidAsId) {
+    return FailedPreconditionError("no name-server address space set");
+  }
+  marshal::XdrEncoder enc;
+  EncodeRequestHeader(enc, Op::kNsRegister, next_request_id_.fetch_add(1));
+  EncodeNsEntry(enc, entry);
+  DS_ASSIGN_OR_RETURN(Buffer reply,
+                      Call(ns_as_, enc.Take(), Deadline::AfterMillis(10000)));
+  marshal::XdrDecoder dec(reply);
+  DS_ASSIGN_OR_RETURN(auto hdr, DecodeResponseHeader(dec));
+  return hdr.status;
+}
+
+Status AddressSpace::NsUnregister(const std::string& name) {
+  stats_.ns_ops.fetch_add(1, std::memory_order_relaxed);
+  if (name_server_) return name_server_->Unregister(name);
+  if (ns_as_ == kInvalidAsId) {
+    return FailedPreconditionError("no name-server address space set");
+  }
+  NsLookupReq req;
+  req.name = name;
+  marshal::XdrEncoder enc;
+  EncodeRequestHeader(enc, Op::kNsUnregister, next_request_id_.fetch_add(1));
+  req.Encode(enc);
+  DS_ASSIGN_OR_RETURN(Buffer reply,
+                      Call(ns_as_, enc.Take(), Deadline::AfterMillis(10000)));
+  marshal::XdrDecoder dec(reply);
+  DS_ASSIGN_OR_RETURN(auto hdr, DecodeResponseHeader(dec));
+  return hdr.status;
+}
+
+Result<NsEntry> AddressSpace::NsLookup(const std::string& name,
+                                       Deadline deadline) {
+  stats_.ns_ops.fetch_add(1, std::memory_order_relaxed);
+  if (name_server_) return name_server_->Lookup(name, deadline);
+  if (ns_as_ == kInvalidAsId) {
+    return FailedPreconditionError("no name-server address space set");
+  }
+  NsLookupReq req;
+  req.name = name;
+  req.deadline_ms = EncodeDeadline(deadline);
+  marshal::XdrEncoder enc;
+  EncodeRequestHeader(enc, Op::kNsLookup, next_request_id_.fetch_add(1));
+  req.Encode(enc);
+  DS_ASSIGN_OR_RETURN(Buffer reply, Call(ns_as_, enc.Take(), deadline));
+  marshal::XdrDecoder dec(reply);
+  DS_ASSIGN_OR_RETURN(auto hdr, DecodeResponseHeader(dec));
+  if (!hdr.status.ok()) return hdr.status;
+  return DecodeNsEntry(dec);
+}
+
+Result<std::vector<NsEntry>> AddressSpace::NsList(const std::string& prefix) {
+  stats_.ns_ops.fetch_add(1, std::memory_order_relaxed);
+  if (name_server_) return name_server_->List(prefix);
+  if (ns_as_ == kInvalidAsId) {
+    return FailedPreconditionError("no name-server address space set");
+  }
+  NsLookupReq req;
+  req.name = prefix;
+  marshal::XdrEncoder enc;
+  EncodeRequestHeader(enc, Op::kNsList, next_request_id_.fetch_add(1));
+  req.Encode(enc);
+  DS_ASSIGN_OR_RETURN(Buffer reply,
+                      Call(ns_as_, enc.Take(), Deadline::AfterMillis(10000)));
+  marshal::XdrDecoder dec(reply);
+  DS_ASSIGN_OR_RETURN(auto hdr, DecodeResponseHeader(dec));
+  if (!hdr.status.ok()) return hdr.status;
+  DS_ASSIGN_OR_RETURN(std::uint32_t count, dec.GetU32());
+  std::vector<NsEntry> out;
+  out.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    DS_ASSIGN_OR_RETURN(NsEntry entry, DecodeNsEntry(dec));
+    out.push_back(std::move(entry));
+  }
+  return out;
+}
+
+// --- threads -----------------------------------------------------------------------
+
+ThreadId AddressSpace::Spawn(std::string name, std::function<void()> body) {
+  std::lock_guard<std::mutex> lock(threads_mu_);
+  const std::uint32_t slot = next_thread_slot_++;
+  (void)name;  // kept for debuggers; thread names are advisory
+  threads_.emplace_back(std::move(body));
+  return ThreadId(options_.id, slot);
+}
+
+void AddressSpace::JoinThreads() {
+  for (;;) {
+    std::vector<std::thread> batch;
+    {
+      std::lock_guard<std::mutex> lock(threads_mu_);
+      if (threads_.empty()) return;
+      batch.swap(threads_);
+    }
+    for (auto& t : batch) {
+      if (t.joinable()) t.join();
+    }
+  }
+}
+
+std::size_t AddressSpace::live_threads() const {
+  std::lock_guard<std::mutex> lock(threads_mu_);
+  return threads_.size();
+}
+
+}  // namespace dstampede::core

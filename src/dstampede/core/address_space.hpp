@@ -1,0 +1,235 @@
+// AddressSpace: one D-Stampede runtime endpoint.
+//
+// The paper's computation model (Fig 2) is a dynamic graph of threads
+// and channels spread over address spaces; this class is one such
+// address space. It owns the channels and queues created in it, runs a
+// CLF endpoint plus a dispatcher pool that services STM requests from
+// peer address spaces, hosts (optionally) the name server, runs the GC
+// service, and exposes the location-transparent STM API: the same
+// Connect/Put/Get/Consume calls work whether the container lives here
+// or in a peer — exactly the paper's "uniform set of API calls".
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "dstampede/clf/endpoint.hpp"
+#include "dstampede/common/ids.hpp"
+#include "dstampede/common/thread_pool.hpp"
+#include "dstampede/core/channel.hpp"
+#include "dstampede/core/gc.hpp"
+#include "dstampede/core/item.hpp"
+#include "dstampede/core/name_server.hpp"
+#include "dstampede/core/queue.hpp"
+#include "dstampede/core/wire.hpp"
+
+namespace dstampede::core {
+
+// Operation counters for one address space. All relaxed atomics: these
+// are monitoring data, not synchronization.
+struct AsStats {
+  std::atomic<std::uint64_t> puts{0};
+  std::atomic<std::uint64_t> gets{0};
+  std::atomic<std::uint64_t> consumes{0};
+  std::atomic<std::uint64_t> attaches{0};
+  std::atomic<std::uint64_t> detaches{0};
+  std::atomic<std::uint64_t> ns_ops{0};
+  std::atomic<std::uint64_t> remote_calls{0};      // RPCs sent to peers
+  std::atomic<std::uint64_t> requests_served{0};   // requests executed here
+  std::atomic<std::uint64_t> bytes_put{0};
+  std::atomic<std::uint64_t> bytes_got{0};
+};
+
+// A thread's binding to a channel or queue, in input and/or output
+// mode. Value type; cheap to copy between the threads of one program
+// but semantically owned by the connector (disconnect once).
+class Connection {
+ public:
+  Connection() = default;
+
+  bool valid() const { return slot_ != 0; }
+  std::uint64_t container_bits() const { return container_bits_; }
+  bool is_queue() const { return is_queue_; }
+  ConnMode mode() const { return mode_; }
+  AsId owner() const { return owner_; }
+  std::uint32_t slot() const { return slot_; }
+
+  // Normally obtained from AddressSpace::Connect or the client library;
+  // public so those runtimes (and tests) can materialize handles that
+  // crossed the wire.
+  Connection(std::uint64_t bits, bool is_queue, ConnMode mode, AsId owner,
+             std::uint32_t slot)
+      : container_bits_(bits), is_queue_(is_queue), mode_(mode), owner_(owner),
+        slot_(slot) {}
+
+ private:
+  std::uint64_t container_bits_ = 0;
+  bool is_queue_ = false;
+  ConnMode mode_ = ConnMode::kInput;
+  AsId owner_ = kInvalidAsId;
+  std::uint32_t slot_ = 0;
+};
+
+class AddressSpace {
+ public:
+  struct Options {
+    AsId id = static_cast<AsId>(0);
+    std::uint16_t clf_port = 0;       // 0: pick a free port
+    std::size_t dispatcher_threads = 8;
+    bool shm_fastpath = false;        // CLF fast path for in-process peers
+    Duration gc_interval = Millis(20);
+    bool host_name_server = false;    // exactly one AS per application
+    clf::FaultInjector::Config faults;
+  };
+
+  static Result<std::unique_ptr<AddressSpace>> Create(const Options& options);
+  ~AddressSpace();
+
+  AddressSpace(const AddressSpace&) = delete;
+  AddressSpace& operator=(const AddressSpace&) = delete;
+
+  AsId id() const { return options_.id; }
+  const transport::SockAddr& clf_addr() const { return endpoint_->addr(); }
+
+  // --- topology ---------------------------------------------------------
+  // Tells this AS how to reach a peer (Runtime wires the full mesh; a
+  // dynamically joining AS is added to everyone).
+  void AddPeer(AsId peer, const transport::SockAddr& addr);
+  // Which AS hosts the name server (may be this one).
+  void SetNameServerAs(AsId ns);
+
+  // --- containers ---------------------------------------------------------
+  Result<ChannelId> CreateChannel(const ChannelAttr& attr = {});
+  Result<QueueId> CreateQueue(const QueueAttr& attr = {});
+  // Creates the container in a peer address space (the videoconf server
+  // program creates the mixer channel in N_M, §4).
+  Result<ChannelId> CreateChannelOn(AsId owner, const ChannelAttr& attr = {});
+  Result<QueueId> CreateQueueOn(AsId owner, const QueueAttr& attr = {});
+
+  // --- plumbing -------------------------------------------------------
+  Result<Connection> Connect(ChannelId ch, ConnMode mode,
+                             std::string label = {});
+  Result<Connection> Connect(QueueId q, ConnMode mode, std::string label = {});
+  Status Disconnect(const Connection& conn);
+
+  // --- I/O --------------------------------------------------------------
+  Status Put(const Connection& conn, Timestamp ts, Buffer payload,
+             Deadline deadline = Deadline::Infinite());
+  Result<ItemView> Get(const Connection& conn, GetSpec spec,
+                       Deadline deadline = Deadline::Infinite());
+  // Queue get (FIFO). Also works on channels as Get(Oldest).
+  Result<ItemView> Get(const Connection& conn,
+                       Deadline deadline = Deadline::Infinite());
+  Status Consume(const Connection& conn, Timestamp ts);
+  Status ConsumeUntil(const Connection& conn, Timestamp ts);
+
+  // Selective-attention filter on a channel input connection (§6
+  // future work, implemented): the connection only sees matching
+  // items and holds no GC claim on the rest.
+  Status SetFilter(const Connection& conn, const ItemFilter& filter);
+
+  // --- handler functions (owner-side) -----------------------------------
+  Status SetChannelGcHandler(ChannelId ch, GcHandler handler);
+  Status SetQueueGcHandler(QueueId q, GcHandler handler);
+
+  // --- name server --------------------------------------------------------
+  Status NsRegister(const NsEntry& entry);
+  Status NsUnregister(const std::string& name);
+  Result<NsEntry> NsLookup(const std::string& name,
+                           Deadline deadline = Deadline::Poll());
+  Result<std::vector<NsEntry>> NsList(const std::string& prefix = "");
+
+  // --- threads -----------------------------------------------------------
+  // POSIX-like D-Stampede threads (§3.1). The runtime tracks them so
+  // JoinThreads() can wait for the computation to finish.
+  ThreadId Spawn(std::string name, std::function<void()> body);
+  void JoinThreads();
+  std::size_t live_threads() const;
+
+  // --- services ------------------------------------------------------------
+  GcService& gc() { return *gc_; }
+  // Null unless this AS hosts the name server.
+  NameServer* local_name_server() { return name_server_.get(); }
+  const clf::EndpointStats& transport_stats() const {
+    return endpoint_->stats();
+  }
+  const AsStats& stats() const { return stats_; }
+
+  // Owner-side lookup, used by surrogates and tests.
+  std::shared_ptr<LocalChannel> FindChannel(std::uint64_t bits);
+  std::shared_ptr<LocalQueue> FindQueue(std::uint64_t bits);
+
+  // Stops the dispatcher, closes containers (waking blocked waiters),
+  // fails in-flight calls. Idempotent. Does not join Spawn()ed threads;
+  // call JoinThreads() for that.
+  void Shutdown();
+
+ private:
+  explicit AddressSpace(const Options& options);
+
+  struct PendingCall {
+    std::mutex mu;
+    std::condition_variable cv;
+    bool done = false;
+    Status status;   // transport-level failure
+    Buffer response; // encoded reply when status.ok()
+  };
+
+  // Sends an encoded request to a peer AS and waits for the reply.
+  Result<Buffer> Call(AsId target, Buffer request, Deadline deadline);
+  Result<transport::SockAddr> PeerAddr(AsId peer) const;
+
+  void ReceiveLoop();
+  void DispatchRequest(transport::SockAddr from, Buffer message);
+  // Decodes and executes one request; returns the encoded reply.
+  Buffer ProcessRequest(std::span<const std::uint8_t> message);
+
+  // Typed op executors (shared by the CLF dispatcher and, via public
+  // wrappers, the client surrogates).
+ public:
+  // Executes an STM op encoded per wire.hpp against this AS's local
+  // containers/name server. Used by surrogate threads, which field
+  // client calls "on behalf of the end device" (§3.2.2). The request
+  // span must start at the op field.
+  Buffer ExecuteWireRequest(std::span<const std::uint8_t> message) {
+    return ProcessRequest(message);
+  }
+
+ private:
+  Options options_;
+  AsStats stats_;
+  std::unique_ptr<clf::Endpoint> endpoint_;
+  std::unique_ptr<ThreadPool> dispatcher_;
+  std::unique_ptr<GcService> gc_;
+  std::unique_ptr<NameServer> name_server_;
+
+  mutable std::mutex peers_mu_;
+  std::unordered_map<std::uint32_t, transport::SockAddr> peers_;
+  AsId ns_as_ = kInvalidAsId;
+
+  std::mutex containers_mu_;
+  std::unordered_map<std::uint32_t, std::shared_ptr<LocalChannel>> channels_;
+  std::unordered_map<std::uint32_t, std::shared_ptr<LocalQueue>> queues_;
+  std::uint32_t next_container_slot_ = 1;
+
+  std::mutex calls_mu_;
+  std::unordered_map<std::uint64_t, std::shared_ptr<PendingCall>> calls_;
+  std::atomic<std::uint64_t> next_request_id_{1};
+
+  mutable std::mutex threads_mu_;
+  std::vector<std::thread> threads_;
+  std::uint32_t next_thread_slot_ = 1;
+
+  std::atomic<bool> stopping_{false};
+  std::thread receiver_;
+};
+
+}  // namespace dstampede::core

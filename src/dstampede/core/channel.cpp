@@ -1,0 +1,323 @@
+#include "dstampede/core/channel.hpp"
+
+#include <algorithm>
+
+namespace dstampede::core {
+
+void LocalChannel::ConnState::Compact() {
+  // Fold contiguous consumed timestamps into the watermark. Only exact
+  // contiguity can be folded: a gap may later be filled by a put.
+  while (!consumed.empty() &&
+         watermark != kInvalidTimestamp &&
+         *consumed.begin() == watermark + 1) {
+    watermark = *consumed.begin();
+    consumed.erase(consumed.begin());
+  }
+}
+
+std::uint32_t LocalChannel::Attach(ConnMode mode, std::string label) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::uint32_t slot = next_slot_++;
+  ConnState state;
+  state.mode = mode;
+  state.label = std::move(label);
+  conns_.emplace(slot, std::move(state));
+  return slot;
+}
+
+Status LocalChannel::Detach(std::uint32_t slot) {
+  std::vector<std::pair<Timestamp, SharedBuffer>> freed;
+  GcHandler handler;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = conns_.find(slot);
+    if (it == conns_.end()) return NotFoundError("connection");
+    conns_.erase(it);
+    // Items only the departed connection was holding up become garbage.
+    ReclaimLocked(freed);
+    handler = gc_handler_;
+  }
+  FinishReclaim(std::move(freed), std::move(handler));
+  return OkStatus();
+}
+
+bool LocalChannel::IsGarbageLocked(Timestamp ts, std::size_t bytes) const {
+  bool any_input = false;
+  for (const auto& [slot, conn] : conns_) {
+    if (!CanInput(conn.mode)) continue;
+    any_input = true;
+    if (conn.Wants(ts, bytes)) return false;
+  }
+  // With no input connection attached nothing is garbage: a consumer
+  // may join later (dynamic start/stop), so items are retained.
+  return any_input;
+}
+
+void LocalChannel::Close() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+  }
+  cv_.notify_all();
+}
+
+Status LocalChannel::Put(Timestamp ts, SharedBuffer payload,
+                         Deadline deadline) {
+  std::vector<std::pair<Timestamp, SharedBuffer>> freed;
+  GcHandler handler;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (ts == kInvalidTimestamp) return InvalidArgumentError("bad timestamp");
+    for (;;) {
+      if (closed_) return CancelledError("channel closed");
+      if (max_reclaimed_ != kInvalidTimestamp && ts <= max_reclaimed_) {
+        return GarbageCollectedError("timestamp below reclaim horizon");
+      }
+      if (items_.count(ts) > 0) {
+        return AlreadyExistsError("timestamp already in channel");
+      }
+      if (attr_.capacity_items == 0 || items_.size() < attr_.capacity_items) {
+        break;
+      }
+      if (deadline.infinite()) {
+        cv_.wait(lock);
+      } else if (cv_.wait_until(lock, deadline.when()) ==
+                 std::cv_status::timeout) {
+        if (attr_.capacity_items != 0 && items_.size() >= attr_.capacity_items)
+          return TimeoutError("channel at capacity");
+      }
+    }
+    const std::size_t bytes = payload.size();
+    items_.emplace(ts, std::move(payload));
+    ++total_puts_;
+    // An item can be born garbage: every attached input has already
+    // consumed past it (or filters it out). Reclaim it on the spot so
+    // its GC handler fires promptly instead of on the next sweep.
+    if (IsGarbageLocked(ts, bytes)) {
+      ReclaimLocked(freed);
+      handler = gc_handler_;
+    }
+  }
+  FinishReclaim(std::move(freed), std::move(handler));
+  return OkStatus();
+}
+
+Result<ItemView> LocalChannel::SelectLocked(const ConnState& conn,
+                                            GetSpec spec) const {
+  switch (spec.kind) {
+    case GetSpec::Kind::kExact: {
+      auto it = items_.find(spec.ts);
+      if (it == items_.end()) return NotFoundError("ts not present");
+      if (!conn.filter.Matches(it->first, it->second.size())) {
+        // Present but size-filtered: invisible to this connection.
+        return NotFoundError("item filtered out");
+      }
+      return ItemView{it->first, it->second};
+    }
+    case GetSpec::Kind::kOldest: {
+      for (const auto& [ts, payload] : items_) {
+        if (conn.Wants(ts, payload.size())) return ItemView{ts, payload};
+      }
+      return NotFoundError("no unconsumed item");
+    }
+    case GetSpec::Kind::kNewest: {
+      for (auto it = items_.rbegin(); it != items_.rend(); ++it) {
+        if (conn.Wants(it->first, it->second.size())) {
+          return ItemView{it->first, it->second};
+        }
+      }
+      return NotFoundError("no unconsumed item");
+    }
+    case GetSpec::Kind::kNextAfter: {
+      for (auto it = items_.upper_bound(spec.ts); it != items_.end(); ++it) {
+        if (conn.Wants(it->first, it->second.size())) {
+          return ItemView{it->first, it->second};
+        }
+      }
+      return NotFoundError("no item after ts");
+    }
+  }
+  return InternalError("bad GetSpec");
+}
+
+Status LocalChannel::CheckGetPreconditionsLocked(const ConnState& conn,
+                                                 GetSpec spec) const {
+  if (!CanInput(conn.mode)) {
+    return PermissionDeniedError("connection is output-only");
+  }
+  if (spec.kind == GetSpec::Kind::kExact) {
+    if (!conn.filter.MatchesTs(spec.ts)) {
+      return InvalidArgumentError("timestamp excluded by connection filter");
+    }
+    if (conn.HasConsumed(spec.ts)) {
+      return GarbageCollectedError("timestamp consumed by this connection");
+    }
+    if (items_.count(spec.ts) == 0 && max_reclaimed_ != kInvalidTimestamp &&
+        spec.ts <= max_reclaimed_) {
+      return GarbageCollectedError("timestamp below reclaim horizon");
+    }
+  }
+  return OkStatus();
+}
+
+Result<ItemView> LocalChannel::Get(std::uint32_t slot, GetSpec spec,
+                                   Deadline deadline) {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    if (closed_) return CancelledError("channel closed");
+    auto conn_it = conns_.find(slot);
+    if (conn_it == conns_.end()) return NotFoundError("connection");
+    const ConnState& conn = conn_it->second;
+    DS_RETURN_IF_ERROR(CheckGetPreconditionsLocked(conn, spec));
+    Result<ItemView> found = SelectLocked(conn, spec);
+    if (found.ok()) return found;
+    // Not available yet: wait for a put (or reclaim that turns the
+    // wait into an error).
+    if (deadline.infinite()) {
+      cv_.wait(lock);
+    } else if (cv_.wait_until(lock, deadline.when()) ==
+               std::cv_status::timeout) {
+      return TimeoutError("channel get");
+    }
+  }
+}
+
+Status LocalChannel::SetFilter(std::uint32_t slot, const ItemFilter& filter) {
+  std::vector<std::pair<Timestamp, SharedBuffer>> freed;
+  GcHandler handler;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = conns_.find(slot);
+    if (it == conns_.end()) return NotFoundError("connection");
+    if (!CanInput(it->second.mode)) {
+      return PermissionDeniedError("filters apply to input connections");
+    }
+    if (filter.stride < 1) return InvalidArgumentError("stride must be >= 1");
+    if (filter.stride > 1 && (filter.phase < 0 || filter.phase >= filter.stride)) {
+      return InvalidArgumentError("phase must be in [0, stride)");
+    }
+    it->second.filter = filter;
+    // Narrowing the filter can drop this connection's claim on items
+    // it previously held up.
+    ReclaimLocked(freed);
+    handler = gc_handler_;
+  }
+  FinishReclaim(std::move(freed), std::move(handler));
+  return OkStatus();
+}
+
+Status LocalChannel::Consume(std::uint32_t slot, Timestamp ts) {
+  std::vector<std::pair<Timestamp, SharedBuffer>> freed;
+  GcHandler handler;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = conns_.find(slot);
+    if (it == conns_.end()) return NotFoundError("connection");
+    ConnState& conn = it->second;
+    if (!CanInput(conn.mode)) {
+      return PermissionDeniedError("connection is output-only");
+    }
+    conn.consumed.insert(ts);
+    conn.Compact();
+    auto item_it = items_.find(ts);
+    if (item_it != items_.end() &&
+        IsGarbageLocked(ts, item_it->second.size())) {
+      ReclaimLocked(freed);
+      handler = gc_handler_;
+    }
+  }
+  FinishReclaim(std::move(freed), std::move(handler));
+  return OkStatus();
+}
+
+Status LocalChannel::ConsumeUntil(std::uint32_t slot, Timestamp ts) {
+  std::vector<std::pair<Timestamp, SharedBuffer>> freed;
+  GcHandler handler;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = conns_.find(slot);
+    if (it == conns_.end()) return NotFoundError("connection");
+    ConnState& conn = it->second;
+    if (!CanInput(conn.mode)) {
+      return PermissionDeniedError("connection is output-only");
+    }
+    if (conn.watermark == kInvalidTimestamp || ts > conn.watermark) {
+      conn.watermark = ts;
+      // Drop now-covered sparse entries.
+      conn.consumed.erase(conn.consumed.begin(),
+                          conn.consumed.upper_bound(ts));
+      conn.Compact();
+    }
+    ReclaimLocked(freed);
+    handler = gc_handler_;
+  }
+  FinishReclaim(std::move(freed), std::move(handler));
+  return OkStatus();
+}
+
+void LocalChannel::set_gc_handler(GcHandler handler) {
+  std::lock_guard<std::mutex> lock(mu_);
+  gc_handler_ = std::move(handler);
+}
+
+void LocalChannel::ReclaimLocked(
+    std::vector<std::pair<Timestamp, SharedBuffer>>& freed) {
+  for (auto it = items_.begin(); it != items_.end();) {
+    if (IsGarbageLocked(it->first, it->second.size())) {
+      pending_notices_.push_back(GcNotice{/*container_bits=*/0,
+                                          /*is_queue=*/false, it->first,
+                                          it->second.size()});
+      freed.emplace_back(it->first, std::move(it->second));
+      max_reclaimed_ = std::max(max_reclaimed_, it->first);
+      ++total_reclaimed_;
+      it = items_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void LocalChannel::FinishReclaim(
+    std::vector<std::pair<Timestamp, SharedBuffer>> freed, GcHandler handler) {
+  cv_.notify_all();
+  if (handler) {
+    for (auto& [ts, payload] : freed) handler(ts, payload);
+  }
+}
+
+std::vector<GcNotice> LocalChannel::Sweep(std::uint64_t channel_bits) {
+  std::vector<std::pair<Timestamp, SharedBuffer>> freed;
+  std::vector<GcNotice> notices;
+  GcHandler handler_copy;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ReclaimLocked(freed);
+    notices = std::move(pending_notices_);
+    pending_notices_.clear();
+    handler_copy = gc_handler_;
+  }
+  for (auto& notice : notices) notice.container_bits = channel_bits;
+  FinishReclaim(std::move(freed), std::move(handler_copy));
+  return notices;
+}
+
+std::size_t LocalChannel::live_items() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return items_.size();
+}
+
+std::size_t LocalChannel::input_connections() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::size_t n = 0;
+  for (const auto& [slot, conn] : conns_) {
+    if (CanInput(conn.mode)) ++n;
+  }
+  return n;
+}
+
+Timestamp LocalChannel::newest_timestamp() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return items_.empty() ? kInvalidTimestamp : items_.rbegin()->first;
+}
+
+}  // namespace dstampede::core

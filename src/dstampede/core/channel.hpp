@@ -1,0 +1,142 @@
+// LocalChannel: the owner-side implementation of a D-Stampede channel.
+//
+// A channel is a system-wide container of time-sequenced items with
+// random access by timestamp (paper §3.1). This class implements the
+// storage, blocking get semantics, per-connection consume state and
+// the reclamation rule; AddressSpace layers location transparency and
+// the wire protocol on top.
+//
+// Reclamation rule (the heart of the paper's automatic distributed GC):
+// an item is garbage once *every currently attached input connection*
+// has consumed it — either individually or via a consume-until
+// watermark. Reclaimed items are handed to the channel's GC handler.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "dstampede/common/clock.hpp"
+#include "dstampede/common/ids.hpp"
+#include "dstampede/common/status.hpp"
+#include "dstampede/core/item.hpp"
+
+namespace dstampede::core {
+
+// Invoked (outside the channel lock) for every reclaimed item. This is
+// the paper's user-defined GC handler (§3.1): applications free any
+// user-space state associated with the item here.
+using GcHandler = std::function<void(Timestamp, const SharedBuffer&)>;
+
+class LocalChannel {
+ public:
+  explicit LocalChannel(ChannelAttr attr) : attr_(std::move(attr)) {}
+
+  const ChannelAttr& attr() const { return attr_; }
+
+  // --- connections ---------------------------------------------------
+  // Returns the connection slot used for all subsequent calls.
+  // `label` identifies the connector in stats/debugging (thread name,
+  // surrogate id, remote AS).
+  std::uint32_t Attach(ConnMode mode, std::string label);
+  // Detaching recomputes garbage: items only the detached connection
+  // was holding up become reclaimable.
+  Status Detach(std::uint32_t slot);
+
+  // --- I/O -------------------------------------------------------------
+  // Fails with kAlreadyExists for a duplicate live timestamp and
+  // kGarbageCollected for a timestamp at or below the reclaim horizon.
+  // Blocks (up to deadline) while the channel is at capacity.
+  Status Put(Timestamp ts, SharedBuffer payload, Deadline deadline);
+
+  // Blocking get according to spec. kExact waits for the timestamp to
+  // be produced; the selectors wait for any eligible item.
+  Result<ItemView> Get(std::uint32_t slot, GetSpec spec, Deadline deadline);
+
+  // Installs a declarative filter on an input connection ("selective
+  // attention", §6 future work): the connection's gets only see
+  // matching items, and non-matching items carry no GC claim from it.
+  Status SetFilter(std::uint32_t slot, const ItemFilter& filter);
+
+  // Marks one timestamp consumed by this connection.
+  Status Consume(std::uint32_t slot, Timestamp ts);
+  // Marks every timestamp <= ts consumed by this connection ("selective
+  // attention": the connection declares it will never look back).
+  Status ConsumeUntil(std::uint32_t slot, Timestamp ts);
+
+  // --- garbage collection ---------------------------------------------
+  void set_gc_handler(GcHandler handler);
+  // Consume/ConsumeUntil/Detach reclaim newly-garbage items inline (so
+  // back-pressured producers unblock immediately); Sweep additionally
+  // re-scans everything and drains the accumulated notices for the GC
+  // service to fan out. Handlers have already run for drained notices.
+  std::vector<GcNotice> Sweep(std::uint64_t channel_bits);
+
+  // Wakes every blocked waiter with kCancelled and fails subsequent
+  // blocking calls; used when the owning address space shuts down.
+  void Close();
+
+  // --- introspection ---------------------------------------------------
+  std::size_t live_items() const;
+  std::size_t input_connections() const;
+  Timestamp newest_timestamp() const;  // kInvalidTimestamp when empty
+  std::uint64_t total_puts() const { return total_puts_; }
+  std::uint64_t total_reclaimed() const { return total_reclaimed_; }
+
+ private:
+  struct ConnState {
+    ConnMode mode;
+    std::string label;
+    ItemFilter filter;
+    // Everything <= watermark is consumed; `consumed` holds sparse
+    // timestamps above the watermark (compacted as it advances).
+    Timestamp watermark = kInvalidTimestamp;
+    std::set<Timestamp> consumed;
+
+    bool HasConsumed(Timestamp ts) const {
+      return (watermark != kInvalidTimestamp && ts <= watermark) ||
+             consumed.count(ts) > 0;
+    }
+    // Whether this connection still wants the item: it must pass the
+    // filter and not be consumed. Drives both get visibility and the
+    // GC claim (one rule, so the two can never diverge).
+    bool Wants(Timestamp ts, std::size_t bytes) const {
+      return filter.Matches(ts, bytes) && !HasConsumed(ts);
+    }
+    void Compact();
+  };
+
+  bool IsGarbageLocked(Timestamp ts, std::size_t bytes) const;
+  Result<ItemView> SelectLocked(const ConnState& conn, GetSpec spec) const;
+  // True when a Get(spec) could never be satisfied without new puts.
+  Status CheckGetPreconditionsLocked(const ConnState& conn, GetSpec spec) const;
+  // Removes garbage items (all of them, or only those <= up_to when
+  // bounded), queues notices, collects freed payloads for the handler.
+  void ReclaimLocked(std::vector<std::pair<Timestamp, SharedBuffer>>& freed);
+  // Post-mutation tail shared by Consume/ConsumeUntil/Detach: runs the
+  // GC handler outside the lock and wakes waiters.
+  void FinishReclaim(std::vector<std::pair<Timestamp, SharedBuffer>> freed,
+                     GcHandler handler);
+
+  ChannelAttr attr_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;  // signalled on put/consume/reclaim/detach
+
+  bool closed_ = false;
+  std::map<Timestamp, SharedBuffer> items_;
+  std::map<std::uint32_t, ConnState> conns_;
+  std::uint32_t next_slot_ = 1;
+  Timestamp max_reclaimed_ = kInvalidTimestamp;
+
+  GcHandler gc_handler_;
+  std::vector<GcNotice> pending_notices_;  // drained by Sweep
+  std::uint64_t total_puts_ = 0;
+  std::uint64_t total_reclaimed_ = 0;
+};
+
+}  // namespace dstampede::core

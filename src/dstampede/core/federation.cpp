@@ -1,0 +1,73 @@
+#include "dstampede/core/federation.hpp"
+
+namespace dstampede::core {
+
+Result<std::unique_ptr<Federation>> Federation::Create(
+    const Options& options) {
+  if (options.clusters.empty()) {
+    return InvalidArgumentError("federation needs at least one cluster");
+  }
+  for (const ClusterSpec& spec : options.clusters) {
+    if (spec.num_address_spaces == 0 ||
+        spec.num_address_spaces > options.as_id_stride) {
+      return InvalidArgumentError("cluster size must fit the AsId stride");
+    }
+  }
+
+  auto fed = std::unique_ptr<Federation>(new Federation());
+  fed->options_ = options;
+  const AsId global_ns = static_cast<AsId>(0);  // cluster 0, first AS
+
+  for (std::size_t i = 0; i < options.clusters.size(); ++i) {
+    const ClusterSpec& spec = options.clusters[i];
+    Runtime::Options rt_opts;
+    rt_opts.num_address_spaces = spec.num_address_spaces;
+    rt_opts.dispatcher_threads = spec.dispatcher_threads;
+    rt_opts.gc_interval = spec.gc_interval;
+    rt_opts.shm_fastpath = spec.shm_fastpath;
+    rt_opts.first_as_id =
+        static_cast<std::uint32_t>(i) * options.as_id_stride;
+    rt_opts.host_name_server = (i == 0);
+    rt_opts.name_server_as = global_ns;
+    DS_ASSIGN_OR_RETURN(auto runtime, Runtime::Create(rt_opts));
+    fed->clusters_.push_back(std::move(runtime));
+  }
+
+  // Cross-cluster mesh: every AS of every cluster learns every AS of
+  // every other cluster (intra-cluster wiring was done by Runtime).
+  for (std::size_t a = 0; a < fed->clusters_.size(); ++a) {
+    for (std::size_t b = a + 1; b < fed->clusters_.size(); ++b) {
+      Runtime& ra = *fed->clusters_[a];
+      Runtime& rb = *fed->clusters_[b];
+      for (std::size_t i = 0; i < ra.size(); ++i) {
+        for (std::size_t j = 0; j < rb.size(); ++j) {
+          ra.as(i).AddPeer(rb.as(j).id(), rb.as(j).clf_addr());
+          rb.as(j).AddPeer(ra.as(i).id(), ra.as(i).clf_addr());
+        }
+      }
+    }
+  }
+  return fed;
+}
+
+Result<AddressSpace*> Federation::AddAddressSpace(std::size_t i) {
+  if (i >= clusters_.size()) return InvalidArgumentError("no such cluster");
+  DS_ASSIGN_OR_RETURN(AddressSpace * space, clusters_[i]->AddAddressSpace());
+  for (std::size_t c = 0; c < clusters_.size(); ++c) {
+    if (c == i) continue;  // Runtime wired its own cluster already
+    Runtime& other = *clusters_[c];
+    for (std::size_t j = 0; j < other.size(); ++j) {
+      other.as(j).AddPeer(space->id(), space->clf_addr());
+      space->AddPeer(other.as(j).id(), other.as(j).clf_addr());
+    }
+  }
+  return space;
+}
+
+void Federation::Shutdown() {
+  for (auto& cluster : clusters_) {
+    if (cluster) cluster->Shutdown();
+  }
+}
+
+}  // namespace dstampede::core

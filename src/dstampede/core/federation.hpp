@@ -1,0 +1,68 @@
+// Federation: one D-Stampede application spanning multiple clusters.
+//
+// The paper's current system supports "only one cluster involved in an
+// application" (§3.3) and names multi-cluster support as the first item
+// of future work (§6): "extend the D-Stampede system to support
+// multiple heterogeneous clusters connected to a plethora of end
+// devices participating in the same D-Stampede application". This class
+// implements that extension:
+//
+//   * every cluster gets a disjoint AsId range, so container ids stay
+//     system-wide unique across the federation;
+//   * all address spaces of all clusters are wired into one CLF mesh —
+//     a channel created in cluster B is reachable from a thread (or an
+//     end device's surrogate) in cluster A with the same calls;
+//   * cluster 0's first address space hosts the one name server, which
+//     every address space (and thus every end device) resolves against;
+//   * clusters may be heterogeneous: each has its own size, dispatcher
+//     width and GC cadence, and each can run its own Listener for the
+//     end devices near it.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "dstampede/core/runtime.hpp"
+
+namespace dstampede::core {
+
+class Federation {
+ public:
+  // Per-cluster knobs ("heterogeneous clusters").
+  struct ClusterSpec {
+    std::size_t num_address_spaces = 1;
+    std::size_t dispatcher_threads = 8;
+    Duration gc_interval = Millis(20);
+    bool shm_fastpath = false;
+  };
+
+  struct Options {
+    std::vector<ClusterSpec> clusters;
+    // AsId range reserved per cluster; cluster i uses
+    // [i*stride, (i+1)*stride). Plenty for any realistic cluster.
+    std::uint32_t as_id_stride = 4096;
+  };
+
+  static Result<std::unique_ptr<Federation>> Create(const Options& options);
+  ~Federation() { Shutdown(); }
+
+  Federation(const Federation&) = delete;
+  Federation& operator=(const Federation&) = delete;
+
+  std::size_t size() const { return clusters_.size(); }
+  Runtime& cluster(std::size_t i) { return *clusters_.at(i); }
+
+  // Adds an address space to cluster `i`, wired to the entire
+  // federation (all clusters learn it; it learns everyone).
+  Result<AddressSpace*> AddAddressSpace(std::size_t i);
+
+  void Shutdown();
+
+ private:
+  Federation() = default;
+
+  Options options_;
+  std::vector<std::unique_ptr<Runtime>> clusters_;
+};
+
+}  // namespace dstampede::core

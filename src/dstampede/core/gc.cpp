@@ -1,0 +1,98 @@
+#include "dstampede/core/gc.hpp"
+
+namespace dstampede::core {
+
+void GcService::RegisterChannel(std::uint64_t bits,
+                                std::shared_ptr<LocalChannel> ch) {
+  std::lock_guard<std::mutex> lock(mu_);
+  channels_[bits] = std::move(ch);
+}
+
+void GcService::UnregisterChannel(std::uint64_t bits) {
+  std::lock_guard<std::mutex> lock(mu_);
+  channels_.erase(bits);
+}
+
+void GcService::RegisterQueue(std::uint64_t bits,
+                              std::shared_ptr<LocalQueue> q) {
+  std::lock_guard<std::mutex> lock(mu_);
+  queues_[bits] = std::move(q);
+}
+
+void GcService::UnregisterQueue(std::uint64_t bits) {
+  std::lock_guard<std::mutex> lock(mu_);
+  queues_.erase(bits);
+}
+
+std::uint64_t GcService::AddSink(NoticeSink sink) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::uint64_t token = next_sink_token_++;
+  sinks_[token] = std::move(sink);
+  return token;
+}
+
+void GcService::RemoveSink(std::uint64_t token) {
+  std::lock_guard<std::mutex> lock(mu_);
+  sinks_.erase(token);
+}
+
+std::vector<GcNotice> GcService::SweepOnce() {
+  // Copy the registries so sweeping (which takes per-container locks
+  // and runs user GC handlers) happens outside the service lock.
+  std::vector<std::pair<std::uint64_t, std::shared_ptr<LocalChannel>>> chans;
+  std::vector<std::pair<std::uint64_t, std::shared_ptr<LocalQueue>>> queues;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    chans.assign(channels_.begin(), channels_.end());
+    queues.assign(queues_.begin(), queues_.end());
+  }
+
+  std::vector<GcNotice> all;
+  for (auto& [bits, ch] : chans) {
+    auto notices = ch->Sweep(bits);
+    all.insert(all.end(), notices.begin(), notices.end());
+  }
+  for (auto& [bits, q] : queues) {
+    auto notices = q->Sweep(bits);
+    all.insert(all.end(), notices.begin(), notices.end());
+  }
+  sweeps_.fetch_add(1, std::memory_order_relaxed);
+
+  if (!all.empty()) {
+    notices_total_.fetch_add(all.size(), std::memory_order_relaxed);
+    std::vector<NoticeSink> sink_copies;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      sink_copies.reserve(sinks_.size());
+      for (auto& [token, sink] : sinks_) sink_copies.push_back(sink);
+    }
+    for (auto& sink : sink_copies) sink(all);
+  }
+  return all;
+}
+
+void GcService::Start() {
+  bool expected = false;
+  if (!running_.compare_exchange_strong(expected, true)) return;
+  thread_ = std::thread([this] { Loop(); });
+}
+
+void GcService::Stop() {
+  if (!running_.exchange(false)) return;
+  if (thread_.joinable()) thread_.join();
+  // Final drain so nothing reclaimable is left unreported.
+  (void)SweepOnce();
+}
+
+void GcService::Loop() {
+  while (running_.load(std::memory_order_relaxed)) {
+    (void)SweepOnce();
+    // Sleep in small slices so Stop() is prompt.
+    const TimePoint until = Now() + interval_;
+    while (running_.load(std::memory_order_relaxed) && Now() < until) {
+      std::this_thread::sleep_for(Millis(1));
+    }
+  }
+}
+
+}  // namespace dstampede::core

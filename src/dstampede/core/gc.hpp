@@ -1,0 +1,71 @@
+// Garbage collection service (paper §3.1, §3.2.2): one per address
+// space, running "concurrent with application execution". It
+// periodically sweeps every local channel (reclaiming items all input
+// connections have consumed) and drains queue consume notices, then
+// fans the resulting GcNotices out to registered sinks. Surrogate
+// threads register a sink per end device and forward the notices at an
+// opportune time (§3.2.4) so the device can free user-space buffers.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "dstampede/common/clock.hpp"
+#include "dstampede/core/channel.hpp"
+#include "dstampede/core/queue.hpp"
+
+namespace dstampede::core {
+
+class GcService {
+ public:
+  // Sink: receives every notice batch produced by a sweep.
+  using NoticeSink = std::function<void(const std::vector<GcNotice>&)>;
+
+  explicit GcService(Duration interval) : interval_(interval) {}
+  ~GcService() { Stop(); }
+
+  GcService(const GcService&) = delete;
+  GcService& operator=(const GcService&) = delete;
+
+  void RegisterChannel(std::uint64_t bits, std::shared_ptr<LocalChannel> ch);
+  void UnregisterChannel(std::uint64_t bits);
+  void RegisterQueue(std::uint64_t bits, std::shared_ptr<LocalQueue> q);
+  void UnregisterQueue(std::uint64_t bits);
+
+  // Returns a token for RemoveSink.
+  std::uint64_t AddSink(NoticeSink sink);
+  void RemoveSink(std::uint64_t token);
+
+  void Start();
+  void Stop();
+
+  // One synchronous sweep over everything; returns all notices (also
+  // delivered to sinks). Used by tests and by Stop() for a final drain.
+  std::vector<GcNotice> SweepOnce();
+
+  std::uint64_t sweeps() const { return sweeps_.load(); }
+  std::uint64_t notices_total() const { return notices_total_.load(); }
+
+ private:
+  void Loop();
+
+  Duration interval_;
+  std::mutex mu_;
+  std::unordered_map<std::uint64_t, std::shared_ptr<LocalChannel>> channels_;
+  std::unordered_map<std::uint64_t, std::shared_ptr<LocalQueue>> queues_;
+  std::unordered_map<std::uint64_t, NoticeSink> sinks_;
+  std::uint64_t next_sink_token_ = 1;
+
+  std::atomic<bool> running_{false};
+  std::atomic<std::uint64_t> sweeps_{0};
+  std::atomic<std::uint64_t> notices_total_{0};
+  std::thread thread_;
+};
+
+}  // namespace dstampede::core

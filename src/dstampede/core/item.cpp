@@ -1,0 +1,5 @@
+#include "dstampede/core/item.hpp"
+
+// ItemView and friends are plain value types; this translation unit
+// exists to anchor the module and keep vtable-free types header-only.
+namespace dstampede::core {}

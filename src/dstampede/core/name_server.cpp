@@ -1,0 +1,52 @@
+#include "dstampede/core/name_server.hpp"
+
+namespace dstampede::core {
+
+Status NameServer::Register(const NsEntry& entry) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (entry.name.empty()) return InvalidArgumentError("empty name");
+    auto [it, inserted] = entries_.emplace(entry.name, entry);
+    (void)it;
+    if (!inserted) return AlreadyExistsError("name registered: " + entry.name);
+  }
+  cv_.notify_all();
+  return OkStatus();
+}
+
+Status NameServer::Unregister(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (entries_.erase(name) == 0) return NotFoundError("name: " + name);
+  return OkStatus();
+}
+
+Result<NsEntry> NameServer::Lookup(const std::string& name,
+                                   Deadline deadline) {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    auto it = entries_.find(name);
+    if (it != entries_.end()) return it->second;
+    if (deadline.infinite()) {
+      cv_.wait(lock);
+    } else {
+      if (deadline.expired()) return NotFoundError("name: " + name);
+      cv_.wait_until(lock, deadline.when());
+    }
+  }
+}
+
+std::vector<NsEntry> NameServer::List(const std::string& prefix) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<NsEntry> out;
+  for (const auto& [name, entry] : entries_) {
+    if (name.compare(0, prefix.size(), prefix) == 0) out.push_back(entry);
+  }
+  return out;
+}
+
+std::size_t NameServer::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+}  // namespace dstampede::core

@@ -1,0 +1,46 @@
+// Name server (paper §3.1): application threads register channels,
+// queues and their intended use under string names; any thread that
+// starts up anywhere in the Octopus can look them up to join the
+// computation. This is the local registry object; it lives in one
+// address space and is reached remotely through the STM wire protocol
+// (and through the client protocol from end devices).
+#pragma once
+
+#include <condition_variable>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "dstampede/common/clock.hpp"
+#include "dstampede/common/status.hpp"
+#include "dstampede/core/item.hpp"
+
+namespace dstampede::core {
+
+class NameServer {
+ public:
+  // Registers name -> entry. A duplicate name is an error: names are
+  // the application's rendezvous points.
+  Status Register(const NsEntry& entry);
+
+  Status Unregister(const std::string& name);
+
+  // Blocking lookup: waits until the name appears (dynamic start/stop —
+  // a display thread can wait for the mixer's output channel to be
+  // registered) or the deadline expires.
+  Result<NsEntry> Lookup(const std::string& name,
+                         Deadline deadline = Deadline::Poll());
+
+  // Snapshot of all entries whose name begins with `prefix`.
+  std::vector<NsEntry> List(const std::string& prefix = "") const;
+
+  std::size_t size() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::map<std::string, NsEntry> entries_;
+};
+
+}  // namespace dstampede::core

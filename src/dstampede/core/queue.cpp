@@ -1,0 +1,140 @@
+#include "dstampede/core/queue.hpp"
+
+#include <algorithm>
+
+namespace dstampede::core {
+
+std::uint32_t LocalQueue::Attach(ConnMode mode, std::string label) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::uint32_t slot = next_slot_++;
+  conns_.emplace(slot, ConnState{mode, std::move(label), {}});
+  return slot;
+}
+
+Status LocalQueue::Detach(std::uint32_t slot) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = conns_.find(slot);
+    if (it == conns_.end()) return NotFoundError("connection");
+    // Return unconsumed in-flight items to the queue head, in original
+    // put order, so a departing worker loses no data.
+    auto& in_flight = it->second.in_flight;
+    std::sort(in_flight.begin(), in_flight.end(),
+              [](const Entry& a, const Entry& b) { return a.order > b.order; });
+    for (auto& entry : in_flight) {
+      items_.push_front(std::move(entry));
+    }
+    conns_.erase(it);
+  }
+  cv_.notify_all();
+  return OkStatus();
+}
+
+void LocalQueue::Close() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+  }
+  cv_.notify_all();
+}
+
+Status LocalQueue::Put(Timestamp ts, SharedBuffer payload, Deadline deadline) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (ts == kInvalidTimestamp) return InvalidArgumentError("bad timestamp");
+  if (closed_) return CancelledError("queue closed");
+  while (attr_.capacity_items != 0 && items_.size() >= attr_.capacity_items) {
+    if (closed_) return CancelledError("queue closed");
+    if (deadline.infinite()) {
+      cv_.wait(lock);
+    } else if (cv_.wait_until(lock, deadline.when()) ==
+               std::cv_status::timeout) {
+      return TimeoutError("queue at capacity");
+    }
+  }
+  items_.push_back(Entry{ts, std::move(payload), next_order_++});
+  ++total_puts_;
+  lock.unlock();
+  cv_.notify_all();
+  return OkStatus();
+}
+
+Result<ItemView> LocalQueue::Get(std::uint32_t slot, Deadline deadline) {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    if (closed_) return CancelledError("queue closed");
+    auto it = conns_.find(slot);
+    if (it == conns_.end()) return NotFoundError("connection");
+    if (!CanInput(it->second.mode)) {
+      return PermissionDeniedError("connection is output-only");
+    }
+    if (!items_.empty()) {
+      Entry entry = std::move(items_.front());
+      items_.pop_front();
+      ItemView view{entry.ts, entry.payload};
+      it->second.in_flight.push_back(std::move(entry));
+      lock.unlock();
+      cv_.notify_all();  // a put may be waiting on capacity
+      return view;
+    }
+    if (deadline.infinite()) {
+      cv_.wait(lock);
+    } else if (cv_.wait_until(lock, deadline.when()) ==
+               std::cv_status::timeout) {
+      return TimeoutError("queue get");
+    }
+  }
+}
+
+Status LocalQueue::Consume(std::uint32_t slot, Timestamp ts) {
+  GcHandler handler_copy;
+  Timestamp freed_ts = kInvalidTimestamp;
+  SharedBuffer freed_payload;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = conns_.find(slot);
+    if (it == conns_.end()) return NotFoundError("connection");
+    auto& in_flight = it->second.in_flight;
+    auto entry_it =
+        std::find_if(in_flight.begin(), in_flight.end(),
+                     [&](const Entry& e) { return e.ts == ts; });
+    if (entry_it == in_flight.end()) {
+      return NotFoundError("no in-flight item with this timestamp");
+    }
+    freed_ts = entry_it->ts;
+    freed_payload = entry_it->payload;
+    pending_notices_.push_back(
+        GcNotice{0, /*is_queue=*/true, freed_ts, freed_payload.size()});
+    in_flight.erase(entry_it);
+    ++total_consumed_;
+    handler_copy = gc_handler_;
+  }
+  if (handler_copy) handler_copy(freed_ts, freed_payload);
+  return OkStatus();
+}
+
+void LocalQueue::set_gc_handler(GcHandler handler) {
+  std::lock_guard<std::mutex> lock(mu_);
+  gc_handler_ = std::move(handler);
+}
+
+std::vector<GcNotice> LocalQueue::Sweep(std::uint64_t queue_bits) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<GcNotice> out = std::move(pending_notices_);
+  pending_notices_.clear();
+  for (auto& notice : out) notice.container_bits = queue_bits;
+  return out;
+}
+
+std::size_t LocalQueue::queued_items() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return items_.size();
+}
+
+std::size_t LocalQueue::in_flight_items() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::size_t n = 0;
+  for (const auto& [slot, conn] : conns_) n += conn.in_flight.size();
+  return n;
+}
+
+}  // namespace dstampede::core

@@ -1,0 +1,95 @@
+// LocalQueue: the owner-side implementation of a D-Stampede queue.
+//
+// Queues provide FIFO access to time-sequenced items and exist to
+// exploit data parallelism (paper §3.1, Fig 3): a splitter puts
+// frame-fragments sharing one timestamp; multiple worker threads get
+// items, each item going to exactly one worker.
+//
+// An item a worker has taken stays accounted to that worker's
+// connection until the worker consumes it; consuming fires the GC
+// handler. Detaching a connection with unconsumed in-flight items
+// returns them to the front of the queue so no data is silently lost
+// when a worker leaves (dynamic start/stop).
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "dstampede/common/clock.hpp"
+#include "dstampede/common/ids.hpp"
+#include "dstampede/common/status.hpp"
+#include "dstampede/core/channel.hpp"  // GcHandler
+#include "dstampede/core/item.hpp"
+
+namespace dstampede::core {
+
+class LocalQueue {
+ public:
+  explicit LocalQueue(QueueAttr attr) : attr_(std::move(attr)) {}
+
+  const QueueAttr& attr() const { return attr_; }
+
+  std::uint32_t Attach(ConnMode mode, std::string label);
+  Status Detach(std::uint32_t slot);
+
+  // FIFO put. Unlike channels, duplicate timestamps are legal: all
+  // fragments of one frame share the frame's timestamp.
+  Status Put(Timestamp ts, SharedBuffer payload, Deadline deadline);
+
+  // Pops the head item; each item is delivered to exactly one getter.
+  Result<ItemView> Get(std::uint32_t slot, Deadline deadline);
+
+  // Acknowledges an in-flight item previously got by this connection;
+  // the GC handler fires for it. Consumes the oldest in-flight item
+  // with this timestamp (fragments share timestamps).
+  Status Consume(std::uint32_t slot, Timestamp ts);
+
+  void set_gc_handler(GcHandler handler);
+  // Queue items are reclaimed by consume, not by sweeping; Sweep only
+  // reports (and clears) accumulated notices for the GC service.
+  std::vector<GcNotice> Sweep(std::uint64_t queue_bits);
+
+  // Wakes every blocked waiter with kCancelled and fails subsequent
+  // blocking calls; used when the owning address space shuts down.
+  void Close();
+
+  std::size_t queued_items() const;
+  std::size_t in_flight_items() const;
+  std::uint64_t total_puts() const { return total_puts_; }
+  std::uint64_t total_consumed() const { return total_consumed_; }
+
+ private:
+  struct Entry {
+    Timestamp ts;
+    SharedBuffer payload;
+    std::uint64_t order;  // put order, for returning in-flight items
+  };
+  struct ConnState {
+    ConnMode mode;
+    std::string label;
+    std::vector<Entry> in_flight;
+  };
+
+  QueueAttr attr_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+
+  bool closed_ = false;
+  std::deque<Entry> items_;
+  std::map<std::uint32_t, ConnState> conns_;
+  std::uint32_t next_slot_ = 1;
+  std::uint64_t next_order_ = 0;
+
+  GcHandler gc_handler_;
+  std::vector<GcNotice> pending_notices_;
+  std::uint64_t total_puts_ = 0;
+  std::uint64_t total_consumed_ = 0;
+};
+
+}  // namespace dstampede::core

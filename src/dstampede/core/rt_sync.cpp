@@ -1,0 +1,35 @@
+#include "dstampede/core/rt_sync.hpp"
+
+#include <thread>
+
+namespace dstampede::core {
+
+RtSync::RtSync(Duration tick, Duration tolerance, SlipHandler on_slip)
+    : tick_(tick), tolerance_(tolerance), on_slip_(std::move(on_slip)) {
+  Start();
+}
+
+void RtSync::Start() { next_tick_ = Now() + tick_; }
+
+Status RtSync::Synchronize() {
+  ++ticks_;
+  const TimePoint now = Now();
+  if (now <= next_tick_) {
+    std::this_thread::sleep_until(next_tick_);
+    next_tick_ += tick_;
+    return OkStatus();
+  }
+  if (now <= next_tick_ + tolerance_) {
+    // Within tolerance: no wait, keep the schedule.
+    next_tick_ += tick_;
+    return OkStatus();
+  }
+  ++slips_;
+  const std::int64_t slip = ToMicros(now - (next_tick_ + tolerance_));
+  if (on_slip_) on_slip_(slip);
+  // Re-anchor: the slipped time is not made up (soft real time).
+  next_tick_ = now + tick_;
+  return TimeoutError("real-time slip");
+}
+
+}  // namespace dstampede::core

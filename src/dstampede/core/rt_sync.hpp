@@ -1,0 +1,53 @@
+// Real-time synchrony (paper §3.1, borrowed from Beehive): a thread
+// declares real-time "ticks" plus a tolerance and a slippage handler.
+// Each Synchronize() waits until the next tick if the thread is early;
+// if it is late by more than the tolerance the handler runs and the
+// schedule re-anchors so one hiccup does not cascade.
+//
+// Example (the paper's): a camera paces itself to 30 frames/second,
+// using absolute frame numbers as timestamps:
+//
+//   RtSync pace(Millis(33), Millis(5), [&](auto slip) { drop_frame(); });
+//   pace.Start();
+//   for (Timestamp frame = 0;; ++frame) {
+//     grab(frame); put(channel, frame, image);
+//     (void)pace.Synchronize();
+//   }
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "dstampede/common/clock.hpp"
+#include "dstampede/common/status.hpp"
+
+namespace dstampede::core {
+
+class RtSync {
+ public:
+  // Called with how far past tolerance the thread was (microseconds).
+  using SlipHandler = std::function<void(std::int64_t slip_micros)>;
+
+  RtSync(Duration tick, Duration tolerance, SlipHandler on_slip = nullptr);
+
+  // (Re)anchors the tick schedule at now.
+  void Start();
+
+  // Blocks until the next tick boundary if early. If later than
+  // tick+tolerance, invokes the slippage handler, re-anchors, and
+  // returns kTimeout so callers can branch on the slip.
+  Status Synchronize();
+
+  std::uint64_t ticks() const { return ticks_; }
+  std::uint64_t slips() const { return slips_; }
+
+ private:
+  Duration tick_;
+  Duration tolerance_;
+  SlipHandler on_slip_;
+  TimePoint next_tick_;
+  std::uint64_t ticks_ = 0;
+  std::uint64_t slips_ = 0;
+};
+
+}  // namespace dstampede::core

@@ -1,0 +1,48 @@
+#include "dstampede/core/runtime.hpp"
+
+namespace dstampede::core {
+
+Result<std::unique_ptr<Runtime>> Runtime::Create(const Options& options) {
+  if (options.num_address_spaces == 0) {
+    return InvalidArgumentError("need at least one address space");
+  }
+  auto rt = std::unique_ptr<Runtime>(new Runtime());
+  rt->options_ = options;
+  for (std::size_t i = 0; i < options.num_address_spaces; ++i) {
+    DS_ASSIGN_OR_RETURN(AddressSpace * unused, rt->AddAddressSpace());
+    (void)unused;
+  }
+  return rt;
+}
+
+Result<AddressSpace*> Runtime::AddAddressSpace() {
+  AddressSpace::Options as_opts;
+  as_opts.id = static_cast<AsId>(options_.first_as_id +
+                                 static_cast<std::uint32_t>(spaces_.size()));
+  as_opts.dispatcher_threads = options_.dispatcher_threads;
+  as_opts.shm_fastpath = options_.shm_fastpath;
+  as_opts.gc_interval = options_.gc_interval;
+  as_opts.host_name_server = spaces_.empty() && options_.host_name_server;
+  as_opts.faults = options_.faults;
+  DS_ASSIGN_OR_RETURN(auto space, AddressSpace::Create(as_opts));
+
+  // Full mesh: everyone learns the newcomer; the newcomer learns everyone.
+  for (auto& existing : spaces_) {
+    existing->AddPeer(space->id(), space->clf_addr());
+    space->AddPeer(existing->id(), existing->clf_addr());
+  }
+  const AsId ns = options_.name_server_as == kInvalidAsId
+                      ? static_cast<AsId>(options_.first_as_id)
+                      : options_.name_server_as;
+  space->SetNameServerAs(ns);
+  spaces_.push_back(std::move(space));
+  return spaces_.back().get();
+}
+
+void Runtime::Shutdown() {
+  for (auto& space : spaces_) {
+    if (space) space->Shutdown();
+  }
+}
+
+}  // namespace dstampede::core

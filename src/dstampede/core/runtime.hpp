@@ -1,0 +1,59 @@
+// Runtime: bootstraps the cluster ("body" of the Octopus).
+//
+// Mirrors the server-program startup of §4: it creates k address
+// spaces, wires the full CLF peer mesh between them, and designates
+// address space 0 to host the name server. Address spaces can also be
+// added dynamically (a joining component, §2's dynamic start/stop).
+//
+// In the paper each address space is a process on a cluster node; here
+// each is an in-process runtime endpoint with its own CLF port, so the
+// identical wire protocol runs between them (DESIGN.md, substitutions).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "dstampede/core/address_space.hpp"
+
+namespace dstampede::core {
+
+class Runtime {
+ public:
+  struct Options {
+    std::size_t num_address_spaces = 1;
+    std::size_t dispatcher_threads = 8;
+    bool shm_fastpath = false;
+    Duration gc_interval = Millis(20);
+    clf::FaultInjector::Config faults;
+    // Multi-cluster support (Federation): the base of this cluster's
+    // AsId range, and whether its first AS hosts the name server. A
+    // standalone cluster keeps the defaults.
+    std::uint32_t first_as_id = 0;
+    bool host_name_server = true;
+    AsId name_server_as = kInvalidAsId;  // invalid: this cluster's AS 0
+  };
+
+  static Result<std::unique_ptr<Runtime>> Create(const Options& options);
+  ~Runtime() { Shutdown(); }
+
+  Runtime(const Runtime&) = delete;
+  Runtime& operator=(const Runtime&) = delete;
+
+  std::size_t size() const { return spaces_.size(); }
+  AddressSpace& as(std::size_t i) { return *spaces_.at(i); }
+
+  // Dynamically adds one more address space, wired to all existing
+  // ones (and they to it). Returns the new space.
+  Result<AddressSpace*> AddAddressSpace();
+
+  // Stops every address space. Idempotent.
+  void Shutdown();
+
+ private:
+  Runtime() = default;
+
+  Options options_;
+  std::vector<std::unique_ptr<AddressSpace>> spaces_;
+};
+
+}  // namespace dstampede::core

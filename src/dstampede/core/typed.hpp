@@ -1,0 +1,78 @@
+// Typed items via serialization handler functions (paper §3.1): "if an
+// item (which may be a complex user-defined data structure) has to be
+// transported across address spaces ..., the user can define
+// serialization and de-serialization handlers that D-Stampede will
+// invoke as necessary".
+//
+// Here the handler pair is a codec type the user supplies:
+//
+//   struct MyCodec {
+//     static Buffer Serialize(const MyType& value);
+//     static Result<MyType> Deserialize(std::span<const std::uint8_t>);
+//   };
+//
+//   PutTyped<MyCodec>(runtime_or_client, conn, ts, value);
+//   auto item = GetTyped<MyCodec>(runtime_or_client, conn, spec);
+//
+// The helpers are generic over the runtime handle (AddressSpace,
+// CClient, JavaStyleClient) — the same handlers work from the cluster
+// and from any end-device personality, preserving the paper's "uniform
+// set of API calls".
+#pragma once
+
+#include <concepts>
+#include <span>
+#include <utility>
+
+#include "dstampede/common/bytes.hpp"
+#include "dstampede/common/clock.hpp"
+#include "dstampede/common/ids.hpp"
+#include "dstampede/common/status.hpp"
+#include "dstampede/core/item.hpp"
+
+namespace dstampede::core {
+
+// What a serialization-handler pair must look like.
+template <typename C>
+concept ItemCodec = requires(std::span<const std::uint8_t> bytes) {
+  { C::Deserialize(bytes) };
+  requires requires(const decltype(C::Deserialize(bytes).value())& v) {
+    { C::Serialize(v) } -> std::convertible_to<Buffer>;
+  };
+};
+
+template <typename C>
+using CodecValue =
+    std::remove_cvref_t<decltype(C::Deserialize(
+                                     std::span<const std::uint8_t>{})
+                                     .value())>;
+
+// A typed get result: timestamp plus the deserialized value.
+template <typename T>
+struct TypedItem {
+  Timestamp timestamp;
+  T value;
+};
+
+// rt is anything exposing Put(conn, ts, Buffer, Deadline): an
+// AddressSpace or a client-library session.
+template <typename Codec, typename Rt, typename Conn>
+Status PutTyped(Rt& rt, const Conn& conn, Timestamp ts,
+                const CodecValue<Codec>& value,
+                Deadline deadline = Deadline::Infinite()) {
+  return rt.Put(conn, ts, Codec::Serialize(value), deadline);
+}
+
+template <typename Codec, typename Rt, typename Conn>
+Result<TypedItem<CodecValue<Codec>>> GetTyped(
+    Rt& rt, const Conn& conn, GetSpec spec,
+    Deadline deadline = Deadline::Infinite()) {
+  auto item = rt.Get(conn, spec, deadline);
+  if (!item.ok()) return item.status();
+  auto value = Codec::Deserialize(item->payload.span());
+  if (!value.ok()) return value.status();
+  return TypedItem<CodecValue<Codec>>{item->timestamp,
+                                      std::move(value).value()};
+}
+
+}  // namespace dstampede::core

@@ -1,0 +1,152 @@
+#include "dstampede/core/wire.hpp"
+
+namespace dstampede::core {
+
+std::int64_t EncodeDeadline(Deadline deadline) {
+  if (deadline.infinite()) return kDeadlineInfinite;
+  const auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                      deadline.remaining())
+                      .count();
+  return ms < 0 ? 0 : ms;
+}
+
+Deadline DecodeDeadline(std::int64_t wire_ms) {
+  if (wire_ms == kDeadlineInfinite) return Deadline::Infinite();
+  if (wire_ms <= 0) return Deadline::Poll();
+  return Deadline::AfterMillis(wire_ms);
+}
+
+Result<RequestHeader> DecodeRequestHeader(marshal::XdrDecoder& dec) {
+  RequestHeader hdr;
+  DS_ASSIGN_OR_RETURN(std::uint32_t op, dec.GetU32());
+  hdr.op = static_cast<Op>(op);
+  DS_ASSIGN_OR_RETURN(hdr.request_id, dec.GetU64());
+  return hdr;
+}
+
+Result<CreateReq> CreateReq::Decode(marshal::XdrDecoder& dec) {
+  CreateReq req;
+  DS_ASSIGN_OR_RETURN(req.capacity, dec.GetU64());
+  DS_ASSIGN_OR_RETURN(req.debug_name, dec.GetString());
+  return req;
+}
+
+Result<AttachReq> AttachReq::Decode(marshal::XdrDecoder& dec) {
+  AttachReq req;
+  DS_ASSIGN_OR_RETURN(req.container_bits, dec.GetU64());
+  DS_ASSIGN_OR_RETURN(req.is_queue, dec.GetBool());
+  DS_ASSIGN_OR_RETURN(std::uint32_t mode, dec.GetU32());
+  if (mode < 1 || mode > 3) return InternalError("bad ConnMode");
+  req.mode = static_cast<ConnMode>(mode);
+  DS_ASSIGN_OR_RETURN(req.label, dec.GetString());
+  return req;
+}
+
+Result<DetachReq> DetachReq::Decode(marshal::XdrDecoder& dec) {
+  DetachReq req;
+  DS_ASSIGN_OR_RETURN(req.container_bits, dec.GetU64());
+  DS_ASSIGN_OR_RETURN(req.is_queue, dec.GetBool());
+  DS_ASSIGN_OR_RETURN(req.slot, dec.GetU32());
+  return req;
+}
+
+namespace {
+Result<ConnMode> DecodeConnMode(marshal::XdrDecoder& dec) {
+  DS_ASSIGN_OR_RETURN(std::uint32_t mode, dec.GetU32());
+  if (mode < 1 || mode > 3) return InternalError("bad ConnMode");
+  return static_cast<ConnMode>(mode);
+}
+}  // namespace
+
+Result<PutReq> PutReq::Decode(marshal::XdrDecoder& dec) {
+  PutReq req;
+  DS_ASSIGN_OR_RETURN(req.container_bits, dec.GetU64());
+  DS_ASSIGN_OR_RETURN(req.is_queue, dec.GetBool());
+  DS_ASSIGN_OR_RETURN(req.mode, DecodeConnMode(dec));
+  DS_ASSIGN_OR_RETURN(req.slot, dec.GetU32());
+  DS_ASSIGN_OR_RETURN(req.ts, dec.GetI64());
+  DS_ASSIGN_OR_RETURN(req.deadline_ms, dec.GetI64());
+  DS_ASSIGN_OR_RETURN(req.payload, dec.GetOpaque());
+  return req;
+}
+
+Result<GetReq> GetReq::Decode(marshal::XdrDecoder& dec) {
+  GetReq req;
+  DS_ASSIGN_OR_RETURN(req.container_bits, dec.GetU64());
+  DS_ASSIGN_OR_RETURN(req.is_queue, dec.GetBool());
+  DS_ASSIGN_OR_RETURN(req.mode, DecodeConnMode(dec));
+  DS_ASSIGN_OR_RETURN(req.slot, dec.GetU32());
+  DS_ASSIGN_OR_RETURN(std::uint32_t kind, dec.GetU32());
+  if (kind > 3) return InternalError("bad GetSpec kind");
+  req.spec.kind = static_cast<GetSpec::Kind>(kind);
+  DS_ASSIGN_OR_RETURN(req.spec.ts, dec.GetI64());
+  DS_ASSIGN_OR_RETURN(req.deadline_ms, dec.GetI64());
+  return req;
+}
+
+Result<ConsumeReq> ConsumeReq::Decode(marshal::XdrDecoder& dec) {
+  ConsumeReq req;
+  DS_ASSIGN_OR_RETURN(req.container_bits, dec.GetU64());
+  DS_ASSIGN_OR_RETURN(req.is_queue, dec.GetBool());
+  DS_ASSIGN_OR_RETURN(req.mode, DecodeConnMode(dec));
+  DS_ASSIGN_OR_RETURN(req.slot, dec.GetU32());
+  DS_ASSIGN_OR_RETURN(req.ts, dec.GetI64());
+  DS_ASSIGN_OR_RETURN(req.until, dec.GetBool());
+  return req;
+}
+
+Result<SetFilterReq> SetFilterReq::Decode(marshal::XdrDecoder& dec) {
+  SetFilterReq req;
+  DS_ASSIGN_OR_RETURN(req.container_bits, dec.GetU64());
+  DS_ASSIGN_OR_RETURN(req.slot, dec.GetU32());
+  DS_ASSIGN_OR_RETURN(req.filter.stride, dec.GetI64());
+  DS_ASSIGN_OR_RETURN(req.filter.phase, dec.GetI64());
+  DS_ASSIGN_OR_RETURN(req.filter.ts_min, dec.GetI64());
+  DS_ASSIGN_OR_RETURN(req.filter.ts_max, dec.GetI64());
+  DS_ASSIGN_OR_RETURN(req.filter.min_bytes, dec.GetU64());
+  DS_ASSIGN_OR_RETURN(req.filter.max_bytes, dec.GetU64());
+  return req;
+}
+
+Result<NsEntry> DecodeNsEntry(marshal::XdrDecoder& dec) {
+  NsEntry entry;
+  DS_ASSIGN_OR_RETURN(entry.name, dec.GetString());
+  DS_ASSIGN_OR_RETURN(std::uint32_t kind, dec.GetU32());
+  if (kind > 2) return InternalError("bad NsEntry kind");
+  entry.kind = static_cast<NsEntry::Kind>(kind);
+  DS_ASSIGN_OR_RETURN(entry.id_bits, dec.GetU64());
+  DS_ASSIGN_OR_RETURN(entry.meta, dec.GetString());
+  return entry;
+}
+
+Result<NsLookupReq> NsLookupReq::Decode(marshal::XdrDecoder& dec) {
+  NsLookupReq req;
+  DS_ASSIGN_OR_RETURN(req.name, dec.GetString());
+  DS_ASSIGN_OR_RETURN(req.deadline_ms, dec.GetI64());
+  return req;
+}
+
+Result<ResponseHeader> DecodeResponseHeader(marshal::XdrDecoder& dec) {
+  DS_ASSIGN_OR_RETURN(std::uint32_t op, dec.GetU32());
+  if (static_cast<Op>(op) != Op::kReply) {
+    return InternalError("expected reply frame");
+  }
+  ResponseHeader hdr;
+  DS_ASSIGN_OR_RETURN(hdr.request_id, dec.GetU64());
+  DS_ASSIGN_OR_RETURN(std::uint32_t code, dec.GetU32());
+  DS_ASSIGN_OR_RETURN(std::string message, dec.GetString());
+  hdr.status = Status(static_cast<StatusCode>(code), std::move(message));
+  return hdr;
+}
+
+Result<GcNotice> DecodeGcNotice(marshal::XdrDecoder& dec) {
+  GcNotice notice;
+  DS_ASSIGN_OR_RETURN(notice.container_bits, dec.GetU64());
+  DS_ASSIGN_OR_RETURN(notice.is_queue, dec.GetBool());
+  DS_ASSIGN_OR_RETURN(notice.timestamp, dec.GetI64());
+  DS_ASSIGN_OR_RETURN(std::uint64_t size, dec.GetU64());
+  notice.payload_size = size;
+  return notice;
+}
+
+}  // namespace dstampede::core

@@ -1,0 +1,235 @@
+// Wire protocol for space-time-memory operations.
+//
+// One op set serves both planes of the system (Fig 4): address spaces
+// inside the cluster exchange these messages over CLF, and end-device
+// client libraries exchange them with their surrogate over TCP. The
+// encoders are templated so the C client (XdrEncoder) and the
+// Java-style client (JavaStyleEncoder) emit byte-identical requests;
+// the server always decodes with XdrDecoder.
+//
+// Framing: requests are  [u32 op][u64 request_id][op fields...];
+// responses are          [u32 kReply][u64 request_id][u32 status]
+//                        [string status_msg][op result fields...].
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "dstampede/common/clock.hpp"
+#include "dstampede/common/ids.hpp"
+#include "dstampede/common/status.hpp"
+#include "dstampede/core/item.hpp"
+#include "dstampede/marshal/xdr.hpp"
+
+namespace dstampede::core {
+
+enum class Op : std::uint32_t {
+  kCreateChannel = 1,
+  kCreateQueue = 2,
+  kAttach = 3,
+  kDetach = 4,
+  kPut = 5,
+  kGet = 6,
+  kConsume = 7,
+  kNsRegister = 8,
+  kNsLookup = 9,
+  kNsUnregister = 10,
+  kNsList = 11,
+  kSetFilter = 12,
+  kReply = 100,
+};
+
+// Deadline on the wire: milliseconds the callee may block.
+// kDeadlineInfinite = block forever; 0 = poll.
+inline constexpr std::int64_t kDeadlineInfinite = -1;
+
+std::int64_t EncodeDeadline(Deadline deadline);
+Deadline DecodeDeadline(std::int64_t wire_ms);
+
+struct RequestHeader {
+  Op op = Op::kReply;
+  std::uint64_t request_id = 0;
+};
+
+template <class Enc>
+void EncodeRequestHeader(Enc& enc, Op op, std::uint64_t request_id) {
+  enc.PutU32(static_cast<std::uint32_t>(op));
+  enc.PutU64(request_id);
+}
+Result<RequestHeader> DecodeRequestHeader(marshal::XdrDecoder& dec);
+
+// ---- per-op request bodies -------------------------------------------
+
+struct CreateReq {  // kCreateChannel / kCreateQueue
+  std::uint64_t capacity = 0;
+  std::string debug_name;
+
+  template <class Enc>
+  void Encode(Enc& enc) const {
+    enc.PutU64(capacity);
+    enc.PutString(debug_name);
+  }
+  static Result<CreateReq> Decode(marshal::XdrDecoder& dec);
+};
+
+struct AttachReq {  // kAttach
+  std::uint64_t container_bits = 0;
+  bool is_queue = false;
+  ConnMode mode = ConnMode::kInput;
+  std::string label;
+
+  template <class Enc>
+  void Encode(Enc& enc) const {
+    enc.PutU64(container_bits);
+    enc.PutBool(is_queue);
+    enc.PutU32(static_cast<std::uint32_t>(mode));
+    enc.PutString(label);
+  }
+  static Result<AttachReq> Decode(marshal::XdrDecoder& dec);
+};
+
+struct DetachReq {  // kDetach
+  std::uint64_t container_bits = 0;
+  bool is_queue = false;
+  std::uint32_t slot = 0;
+
+  template <class Enc>
+  void Encode(Enc& enc) const {
+    enc.PutU64(container_bits);
+    enc.PutBool(is_queue);
+    enc.PutU32(slot);
+  }
+  static Result<DetachReq> Decode(marshal::XdrDecoder& dec);
+};
+
+struct PutReq {  // kPut
+  std::uint64_t container_bits = 0;
+  bool is_queue = false;
+  ConnMode mode = ConnMode::kOutput;  // of the issuing connection
+  std::uint32_t slot = 0;
+  Timestamp ts = 0;
+  std::int64_t deadline_ms = kDeadlineInfinite;
+  Buffer payload;
+
+  template <class Enc>
+  void Encode(Enc& enc) const {
+    enc.PutU64(container_bits);
+    enc.PutBool(is_queue);
+    enc.PutU32(static_cast<std::uint32_t>(mode));
+    enc.PutU32(slot);
+    enc.PutI64(ts);
+    enc.PutI64(deadline_ms);
+    enc.PutOpaque(payload);
+  }
+  static Result<PutReq> Decode(marshal::XdrDecoder& dec);
+};
+
+struct GetReq {  // kGet
+  std::uint64_t container_bits = 0;
+  bool is_queue = false;
+  ConnMode mode = ConnMode::kInput;
+  std::uint32_t slot = 0;
+  GetSpec spec;
+  std::int64_t deadline_ms = kDeadlineInfinite;
+
+  template <class Enc>
+  void Encode(Enc& enc) const {
+    enc.PutU64(container_bits);
+    enc.PutBool(is_queue);
+    enc.PutU32(static_cast<std::uint32_t>(mode));
+    enc.PutU32(slot);
+    enc.PutU32(static_cast<std::uint32_t>(spec.kind));
+    enc.PutI64(spec.ts);
+    enc.PutI64(deadline_ms);
+  }
+  static Result<GetReq> Decode(marshal::XdrDecoder& dec);
+};
+
+struct ConsumeReq {  // kConsume
+  std::uint64_t container_bits = 0;
+  bool is_queue = false;
+  ConnMode mode = ConnMode::kInput;
+  std::uint32_t slot = 0;
+  Timestamp ts = 0;
+  bool until = false;  // ConsumeUntil instead of Consume
+
+  template <class Enc>
+  void Encode(Enc& enc) const {
+    enc.PutU64(container_bits);
+    enc.PutBool(is_queue);
+    enc.PutU32(static_cast<std::uint32_t>(mode));
+    enc.PutU32(slot);
+    enc.PutI64(ts);
+    enc.PutBool(until);
+  }
+  static Result<ConsumeReq> Decode(marshal::XdrDecoder& dec);
+};
+
+struct SetFilterReq {  // kSetFilter (channels only)
+  std::uint64_t container_bits = 0;
+  std::uint32_t slot = 0;
+  ItemFilter filter;
+
+  template <class Enc>
+  void Encode(Enc& enc) const {
+    enc.PutU64(container_bits);
+    enc.PutU32(slot);
+    enc.PutI64(filter.stride);
+    enc.PutI64(filter.phase);
+    enc.PutI64(filter.ts_min);
+    enc.PutI64(filter.ts_max);
+    enc.PutU64(filter.min_bytes);
+    enc.PutU64(filter.max_bytes);
+  }
+  static Result<SetFilterReq> Decode(marshal::XdrDecoder& dec);
+};
+
+template <class Enc>
+void EncodeNsEntry(Enc& enc, const NsEntry& entry) {
+  enc.PutString(entry.name);
+  enc.PutU32(static_cast<std::uint32_t>(entry.kind));
+  enc.PutU64(entry.id_bits);
+  enc.PutString(entry.meta);
+}
+Result<NsEntry> DecodeNsEntry(marshal::XdrDecoder& dec);
+
+struct NsLookupReq {  // kNsLookup (also kNsUnregister: name only)
+  std::string name;
+  std::int64_t deadline_ms = 0;
+
+  template <class Enc>
+  void Encode(Enc& enc) const {
+    enc.PutString(name);
+    enc.PutI64(deadline_ms);
+  }
+  static Result<NsLookupReq> Decode(marshal::XdrDecoder& dec);
+};
+
+// ---- responses --------------------------------------------------------
+
+template <class Enc>
+void EncodeResponseHeader(Enc& enc, std::uint64_t request_id,
+                          const Status& status) {
+  EncodeRequestHeader(enc, Op::kReply, request_id);
+  enc.PutU32(static_cast<std::uint32_t>(status.code()));
+  enc.PutString(status.message());
+}
+
+struct ResponseHeader {
+  std::uint64_t request_id = 0;
+  Status status;
+};
+// Expects the decoder positioned at the op field.
+Result<ResponseHeader> DecodeResponseHeader(marshal::XdrDecoder& dec);
+
+// GcNotice encoding, used for surrogate -> end device forwarding.
+template <class Enc>
+void EncodeGcNotice(Enc& enc, const GcNotice& notice) {
+  enc.PutU64(notice.container_bits);
+  enc.PutBool(notice.is_queue);
+  enc.PutI64(notice.timestamp);
+  enc.PutU64(notice.payload_size);
+}
+Result<GcNotice> DecodeGcNotice(marshal::XdrDecoder& dec);
+
+}  // namespace dstampede::core

@@ -1,0 +1,70 @@
+#include "dstampede/transport/socket.hpp"
+
+#include <cerrno>
+#include <cstring>
+#include <poll.h>
+#include <unistd.h>
+
+#include <sstream>
+
+namespace dstampede::transport {
+
+std::string SockAddr::ToString() const {
+  std::ostringstream os;
+  os << ((ip_host_order >> 24) & 0xff) << '.' << ((ip_host_order >> 16) & 0xff)
+     << '.' << ((ip_host_order >> 8) & 0xff) << '.' << (ip_host_order & 0xff)
+     << ':' << port;
+  return os.str();
+}
+
+void FdHandle::Reset() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Status WaitReadable(int fd, Deadline deadline) {
+  for (;;) {
+    int timeout_ms = -1;
+    if (!deadline.infinite()) {
+      auto rem = deadline.remaining();
+      timeout_ms = static_cast<int>(
+          std::chrono::duration_cast<std::chrono::milliseconds>(rem).count());
+      if (timeout_ms <= 0) {
+        // poll(0) still reports data that is already queued.
+        timeout_ms = 0;
+      }
+    }
+    struct pollfd pfd {};
+    pfd.fd = fd;
+    pfd.events = POLLIN;
+    int rc = ::poll(&pfd, 1, timeout_ms);
+    if (rc > 0) return OkStatus();
+    if (rc == 0) {
+      if (deadline.expired() || timeout_ms == 0) return TimeoutError("poll");
+      continue;  // spurious zero before the deadline; retry
+    }
+    if (errno == EINTR) continue;
+    return ErrnoStatus("poll");
+  }
+}
+
+Status ErrnoStatus(const char* op) {
+  std::string msg = std::string(op) + ": " + std::strerror(errno);
+  switch (errno) {
+    case ECONNREFUSED:
+    case ENETUNREACH:
+    case EHOSTUNREACH:
+      return UnavailableError(std::move(msg));
+    case ECONNRESET:
+    case EPIPE:
+      return ConnectionClosedError(std::move(msg));
+    case EAGAIN:
+      return TimeoutError(std::move(msg));
+    default:
+      return InternalError(std::move(msg));
+  }
+}
+
+}  // namespace dstampede::transport

@@ -1,0 +1,73 @@
+#include "dstampede/transport/udp.hpp"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace dstampede::transport {
+
+Result<UdpSocket> UdpSocket::Bind(std::uint16_t port) {
+  FdHandle fd(::socket(AF_INET, SOCK_DGRAM, 0));
+  if (!fd.valid()) return ErrnoStatus("socket");
+  // Generous buffers: CLF bursts fragments of large frames.
+  int bufsz = 4 << 20;
+  ::setsockopt(fd.get(), SOL_SOCKET, SO_RCVBUF, &bufsz, sizeof bufsz);
+  ::setsockopt(fd.get(), SOL_SOCKET, SO_SNDBUF, &bufsz, sizeof bufsz);
+  sockaddr_in sin{};
+  sin.sin_family = AF_INET;
+  sin.sin_addr.s_addr = htonl(0x7f000001u);
+  sin.sin_port = htons(port);
+  if (::bind(fd.get(), reinterpret_cast<sockaddr*>(&sin), sizeof sin) != 0) {
+    return ErrnoStatus("bind");
+  }
+  socklen_t len = sizeof sin;
+  if (::getsockname(fd.get(), reinterpret_cast<sockaddr*>(&sin), &len) != 0) {
+    return ErrnoStatus("getsockname");
+  }
+  UdpSocket sock;
+  sock.fd_ = std::move(fd);
+  sock.bound_ = SockAddr{ntohl(sin.sin_addr.s_addr), ntohs(sin.sin_port)};
+  return sock;
+}
+
+Status UdpSocket::SendTo(const SockAddr& to,
+                         std::span<const std::uint8_t> data) {
+  if (data.size() > kMaxUdpDatagram) {
+    return InvalidArgumentError("datagram exceeds UDP limit");
+  }
+  sockaddr_in sin{};
+  sin.sin_family = AF_INET;
+  sin.sin_addr.s_addr = htonl(to.ip_host_order);
+  sin.sin_port = htons(to.port);
+  for (;;) {
+    ssize_t n = ::sendto(fd_.get(), data.data(), data.size(), 0,
+                         reinterpret_cast<sockaddr*>(&sin), sizeof sin);
+    if (n >= 0) return OkStatus();
+    if (errno == EINTR) continue;
+    if (errno == ENOBUFS || errno == EAGAIN) {
+      // Loopback send buffer momentarily full: drop, CLF retransmits.
+      return OkStatus();
+    }
+    return ErrnoStatus("sendto");
+  }
+}
+
+Status UdpSocket::RecvFrom(Buffer& out, SockAddr& from, Deadline deadline) {
+  DS_RETURN_IF_ERROR(WaitReadable(fd_.get(), deadline));
+  out.resize(kMaxUdpDatagram);
+  sockaddr_in sin{};
+  socklen_t len = sizeof sin;
+  ssize_t n = ::recvfrom(fd_.get(), out.data(), out.size(), 0,
+                         reinterpret_cast<sockaddr*>(&sin), &len);
+  if (n < 0) {
+    if (errno == EINTR) return TimeoutError("interrupted");
+    return ErrnoStatus("recvfrom");
+  }
+  out.resize(static_cast<std::size_t>(n));
+  from = SockAddr{ntohl(sin.sin_addr.s_addr), ntohs(sin.sin_port)};
+  return OkStatus();
+}
+
+}  // namespace dstampede::transport

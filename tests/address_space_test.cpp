@@ -1,0 +1,357 @@
+// AddressSpace / Runtime integration: location-transparent STM ops
+// between address spaces over CLF, the cross-AS name server, remote
+// blocking semantics, remote GC, dynamic join.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "dstampede/core/runtime.hpp"
+
+namespace dstampede::core {
+namespace {
+
+class RuntimeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Runtime::Options opts;
+    opts.num_address_spaces = 3;
+    opts.gc_interval = Millis(10);
+    auto rt = Runtime::Create(opts);
+    ASSERT_TRUE(rt.ok()) << rt.status();
+    rt_ = std::move(rt).value();
+  }
+
+  Buffer Bytes(std::string_view s) { return Buffer(s.begin(), s.end()); }
+
+  std::unique_ptr<Runtime> rt_;
+};
+
+TEST_F(RuntimeTest, LocalPutGetWithinOneAs) {
+  AddressSpace& as = rt_->as(0);
+  auto ch = as.CreateChannel();
+  ASSERT_TRUE(ch.ok());
+  auto out = as.Connect(*ch, ConnMode::kOutput);
+  auto in = as.Connect(*ch, ConnMode::kInput);
+  ASSERT_TRUE(out.ok());
+  ASSERT_TRUE(in.ok());
+  ASSERT_TRUE(as.Put(*out, 1, Bytes("hello")).ok());
+  auto item = as.Get(*in, GetSpec::Exact(1), Deadline::AfterMillis(1000));
+  ASSERT_TRUE(item.ok());
+  EXPECT_EQ(item->payload.ToString(), "hello");
+}
+
+TEST_F(RuntimeTest, RemotePutGetAcrossAddressSpaces) {
+  // Channel owned by AS1; producer in AS0; consumer in AS2.
+  auto ch = rt_->as(1).CreateChannel();
+  ASSERT_TRUE(ch.ok());
+  auto out = rt_->as(0).Connect(*ch, ConnMode::kOutput);
+  auto in = rt_->as(2).Connect(*ch, ConnMode::kInput);
+  ASSERT_TRUE(out.ok()) << out.status();
+  ASSERT_TRUE(in.ok()) << in.status();
+
+  Buffer payload(50000);
+  FillPattern(payload, 3);
+  ASSERT_TRUE(rt_->as(0).Put(*out, 7, payload).ok());
+  auto item =
+      rt_->as(2).Get(*in, GetSpec::Exact(7), Deadline::AfterMillis(10000));
+  ASSERT_TRUE(item.ok()) << item.status();
+  EXPECT_EQ(item->timestamp, 7);
+  EXPECT_TRUE(CheckPattern(item->payload.span(), 3));
+}
+
+TEST_F(RuntimeTest, CreateChannelOnRemoteAs) {
+  auto ch = rt_->as(0).CreateChannelOn(static_cast<AsId>(2));
+  ASSERT_TRUE(ch.ok()) << ch.status();
+  EXPECT_EQ(AsIndex(ch->owner()), 2u);
+  // The owner AS can find it locally.
+  EXPECT_NE(rt_->as(2).FindChannel(ch->bits()), nullptr);
+}
+
+TEST_F(RuntimeTest, RemoteBlockingGetWaitsForProducer) {
+  auto ch = rt_->as(1).CreateChannel();
+  ASSERT_TRUE(ch.ok());
+  auto in = rt_->as(0).Connect(*ch, ConnMode::kInput);
+  ASSERT_TRUE(in.ok());
+  std::thread producer([&] {
+    std::this_thread::sleep_for(Millis(50));
+    auto out = rt_->as(2).Connect(*ch, ConnMode::kOutput);
+    ASSERT_TRUE(out.ok());
+    ASSERT_TRUE(rt_->as(2).Put(*out, 1, Bytes("waited")).ok());
+  });
+  auto item =
+      rt_->as(0).Get(*in, GetSpec::Exact(1), Deadline::AfterMillis(10000));
+  ASSERT_TRUE(item.ok()) << item.status();
+  EXPECT_EQ(item->payload.ToString(), "waited");
+  producer.join();
+}
+
+TEST_F(RuntimeTest, RemoteGetTimesOut) {
+  auto ch = rt_->as(1).CreateChannel();
+  ASSERT_TRUE(ch.ok());
+  auto in = rt_->as(0).Connect(*ch, ConnMode::kInput);
+  ASSERT_TRUE(in.ok());
+  auto item = rt_->as(0).Get(*in, GetSpec::Exact(1), Deadline::AfterMillis(100));
+  EXPECT_EQ(item.status().code(), StatusCode::kTimeout);
+}
+
+TEST_F(RuntimeTest, RemoteConsumeDrivesDistributedGc) {
+  auto ch = rt_->as(1).CreateChannel();
+  ASSERT_TRUE(ch.ok());
+  auto out = rt_->as(0).Connect(*ch, ConnMode::kOutput);
+  auto in_a = rt_->as(0).Connect(*ch, ConnMode::kInput);
+  auto in_b = rt_->as(2).Connect(*ch, ConnMode::kInput);
+  ASSERT_TRUE(out.ok());
+  ASSERT_TRUE(in_a.ok());
+  ASSERT_TRUE(in_b.ok());
+
+  ASSERT_TRUE(rt_->as(0).Put(*out, 1, Bytes("x")).ok());
+  auto channel = rt_->as(1).FindChannel(ch->bits());
+  ASSERT_NE(channel, nullptr);
+
+  ASSERT_TRUE(rt_->as(0).Consume(*in_a, 1).ok());
+  EXPECT_EQ(channel->live_items(), 1u) << "remote consumer b still holds it";
+  ASSERT_TRUE(rt_->as(2).Consume(*in_b, 1).ok());
+  EXPECT_EQ(channel->live_items(), 0u)
+      << "all input connections consumed: reclaimed";
+}
+
+TEST_F(RuntimeTest, RemoteConsumeUntil) {
+  auto ch = rt_->as(1).CreateChannel();
+  ASSERT_TRUE(ch.ok());
+  auto out = rt_->as(1).Connect(*ch, ConnMode::kOutput);
+  auto in = rt_->as(0).Connect(*ch, ConnMode::kInput);
+  ASSERT_TRUE(out.ok());
+  ASSERT_TRUE(in.ok());
+  for (Timestamp ts = 0; ts < 8; ++ts) {
+    ASSERT_TRUE(rt_->as(1).Put(*out, ts, Bytes("x")).ok());
+  }
+  ASSERT_TRUE(rt_->as(0).ConsumeUntil(*in, 5).ok());
+  EXPECT_EQ(rt_->as(1).FindChannel(ch->bits())->live_items(), 2u);
+}
+
+TEST_F(RuntimeTest, RemoteQueueRoundTrip) {
+  auto q = rt_->as(2).CreateQueue();
+  ASSERT_TRUE(q.ok());
+  auto out = rt_->as(0).Connect(*q, ConnMode::kOutput);
+  auto in = rt_->as(1).Connect(*q, ConnMode::kInput);
+  ASSERT_TRUE(out.ok());
+  ASSERT_TRUE(in.ok());
+  ASSERT_TRUE(rt_->as(0).Put(*out, 5, Bytes("job")).ok());
+  auto item = rt_->as(1).Get(*in, Deadline::AfterMillis(10000));
+  ASSERT_TRUE(item.ok()) << item.status();
+  EXPECT_EQ(item->timestamp, 5);
+  EXPECT_EQ(item->payload.ToString(), "job");
+  EXPECT_TRUE(rt_->as(1).Consume(*in, 5).ok());
+}
+
+TEST_F(RuntimeTest, ConnectToMissingChannelFails) {
+  ChannelId bogus(static_cast<AsId>(1), 9999);
+  auto conn = rt_->as(0).Connect(bogus, ConnMode::kInput);
+  EXPECT_EQ(conn.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(RuntimeTest, ConnectToUnknownPeerFails) {
+  ChannelId bogus(static_cast<AsId>(42), 1);
+  auto conn = rt_->as(0).Connect(bogus, ConnMode::kInput);
+  EXPECT_EQ(conn.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(RuntimeTest, DisconnectRemoteConnectionReleasesGcHold) {
+  auto ch = rt_->as(1).CreateChannel();
+  ASSERT_TRUE(ch.ok());
+  auto out = rt_->as(1).Connect(*ch, ConnMode::kOutput);
+  auto in = rt_->as(0).Connect(*ch, ConnMode::kInput);
+  ASSERT_TRUE(rt_->as(1).Put(*out, 1, Bytes("x")).ok());
+  ASSERT_TRUE(rt_->as(0).Disconnect(*in).ok());
+  // No input connections remain -> item retained (not garbage), but a
+  // new consumer can attach and see it.
+  auto in2 = rt_->as(2).Connect(*ch, ConnMode::kInput);
+  ASSERT_TRUE(in2.ok());
+  auto item = rt_->as(2).Get(*in2, GetSpec::Exact(1), Deadline::AfterMillis(5000));
+  ASSERT_TRUE(item.ok());
+}
+
+TEST_F(RuntimeTest, PutOnInputOnlyConnectionRejected) {
+  auto ch = rt_->as(1).CreateChannel();
+  auto in = rt_->as(0).Connect(*ch, ConnMode::kInput);
+  ASSERT_TRUE(in.ok());
+  EXPECT_EQ(rt_->as(0).Put(*in, 1, Bytes("x")).code(),
+            StatusCode::kPermissionDenied);
+}
+
+TEST_F(RuntimeTest, RemoteGetOnOutputOnlyConnectionRejected) {
+  auto ch = rt_->as(1).CreateChannel();
+  auto out = rt_->as(0).Connect(*ch, ConnMode::kOutput);
+  ASSERT_TRUE(out.ok());
+  ASSERT_TRUE(rt_->as(0).Put(*out, 1, Bytes("x")).ok());
+  auto item = rt_->as(0).Get(*out, GetSpec::Exact(1), Deadline::AfterMillis(5000));
+  EXPECT_EQ(item.status().code(), StatusCode::kPermissionDenied);
+}
+
+// --- name server across address spaces -------------------------------------
+
+TEST_F(RuntimeTest, NsRegisterInOneAsLookupInAnother) {
+  auto ch = rt_->as(2).CreateChannel();
+  ASSERT_TRUE(ch.ok());
+  ASSERT_TRUE(rt_->as(2)
+                  .NsRegister(NsEntry{"camera/0", NsEntry::Kind::kChannel,
+                                      ch->bits(), "left eye"})
+                  .ok());
+  auto entry = rt_->as(1).NsLookup("camera/0", Deadline::AfterMillis(5000));
+  ASSERT_TRUE(entry.ok()) << entry.status();
+  EXPECT_EQ(entry->id_bits, ch->bits());
+  EXPECT_EQ(entry->meta, "left eye");
+
+  // And the id is directly connectable from a third AS.
+  auto conn = rt_->as(0).Connect(ChannelId::FromBits(entry->id_bits),
+                                 ConnMode::kInput);
+  EXPECT_TRUE(conn.ok());
+}
+
+TEST_F(RuntimeTest, NsBlockingLookupAcrossAs) {
+  std::thread registrar([&] {
+    std::this_thread::sleep_for(Millis(50));
+    ASSERT_TRUE(
+        rt_->as(1)
+            .NsRegister(NsEntry{"late/name", NsEntry::Kind::kOther, 0, ""})
+            .ok());
+  });
+  auto entry = rt_->as(2).NsLookup("late/name", Deadline::AfterMillis(10000));
+  EXPECT_TRUE(entry.ok()) << entry.status();
+  registrar.join();
+}
+
+TEST_F(RuntimeTest, NsDuplicateAcrossAsRejected) {
+  ASSERT_TRUE(
+      rt_->as(0).NsRegister(NsEntry{"dup", NsEntry::Kind::kOther, 0, ""}).ok());
+  EXPECT_EQ(
+      rt_->as(1).NsRegister(NsEntry{"dup", NsEntry::Kind::kOther, 0, ""}).code(),
+      StatusCode::kAlreadyExists);
+}
+
+TEST_F(RuntimeTest, NsListAcrossAs) {
+  ASSERT_TRUE(
+      rt_->as(1).NsRegister(NsEntry{"svc/a", NsEntry::Kind::kOther, 0, ""}).ok());
+  ASSERT_TRUE(
+      rt_->as(2).NsRegister(NsEntry{"svc/b", NsEntry::Kind::kOther, 0, ""}).ok());
+  auto list = rt_->as(0).NsList("svc/");
+  ASSERT_TRUE(list.ok());
+  EXPECT_EQ(list->size(), 2u);
+  ASSERT_TRUE(rt_->as(1).NsUnregister("svc/a").ok());
+  EXPECT_EQ(rt_->as(0).NsList("svc/")->size(), 1u);
+}
+
+// --- threads, dynamism -------------------------------------------------------
+
+TEST_F(RuntimeTest, SpawnedThreadsRunAndJoin) {
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 5; ++i) {
+    rt_->as(0).Spawn("worker", [&] { ran.fetch_add(1); });
+  }
+  rt_->as(0).JoinThreads();
+  EXPECT_EQ(ran.load(), 5);
+}
+
+TEST_F(RuntimeTest, DynamicallyAddedAsJoinsTheMesh) {
+  auto added = rt_->AddAddressSpace();
+  ASSERT_TRUE(added.ok()) << added.status();
+  AddressSpace& newcomer = **added;
+  EXPECT_EQ(rt_->size(), 4u);
+
+  // The newcomer can use the name server and reach existing channels.
+  auto ch = rt_->as(1).CreateChannel();
+  ASSERT_TRUE(ch.ok());
+  ASSERT_TRUE(rt_->as(1)
+                  .NsRegister(NsEntry{"dyn/ch", NsEntry::Kind::kChannel,
+                                      ch->bits(), ""})
+                  .ok());
+  auto entry = newcomer.NsLookup("dyn/ch", Deadline::AfterMillis(5000));
+  ASSERT_TRUE(entry.ok());
+  auto out = newcomer.Connect(ChannelId::FromBits(entry->id_bits),
+                              ConnMode::kOutput);
+  ASSERT_TRUE(out.ok());
+  EXPECT_TRUE(newcomer.Put(*out, 1, Bytes("from newcomer")).ok());
+}
+
+TEST_F(RuntimeTest, ProducerConsumerPipelineAcrossThreeAs) {
+  // The paper's producer/consumer pseudocode (§3), spread over the
+  // cluster: producer in AS0, channel in AS1, consumer in AS2.
+  auto ch = rt_->as(1).CreateChannel();
+  ASSERT_TRUE(ch.ok());
+  constexpr Timestamp kFrames = 50;
+
+  rt_->as(0).Spawn("producer", [&] {
+    auto out = rt_->as(0).Connect(*ch, ConnMode::kOutput);
+    ASSERT_TRUE(out.ok());
+    for (Timestamp ts = 0; ts < kFrames; ++ts) {
+      Buffer item(256);
+      FillPattern(item, static_cast<std::uint64_t>(ts));
+      ASSERT_TRUE(rt_->as(0).Put(*out, ts, std::move(item)).ok());
+    }
+  });
+  std::atomic<int> received{0};
+  rt_->as(2).Spawn("consumer", [&] {
+    auto in = rt_->as(2).Connect(*ch, ConnMode::kInput);
+    ASSERT_TRUE(in.ok());
+    for (Timestamp ts = 0; ts < kFrames; ++ts) {
+      auto item =
+          rt_->as(2).Get(*in, GetSpec::Exact(ts), Deadline::AfterMillis(30000));
+      ASSERT_TRUE(item.ok()) << item.status();
+      EXPECT_TRUE(CheckPattern(item->payload.span(),
+                               static_cast<std::uint64_t>(ts)));
+      ASSERT_TRUE(rt_->as(2).Consume(*in, ts).ok());
+      received.fetch_add(1);
+    }
+  });
+  rt_->as(0).JoinThreads();
+  rt_->as(2).JoinThreads();
+  EXPECT_EQ(received.load(), kFrames);
+  // Everything consumed by the only input connection: fully reclaimed.
+  EXPECT_EQ(rt_->as(1).FindChannel(ch->bits())->live_items(), 0u);
+}
+
+TEST_F(RuntimeTest, OpCountersTrackActivity) {
+  AddressSpace& as0 = rt_->as(0);
+  AddressSpace& as1 = rt_->as(1);
+  auto ch = as1.CreateChannel();
+  ASSERT_TRUE(ch.ok());
+  auto out = as0.Connect(*ch, ConnMode::kOutput);
+  auto in = as0.Connect(*ch, ConnMode::kInput);
+  ASSERT_TRUE(out.ok());
+  ASSERT_TRUE(in.ok());
+  const std::uint64_t served_before = as1.stats().requests_served.load();
+
+  ASSERT_TRUE(as0.Put(*out, 1, Bytes("12345")).ok());
+  auto item = as0.Get(*in, GetSpec::Exact(1), Deadline::AfterMillis(5000));
+  ASSERT_TRUE(item.ok());
+  ASSERT_TRUE(as0.Consume(*in, 1).ok());
+
+  const AsStats& stats = as0.stats();
+  EXPECT_EQ(stats.attaches.load(), 2u);
+  EXPECT_EQ(stats.puts.load(), 1u);
+  EXPECT_EQ(stats.gets.load(), 1u);
+  EXPECT_EQ(stats.consumes.load(), 1u);
+  EXPECT_EQ(stats.bytes_put.load(), 5u);
+  EXPECT_EQ(stats.bytes_got.load(), 5u);
+  EXPECT_GE(stats.remote_calls.load(), 5u);  // attach x2, put, get, consume
+  // The owner AS served the put/get/consume issued after the snapshot.
+  EXPECT_GE(as1.stats().requests_served.load(), served_before + 3);
+}
+
+TEST_F(RuntimeTest, ShutdownCancelsBlockedRemoteGet) {
+  auto ch = rt_->as(1).CreateChannel();
+  ASSERT_TRUE(ch.ok());
+  auto in = rt_->as(0).Connect(*ch, ConnMode::kInput);
+  ASSERT_TRUE(in.ok());
+  std::thread getter([&] {
+    auto item =
+        rt_->as(0).Get(*in, GetSpec::Exact(1), Deadline::AfterMillis(30000));
+    EXPECT_FALSE(item.ok());
+  });
+  std::this_thread::sleep_for(Millis(100));
+  rt_->Shutdown();
+  getter.join();
+}
+
+}  // namespace
+}  // namespace dstampede::core

@@ -1,0 +1,225 @@
+// Audio subsystem: deterministic tone sources, chunk encoding,
+// saturating mixer math, end-to-end mixed-stream verification over the
+// runtime, and audio/video correlation.
+#include <gtest/gtest.h>
+
+#include "dstampede/app/audio.hpp"
+#include "dstampede/app/correlator.hpp"
+#include "dstampede/app/image.hpp"
+#include "dstampede/core/runtime.hpp"
+
+namespace dstampede::app {
+namespace {
+
+const AudioFormat kFormat{};
+
+TEST(ToneSourceTest, ChunksAreDeterministic) {
+  ToneSource mic(3, kFormat);
+  EXPECT_EQ(mic.Chunk(7), mic.Chunk(7));
+  EXPECT_NE(mic.Chunk(7), mic.Chunk(8));
+  EXPECT_NE(mic.Chunk(7), ToneSource(4, kFormat).Chunk(7));
+}
+
+TEST(ToneSourceTest, ChunkEncodesHeaderAndSamples) {
+  ToneSource mic(5, kFormat);
+  Buffer chunk = mic.Chunk(12);
+  EXPECT_EQ(chunk.size(), kAudioHeaderBytes + kFormat.samples_per_chunk * 2);
+  auto info = InspectChunk(chunk);
+  ASSERT_TRUE(info.ok()) << info.status();
+  EXPECT_EQ(info->participant, 5u);
+  EXPECT_EQ(info->chunk_no, 12);
+  EXPECT_EQ(info->samples, kFormat.samples_per_chunk);
+}
+
+TEST(ToneSourceTest, SamplesMatchChunkContents) {
+  ToneSource mic(2, kFormat);
+  Buffer chunk = mic.Chunk(4);
+  const std::uint64_t base =
+      static_cast<std::uint64_t>(4) * kFormat.samples_per_chunk;
+  for (std::size_t i = 0; i < kFormat.samples_per_chunk; i += 37) {
+    auto sample = ChunkSample(chunk, i);
+    ASSERT_TRUE(sample.ok());
+    EXPECT_EQ(*sample, mic.SampleAt(base + i)) << "sample " << i;
+  }
+}
+
+TEST(ToneSourceTest, ChunksAreContinuousAcrossBoundaries) {
+  // The waveform is a function of the absolute sample index, so the
+  // last sample of chunk n and first of chunk n+1 are neighbours of
+  // the same stream, not a restart.
+  ToneSource mic(1, kFormat);
+  EXPECT_EQ(mic.SampleAt(kFormat.samples_per_chunk - 1),
+            mic.SampleAt(kFormat.samples_per_chunk - 1));
+  Buffer a = mic.Chunk(0);
+  Buffer b = mic.Chunk(1);
+  EXPECT_EQ(*ChunkSample(b, 0), mic.SampleAt(kFormat.samples_per_chunk));
+}
+
+TEST(InspectChunkTest, RejectsGarbage) {
+  Buffer junk(64, 0xAB);
+  EXPECT_FALSE(InspectChunk(junk).ok());
+  Buffer tiny = {1, 2};
+  EXPECT_FALSE(InspectChunk(tiny).ok());
+}
+
+TEST(AudioMixerTest, SaturationMath) {
+  EXPECT_EQ(AudioMixer::Saturate(0), 0);
+  EXPECT_EQ(AudioMixer::Saturate(32767), 32767);
+  EXPECT_EQ(AudioMixer::Saturate(32768), 32767);
+  EXPECT_EQ(AudioMixer::Saturate(-32768), -32768);
+  EXPECT_EQ(AudioMixer::Saturate(-99999), -32768);
+}
+
+TEST(AudioMixerTest, MixIsSampleWiseSaturatedSum) {
+  AudioMixer mixer(kFormat);
+  ToneSource a(0, kFormat), b(1, kFormat), c(2, kFormat);
+  std::vector<Buffer> chunks = {a.Chunk(9), b.Chunk(9), c.Chunk(9)};
+  auto mixed = mixer.Mix(chunks);
+  ASSERT_TRUE(mixed.ok()) << mixed.status();
+  auto info = InspectChunk(*mixed);
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ(info->participant, kMixedParticipant);
+  EXPECT_EQ(info->chunk_no, 9);
+  const std::uint64_t base =
+      static_cast<std::uint64_t>(9) * kFormat.samples_per_chunk;
+  for (std::size_t i = 0; i < kFormat.samples_per_chunk; i += 11) {
+    const std::int32_t sum = a.SampleAt(base + i) + b.SampleAt(base + i) +
+                             c.SampleAt(base + i);
+    EXPECT_EQ(*ChunkSample(*mixed, i), AudioMixer::Saturate(sum));
+  }
+}
+
+TEST(AudioMixerTest, RejectsMismatchedChunks) {
+  AudioMixer mixer(kFormat);
+  ToneSource a(0, kFormat), b(1, kFormat);
+  std::vector<Buffer> different_ts = {a.Chunk(1), b.Chunk(2)};
+  EXPECT_EQ(mixer.Mix(different_ts).status().code(),
+            StatusCode::kInvalidArgument);
+  std::vector<Buffer> empty;
+  EXPECT_EQ(mixer.Mix(empty).status().code(), StatusCode::kInvalidArgument);
+  AudioFormat other{16000, 160};
+  ToneSource short_mic(0, other);
+  std::vector<Buffer> wrong_len = {short_mic.Chunk(1)};
+  EXPECT_EQ(mixer.Mix(wrong_len).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(AudioEndToEndTest, MixedStreamOverRuntimeVerifiesBitExact) {
+  core::Runtime::Options opts;
+  opts.num_address_spaces = 2;
+  auto rt = core::Runtime::Create(opts);
+  ASSERT_TRUE(rt.ok());
+  constexpr std::size_t kVoices = 3;
+  constexpr Timestamp kChunks = 10;
+
+  // Voices produce into per-voice channels on AS0; the bridge mixes on
+  // AS1 into an output channel; a listener validates the mix.
+  std::vector<ChannelId> voice_channels;
+  for (std::size_t v = 0; v < kVoices; ++v) {
+    auto ch = (*rt)->as(0).CreateChannel();
+    ASSERT_TRUE(ch.ok());
+    voice_channels.push_back(*ch);
+    (*rt)->as(0).Spawn("voice", [&, v, ch = *ch] {
+      auto out = (*rt)->as(0).Connect(ch, core::ConnMode::kOutput);
+      ASSERT_TRUE(out.ok());
+      ToneSource mic(static_cast<std::uint32_t>(v), kFormat);
+      for (Timestamp ts = 0; ts < kChunks; ++ts) {
+        ASSERT_TRUE((*rt)->as(0).Put(*out, ts, mic.Chunk(ts)).ok());
+      }
+    });
+  }
+  auto mix_ch = (*rt)->as(1).CreateChannel();
+  ASSERT_TRUE(mix_ch.ok());
+  (*rt)->as(1).Spawn("bridge", [&] {
+    std::vector<core::Connection> inputs;
+    for (ChannelId ch : voice_channels) {
+      auto conn = (*rt)->as(1).Connect(ch, core::ConnMode::kInput, "bridge");
+      ASSERT_TRUE(conn.ok());
+      inputs.push_back(*conn);
+    }
+    auto out = (*rt)->as(1).Connect(*mix_ch, core::ConnMode::kOutput);
+    ASSERT_TRUE(out.ok());
+    AudioMixer mixer(kFormat);
+    for (Timestamp ts = 0; ts < kChunks; ++ts) {
+      std::vector<Buffer> voice;
+      for (auto& input : inputs) {
+        auto item = (*rt)->as(1).Get(input, core::GetSpec::Exact(ts),
+                                     Deadline::AfterMillis(30000));
+        ASSERT_TRUE(item.ok()) << item.status();
+        voice.push_back(item->payload.ToVector());
+        ASSERT_TRUE((*rt)->as(1).Consume(input, ts).ok());
+      }
+      auto mixed = mixer.Mix(voice);
+      ASSERT_TRUE(mixed.ok());
+      ASSERT_TRUE((*rt)->as(1).Put(*out, ts, std::move(mixed).value()).ok());
+    }
+  });
+
+  auto in = (*rt)->as(0).Connect(*mix_ch, core::ConnMode::kInput);
+  ASSERT_TRUE(in.ok());
+  std::vector<ToneSource> mics;
+  for (std::size_t v = 0; v < kVoices; ++v) {
+    mics.emplace_back(static_cast<std::uint32_t>(v), kFormat);
+  }
+  for (Timestamp ts = 0; ts < kChunks; ++ts) {
+    auto item = (*rt)->as(0).Get(*in, core::GetSpec::Exact(ts),
+                                 Deadline::AfterMillis(30000));
+    ASSERT_TRUE(item.ok()) << item.status();
+    const std::uint64_t base =
+        static_cast<std::uint64_t>(ts) * kFormat.samples_per_chunk;
+    for (std::size_t i = 0; i < kFormat.samples_per_chunk; i += 53) {
+      std::int32_t sum = 0;
+      for (auto& mic : mics) sum += mic.SampleAt(base + i);
+      EXPECT_EQ(*ChunkSample(item->payload.span(), i),
+                AudioMixer::Saturate(sum))
+          << "chunk " << ts << " sample " << i;
+    }
+    ASSERT_TRUE((*rt)->as(0).Consume(*in, ts).ok());
+  }
+  (*rt)->as(0).JoinThreads();
+  (*rt)->as(1).JoinThreads();
+}
+
+TEST(AudioVideoCorrelationTest, AudioAlignsWithLossyVideo) {
+  // Audio at full rate, video dropping every 4th frame: the correlator
+  // must deliver exactly the surviving timestamps with matched media.
+  core::Runtime::Options opts;
+  auto rt = core::Runtime::Create(opts);
+  ASSERT_TRUE(rt.ok());
+  auto audio_ch = (*rt)->as(0).CreateChannel();
+  auto video_ch = (*rt)->as(0).CreateChannel();
+  ASSERT_TRUE(audio_ch.ok());
+  ASSERT_TRUE(video_ch.ok());
+  auto audio_out = (*rt)->as(0).Connect(*audio_ch, core::ConnMode::kOutput);
+  auto video_out = (*rt)->as(0).Connect(*video_ch, core::ConnMode::kOutput);
+  ToneSource mic(0, kFormat);
+  VirtualCamera camera(0, 4096);
+  constexpr Timestamp kTs = 12;
+  for (Timestamp ts = 0; ts < kTs; ++ts) {
+    ASSERT_TRUE((*rt)->as(0).Put(*audio_out, ts, mic.Chunk(ts)).ok());
+    if (ts % 4 != 3) {
+      ASSERT_TRUE((*rt)->as(0).Put(*video_out, ts, camera.Grab(ts)).ok());
+    }
+  }
+  auto audio_in = (*rt)->as(0).Connect(*audio_ch, core::ConnMode::kInput);
+  auto video_in = (*rt)->as(0).Connect(*video_ch, core::ConnMode::kInput);
+  TemporalCorrelator av((*rt)->as(0), {*audio_in, *video_in});
+  std::size_t pairs = 0;
+  for (Timestamp ts = 0; ts < kTs; ++ts) {
+    if (ts % 4 == 3) continue;
+    auto tuple = av.NextTuple(Deadline::AfterMillis(10000));
+    ASSERT_TRUE(tuple.ok()) << tuple.status();
+    EXPECT_EQ(tuple->timestamp, ts);
+    auto audio_info = InspectChunk(tuple->items[0].payload.span());
+    auto video_info = InspectFrame(tuple->items[1].payload.span());
+    ASSERT_TRUE(audio_info.ok());
+    ASSERT_TRUE(video_info.ok());
+    EXPECT_EQ(audio_info->chunk_no, video_info->frame_no);
+    ++pairs;
+  }
+  EXPECT_EQ(pairs, 9u);
+  EXPECT_EQ(av.skipped_timestamps(), 2u);  // ts 3 and 7 (11 pending)
+}
+
+}  // namespace
+}  // namespace dstampede::app

@@ -1,0 +1,155 @@
+// The flat C API (dstampede.h): lifecycle, channel and queue I/O,
+// error mapping, buffer sizing, name server, real-time synchrony.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <thread>
+
+#include "dstampede/capi/dstampede.h"
+
+namespace {
+
+class CapiTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_EQ(spd_runtime_create(2, &rt_), SPD_OK);
+  }
+  void TearDown() override { spd_runtime_destroy(rt_); }
+
+  spd_runtime* rt_ = nullptr;
+};
+
+TEST_F(CapiTest, RuntimeSize) { EXPECT_EQ(spd_runtime_size(rt_), 2); }
+
+TEST_F(CapiTest, ChannelPutGetConsume) {
+  uint64_t chan = 0;
+  ASSERT_EQ(spd_chan_create(rt_, 0, 0, &chan), SPD_OK);
+  spd_conn out, in;
+  ASSERT_EQ(spd_chan_connect(rt_, 1, chan, SPD_OUTPUT, &out), SPD_OK);
+  ASSERT_EQ(spd_chan_connect(rt_, 0, chan, SPD_INPUT, &in), SPD_OK);
+
+  const char payload[] = "space-time";
+  ASSERT_EQ(spd_put_item(rt_, 1, &out, 5, payload, sizeof payload,
+                         SPD_WAIT_FOREVER),
+            SPD_OK);
+  char buf[32];
+  size_t len = 0;
+  ASSERT_EQ(spd_get_item(rt_, 0, &in, 5, buf, sizeof buf, &len, 5000),
+            SPD_OK);
+  EXPECT_EQ(len, sizeof payload);
+  EXPECT_STREQ(buf, payload);
+  EXPECT_EQ(spd_consume_item(rt_, 0, &in, 5), SPD_OK);
+  // Consumed: the re-get maps to the GC error.
+  EXPECT_EQ(spd_get_item(rt_, 0, &in, 5, buf, sizeof buf, &len, 0),
+            SPD_ERR_GARBAGE_COLLECTED);
+}
+
+TEST_F(CapiTest, BufferTooSmallReportsFullSize) {
+  uint64_t chan = 0;
+  ASSERT_EQ(spd_chan_create(rt_, 0, 0, &chan), SPD_OK);
+  spd_conn out, in;
+  ASSERT_EQ(spd_chan_connect(rt_, 0, chan, SPD_OUTPUT, &out), SPD_OK);
+  ASSERT_EQ(spd_chan_connect(rt_, 0, chan, SPD_INPUT, &in), SPD_OK);
+  char big[100];
+  std::memset(big, 7, sizeof big);
+  ASSERT_EQ(spd_put_item(rt_, 0, &out, 1, big, sizeof big, 0), SPD_OK);
+  char tiny[10];
+  size_t len = 0;
+  EXPECT_EQ(spd_get_item(rt_, 0, &in, 1, tiny, sizeof tiny, &len, 0),
+            SPD_ERR_BUFFER_TOO_SMALL);
+  EXPECT_EQ(len, sizeof big);
+}
+
+TEST_F(CapiTest, QueueFifoThroughCApi) {
+  uint64_t queue = 0;
+  ASSERT_EQ(spd_queue_create(rt_, 0, 0, &queue), SPD_OK);
+  spd_conn out, in;
+  ASSERT_EQ(spd_queue_connect(rt_, 0, queue, SPD_OUTPUT, &out), SPD_OK);
+  ASSERT_EQ(spd_queue_connect(rt_, 0, queue, SPD_INPUT, &in), SPD_OK);
+  for (int i = 0; i < 3; ++i) {
+    char item = static_cast<char>('a' + i);
+    ASSERT_EQ(spd_put_item(rt_, 0, &out, i, &item, 1, 0), SPD_OK);
+  }
+  for (int i = 0; i < 3; ++i) {
+    spd_timestamp ts = -1;
+    char got = 0;
+    size_t len = 0;
+    ASSERT_EQ(spd_get_next(rt_, 0, &in, &ts, &got, 1, &len, 5000), SPD_OK);
+    EXPECT_EQ(ts, i);
+    EXPECT_EQ(got, 'a' + i);
+    ASSERT_EQ(spd_consume_item(rt_, 0, &in, ts), SPD_OK);
+  }
+}
+
+TEST_F(CapiTest, ModeEnforcement) {
+  uint64_t chan = 0;
+  ASSERT_EQ(spd_chan_create(rt_, 0, 0, &chan), SPD_OK);
+  spd_conn in;
+  ASSERT_EQ(spd_chan_connect(rt_, 0, chan, SPD_INPUT, &in), SPD_OK);
+  char byte = 1;
+  EXPECT_EQ(spd_put_item(rt_, 0, &in, 1, &byte, 1, 0),
+            SPD_ERR_PERMISSION_DENIED);
+}
+
+TEST_F(CapiTest, TimeoutMapping) {
+  uint64_t chan = 0;
+  ASSERT_EQ(spd_chan_create(rt_, 0, 0, &chan), SPD_OK);
+  spd_conn in;
+  ASSERT_EQ(spd_chan_connect(rt_, 0, chan, SPD_INPUT, &in), SPD_OK);
+  char buf[4];
+  size_t len = 0;
+  EXPECT_EQ(spd_get_item(rt_, 0, &in, 1, buf, sizeof buf, &len, 50),
+            SPD_ERR_TIMEOUT);
+}
+
+TEST_F(CapiTest, NameServerAcrossAddressSpaces) {
+  uint64_t chan = 0;
+  ASSERT_EQ(spd_chan_create(rt_, 1, 0, &chan), SPD_OK);
+  ASSERT_EQ(spd_ns_register(rt_, 1, "capi/stream", chan, 0, "meta"), SPD_OK);
+  uint64_t found = 0;
+  int is_queue = -1;
+  ASSERT_EQ(spd_ns_lookup(rt_, 0, "capi/stream", 5000, &found, &is_queue),
+            SPD_OK);
+  EXPECT_EQ(found, chan);
+  EXPECT_EQ(is_queue, 0);
+  EXPECT_EQ(spd_ns_register(rt_, 0, "capi/stream", chan, 0, ""),
+            SPD_ERR_ALREADY_EXISTS);
+  ASSERT_EQ(spd_ns_unregister(rt_, 0, "capi/stream"), SPD_OK);
+  EXPECT_EQ(spd_ns_lookup(rt_, 0, "capi/stream", 0, &found, &is_queue),
+            SPD_ERR_NOT_FOUND);
+}
+
+TEST_F(CapiTest, InvalidArgumentsRejected) {
+  EXPECT_EQ(spd_chan_create(nullptr, 0, 0, nullptr),
+            SPD_ERR_INVALID_ARGUMENT);
+  EXPECT_EQ(spd_chan_create(rt_, 99, 0, nullptr), SPD_ERR_INVALID_ARGUMENT);
+  uint64_t chan = 0;
+  EXPECT_EQ(spd_chan_create(rt_, -1, 0, &chan), SPD_ERR_INVALID_ARGUMENT);
+  spd_conn bogus{};
+  EXPECT_EQ(spd_put_item(rt_, 0, &bogus, 1, "x", 1, 0),
+            SPD_ERR_INVALID_ARGUMENT);
+  EXPECT_EQ(spd_disconnect(rt_, 0, nullptr), SPD_ERR_INVALID_ARGUMENT);
+}
+
+TEST(CapiRtSyncTest, PacesAndCountsSlips) {
+  spd_rt_sync* pace = spd_rt_sync_create(20000, 5000);
+  ASSERT_NE(pace, nullptr);
+  EXPECT_EQ(spd_rt_sync_wait(pace), SPD_OK);  // early: waits to the tick
+  std::this_thread::sleep_for(std::chrono::milliseconds(60));
+  EXPECT_EQ(spd_rt_sync_wait(pace), SPD_ERR_TIMEOUT);  // slipped
+  EXPECT_EQ(spd_rt_sync_slips(pace), 1u);
+  spd_rt_sync_destroy(pace);
+  EXPECT_EQ(spd_rt_sync_create(0, 0), nullptr);
+}
+
+TEST(CapiStatusTest, NamesCoverAllCodes) {
+  EXPECT_STREQ(spd_status_name(SPD_OK), "SPD_OK");
+  EXPECT_STREQ(spd_status_name(SPD_ERR_GARBAGE_COLLECTED),
+               "SPD_ERR_GARBAGE_COLLECTED");
+  EXPECT_STREQ(spd_status_name(SPD_ERR_BUFFER_TOO_SMALL),
+               "SPD_ERR_BUFFER_TOO_SMALL");
+  EXPECT_STREQ(spd_status_name(static_cast<spd_status>(-99)),
+               "SPD_ERR_UNKNOWN");
+}
+
+}  // namespace

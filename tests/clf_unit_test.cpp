@@ -1,0 +1,188 @@
+// Unit tests for CLF's internals: the fault injector's deterministic
+// behaviour, the shared-memory ring and registry, window-limited
+// sending, and retransmission statistics.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "dstampede/clf/endpoint.hpp"
+#include "dstampede/clf/fault_injector.hpp"
+#include "dstampede/clf/shm_ring.hpp"
+
+namespace dstampede::clf {
+namespace {
+
+// --- fault injector -----------------------------------------------------
+
+TEST(FaultInjectorTest, InactiveByDefault) {
+  FaultInjector injector;
+  EXPECT_FALSE(injector.active());
+  Buffer pkt = {1, 2, 3};
+  auto out = injector.Filter(pkt);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], pkt);
+}
+
+TEST(FaultInjectorTest, DeterministicAcrossSeeds) {
+  FaultInjector::Config config;
+  config.drop_probability = 0.3;
+  config.duplicate_probability = 0.2;
+  config.seed = 42;
+  auto run = [&] {
+    FaultInjector injector(config);
+    std::vector<std::size_t> counts;
+    for (int i = 0; i < 100; ++i) {
+      counts.push_back(injector.Filter(Buffer{static_cast<std::uint8_t>(i)})
+                           .size());
+    }
+    return counts;
+  };
+  EXPECT_EQ(run(), run()) << "same seed, same fate sequence";
+}
+
+TEST(FaultInjectorTest, DropRateRoughlyHonored) {
+  FaultInjector::Config config;
+  config.drop_probability = 0.25;
+  config.seed = 7;
+  FaultInjector injector(config);
+  for (int i = 0; i < 1000; ++i) {
+    (void)injector.Filter(Buffer{1});
+  }
+  EXPECT_GT(injector.dropped(), 180u);
+  EXPECT_LT(injector.dropped(), 330u);
+}
+
+TEST(FaultInjectorTest, DuplicationEmitsTwoCopies) {
+  FaultInjector::Config config;
+  config.duplicate_probability = 1.0;
+  FaultInjector injector(config);
+  Buffer pkt = {9};
+  auto out = injector.Filter(pkt);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0], pkt);
+  EXPECT_EQ(out[1], pkt);
+  EXPECT_EQ(injector.duplicated(), 1u);
+}
+
+TEST(FaultInjectorTest, ReorderHoldsThenReleases) {
+  FaultInjector::Config config;
+  config.reorder_probability = 1.0;
+  FaultInjector injector(config);
+  // First packet is held back...
+  auto first = injector.Filter(Buffer{1});
+  EXPECT_TRUE(first.empty());
+  // ...the next call ships the newer packet first, then the held one:
+  // the reorder (only one packet can be held at a time).
+  auto second = injector.Filter(Buffer{2});
+  ASSERT_EQ(second.size(), 2u);
+  EXPECT_EQ(second[0], (Buffer{2}));
+  EXPECT_EQ(second[1], (Buffer{1}));
+  // Flush drains any held packet.
+  auto third = injector.Filter(Buffer{3});
+  EXPECT_TRUE(third.empty());
+  auto flushed = injector.Flush();
+  ASSERT_TRUE(flushed.has_value());
+  EXPECT_EQ(*flushed, (Buffer{3}));
+  EXPECT_FALSE(injector.Flush().has_value());
+}
+
+// --- shm ring & registry ---------------------------------------------------
+
+TEST(ShmRingTest, TransfersMessagesThroughChunks) {
+  std::vector<std::pair<transport::SockAddr, Buffer>> delivered;
+  ShmRing ring([&](const transport::SockAddr& from, Buffer message) {
+    delivered.emplace_back(from, std::move(message));
+  });
+  Buffer big(3 * ShmRing::kChunk + 500);
+  FillPattern(big, 4);
+  const auto from = transport::SockAddr::Loopback(1234);
+  ring.Transfer(from, big);
+  ASSERT_EQ(delivered.size(), 1u);
+  EXPECT_EQ(delivered[0].first, from);
+  EXPECT_EQ(delivered[0].second.size(), big.size());
+  EXPECT_TRUE(CheckPattern(delivered[0].second, 4));
+}
+
+TEST(ShmRingTest, EmptyMessage) {
+  std::size_t calls = 0;
+  ShmRing ring([&](const transport::SockAddr&, Buffer message) {
+    ++calls;
+    EXPECT_TRUE(message.empty());
+  });
+  ring.Transfer(transport::SockAddr::Loopback(1), {});
+  EXPECT_EQ(calls, 1u);
+}
+
+TEST(ShmRegistryTest, RegisterLookupUnregister) {
+  auto& registry = ShmRegistry::Instance();
+  const auto addr = transport::SockAddr::Loopback(54321);
+  EXPECT_EQ(registry.Lookup(addr), nullptr);
+  auto ring = std::make_shared<ShmRing>(
+      [](const transport::SockAddr&, Buffer) {});
+  registry.Register(addr, ring);
+  EXPECT_EQ(registry.Lookup(addr), ring);
+  registry.Unregister(addr);
+  EXPECT_EQ(registry.Lookup(addr), nullptr);
+}
+
+// --- window behaviour --------------------------------------------------------
+
+TEST(ClfWindowTest, TinyWindowStillDeliversLargeMessage) {
+  // window_packets=2 forces the sender to block repeatedly waiting for
+  // acks mid-message; the message must still arrive intact.
+  Endpoint::Options opts;
+  opts.window_packets = 2;
+  opts.initial_rto = Millis(5);
+  auto a = Endpoint::Create(opts);
+  auto b = Endpoint::Create({});
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  Buffer msg(500 * 1024);  // ~9 fragments through a 2-packet window
+  FillPattern(msg, 77);
+  ASSERT_TRUE((*a)->Send((*b)->addr(), msg).ok());
+  Buffer got;
+  transport::SockAddr from;
+  ASSERT_TRUE((*b)->Recv(got, from, Deadline::AfterMillis(30000)).ok());
+  ASSERT_EQ(got.size(), msg.size());
+  EXPECT_TRUE(CheckPattern(got, 77));
+}
+
+TEST(ClfWindowTest, TinyWindowUnderLoss) {
+  Endpoint::Options opts;
+  opts.window_packets = 2;
+  opts.initial_rto = Millis(5);
+  opts.faults.drop_probability = 0.2;
+  opts.faults.seed = 3;
+  auto a = Endpoint::Create(opts);
+  auto b = Endpoint::Create({});
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  Buffer msg(200 * 1024);
+  FillPattern(msg, 99);
+  ASSERT_TRUE((*a)->Send((*b)->addr(), msg).ok());
+  Buffer got;
+  transport::SockAddr from;
+  ASSERT_TRUE((*b)->Recv(got, from, Deadline::AfterMillis(30000)).ok());
+  EXPECT_TRUE(CheckPattern(got, 99));
+  EXPECT_GT((*a)->stats().retransmissions.load(), 0u);
+}
+
+TEST(ClfStatsTest, CountersReflectTraffic) {
+  auto a = Endpoint::Create({});
+  auto b = Endpoint::Create({});
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  Buffer msg(150 * 1024);  // 3 fragments
+  FillPattern(msg, 1);
+  ASSERT_TRUE((*a)->Send((*b)->addr(), msg).ok());
+  Buffer got;
+  transport::SockAddr from;
+  ASSERT_TRUE((*b)->Recv(got, from, Deadline::AfterMillis(10000)).ok());
+  EXPECT_GE((*a)->stats().data_packets_sent.load(), 3u);
+  EXPECT_GE((*b)->stats().data_packets_received.load(), 3u);
+  EXPECT_GE((*b)->stats().acks_sent.load(), 1u);
+  EXPECT_EQ((*b)->stats().messages_delivered.load(), 1u);
+}
+
+}  // namespace
+}  // namespace dstampede::clf

@@ -1,0 +1,180 @@
+// Federation (§6 future work, implemented): multiple heterogeneous
+// clusters in one application — unique AsId ranges, cross-cluster STM
+// routing, the federation-wide name server, distributed GC across
+// cluster boundaries, end devices on different clusters' listeners,
+// and dynamic growth.
+#include <gtest/gtest.h>
+
+#include "dstampede/client/client.hpp"
+#include "dstampede/client/listener.hpp"
+#include "dstampede/core/federation.hpp"
+
+namespace dstampede::core {
+namespace {
+
+class FederationTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Federation::Options opts;
+    opts.clusters = {
+        Federation::ClusterSpec{.num_address_spaces = 2},
+        Federation::ClusterSpec{.num_address_spaces = 1,
+                                .dispatcher_threads = 4,
+                                .gc_interval = Millis(5)},
+    };
+    auto fed = Federation::Create(opts);
+    ASSERT_TRUE(fed.ok()) << fed.status();
+    fed_ = std::move(fed).value();
+  }
+
+  Buffer Bytes(std::string_view s) { return Buffer(s.begin(), s.end()); }
+
+  std::unique_ptr<Federation> fed_;
+};
+
+TEST_F(FederationTest, AsIdRangesAreDisjoint) {
+  EXPECT_EQ(AsIndex(fed_->cluster(0).as(0).id()), 0u);
+  EXPECT_EQ(AsIndex(fed_->cluster(0).as(1).id()), 1u);
+  EXPECT_EQ(AsIndex(fed_->cluster(1).as(0).id()), 4096u);
+}
+
+TEST_F(FederationTest, CrossClusterPutGet) {
+  // Channel in cluster 1; producer and consumer in cluster 0.
+  auto ch = fed_->cluster(1).as(0).CreateChannel();
+  ASSERT_TRUE(ch.ok());
+  auto out = fed_->cluster(0).as(0).Connect(*ch, ConnMode::kOutput);
+  auto in = fed_->cluster(0).as(1).Connect(*ch, ConnMode::kInput);
+  ASSERT_TRUE(out.ok()) << out.status();
+  ASSERT_TRUE(in.ok());
+  Buffer payload(20000);
+  FillPattern(payload, 5);
+  ASSERT_TRUE(fed_->cluster(0).as(0).Put(*out, 1, payload).ok());
+  auto item = fed_->cluster(0).as(1).Get(*in, GetSpec::Exact(1),
+                                         Deadline::AfterMillis(10000));
+  ASSERT_TRUE(item.ok()) << item.status();
+  EXPECT_TRUE(CheckPattern(item->payload.span(), 5));
+}
+
+TEST_F(FederationTest, FederationWideNameServer) {
+  auto ch = fed_->cluster(1).as(0).CreateChannel();
+  ASSERT_TRUE(ch.ok());
+  ASSERT_TRUE(fed_->cluster(1)
+                  .as(0)
+                  .NsRegister(NsEntry{"fed/ch", NsEntry::Kind::kChannel,
+                                      ch->bits(), "on cluster 1"})
+                  .ok());
+  // Visible from cluster 0 (which hosts the NS) and its other AS.
+  auto entry =
+      fed_->cluster(0).as(1).NsLookup("fed/ch", Deadline::AfterMillis(5000));
+  ASSERT_TRUE(entry.ok()) << entry.status();
+  EXPECT_EQ(entry->id_bits, ch->bits());
+}
+
+TEST_F(FederationTest, CrossClusterGc) {
+  auto ch = fed_->cluster(0).as(1).CreateChannel();
+  ASSERT_TRUE(ch.ok());
+  auto out = fed_->cluster(0).as(1).Connect(*ch, ConnMode::kOutput);
+  auto in = fed_->cluster(1).as(0).Connect(*ch, ConnMode::kInput);
+  ASSERT_TRUE(out.ok());
+  ASSERT_TRUE(in.ok());
+  ASSERT_TRUE(fed_->cluster(0).as(1).Put(*out, 7, Bytes("x")).ok());
+  auto channel = fed_->cluster(0).as(1).FindChannel(ch->bits());
+  EXPECT_EQ(channel->live_items(), 1u);
+  // The remote (other-cluster) consumer's consume drives reclamation.
+  ASSERT_TRUE(fed_->cluster(1).as(0).Consume(*in, 7).ok());
+  EXPECT_EQ(channel->live_items(), 0u);
+}
+
+TEST_F(FederationTest, EndDevicesOnDifferentClusters) {
+  auto listener_a = client::Listener::Start(fed_->cluster(0));
+  auto listener_b = client::Listener::Start(fed_->cluster(1));
+  ASSERT_TRUE(listener_a.ok());
+  ASSERT_TRUE(listener_b.ok());
+
+  client::CClient::Options oa;
+  oa.server = (*listener_a)->addr();
+  oa.name = "producer@A";
+  auto producer = client::CClient::Join(oa);
+  ASSERT_TRUE(producer.ok());
+
+  client::CClient::Options ob;
+  ob.server = (*listener_b)->addr();
+  ob.name = "consumer@B";
+  auto consumer = client::CClient::Join(ob);
+  ASSERT_TRUE(consumer.ok());
+
+  auto ch = (*producer)->CreateChannel();
+  ASSERT_TRUE(ch.ok());
+  ASSERT_TRUE((*producer)
+                  ->NsRegister(NsEntry{"fed/stream", NsEntry::Kind::kChannel,
+                                       ch->bits(), ""})
+                  .ok());
+  auto entry =
+      (*consumer)->NsLookup("fed/stream", Deadline::AfterMillis(5000));
+  ASSERT_TRUE(entry.ok()) << entry.status();
+
+  auto out = (*producer)->Connect(*ch, ConnMode::kOutput);
+  auto in = (*consumer)->Connect(ChannelId::FromBits(entry->id_bits),
+                                 ConnMode::kInput);
+  ASSERT_TRUE(out.ok());
+  ASSERT_TRUE(in.ok()) << in.status();
+
+  ASSERT_TRUE((*producer)->Put(*out, 1, Bytes("inter-cluster")).ok());
+  auto item =
+      (*consumer)->Get(*in, GetSpec::Exact(1), Deadline::AfterMillis(10000));
+  ASSERT_TRUE(item.ok()) << item.status();
+  EXPECT_EQ(item->payload.ToString(), "inter-cluster");
+
+  (*listener_a)->Shutdown();
+  (*listener_b)->Shutdown();
+}
+
+TEST_F(FederationTest, DynamicGrowthWiresAcrossClusters) {
+  auto added = fed_->AddAddressSpace(1);
+  ASSERT_TRUE(added.ok()) << added.status();
+  EXPECT_EQ(AsIndex((*added)->id()), 4097u);
+  // The newcomer reaches a channel in cluster 0 and the global NS.
+  auto ch = fed_->cluster(0).as(0).CreateChannel();
+  ASSERT_TRUE(ch.ok());
+  auto out = (*added)->Connect(*ch, ConnMode::kOutput);
+  ASSERT_TRUE(out.ok()) << out.status();
+  EXPECT_TRUE((*added)->Put(*out, 1, Bytes("hi")).ok());
+  EXPECT_TRUE((*added)
+                  ->NsRegister(NsEntry{"dyn/fed", NsEntry::Kind::kOther, 0, ""})
+                  .ok());
+}
+
+TEST(FederationValidationTest, RejectsBadOptions) {
+  Federation::Options empty;
+  EXPECT_EQ(Federation::Create(empty).status().code(),
+            StatusCode::kInvalidArgument);
+  Federation::Options oversized;
+  oversized.as_id_stride = 2;
+  oversized.clusters = {Federation::ClusterSpec{.num_address_spaces = 3}};
+  EXPECT_EQ(Federation::Create(oversized).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(FederationValidationTest, ThreeClusters) {
+  Federation::Options opts;
+  opts.clusters = {Federation::ClusterSpec{}, Federation::ClusterSpec{},
+                   Federation::ClusterSpec{}};
+  auto fed = Federation::Create(opts);
+  ASSERT_TRUE(fed.ok());
+  // A triangle route: channel on cluster 2, producer on 0, consumer on 1.
+  auto ch = (*fed)->cluster(2).as(0).CreateChannel();
+  ASSERT_TRUE(ch.ok());
+  auto out = (*fed)->cluster(0).as(0).Connect(*ch, ConnMode::kOutput);
+  auto in = (*fed)->cluster(1).as(0).Connect(*ch, ConnMode::kInput);
+  ASSERT_TRUE(out.ok());
+  ASSERT_TRUE(in.ok());
+  Buffer b = {1, 2, 3};
+  ASSERT_TRUE((*fed)->cluster(0).as(0).Put(*out, 1, b).ok());
+  auto item = (*fed)->cluster(1).as(0).Get(*in, GetSpec::Exact(1),
+                                           Deadline::AfterMillis(10000));
+  ASSERT_TRUE(item.ok());
+  EXPECT_EQ(item->payload.ToVector(), b);
+}
+
+}  // namespace
+}  // namespace dstampede::core

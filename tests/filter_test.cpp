@@ -1,0 +1,230 @@
+// Selective-attention filters (§6 future work): visibility through the
+// get selectors, GC interaction (filtered connections hold no claim on
+// hidden items), wire transport of filters, and the client-side API.
+#include <gtest/gtest.h>
+
+#include "dstampede/client/client.hpp"
+#include "dstampede/client/listener.hpp"
+#include "dstampede/core/channel.hpp"
+#include "dstampede/core/runtime.hpp"
+
+namespace dstampede::core {
+namespace {
+
+SharedBuffer Payload(std::size_t n = 8) { return SharedBuffer(Buffer(n)); }
+
+TEST(ItemFilterTest, DefaultPassesEverything) {
+  ItemFilter filter;
+  EXPECT_TRUE(filter.IsPassAll());
+  EXPECT_TRUE(filter.Matches(0, 0));
+  EXPECT_TRUE(filter.Matches(-5, 1 << 20));
+}
+
+TEST(ItemFilterTest, StrideAndPhase) {
+  ItemFilter filter;
+  filter.stride = 3;
+  filter.phase = 1;
+  EXPECT_FALSE(filter.Matches(0, 0));
+  EXPECT_TRUE(filter.Matches(1, 0));
+  EXPECT_FALSE(filter.Matches(2, 0));
+  EXPECT_TRUE(filter.Matches(4, 0));
+  // Negative timestamps use the mathematical modulus.
+  EXPECT_TRUE(filter.Matches(-2, 0));
+}
+
+TEST(ItemFilterTest, WindowAndSizeBounds) {
+  ItemFilter filter;
+  filter.ts_min = 10;
+  filter.ts_max = 20;
+  filter.min_bytes = 100;
+  filter.max_bytes = 200;
+  EXPECT_FALSE(filter.Matches(9, 150));
+  EXPECT_FALSE(filter.Matches(21, 150));
+  EXPECT_FALSE(filter.Matches(15, 99));
+  EXPECT_FALSE(filter.Matches(15, 201));
+  EXPECT_TRUE(filter.Matches(15, 150));
+  EXPECT_FALSE(filter.IsPassAll());
+}
+
+class FilteredChannelTest : public ::testing::Test {
+ protected:
+  LocalChannel ch_{ChannelAttr{}};
+};
+
+TEST_F(FilteredChannelTest, StrideFilterShapesSelectors) {
+  std::uint32_t conn = ch_.Attach(ConnMode::kInput, "t");
+  ItemFilter every_second;
+  every_second.stride = 2;
+  every_second.phase = 0;
+  ASSERT_TRUE(ch_.SetFilter(conn, every_second).ok());
+  for (Timestamp ts = 0; ts < 6; ++ts) {
+    ASSERT_TRUE(ch_.Put(ts, Payload(), Deadline::Poll()).ok());
+  }
+  EXPECT_EQ(ch_.Get(conn, GetSpec::Oldest(), Deadline::Poll())->timestamp, 0);
+  EXPECT_EQ(ch_.Get(conn, GetSpec::Newest(), Deadline::Poll())->timestamp, 4);
+  EXPECT_EQ(ch_.Get(conn, GetSpec::NextAfter(0), Deadline::Poll())->timestamp,
+            2);
+}
+
+TEST_F(FilteredChannelTest, ExactGetOfExcludedTimestampRejected) {
+  std::uint32_t conn = ch_.Attach(ConnMode::kInput, "t");
+  ItemFilter odd_only;
+  odd_only.stride = 2;
+  odd_only.phase = 1;
+  ASSERT_TRUE(ch_.SetFilter(conn, odd_only).ok());
+  ASSERT_TRUE(ch_.Put(4, Payload(), Deadline::Poll()).ok());
+  // Would block forever otherwise: the filter can never show ts=4.
+  EXPECT_EQ(
+      ch_.Get(conn, GetSpec::Exact(4), Deadline::Infinite()).status().code(),
+      StatusCode::kInvalidArgument);
+  ASSERT_TRUE(ch_.Put(5, Payload(), Deadline::Poll()).ok());
+  EXPECT_TRUE(ch_.Get(conn, GetSpec::Exact(5), Deadline::Poll()).ok());
+}
+
+TEST_F(FilteredChannelTest, FilteredConnectionHoldsNoGcClaim) {
+  std::uint32_t watcher = ch_.Attach(ConnMode::kInput, "watcher");
+  std::uint32_t preview = ch_.Attach(ConnMode::kInput, "preview");
+  ItemFilter every_fifth;
+  every_fifth.stride = 5;
+  ASSERT_TRUE(ch_.SetFilter(preview, every_fifth).ok());
+
+  for (Timestamp ts = 0; ts < 10; ++ts) {
+    ASSERT_TRUE(ch_.Put(ts, Payload(), Deadline::Poll()).ok());
+  }
+  // The full watcher consumes everything; the preview consumed nothing.
+  ASSERT_TRUE(ch_.ConsumeUntil(watcher, 9).ok());
+  // Only ts 0 and 5 are visible to preview; everything else must be
+  // reclaimed despite preview never consuming it.
+  EXPECT_EQ(ch_.live_items(), 2u);
+  ASSERT_TRUE(ch_.Consume(preview, 0).ok());
+  ASSERT_TRUE(ch_.Consume(preview, 5).ok());
+  EXPECT_EQ(ch_.live_items(), 0u);
+}
+
+TEST_F(FilteredChannelTest, NarrowingFilterReleasesHeldItems) {
+  std::uint32_t conn = ch_.Attach(ConnMode::kInput, "t");
+  std::uint32_t other = ch_.Attach(ConnMode::kInput, "o");
+  for (Timestamp ts = 0; ts < 4; ++ts) {
+    ASSERT_TRUE(ch_.Put(ts, Payload(), Deadline::Poll()).ok());
+  }
+  ASSERT_TRUE(ch_.ConsumeUntil(other, 3).ok());
+  EXPECT_EQ(ch_.live_items(), 4u) << "conn still holds everything";
+  ItemFilter nothing_before_100;
+  nothing_before_100.ts_min = 100;
+  ASSERT_TRUE(ch_.SetFilter(conn, nothing_before_100).ok());
+  EXPECT_EQ(ch_.live_items(), 0u)
+      << "installing the filter must drop conn's claim on hidden items";
+}
+
+TEST_F(FilteredChannelTest, SizeFilterHidesLargeItems) {
+  std::uint32_t conn = ch_.Attach(ConnMode::kInput, "t");
+  ItemFilter small_only;
+  small_only.max_bytes = 100;
+  ASSERT_TRUE(ch_.SetFilter(conn, small_only).ok());
+  ASSERT_TRUE(ch_.Put(1, Payload(1000), Deadline::Poll()).ok());
+  ASSERT_TRUE(ch_.Put(2, Payload(50), Deadline::Poll()).ok());
+  EXPECT_EQ(ch_.Get(conn, GetSpec::Oldest(), Deadline::Poll())->timestamp, 2);
+}
+
+TEST_F(FilteredChannelTest, InvalidFiltersRejected) {
+  std::uint32_t conn = ch_.Attach(ConnMode::kInput, "t");
+  ItemFilter bad;
+  bad.stride = 0;
+  EXPECT_EQ(ch_.SetFilter(conn, bad).code(), StatusCode::kInvalidArgument);
+  bad.stride = 4;
+  bad.phase = 4;
+  EXPECT_EQ(ch_.SetFilter(conn, bad).code(), StatusCode::kInvalidArgument);
+  std::uint32_t out = ch_.Attach(ConnMode::kOutput, "o");
+  EXPECT_EQ(ch_.SetFilter(out, ItemFilter{}).code(),
+            StatusCode::kPermissionDenied);
+  EXPECT_EQ(ch_.SetFilter(999, ItemFilter{}).code(), StatusCode::kNotFound);
+}
+
+// --- across the wire ---------------------------------------------------------
+
+TEST(FilterWireTest, RemoteConnectionFilterApplies) {
+  Runtime::Options opts;
+  opts.num_address_spaces = 2;
+  auto rt = Runtime::Create(opts);
+  ASSERT_TRUE(rt.ok());
+  auto ch = (*rt)->as(1).CreateChannel();
+  ASSERT_TRUE(ch.ok());
+  auto out = (*rt)->as(1).Connect(*ch, ConnMode::kOutput);
+  auto in = (*rt)->as(0).Connect(*ch, ConnMode::kInput);
+  ASSERT_TRUE(out.ok());
+  ASSERT_TRUE(in.ok());
+
+  ItemFilter every_third;
+  every_third.stride = 3;
+  ASSERT_TRUE((*rt)->as(0).SetFilter(*in, every_third).ok());
+  for (Timestamp ts = 0; ts < 9; ++ts) {
+    ASSERT_TRUE((*rt)->as(1).Put(*out, ts, Buffer(16)).ok());
+  }
+  auto first = (*rt)->as(0).Get(*in, GetSpec::Oldest(),
+                                Deadline::AfterMillis(5000));
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(first->timestamp, 0);
+  ASSERT_TRUE((*rt)->as(0).Consume(*in, 0).ok());
+  auto second = (*rt)->as(0).Get(*in, GetSpec::Oldest(),
+                                 Deadline::AfterMillis(5000));
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second->timestamp, 3);
+}
+
+TEST(FilterWireTest, QueueFilterRejected) {
+  Runtime::Options opts;
+  auto rt = Runtime::Create(opts);
+  ASSERT_TRUE(rt.ok());
+  auto q = (*rt)->as(0).CreateQueue();
+  ASSERT_TRUE(q.ok());
+  auto in = (*rt)->as(0).Connect(*q, ConnMode::kInput);
+  ASSERT_TRUE(in.ok());
+  EXPECT_EQ((*rt)->as(0).SetFilter(*in, ItemFilter{}).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(FilterClientTest, EndDevicePreviewStream) {
+  // An end device subscribes to every 4th frame only; the full-rate
+  // consumer never waits on the preview device for GC.
+  Runtime::Options opts;
+  opts.num_address_spaces = 1;
+  auto rt = Runtime::Create(opts);
+  ASSERT_TRUE(rt.ok());
+  auto listener = client::Listener::Start(**rt);
+  ASSERT_TRUE(listener.ok());
+
+  client::CClient::Options copts;
+  copts.server = (*listener)->addr();
+  copts.name = "preview";
+  auto preview = client::CClient::Join(copts);
+  ASSERT_TRUE(preview.ok());
+
+  auto ch = (*preview)->CreateChannel();
+  ASSERT_TRUE(ch.ok());
+  auto out = (*preview)->Connect(*ch, core::ConnMode::kOutput);
+  auto in = (*preview)->Connect(*ch, core::ConnMode::kInput);
+  ASSERT_TRUE(out.ok());
+  ASSERT_TRUE(in.ok());
+
+  ItemFilter every_fourth;
+  every_fourth.stride = 4;
+  ASSERT_TRUE((*preview)->SetFilter(*in, every_fourth).ok());
+
+  for (Timestamp ts = 0; ts < 8; ++ts) {
+    ASSERT_TRUE((*preview)->Put(*out, ts, Buffer(64)).ok());
+  }
+  auto item = (*preview)->Get(*in, GetSpec::Oldest(),
+                              Deadline::AfterMillis(5000));
+  ASSERT_TRUE(item.ok());
+  EXPECT_EQ(item->timestamp, 0);
+  ASSERT_TRUE((*preview)->Consume(*in, 0).ok());
+  item = (*preview)->Get(*in, GetSpec::Oldest(), Deadline::AfterMillis(5000));
+  ASSERT_TRUE(item.ok());
+  EXPECT_EQ(item->timestamp, 4);
+
+  (*listener)->Shutdown();
+  (*rt)->Shutdown();
+}
+
+}  // namespace
+}  // namespace dstampede::core

@@ -1,0 +1,266 @@
+// Marshalling tests: XDR layout and round trips, Java-style wire
+// compatibility (both codecs must emit identical octets), error paths,
+// and parameterized round-trip sweeps across payload sizes.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "dstampede/marshal/java_style.hpp"
+#include "dstampede/marshal/xdr.hpp"
+
+namespace dstampede::marshal {
+namespace {
+
+TEST(XdrTest, U32BigEndian) {
+  XdrEncoder enc;
+  enc.PutU32(0x11223344);
+  const Buffer& buf = enc.buffer();
+  ASSERT_EQ(buf.size(), 4u);
+  EXPECT_EQ(buf[0], 0x11);
+  EXPECT_EQ(buf[1], 0x22);
+  EXPECT_EQ(buf[2], 0x33);
+  EXPECT_EQ(buf[3], 0x44);
+}
+
+TEST(XdrTest, OpaquePadsToFourBytes) {
+  XdrEncoder enc;
+  Buffer five = {1, 2, 3, 4, 5};
+  enc.PutOpaque(five);
+  // 4 (length) + 5 (data) + 3 (pad) = 12
+  EXPECT_EQ(enc.size(), 12u);
+  XdrDecoder dec(enc.buffer());
+  EXPECT_EQ(*dec.GetOpaque(), five);
+  EXPECT_TRUE(dec.AtEnd());
+}
+
+TEST(XdrTest, AlignedOpaqueHasNoPad) {
+  XdrEncoder enc;
+  Buffer eight(8, 0x7);
+  enc.PutOpaque(eight);
+  EXPECT_EQ(enc.size(), 12u);  // 4 + 8
+}
+
+TEST(XdrTest, ScalarRoundTrip) {
+  XdrEncoder enc;
+  enc.PutU32(123);
+  enc.PutI32(-456);
+  enc.PutU64(0xFFFFFFFFFFFFFFFFULL);
+  enc.PutI64(INT64_MIN);
+  enc.PutBool(true);
+  enc.PutBool(false);
+  enc.PutF64(-2.5e300);
+  enc.PutString("space-time memory");
+
+  XdrDecoder dec(enc.buffer());
+  EXPECT_EQ(*dec.GetU32(), 123u);
+  EXPECT_EQ(*dec.GetI32(), -456);
+  EXPECT_EQ(*dec.GetU64(), 0xFFFFFFFFFFFFFFFFULL);
+  EXPECT_EQ(*dec.GetI64(), INT64_MIN);
+  EXPECT_TRUE(*dec.GetBool());
+  EXPECT_FALSE(*dec.GetBool());
+  EXPECT_EQ(*dec.GetF64(), -2.5e300);
+  EXPECT_EQ(*dec.GetString(), "space-time memory");
+  EXPECT_TRUE(dec.AtEnd());
+}
+
+TEST(XdrTest, EmptyStringAndOpaque) {
+  XdrEncoder enc;
+  enc.PutString("");
+  enc.PutOpaque({});
+  XdrDecoder dec(enc.buffer());
+  EXPECT_EQ(*dec.GetString(), "");
+  EXPECT_TRUE(dec.GetOpaque()->empty());
+}
+
+TEST(XdrTest, UnderrunReportsError) {
+  Buffer two = {0, 1};
+  XdrDecoder dec(two);
+  EXPECT_FALSE(dec.GetU32().ok());
+}
+
+TEST(XdrTest, OpaqueLengthBeyondBufferIsError) {
+  XdrEncoder enc;
+  enc.PutU32(1000);  // length prefix with no payload behind it
+  XdrDecoder dec(enc.buffer());
+  EXPECT_FALSE(dec.GetOpaque().ok());
+}
+
+TEST(XdrTest, OpaqueViewIsZeroCopy) {
+  XdrEncoder enc;
+  Buffer payload(64, 0xAA);
+  enc.PutOpaque(payload);
+  const Buffer& wire = enc.buffer();
+  XdrDecoder dec(wire);
+  auto view = dec.GetOpaqueView();
+  ASSERT_TRUE(view.ok());
+  EXPECT_EQ(view->data(), wire.data() + 4);
+}
+
+// --- Java-style codec ------------------------------------------------------
+
+TEST(JavaStyleTest, WireCompatibleWithXdr) {
+  XdrEncoder xdr;
+  JavaStyleEncoder java;
+  Buffer payload(37);
+  for (std::size_t i = 0; i < payload.size(); ++i) {
+    payload[i] = static_cast<std::uint8_t>(i * 7);
+  }
+
+  auto encode_both = [&](auto&& fn) {
+    fn(xdr);
+    fn(java);
+  };
+  encode_both([](auto& enc) { enc.PutU32(0xCAFE); });
+  encode_both([](auto& enc) { enc.PutI64(-99); });
+  encode_both([](auto& enc) { enc.PutBool(true); });
+  encode_both([](auto& enc) { enc.PutF64(6.25); });
+  encode_both([&](auto& enc) { enc.PutOpaque(payload); });
+  encode_both([](auto& enc) { enc.PutString("interop"); });
+
+  EXPECT_EQ(xdr.Take(), java.Take());
+}
+
+TEST(JavaStyleTest, DecoderParsesXdrOutput) {
+  XdrEncoder enc;
+  enc.PutU32(7);
+  enc.PutString("from C");
+  Buffer payload(9, 0x3C);
+  enc.PutOpaque(payload);
+  Buffer wire = enc.Take();
+
+  JavaStyleDecoder dec(wire);
+  EXPECT_EQ(*dec.GetU32(), 7u);
+  EXPECT_EQ(*dec.GetString(), "from C");
+  EXPECT_EQ(*dec.GetOpaque(), payload);
+  EXPECT_EQ(dec.remaining(), 0u);
+}
+
+TEST(JavaStyleTest, EncoderSizeAccountsPadding) {
+  JavaStyleEncoder enc;
+  Buffer five(5, 1);
+  enc.PutOpaque(five);
+  EXPECT_EQ(enc.size(), 12u);
+  EXPECT_EQ(enc.Take().size(), 12u);
+}
+
+TEST(JavaStyleTest, UnderrunReportsError) {
+  Buffer two = {1, 2};
+  JavaStyleDecoder dec(two);
+  EXPECT_FALSE(dec.GetU32().ok());
+}
+
+// --- parameterized round-trip sweep over payload sizes ----------------------
+
+class OpaqueRoundTrip : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(OpaqueRoundTrip, XdrPreservesPayload) {
+  const std::size_t n = GetParam();
+  Buffer payload(n);
+  std::mt19937_64 rng(n);
+  for (auto& b : payload) b = static_cast<std::uint8_t>(rng());
+
+  XdrEncoder enc;
+  enc.PutI64(static_cast<std::int64_t>(n));
+  enc.PutOpaque(payload);
+  XdrDecoder dec(enc.buffer());
+  EXPECT_EQ(*dec.GetI64(), static_cast<std::int64_t>(n));
+  EXPECT_EQ(*dec.GetOpaque(), payload);
+}
+
+TEST_P(OpaqueRoundTrip, JavaStylePreservesPayloadAndMatchesXdr) {
+  const std::size_t n = GetParam();
+  Buffer payload(n);
+  std::mt19937_64 rng(n * 31);
+  for (auto& b : payload) b = static_cast<std::uint8_t>(rng());
+
+  XdrEncoder xdr;
+  xdr.PutOpaque(payload);
+  JavaStyleEncoder java;
+  java.PutOpaque(payload);
+  Buffer java_wire = java.Take();
+  EXPECT_EQ(xdr.buffer(), java_wire);
+
+  JavaStyleDecoder dec(java_wire);
+  EXPECT_EQ(*dec.GetOpaque(), payload);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, OpaqueRoundTrip,
+                         ::testing::Values(0, 1, 2, 3, 4, 5, 63, 64, 65, 1000,
+                                           4096, 60000, 190 * 1024));
+
+// Mixed-field fuzz round trip: random sequences of fields survive both
+// codecs and decode identically.
+class MixedFieldFuzz : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(MixedFieldFuzz, RandomSequencesRoundTrip) {
+  std::mt19937_64 rng(GetParam());
+  XdrEncoder xdr;
+  JavaStyleEncoder java;
+  // Field kinds chosen at random; remember the script to replay on decode.
+  std::vector<int> script;
+  std::vector<std::uint64_t> values;
+  std::vector<Buffer> blobs;
+  for (int i = 0; i < 64; ++i) {
+    const int kind = static_cast<int>(rng() % 4);
+    script.push_back(kind);
+    switch (kind) {
+      case 0: {
+        const auto v = static_cast<std::uint32_t>(rng());
+        values.push_back(v);
+        xdr.PutU32(v);
+        java.PutU32(v);
+        break;
+      }
+      case 1: {
+        const std::uint64_t v = rng();
+        values.push_back(v);
+        xdr.PutU64(v);
+        java.PutU64(v);
+        break;
+      }
+      case 2: {
+        Buffer blob(rng() % 97);
+        for (auto& b : blob) b = static_cast<std::uint8_t>(rng());
+        blobs.push_back(blob);
+        xdr.PutOpaque(blob);
+        java.PutOpaque(blob);
+        break;
+      }
+      case 3: {
+        const bool v = (rng() & 1) != 0;
+        values.push_back(v);
+        xdr.PutBool(v);
+        java.PutBool(v);
+        break;
+      }
+    }
+  }
+  Buffer xdr_wire = xdr.Take();
+  ASSERT_EQ(xdr_wire, java.Take());
+
+  XdrDecoder dec(xdr_wire);
+  std::size_t vi = 0, bi = 0;
+  for (int kind : script) {
+    switch (kind) {
+      case 0:
+        EXPECT_EQ(*dec.GetU32(), static_cast<std::uint32_t>(values[vi++]));
+        break;
+      case 1:
+        EXPECT_EQ(*dec.GetU64(), values[vi++]);
+        break;
+      case 2:
+        EXPECT_EQ(*dec.GetOpaque(), blobs[bi++]);
+        break;
+      case 3:
+        EXPECT_EQ(*dec.GetBool(), values[vi++] != 0);
+        break;
+    }
+  }
+  EXPECT_TRUE(dec.AtEnd());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MixedFieldFuzz,
+                         ::testing::Range(0u, 10u));
+
+}  // namespace
+}  // namespace dstampede::marshal

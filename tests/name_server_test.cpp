@@ -1,0 +1,102 @@
+// NameServer: registration lifecycle, blocking lookups (dynamic
+// start/stop rendezvous), prefix listing.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "dstampede/core/name_server.hpp"
+
+namespace dstampede::core {
+namespace {
+
+NsEntry Entry(const std::string& name, std::uint64_t bits = 1,
+              NsEntry::Kind kind = NsEntry::Kind::kChannel) {
+  return NsEntry{name, kind, bits, "test"};
+}
+
+TEST(NameServerTest, RegisterAndLookup) {
+  NameServer ns;
+  ASSERT_TRUE(ns.Register(Entry("video/in/0", 42)).ok());
+  auto found = ns.Lookup("video/in/0");
+  ASSERT_TRUE(found.ok());
+  EXPECT_EQ(found->id_bits, 42u);
+  EXPECT_EQ(found->kind, NsEntry::Kind::kChannel);
+  EXPECT_EQ(found->meta, "test");
+}
+
+TEST(NameServerTest, DuplicateNameRejected) {
+  NameServer ns;
+  ASSERT_TRUE(ns.Register(Entry("x")).ok());
+  EXPECT_EQ(ns.Register(Entry("x")).code(), StatusCode::kAlreadyExists);
+}
+
+TEST(NameServerTest, EmptyNameRejected) {
+  NameServer ns;
+  EXPECT_EQ(ns.Register(Entry("")).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(NameServerTest, MissingNameNotFound) {
+  NameServer ns;
+  EXPECT_EQ(ns.Lookup("ghost").status().code(), StatusCode::kNotFound);
+}
+
+TEST(NameServerTest, UnregisterRemoves) {
+  NameServer ns;
+  ASSERT_TRUE(ns.Register(Entry("x")).ok());
+  ASSERT_TRUE(ns.Unregister("x").ok());
+  EXPECT_EQ(ns.Lookup("x").status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(ns.Unregister("x").code(), StatusCode::kNotFound);
+}
+
+TEST(NameServerTest, ReRegisterAfterUnregister) {
+  NameServer ns;
+  ASSERT_TRUE(ns.Register(Entry("x", 1)).ok());
+  ASSERT_TRUE(ns.Unregister("x").ok());
+  ASSERT_TRUE(ns.Register(Entry("x", 2)).ok());
+  EXPECT_EQ(ns.Lookup("x")->id_bits, 2u);
+}
+
+TEST(NameServerTest, BlockingLookupWaitsForRegistration) {
+  // The dynamic start/stop rendezvous: a consumer waits for a producer
+  // that has not registered yet.
+  NameServer ns;
+  std::thread registrar([&] {
+    std::this_thread::sleep_for(Millis(30));
+    ASSERT_TRUE(ns.Register(Entry("late", 77)).ok());
+  });
+  auto found = ns.Lookup("late", Deadline::AfterMillis(5000));
+  ASSERT_TRUE(found.ok());
+  EXPECT_EQ(found->id_bits, 77u);
+  registrar.join();
+}
+
+TEST(NameServerTest, BlockingLookupTimesOut) {
+  NameServer ns;
+  auto found = ns.Lookup("never", Deadline::AfterMillis(50));
+  EXPECT_EQ(found.status().code(), StatusCode::kNotFound);
+}
+
+TEST(NameServerTest, ListByPrefix) {
+  NameServer ns;
+  ASSERT_TRUE(ns.Register(Entry("video/in/0")).ok());
+  ASSERT_TRUE(ns.Register(Entry("video/in/1")).ok());
+  ASSERT_TRUE(ns.Register(Entry("video/out")).ok());
+  ASSERT_TRUE(ns.Register(Entry("audio/in/0")).ok());
+  EXPECT_EQ(ns.List("video/in/").size(), 2u);
+  EXPECT_EQ(ns.List("video/").size(), 3u);
+  EXPECT_EQ(ns.List("").size(), 4u);
+  EXPECT_EQ(ns.List("nothing").size(), 0u);
+  EXPECT_EQ(ns.size(), 4u);
+}
+
+TEST(NameServerTest, StoresIntendedUse) {
+  NameServer ns;
+  NsEntry entry{"mic/0", NsEntry::Kind::kQueue, 5,
+                "raw audio samples, 16kHz mono"};
+  ASSERT_TRUE(ns.Register(entry).ok());
+  EXPECT_EQ(ns.Lookup("mic/0")->meta, "raw audio samples, 16kHz mono");
+  EXPECT_EQ(ns.Lookup("mic/0")->kind, NsEntry::Kind::kQueue);
+}
+
+}  // namespace
+}  // namespace dstampede::core

@@ -1,0 +1,225 @@
+// Property-based tests over randomized schedules (seeded, reproducible):
+//
+//  * Channel GC safety — an item is never reclaimed while some attached
+//    input connection has not consumed it — and liveness — once all
+//    have, it is reclaimed.
+//  * Queue exactly-once delivery under racing workers with random
+//    consume/detach behaviour.
+//  * Space-time memory coherence: random put/get interleavings across
+//    address spaces always see the exact payload that was put.
+#include <gtest/gtest.h>
+
+#include <random>
+#include <set>
+#include <thread>
+
+#include "dstampede/core/channel.hpp"
+#include "dstampede/core/queue.hpp"
+#include "dstampede/core/runtime.hpp"
+
+namespace dstampede::core {
+namespace {
+
+SharedBuffer Payload(Timestamp ts) {
+  Buffer b(32);
+  FillPattern(b, static_cast<std::uint64_t>(ts));
+  return SharedBuffer(std::move(b));
+}
+
+// --- channel GC properties under random schedules ----------------------------
+
+class ChannelGcProperty : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(ChannelGcProperty, SafetyAndLivenessUnderRandomSchedules) {
+  std::mt19937_64 rng(GetParam());
+  LocalChannel ch{ChannelAttr{}};
+
+  constexpr int kConns = 4;
+  constexpr Timestamp kItems = 40;
+  std::vector<std::uint32_t> conns;
+  for (int c = 0; c < kConns; ++c) {
+    conns.push_back(ch.Attach(ConnMode::kInput, "c" + std::to_string(c)));
+  }
+  // Model of truth: which (conn, ts) pairs have been consumed.
+  std::vector<std::set<Timestamp>> consumed(kConns);
+
+  for (Timestamp ts = 0; ts < kItems; ++ts) {
+    ASSERT_TRUE(ch.Put(ts, Payload(ts), Deadline::Poll()).ok());
+  }
+
+  // Random consume schedule, one op at a time, checking the safety
+  // invariant after every operation.
+  std::vector<std::pair<int, Timestamp>> ops;
+  for (int c = 0; c < kConns; ++c) {
+    for (Timestamp ts = 0; ts < kItems; ++ts) ops.emplace_back(c, ts);
+  }
+  std::shuffle(ops.begin(), ops.end(), rng);
+
+  for (auto [c, ts] : ops) {
+    ASSERT_TRUE(ch.Consume(conns[c], ts).ok());
+    consumed[c].insert(ts);
+
+    // Safety: every live item must have at least one non-consumer.
+    // Equivalently: items where ALL connections consumed must be gone.
+    std::size_t fully_consumed = 0;
+    for (Timestamp t = 0; t < kItems; ++t) {
+      bool all = true;
+      for (int cc = 0; cc < kConns; ++cc) {
+        if (consumed[cc].count(t) == 0) {
+          all = false;
+          break;
+        }
+      }
+      if (all) ++fully_consumed;
+    }
+    // Liveness (inline reclaim): live = total - fully consumed.
+    EXPECT_EQ(ch.live_items(), static_cast<std::size_t>(kItems) - fully_consumed);
+  }
+  EXPECT_EQ(ch.live_items(), 0u);
+  EXPECT_EQ(ch.total_reclaimed(), static_cast<std::uint64_t>(kItems));
+}
+
+TEST_P(ChannelGcProperty, DetachActsAsConsumeAllUnderRandomSchedules) {
+  std::mt19937_64 rng(GetParam() * 977 + 1);
+  LocalChannel ch{ChannelAttr{}};
+  constexpr int kConns = 3;
+  constexpr Timestamp kItems = 20;
+  std::vector<std::uint32_t> conns;
+  for (int c = 0; c < kConns; ++c) {
+    conns.push_back(ch.Attach(ConnMode::kInput, "c"));
+  }
+  for (Timestamp ts = 0; ts < kItems; ++ts) {
+    ASSERT_TRUE(ch.Put(ts, Payload(ts), Deadline::Poll()).ok());
+  }
+  // The survivor consumes a random prefix; all others consume random
+  // prefixes and then detach. Once they are gone, the live set must be
+  // exactly the items the survivor has not consumed.
+  const Timestamp survivor_upto = static_cast<Timestamp>(rng() % kItems);
+  ASSERT_TRUE(ch.ConsumeUntil(conns[0], survivor_upto).ok());
+  for (int c = 1; c < kConns; ++c) {
+    const Timestamp upto = static_cast<Timestamp>(rng() % (kItems + 1)) - 1;
+    if (upto >= 0) ASSERT_TRUE(ch.ConsumeUntil(conns[c], upto).ok());
+    ASSERT_TRUE(ch.Detach(conns[c]).ok());
+  }
+  EXPECT_EQ(ch.live_items(),
+            static_cast<std::size_t>(kItems - 1 - survivor_upto));
+  // Detaching the survivor leaves no input connections; the remainder
+  // is retained for consumers that may join later (no-input rule).
+  ASSERT_TRUE(ch.Detach(conns[0]).ok());
+  EXPECT_EQ(ch.live_items(),
+            static_cast<std::size_t>(kItems - 1 - survivor_upto));
+  EXPECT_EQ(ch.total_reclaimed(),
+            static_cast<std::uint64_t>(survivor_upto + 1));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ChannelGcProperty, ::testing::Range(0u, 8u));
+
+// --- concurrent queue exactly-once property ------------------------------------
+
+class QueueRaceProperty : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(QueueRaceProperty, ExactlyOnceUnderRacingWorkersAndChurn) {
+  std::mt19937_64 seed_rng(GetParam());
+  LocalQueue q{QueueAttr{}};
+  constexpr int kItems = 300;
+  constexpr int kWorkers = 4;
+
+  std::mutex mu;
+  std::multiset<Timestamp> delivered;
+
+  std::thread producer([&] {
+    std::uint32_t conn = q.Attach(ConnMode::kOutput, "p");
+    (void)conn;
+    for (int i = 0; i < kItems; ++i) {
+      ASSERT_TRUE(q.Put(i, Payload(i), Deadline::Infinite()).ok());
+    }
+  });
+
+  std::vector<std::thread> workers;
+  for (int w = 0; w < kWorkers; ++w) {
+    workers.emplace_back([&, w, seed = seed_rng() + w] {
+      std::mt19937_64 rng(seed);
+      std::uint32_t conn = q.Attach(ConnMode::kInput, "w");
+      int since_reattach = 0;
+      for (;;) {
+        auto item = q.Get(conn, Deadline::AfterMillis(300));
+        if (!item.ok()) break;  // drained
+        {
+          std::lock_guard<std::mutex> lock(mu);
+          delivered.insert(item->timestamp);
+        }
+        ASSERT_TRUE(q.Consume(conn, item->timestamp).ok());
+        // Churn: occasionally detach and re-attach (worker restart).
+        if (++since_reattach > 20 && rng() % 8 == 0) {
+          ASSERT_TRUE(q.Detach(conn).ok());
+          conn = q.Attach(ConnMode::kInput, "w-re");
+          since_reattach = 0;
+        }
+      }
+      (void)w;
+    });
+  }
+  producer.join();
+  for (auto& t : workers) t.join();
+
+  ASSERT_EQ(delivered.size(), static_cast<std::size_t>(kItems));
+  for (int i = 0; i < kItems; ++i) {
+    EXPECT_EQ(delivered.count(i), 1u) << "item " << i << " not exactly-once";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, QueueRaceProperty, ::testing::Range(0u, 6u));
+
+// --- distributed coherence property ----------------------------------------------
+
+class StmCoherenceProperty : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(StmCoherenceProperty, RandomDistributedPutGetAlwaysCoherent) {
+  std::mt19937_64 rng(GetParam() * 31 + 7);
+  Runtime::Options opts;
+  opts.num_address_spaces = 3;
+  auto rt = Runtime::Create(opts);
+  ASSERT_TRUE(rt.ok());
+
+  // A channel on a random AS; producers and consumers on random ASes.
+  const std::size_t owner = rng() % 3;
+  auto ch = (*rt)->as(owner).CreateChannel();
+  ASSERT_TRUE(ch.ok());
+
+  constexpr Timestamp kItems = 30;
+  std::vector<Timestamp> order(kItems);
+  for (Timestamp i = 0; i < kItems; ++i) order[i] = i;
+  std::shuffle(order.begin(), order.end(), rng);
+
+  // Put from random ASes in shuffled timestamp order.
+  for (Timestamp ts : order) {
+    AddressSpace& as = (*rt)->as(rng() % 3);
+    auto out = as.Connect(*ch, ConnMode::kOutput);
+    ASSERT_TRUE(out.ok());
+    Buffer payload(128 + static_cast<std::size_t>(ts));
+    FillPattern(payload, static_cast<std::uint64_t>(ts) * 91);
+    ASSERT_TRUE(as.Put(*out, ts, std::move(payload)).ok());
+    ASSERT_TRUE(as.Disconnect(*out).ok());
+  }
+
+  // Get from random ASes in a different shuffled order; payloads must
+  // match exactly (space-time memory: random access by timestamp).
+  std::shuffle(order.begin(), order.end(), rng);
+  AddressSpace& reader = (*rt)->as(rng() % 3);
+  auto in = reader.Connect(*ch, ConnMode::kInput);
+  ASSERT_TRUE(in.ok());
+  for (Timestamp ts : order) {
+    auto item = reader.Get(*in, GetSpec::Exact(ts), Deadline::AfterMillis(10000));
+    ASSERT_TRUE(item.ok()) << item.status();
+    EXPECT_EQ(item->payload.size(), 128u + static_cast<std::size_t>(ts));
+    EXPECT_TRUE(
+        CheckPattern(item->payload.span(), static_cast<std::uint64_t>(ts) * 91));
+    ASSERT_TRUE(reader.Consume(*in, ts).ok());
+  }
+  EXPECT_EQ((*rt)->as(owner).FindChannel(ch->bits())->live_items(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StmCoherenceProperty, ::testing::Range(0u, 5u));
+
+}  // namespace
+}  // namespace dstampede::core

@@ -1,0 +1,183 @@
+// Failure-handling extension (§6 future work): surrogate session-state
+// tracking, manual and automatic reaping of parked surrogates, and the
+// end-to-end effect — a dead device's GC holds are released so live
+// participants make progress.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "dstampede/client/client.hpp"
+#include "dstampede/client/listener.hpp"
+#include "dstampede/core/runtime.hpp"
+
+namespace dstampede::client {
+namespace {
+
+using core::ConnMode;
+using core::GetSpec;
+
+class ReaperTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    core::Runtime::Options opts;
+    opts.num_address_spaces = 2;
+    opts.gc_interval = Millis(10);
+    auto rt = core::Runtime::Create(opts);
+    ASSERT_TRUE(rt.ok());
+    rt_ = std::move(rt).value();
+  }
+
+  void StartListener(Duration auto_reap = Duration::zero()) {
+    Listener::Options opts;
+    opts.reap_parked_after = auto_reap;
+    auto listener = Listener::Start(*rt_, opts);
+    ASSERT_TRUE(listener.ok());
+    listener_ = std::move(listener).value();
+  }
+
+  void TearDown() override {
+    if (listener_) listener_->Shutdown();
+    rt_->Shutdown();
+  }
+
+  // Joins a device, attaches to `ch` as input, registers a name, then
+  // vanishes without a clean leave (raw socket slam).
+  void RunDoomedDevice(ChannelId ch) {
+    auto conn = transport::TcpConnection::Connect(listener_->addr());
+    ASSERT_TRUE(conn.ok());
+    std::uint64_t req_id = 1;
+    auto call = [&](Buffer frame) -> Buffer {
+      EXPECT_TRUE(conn->SendFrame(frame).ok());
+      Buffer reply;
+      EXPECT_TRUE(conn->RecvFrame(reply, Deadline::AfterMillis(5000)).ok());
+      return reply;
+    };
+    {
+      marshal::XdrEncoder enc;
+      core::EncodeRequestHeader(enc, static_cast<core::Op>(ClientOp::kHello),
+                                req_id++);
+      HelloReq hello;
+      hello.name = "doomed";
+      hello.Encode(enc);
+      call(enc.Take());
+    }
+    {
+      marshal::XdrEncoder enc;
+      core::EncodeRequestHeader(enc, core::Op::kAttach, req_id++);
+      core::AttachReq req;
+      req.container_bits = ch.bits();
+      req.mode = ConnMode::kInput;
+      req.label = "doomed-in";
+      req.Encode(enc);
+      call(enc.Take());
+    }
+    {
+      marshal::XdrEncoder enc;
+      core::EncodeRequestHeader(enc, core::Op::kNsRegister, req_id++);
+      core::EncodeNsEntry(enc, core::NsEntry{"doomed/name",
+                                             core::NsEntry::Kind::kChannel,
+                                             ch.bits(), ""});
+      call(enc.Take());
+    }
+    conn->Close();  // crash
+  }
+
+  void WaitForState(Surrogate::State state, std::size_t count = 1) {
+    for (int i = 0; i < 300 && listener_->surrogates_in(state) < count; ++i) {
+      std::this_thread::sleep_for(Millis(10));
+    }
+    ASSERT_EQ(listener_->surrogates_in(state), count);
+  }
+
+  std::unique_ptr<core::Runtime> rt_;
+  std::unique_ptr<Listener> listener_;
+};
+
+TEST_F(ReaperTest, ManualReapReleasesGcHolds) {
+  StartListener();
+  auto ch = rt_->as(0).CreateChannel();
+  ASSERT_TRUE(ch.ok());
+  auto out = rt_->as(0).Connect(*ch, ConnMode::kOutput);
+  auto live_in = rt_->as(1).Connect(*ch, ConnMode::kInput);
+  ASSERT_TRUE(out.ok());
+  ASSERT_TRUE(live_in.ok());
+
+  RunDoomedDevice(*ch);
+  WaitForState(Surrogate::State::kParked);
+
+  // Items consumed by the live consumer stay pinned by the dead one.
+  auto channel = rt_->as(0).FindChannel(ch->bits());
+  for (Timestamp ts = 0; ts < 5; ++ts) {
+    ASSERT_TRUE(rt_->as(0).Put(*out, ts, Buffer(32)).ok());
+    ASSERT_TRUE(rt_->as(1).Consume(*live_in, ts).ok());
+  }
+  EXPECT_EQ(channel->live_items(), 5u)
+      << "dead device's connection still holds everything";
+
+  EXPECT_EQ(listener_->ReapParked(), 1u);
+  EXPECT_EQ(listener_->surrogates_in(Surrogate::State::kReaped), 1u);
+  EXPECT_EQ(channel->live_items(), 0u)
+      << "reaping detached the dead connection; GC proceeded";
+  // Its name registration was cleaned up too.
+  EXPECT_EQ(rt_->as(1).NsLookup("doomed/name").status().code(),
+            StatusCode::kNotFound);
+  // Re-reaping finds nothing.
+  EXPECT_EQ(listener_->ReapParked(), 0u);
+}
+
+TEST_F(ReaperTest, AutoReapAfterTimeout) {
+  StartListener(/*auto_reap=*/Millis(50));
+  auto ch = rt_->as(0).CreateChannel();
+  ASSERT_TRUE(ch.ok());
+  RunDoomedDevice(*ch);
+  WaitForState(Surrogate::State::kParked);
+  // The janitor reaps without any manual call.
+  WaitForState(Surrogate::State::kReaped);
+  EXPECT_EQ(rt_->as(0).NsLookup("doomed/name").status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(ReaperTest, DefaultKeepsPaperBehaviour) {
+  StartListener();  // no auto reap
+  auto ch = rt_->as(0).CreateChannel();
+  ASSERT_TRUE(ch.ok());
+  RunDoomedDevice(*ch);
+  WaitForState(Surrogate::State::kParked);
+  std::this_thread::sleep_for(Millis(200));
+  // Parked forever, exactly as §3.3 documents.
+  EXPECT_EQ(listener_->surrogates_in(Surrogate::State::kParked), 1u);
+  EXPECT_EQ(listener_->surrogates_in(Surrogate::State::kReaped), 0u);
+}
+
+TEST_F(ReaperTest, CleanDetachDropsTracking) {
+  StartListener();
+  client::CClient::Options opts;
+  opts.server = listener_->addr();
+  opts.name = "tidy";
+  auto device = CClient::Join(opts);
+  ASSERT_TRUE(device.ok());
+  auto ch = (*device)->CreateChannel();
+  ASSERT_TRUE(ch.ok());
+  auto conn = (*device)->Connect(*ch, ConnMode::kInput);
+  ASSERT_TRUE(conn.ok());
+  ASSERT_TRUE((*device)->Disconnect(*conn).ok());
+  (void)(*device)->Leave();
+  WaitForState(Surrogate::State::kLeft);
+  // Left surrogates are not reapable (and have nothing tracked anyway).
+  EXPECT_EQ(listener_->ReapParked(), 0u);
+}
+
+TEST_F(ReaperTest, ActiveSurrogateCannotBeReaped) {
+  StartListener();
+  client::CClient::Options opts;
+  opts.server = listener_->addr();
+  opts.name = "alive";
+  auto device = CClient::Join(opts);
+  ASSERT_TRUE(device.ok());
+  EXPECT_EQ(listener_->ReapParked(), 0u);
+  // The device keeps working after the no-op reap.
+  EXPECT_TRUE((*device)->CreateChannel().ok());
+}
+
+}  // namespace
+}  // namespace dstampede::client

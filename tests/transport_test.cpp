@@ -1,0 +1,222 @@
+// Transport tests: TCP framing, raw stream I/O, deadlines, connection
+// teardown; UDP datagrams and size limits.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "dstampede/common/bytes.hpp"
+#include "dstampede/transport/tcp.hpp"
+#include "dstampede/transport/udp.hpp"
+
+namespace dstampede::transport {
+namespace {
+
+TEST(SockAddrTest, FormatsDottedQuad) {
+  EXPECT_EQ(SockAddr::Loopback(8080).ToString(), "127.0.0.1:8080");
+}
+
+TEST(TcpTest, ListenerPicksFreePort) {
+  auto listener = TcpListener::Bind(0);
+  ASSERT_TRUE(listener.ok());
+  EXPECT_NE(listener->bound_addr().port, 0);
+}
+
+TEST(TcpTest, ConnectRefusedOnClosedPort) {
+  // Bind then close to get a port that is very likely unused.
+  auto listener = TcpListener::Bind(0);
+  ASSERT_TRUE(listener.ok());
+  SockAddr addr = listener->bound_addr();
+  listener->Close();
+  auto conn = TcpConnection::Connect(addr);
+  EXPECT_FALSE(conn.ok());
+  EXPECT_EQ(conn.status().code(), StatusCode::kUnavailable);
+}
+
+TEST(TcpTest, FrameEchoRoundTrip) {
+  auto listener = TcpListener::Bind(0);
+  ASSERT_TRUE(listener.ok());
+  std::thread server([&] {
+    auto conn = listener->Accept();
+    ASSERT_TRUE(conn.ok());
+    Buffer frame;
+    ASSERT_TRUE(conn->RecvFrame(frame).ok());
+    ASSERT_TRUE(conn->SendFrame(frame).ok());
+  });
+
+  auto conn = TcpConnection::Connect(listener->bound_addr());
+  ASSERT_TRUE(conn.ok());
+  Buffer out(5000);
+  FillPattern(out, 99);
+  ASSERT_TRUE(conn->SendFrame(out).ok());
+  Buffer in;
+  ASSERT_TRUE(conn->RecvFrame(in).ok());
+  EXPECT_EQ(in, out);
+  server.join();
+}
+
+TEST(TcpTest, EmptyFrameIsLegal) {
+  auto listener = TcpListener::Bind(0);
+  ASSERT_TRUE(listener.ok());
+  std::thread server([&] {
+    auto conn = listener->Accept();
+    Buffer frame = {1};
+    ASSERT_TRUE(conn->RecvFrame(frame).ok());
+    EXPECT_TRUE(frame.empty());
+    ASSERT_TRUE(conn->SendFrame(frame).ok());
+  });
+  auto conn = TcpConnection::Connect(listener->bound_addr());
+  ASSERT_TRUE(conn.ok());
+  ASSERT_TRUE(conn->SendFrame({}).ok());
+  Buffer in = {9, 9};
+  ASSERT_TRUE(conn->RecvFrame(in).ok());
+  EXPECT_TRUE(in.empty());
+  server.join();
+}
+
+TEST(TcpTest, LargeFrameRoundTrip) {
+  auto listener = TcpListener::Bind(0);
+  ASSERT_TRUE(listener.ok());
+  std::thread server([&] {
+    auto conn = listener->Accept();
+    Buffer frame;
+    ASSERT_TRUE(conn->RecvFrame(frame).ok());
+    ASSERT_TRUE(conn->SendFrame(frame).ok());
+  });
+  auto conn = TcpConnection::Connect(listener->bound_addr());
+  ASSERT_TRUE(conn.ok());
+  Buffer big(2 * 1024 * 1024);  // composite-image scale
+  FillPattern(big, 1);
+  ASSERT_TRUE(conn->SendFrame(big).ok());
+  Buffer in;
+  ASSERT_TRUE(conn->RecvFrame(in).ok());
+  EXPECT_TRUE(CheckPattern(in, 1));
+  server.join();
+}
+
+TEST(TcpTest, RecvFrameTimesOut) {
+  auto listener = TcpListener::Bind(0);
+  ASSERT_TRUE(listener.ok());
+  auto conn = TcpConnection::Connect(listener->bound_addr());
+  ASSERT_TRUE(conn.ok());
+  auto server_side = listener->Accept();
+  ASSERT_TRUE(server_side.ok());
+  Buffer frame;
+  Status s = conn->RecvFrame(frame, Deadline::AfterMillis(50));
+  EXPECT_EQ(s.code(), StatusCode::kTimeout);
+}
+
+TEST(TcpTest, PeerCloseSurfacesAsConnectionClosed) {
+  auto listener = TcpListener::Bind(0);
+  ASSERT_TRUE(listener.ok());
+  auto conn = TcpConnection::Connect(listener->bound_addr());
+  ASSERT_TRUE(conn.ok());
+  {
+    auto server_side = listener->Accept();
+    ASSERT_TRUE(server_side.ok());
+    // server_side destroyed here -> fd closed
+  }
+  Buffer frame;
+  Status s = conn->RecvFrame(frame, Deadline::AfterMillis(1000));
+  EXPECT_EQ(s.code(), StatusCode::kConnectionClosed);
+}
+
+TEST(TcpTest, RawExchange) {
+  auto listener = TcpListener::Bind(0);
+  ASSERT_TRUE(listener.ok());
+  std::thread server([&] {
+    auto conn = listener->Accept();
+    Buffer data(1000);
+    ASSERT_TRUE(
+        conn->RecvExact(std::span<std::uint8_t>(data.data(), data.size()))
+            .ok());
+    ASSERT_TRUE(conn->SendAll(data).ok());
+  });
+  auto conn = TcpConnection::Connect(listener->bound_addr());
+  ASSERT_TRUE(conn.ok());
+  Buffer out(1000);
+  FillPattern(out, 5);
+  ASSERT_TRUE(conn->SendAll(out).ok());
+  Buffer in(1000);
+  ASSERT_TRUE(
+      conn->RecvExact(std::span<std::uint8_t>(in.data(), in.size())).ok());
+  EXPECT_EQ(in, out);
+  server.join();
+}
+
+TEST(TcpTest, AcceptTimesOut) {
+  auto listener = TcpListener::Bind(0);
+  ASSERT_TRUE(listener.ok());
+  auto conn = listener->Accept(Deadline::AfterMillis(50));
+  EXPECT_EQ(conn.status().code(), StatusCode::kTimeout);
+}
+
+// --- UDP --------------------------------------------------------------------
+
+TEST(UdpTest, DatagramRoundTrip) {
+  auto a = UdpSocket::Bind(0);
+  auto b = UdpSocket::Bind(0);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  Buffer out(1500);
+  FillPattern(out, 77);
+  ASSERT_TRUE(a->SendTo(b->bound_addr(), out).ok());
+  Buffer in;
+  SockAddr from;
+  ASSERT_TRUE(b->RecvFrom(in, from, Deadline::AfterMillis(2000)).ok());
+  EXPECT_EQ(in, out);
+  EXPECT_EQ(from, a->bound_addr());
+}
+
+TEST(UdpTest, MaxSizeDatagram) {
+  auto a = UdpSocket::Bind(0);
+  auto b = UdpSocket::Bind(0);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  Buffer out(kMaxUdpDatagram);
+  FillPattern(out, 3);
+  ASSERT_TRUE(a->SendTo(b->bound_addr(), out).ok());
+  Buffer in;
+  SockAddr from;
+  ASSERT_TRUE(b->RecvFrom(in, from, Deadline::AfterMillis(2000)).ok());
+  EXPECT_EQ(in.size(), kMaxUdpDatagram);
+  EXPECT_TRUE(CheckPattern(in, 3));
+}
+
+TEST(UdpTest, OversizedDatagramRejected) {
+  auto a = UdpSocket::Bind(0);
+  ASSERT_TRUE(a.ok());
+  Buffer out(kMaxUdpDatagram + 1);
+  Status s = a->SendTo(a->bound_addr(), out);
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(UdpTest, RecvTimesOut) {
+  auto a = UdpSocket::Bind(0);
+  ASSERT_TRUE(a.ok());
+  Buffer in;
+  SockAddr from;
+  Status s = a->RecvFrom(in, from, Deadline::AfterMillis(50));
+  EXPECT_EQ(s.code(), StatusCode::kTimeout);
+}
+
+TEST(UdpTest, MultipleDatagramsPreserveBoundaries) {
+  auto a = UdpSocket::Bind(0);
+  auto b = UdpSocket::Bind(0);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  for (int i = 1; i <= 5; ++i) {
+    Buffer out(static_cast<std::size_t>(i * 100));
+    FillPattern(out, static_cast<std::uint64_t>(i));
+    ASSERT_TRUE(a->SendTo(b->bound_addr(), out).ok());
+  }
+  for (int i = 1; i <= 5; ++i) {
+    Buffer in;
+    SockAddr from;
+    ASSERT_TRUE(b->RecvFrom(in, from, Deadline::AfterMillis(2000)).ok());
+    EXPECT_EQ(in.size(), static_cast<std::size_t>(i * 100));
+    EXPECT_TRUE(CheckPattern(in, static_cast<std::uint64_t>(i)));
+  }
+}
+
+}  // namespace
+}  // namespace dstampede::transport

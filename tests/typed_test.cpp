@@ -1,0 +1,120 @@
+// Serialization handler functions (§3.1): typed puts/gets through a
+// user-supplied codec, uniform across the cluster API and both client
+// personalities.
+#include <gtest/gtest.h>
+
+#include "dstampede/client/java_client.hpp"
+#include "dstampede/client/listener.hpp"
+#include "dstampede/core/runtime.hpp"
+#include "dstampede/core/typed.hpp"
+
+namespace dstampede::core {
+namespace {
+
+// A "complex user-defined data structure" (§3.1): a sensor reading.
+struct SensorReading {
+  std::uint32_t sensor_id = 0;
+  double celsius = 0.0;
+  std::string location;
+
+  friend bool operator==(const SensorReading&, const SensorReading&) = default;
+};
+
+struct SensorCodec {
+  static Buffer Serialize(const SensorReading& reading) {
+    Buffer out;
+    ByteWriter writer(out);
+    writer.U32(reading.sensor_id);
+    writer.F64(reading.celsius);
+    writer.Str(reading.location);
+    return out;
+  }
+  static Result<SensorReading> Deserialize(
+      std::span<const std::uint8_t> bytes) {
+    ByteReader reader(bytes);
+    SensorReading reading;
+    DS_ASSIGN_OR_RETURN(reading.sensor_id, reader.U32());
+    DS_ASSIGN_OR_RETURN(reading.celsius, reader.F64());
+    DS_ASSIGN_OR_RETURN(reading.location, reader.Str());
+    if (!reader.AtEnd()) return InternalError("trailing bytes");
+    return reading;
+  }
+};
+static_assert(ItemCodec<SensorCodec>);
+
+TEST(TypedTest, RoundTripWithinCluster) {
+  Runtime::Options opts;
+  opts.num_address_spaces = 2;
+  auto rt = Runtime::Create(opts);
+  ASSERT_TRUE(rt.ok());
+  auto ch = (*rt)->as(1).CreateChannel();
+  ASSERT_TRUE(ch.ok());
+  auto out = (*rt)->as(0).Connect(*ch, ConnMode::kOutput);
+  auto in = (*rt)->as(1).Connect(*ch, ConnMode::kInput);
+  ASSERT_TRUE(out.ok());
+  ASSERT_TRUE(in.ok());
+
+  const SensorReading reading{42, 21.5, "machine room"};
+  ASSERT_TRUE(PutTyped<SensorCodec>((*rt)->as(0), *out, 7, reading).ok());
+  auto item = GetTyped<SensorCodec>((*rt)->as(1), *in, GetSpec::Exact(7),
+                                    Deadline::AfterMillis(10000));
+  ASSERT_TRUE(item.ok()) << item.status();
+  EXPECT_EQ(item->timestamp, 7);
+  EXPECT_EQ(item->value, reading);
+}
+
+TEST(TypedTest, CorruptPayloadSurfacesDeserializeError) {
+  Runtime::Options opts;
+  auto rt = Runtime::Create(opts);
+  ASSERT_TRUE(rt.ok());
+  auto ch = (*rt)->as(0).CreateChannel();
+  ASSERT_TRUE(ch.ok());
+  auto out = (*rt)->as(0).Connect(*ch, ConnMode::kOutput);
+  auto in = (*rt)->as(0).Connect(*ch, ConnMode::kInput);
+  ASSERT_TRUE((*rt)->as(0).Put(*out, 1, Buffer{1, 2}).ok());  // garbage
+  auto item = GetTyped<SensorCodec>((*rt)->as(0), *in, GetSpec::Exact(1),
+                                    Deadline::Poll());
+  EXPECT_EQ(item.status().code(), StatusCode::kInternal);
+}
+
+TEST(TypedTest, WorksThroughBothClientPersonalities) {
+  Runtime::Options opts;
+  auto rt = Runtime::Create(opts);
+  ASSERT_TRUE(rt.ok());
+  auto listener = client::Listener::Start(**rt);
+  ASSERT_TRUE(listener.ok());
+
+  client::CClient::Options c_opts;
+  c_opts.server = (*listener)->addr();
+  c_opts.name = "c-sensor";
+  auto c_device = client::CClient::Join(c_opts);
+  ASSERT_TRUE(c_device.ok());
+
+  client::JavaStyleClient::Options j_opts;
+  j_opts.server = (*listener)->addr();
+  j_opts.name = "java-dashboard";
+  auto j_device = client::JavaStyleClient::Join(j_opts);
+  ASSERT_TRUE(j_device.ok());
+
+  auto ch = (*c_device)->CreateChannel();
+  ASSERT_TRUE(ch.ok());
+  auto out = (*c_device)->Connect(*ch, ConnMode::kOutput);
+  auto in = (*j_device)->Connect(*ch, ConnMode::kInput);
+  ASSERT_TRUE(out.ok());
+  ASSERT_TRUE(in.ok());
+
+  const SensorReading reading{7, -3.25, "freezer"};
+  // C device serializes; the Java-style device deserializes: the
+  // handler pair is the shared contract (§3.2.3 heterogeneity).
+  ASSERT_TRUE(PutTyped<SensorCodec>(**c_device, *out, 1, reading).ok());
+  auto item = GetTyped<SensorCodec>(**j_device, *in, GetSpec::Exact(1),
+                                    Deadline::AfterMillis(10000));
+  ASSERT_TRUE(item.ok()) << item.status();
+  EXPECT_EQ(item->value, reading);
+
+  (*listener)->Shutdown();
+  (*rt)->Shutdown();
+}
+
+}  // namespace
+}  // namespace dstampede::core

@@ -1,0 +1,213 @@
+// Wire protocol: encode/decode round trips for every request type,
+// response envelopes, deadline mapping, and robustness fuzzing —
+// truncated or corrupted frames must come back as status errors, never
+// crashes or hangs (a hostile or buggy peer cannot take down an
+// address space).
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "dstampede/core/runtime.hpp"
+#include "dstampede/core/wire.hpp"
+
+namespace dstampede::core {
+namespace {
+
+TEST(WireTest, RequestHeaderRoundTrip) {
+  marshal::XdrEncoder enc;
+  EncodeRequestHeader(enc, Op::kPut, 0xDEADBEEFCAFEULL);
+  marshal::XdrDecoder dec(enc.buffer());
+  auto hdr = DecodeRequestHeader(dec);
+  ASSERT_TRUE(hdr.ok());
+  EXPECT_EQ(hdr->op, Op::kPut);
+  EXPECT_EQ(hdr->request_id, 0xDEADBEEFCAFEULL);
+}
+
+TEST(WireTest, ResponseHeaderCarriesStatus) {
+  marshal::XdrEncoder enc;
+  EncodeResponseHeader(enc, 77, TimeoutError("too slow"));
+  marshal::XdrDecoder dec(enc.buffer());
+  auto hdr = DecodeResponseHeader(dec);
+  ASSERT_TRUE(hdr.ok());
+  EXPECT_EQ(hdr->request_id, 77u);
+  EXPECT_EQ(hdr->status.code(), StatusCode::kTimeout);
+  EXPECT_EQ(hdr->status.message(), "too slow");
+}
+
+TEST(WireTest, NonReplyFrameRejectedAsResponse) {
+  marshal::XdrEncoder enc;
+  EncodeRequestHeader(enc, Op::kGet, 1);
+  marshal::XdrDecoder dec(enc.buffer());
+  EXPECT_FALSE(DecodeResponseHeader(dec).ok());
+}
+
+TEST(WireTest, PutReqRoundTrip) {
+  PutReq req;
+  req.container_bits = 0x12345678ABCDEF00ULL;
+  req.is_queue = true;
+  req.mode = ConnMode::kInputOutput;
+  req.slot = 99;
+  req.ts = -5;
+  req.deadline_ms = 1234;
+  req.payload = {9, 8, 7};
+  marshal::XdrEncoder enc;
+  req.Encode(enc);
+  marshal::XdrDecoder dec(enc.buffer());
+  auto decoded = PutReq::Decode(dec);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->container_bits, req.container_bits);
+  EXPECT_TRUE(decoded->is_queue);
+  EXPECT_EQ(decoded->mode, ConnMode::kInputOutput);
+  EXPECT_EQ(decoded->slot, 99u);
+  EXPECT_EQ(decoded->ts, -5);
+  EXPECT_EQ(decoded->deadline_ms, 1234);
+  EXPECT_EQ(decoded->payload, req.payload);
+}
+
+TEST(WireTest, GetReqRoundTrip) {
+  GetReq req;
+  req.container_bits = 42;
+  req.mode = ConnMode::kInput;
+  req.slot = 3;
+  req.spec = GetSpec::NextAfter(17);
+  req.deadline_ms = kDeadlineInfinite;
+  marshal::XdrEncoder enc;
+  req.Encode(enc);
+  marshal::XdrDecoder dec(enc.buffer());
+  auto decoded = GetReq::Decode(dec);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->spec.kind, GetSpec::Kind::kNextAfter);
+  EXPECT_EQ(decoded->spec.ts, 17);
+  EXPECT_EQ(decoded->deadline_ms, kDeadlineInfinite);
+}
+
+TEST(WireTest, AttachReqRejectsBadMode) {
+  marshal::XdrEncoder enc;
+  enc.PutU64(1);
+  enc.PutBool(false);
+  enc.PutU32(99);  // invalid ConnMode
+  enc.PutString("x");
+  marshal::XdrDecoder dec(enc.buffer());
+  EXPECT_FALSE(AttachReq::Decode(dec).ok());
+}
+
+TEST(WireTest, SetFilterReqRoundTrip) {
+  SetFilterReq req;
+  req.container_bits = 5;
+  req.slot = 2;
+  req.filter.stride = 4;
+  req.filter.phase = 1;
+  req.filter.ts_min = -10;
+  req.filter.ts_max = 10;
+  req.filter.min_bytes = 16;
+  req.filter.max_bytes = 1024;
+  marshal::XdrEncoder enc;
+  req.Encode(enc);
+  marshal::XdrDecoder dec(enc.buffer());
+  auto decoded = SetFilterReq::Decode(dec);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->filter.stride, 4);
+  EXPECT_EQ(decoded->filter.phase, 1);
+  EXPECT_EQ(decoded->filter.ts_min, -10);
+  EXPECT_EQ(decoded->filter.max_bytes, 1024u);
+}
+
+TEST(WireTest, DeadlineMapping) {
+  EXPECT_EQ(EncodeDeadline(Deadline::Infinite()), kDeadlineInfinite);
+  EXPECT_EQ(EncodeDeadline(Deadline::Poll()), 0);
+  const std::int64_t ms = EncodeDeadline(Deadline::AfterMillis(5000));
+  EXPECT_GT(ms, 4000);
+  EXPECT_LE(ms, 5000);
+  EXPECT_TRUE(DecodeDeadline(kDeadlineInfinite).infinite());
+  EXPECT_TRUE(DecodeDeadline(0).expired());
+  EXPECT_FALSE(DecodeDeadline(10000).expired());
+}
+
+TEST(WireTest, GcNoticeRoundTrip) {
+  GcNotice notice{0xABCDEF, true, -42, 190 * 1024};
+  marshal::XdrEncoder enc;
+  EncodeGcNotice(enc, notice);
+  marshal::XdrDecoder dec(enc.buffer());
+  auto decoded = DecodeGcNotice(dec);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->container_bits, notice.container_bits);
+  EXPECT_TRUE(decoded->is_queue);
+  EXPECT_EQ(decoded->timestamp, -42);
+  EXPECT_EQ(decoded->payload_size, notice.payload_size);
+}
+
+// --- fuzzing the request executor ------------------------------------------
+//
+// ExecuteWireRequest is the surface a surrogate exposes to whatever an
+// end device sends. Feed it truncations, bit flips and random bytes:
+// the contract is "status reply or empty buffer", never a crash.
+
+class WireFuzzTest : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(WireFuzzTest, TruncatedAndCorruptedRequestsAreHandled) {
+  std::mt19937_64 rng(GetParam());
+  Runtime::Options opts;
+  opts.num_address_spaces = 1;
+  auto rt = Runtime::Create(opts);
+  ASSERT_TRUE(rt.ok());
+  AddressSpace& as = (*rt)->as(0);
+  auto ch = as.CreateChannel();
+  ASSERT_TRUE(ch.ok());
+
+  // A valid put request to mutate.
+  PutReq req;
+  req.container_bits = ch->bits();
+  req.mode = ConnMode::kOutput;
+  req.ts = 1;
+  req.deadline_ms = 0;
+  req.payload = Buffer(64, 0x5A);
+  marshal::XdrEncoder enc;
+  EncodeRequestHeader(enc, Op::kPut, 1);
+  req.Encode(enc);
+  const Buffer valid = enc.Take();
+
+  // A mutated frame can legitimately decode into a *blocking* op (a
+  // get or a blocking name lookup) with an arbitrary deadline; those
+  // semantics are tested elsewhere, so the fuzz skips executing them —
+  // it targets decode robustness, which must never crash or mis-frame.
+  auto execute_checked = [&](const Buffer& frame) {
+    marshal::XdrDecoder peek(frame);
+    auto hdr = DecodeRequestHeader(peek);
+    if (hdr.ok() &&
+        (hdr->op == Op::kGet || hdr->op == Op::kNsLookup)) {
+      return;
+    }
+    Buffer reply = as.ExecuteWireRequest(frame);
+    if (!reply.empty()) {
+      marshal::XdrDecoder dec(reply);
+      EXPECT_TRUE(DecodeResponseHeader(dec).ok());
+    }
+  };
+
+  // Every truncation length.
+  for (std::size_t len = 0; len <= valid.size(); ++len) {
+    execute_checked(Buffer(valid.begin(), valid.begin() + static_cast<long>(len)));
+  }
+  // Random bit flips.
+  for (int round = 0; round < 200; ++round) {
+    Buffer mutated = valid;
+    const int flips = 1 + static_cast<int>(rng() % 8);
+    for (int f = 0; f < flips; ++f) {
+      mutated[rng() % mutated.size()] ^=
+          static_cast<std::uint8_t>(1u << (rng() % 8));
+    }
+    execute_checked(mutated);
+  }
+  // Pure noise.
+  for (int round = 0; round < 100; ++round) {
+    Buffer noise(rng() % 256);
+    for (auto& b : noise) b = static_cast<std::uint8_t>(rng());
+    execute_checked(noise);
+  }
+  SUCCEED();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WireFuzzTest, ::testing::Range(0u, 5u));
+
+}  // namespace
+}  // namespace dstampede::core
