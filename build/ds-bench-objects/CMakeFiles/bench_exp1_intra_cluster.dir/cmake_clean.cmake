@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_exp1_intra_cluster"
+  "../bench/bench_exp1_intra_cluster.pdb"
+  "CMakeFiles/bench_exp1_intra_cluster.dir/bench_exp1_intra_cluster.cpp.o"
+  "CMakeFiles/bench_exp1_intra_cluster.dir/bench_exp1_intra_cluster.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_exp1_intra_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

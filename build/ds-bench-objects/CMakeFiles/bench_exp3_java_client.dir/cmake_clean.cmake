@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_exp3_java_client"
+  "../bench/bench_exp3_java_client.pdb"
+  "CMakeFiles/bench_exp3_java_client.dir/bench_exp3_java_client.cpp.o"
+  "CMakeFiles/bench_exp3_java_client.dir/bench_exp3_java_client.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_exp3_java_client.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig14_app_singlethread"
+  "../bench/bench_fig14_app_singlethread.pdb"
+  "CMakeFiles/bench_fig14_app_singlethread.dir/bench_fig14_app_singlethread.cpp.o"
+  "CMakeFiles/bench_fig14_app_singlethread.dir/bench_fig14_app_singlethread.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_app_singlethread.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

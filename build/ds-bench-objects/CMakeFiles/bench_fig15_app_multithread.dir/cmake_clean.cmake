@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig15_app_multithread"
+  "../bench/bench_fig15_app_multithread.pdb"
+  "CMakeFiles/bench_fig15_app_multithread.dir/bench_fig15_app_multithread.cpp.o"
+  "CMakeFiles/bench_fig15_app_multithread.dir/bench_fig15_app_multithread.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig15_app_multithread.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/av_meeting.dir/av_meeting.cpp.o"
+  "CMakeFiles/av_meeting.dir/av_meeting.cpp.o.d"
+  "av_meeting"
+  "av_meeting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/av_meeting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/federated_clusters.dir/federated_clusters.cpp.o"
+  "CMakeFiles/federated_clusters.dir/federated_clusters.cpp.o.d"
+  "federated_clusters"
+  "federated_clusters.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/federated_clusters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

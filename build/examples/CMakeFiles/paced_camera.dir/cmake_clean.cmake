@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paced_camera.dir/paced_camera.cpp.o"
+  "CMakeFiles/paced_camera.dir/paced_camera.cpp.o.d"
+  "paced_camera"
+  "paced_camera.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paced_camera.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

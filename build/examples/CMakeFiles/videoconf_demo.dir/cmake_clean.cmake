@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/videoconf_demo.dir/videoconf_demo.cpp.o"
+  "CMakeFiles/videoconf_demo.dir/videoconf_demo.cpp.o.d"
+  "videoconf_demo"
+  "videoconf_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/videoconf_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dstampede/app/audio.cpp" "src/CMakeFiles/ds_app.dir/dstampede/app/audio.cpp.o" "gcc" "src/CMakeFiles/ds_app.dir/dstampede/app/audio.cpp.o.d"
+  "/root/repo/src/dstampede/app/correlator.cpp" "src/CMakeFiles/ds_app.dir/dstampede/app/correlator.cpp.o" "gcc" "src/CMakeFiles/ds_app.dir/dstampede/app/correlator.cpp.o.d"
+  "/root/repo/src/dstampede/app/image.cpp" "src/CMakeFiles/ds_app.dir/dstampede/app/image.cpp.o" "gcc" "src/CMakeFiles/ds_app.dir/dstampede/app/image.cpp.o.d"
+  "/root/repo/src/dstampede/app/socket_videoconf.cpp" "src/CMakeFiles/ds_app.dir/dstampede/app/socket_videoconf.cpp.o" "gcc" "src/CMakeFiles/ds_app.dir/dstampede/app/socket_videoconf.cpp.o.d"
+  "/root/repo/src/dstampede/app/tracker.cpp" "src/CMakeFiles/ds_app.dir/dstampede/app/tracker.cpp.o" "gcc" "src/CMakeFiles/ds_app.dir/dstampede/app/tracker.cpp.o.d"
+  "/root/repo/src/dstampede/app/videoconf.cpp" "src/CMakeFiles/ds_app.dir/dstampede/app/videoconf.cpp.o" "gcc" "src/CMakeFiles/ds_app.dir/dstampede/app/videoconf.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ds_client.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ds_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ds_clf.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ds_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ds_marshal.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ds_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ds_app.dir/dstampede/app/audio.cpp.o"
+  "CMakeFiles/ds_app.dir/dstampede/app/audio.cpp.o.d"
+  "CMakeFiles/ds_app.dir/dstampede/app/correlator.cpp.o"
+  "CMakeFiles/ds_app.dir/dstampede/app/correlator.cpp.o.d"
+  "CMakeFiles/ds_app.dir/dstampede/app/image.cpp.o"
+  "CMakeFiles/ds_app.dir/dstampede/app/image.cpp.o.d"
+  "CMakeFiles/ds_app.dir/dstampede/app/socket_videoconf.cpp.o"
+  "CMakeFiles/ds_app.dir/dstampede/app/socket_videoconf.cpp.o.d"
+  "CMakeFiles/ds_app.dir/dstampede/app/tracker.cpp.o"
+  "CMakeFiles/ds_app.dir/dstampede/app/tracker.cpp.o.d"
+  "CMakeFiles/ds_app.dir/dstampede/app/videoconf.cpp.o"
+  "CMakeFiles/ds_app.dir/dstampede/app/videoconf.cpp.o.d"
+  "libds_app.a"
+  "libds_app.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ds_app.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

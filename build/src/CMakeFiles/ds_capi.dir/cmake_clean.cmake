@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ds_capi.dir/dstampede/capi/capi.cpp.o"
+  "CMakeFiles/ds_capi.dir/dstampede/capi/capi.cpp.o.d"
+  "libds_capi.a"
+  "libds_capi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ds_capi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dstampede/clf/endpoint.cpp" "src/CMakeFiles/ds_clf.dir/dstampede/clf/endpoint.cpp.o" "gcc" "src/CMakeFiles/ds_clf.dir/dstampede/clf/endpoint.cpp.o.d"
+  "/root/repo/src/dstampede/clf/fault_injector.cpp" "src/CMakeFiles/ds_clf.dir/dstampede/clf/fault_injector.cpp.o" "gcc" "src/CMakeFiles/ds_clf.dir/dstampede/clf/fault_injector.cpp.o.d"
+  "/root/repo/src/dstampede/clf/shm_ring.cpp" "src/CMakeFiles/ds_clf.dir/dstampede/clf/shm_ring.cpp.o" "gcc" "src/CMakeFiles/ds_clf.dir/dstampede/clf/shm_ring.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ds_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ds_marshal.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ds_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

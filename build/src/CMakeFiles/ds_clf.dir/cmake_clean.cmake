@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ds_clf.dir/dstampede/clf/endpoint.cpp.o"
+  "CMakeFiles/ds_clf.dir/dstampede/clf/endpoint.cpp.o.d"
+  "CMakeFiles/ds_clf.dir/dstampede/clf/fault_injector.cpp.o"
+  "CMakeFiles/ds_clf.dir/dstampede/clf/fault_injector.cpp.o.d"
+  "CMakeFiles/ds_clf.dir/dstampede/clf/shm_ring.cpp.o"
+  "CMakeFiles/ds_clf.dir/dstampede/clf/shm_ring.cpp.o.d"
+  "libds_clf.a"
+  "libds_clf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ds_clf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dstampede/client/client.cpp" "src/CMakeFiles/ds_client.dir/dstampede/client/client.cpp.o" "gcc" "src/CMakeFiles/ds_client.dir/dstampede/client/client.cpp.o.d"
+  "/root/repo/src/dstampede/client/java_client.cpp" "src/CMakeFiles/ds_client.dir/dstampede/client/java_client.cpp.o" "gcc" "src/CMakeFiles/ds_client.dir/dstampede/client/java_client.cpp.o.d"
+  "/root/repo/src/dstampede/client/listener.cpp" "src/CMakeFiles/ds_client.dir/dstampede/client/listener.cpp.o" "gcc" "src/CMakeFiles/ds_client.dir/dstampede/client/listener.cpp.o.d"
+  "/root/repo/src/dstampede/client/protocol.cpp" "src/CMakeFiles/ds_client.dir/dstampede/client/protocol.cpp.o" "gcc" "src/CMakeFiles/ds_client.dir/dstampede/client/protocol.cpp.o.d"
+  "/root/repo/src/dstampede/client/surrogate.cpp" "src/CMakeFiles/ds_client.dir/dstampede/client/surrogate.cpp.o" "gcc" "src/CMakeFiles/ds_client.dir/dstampede/client/surrogate.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ds_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ds_clf.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ds_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ds_marshal.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ds_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ds_client.dir/dstampede/client/client.cpp.o"
+  "CMakeFiles/ds_client.dir/dstampede/client/client.cpp.o.d"
+  "CMakeFiles/ds_client.dir/dstampede/client/java_client.cpp.o"
+  "CMakeFiles/ds_client.dir/dstampede/client/java_client.cpp.o.d"
+  "CMakeFiles/ds_client.dir/dstampede/client/listener.cpp.o"
+  "CMakeFiles/ds_client.dir/dstampede/client/listener.cpp.o.d"
+  "CMakeFiles/ds_client.dir/dstampede/client/protocol.cpp.o"
+  "CMakeFiles/ds_client.dir/dstampede/client/protocol.cpp.o.d"
+  "CMakeFiles/ds_client.dir/dstampede/client/surrogate.cpp.o"
+  "CMakeFiles/ds_client.dir/dstampede/client/surrogate.cpp.o.d"
+  "libds_client.a"
+  "libds_client.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ds_client.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dstampede/common/bytes.cpp" "src/CMakeFiles/ds_common.dir/dstampede/common/bytes.cpp.o" "gcc" "src/CMakeFiles/ds_common.dir/dstampede/common/bytes.cpp.o.d"
+  "/root/repo/src/dstampede/common/logging.cpp" "src/CMakeFiles/ds_common.dir/dstampede/common/logging.cpp.o" "gcc" "src/CMakeFiles/ds_common.dir/dstampede/common/logging.cpp.o.d"
+  "/root/repo/src/dstampede/common/stats.cpp" "src/CMakeFiles/ds_common.dir/dstampede/common/stats.cpp.o" "gcc" "src/CMakeFiles/ds_common.dir/dstampede/common/stats.cpp.o.d"
+  "/root/repo/src/dstampede/common/status.cpp" "src/CMakeFiles/ds_common.dir/dstampede/common/status.cpp.o" "gcc" "src/CMakeFiles/ds_common.dir/dstampede/common/status.cpp.o.d"
+  "/root/repo/src/dstampede/common/thread_pool.cpp" "src/CMakeFiles/ds_common.dir/dstampede/common/thread_pool.cpp.o" "gcc" "src/CMakeFiles/ds_common.dir/dstampede/common/thread_pool.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ds_common.dir/dstampede/common/bytes.cpp.o"
+  "CMakeFiles/ds_common.dir/dstampede/common/bytes.cpp.o.d"
+  "CMakeFiles/ds_common.dir/dstampede/common/logging.cpp.o"
+  "CMakeFiles/ds_common.dir/dstampede/common/logging.cpp.o.d"
+  "CMakeFiles/ds_common.dir/dstampede/common/stats.cpp.o"
+  "CMakeFiles/ds_common.dir/dstampede/common/stats.cpp.o.d"
+  "CMakeFiles/ds_common.dir/dstampede/common/status.cpp.o"
+  "CMakeFiles/ds_common.dir/dstampede/common/status.cpp.o.d"
+  "CMakeFiles/ds_common.dir/dstampede/common/thread_pool.cpp.o"
+  "CMakeFiles/ds_common.dir/dstampede/common/thread_pool.cpp.o.d"
+  "libds_common.a"
+  "libds_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ds_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

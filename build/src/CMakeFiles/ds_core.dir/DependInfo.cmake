@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dstampede/core/address_space.cpp" "src/CMakeFiles/ds_core.dir/dstampede/core/address_space.cpp.o" "gcc" "src/CMakeFiles/ds_core.dir/dstampede/core/address_space.cpp.o.d"
+  "/root/repo/src/dstampede/core/channel.cpp" "src/CMakeFiles/ds_core.dir/dstampede/core/channel.cpp.o" "gcc" "src/CMakeFiles/ds_core.dir/dstampede/core/channel.cpp.o.d"
+  "/root/repo/src/dstampede/core/federation.cpp" "src/CMakeFiles/ds_core.dir/dstampede/core/federation.cpp.o" "gcc" "src/CMakeFiles/ds_core.dir/dstampede/core/federation.cpp.o.d"
+  "/root/repo/src/dstampede/core/gc.cpp" "src/CMakeFiles/ds_core.dir/dstampede/core/gc.cpp.o" "gcc" "src/CMakeFiles/ds_core.dir/dstampede/core/gc.cpp.o.d"
+  "/root/repo/src/dstampede/core/item.cpp" "src/CMakeFiles/ds_core.dir/dstampede/core/item.cpp.o" "gcc" "src/CMakeFiles/ds_core.dir/dstampede/core/item.cpp.o.d"
+  "/root/repo/src/dstampede/core/name_server.cpp" "src/CMakeFiles/ds_core.dir/dstampede/core/name_server.cpp.o" "gcc" "src/CMakeFiles/ds_core.dir/dstampede/core/name_server.cpp.o.d"
+  "/root/repo/src/dstampede/core/queue.cpp" "src/CMakeFiles/ds_core.dir/dstampede/core/queue.cpp.o" "gcc" "src/CMakeFiles/ds_core.dir/dstampede/core/queue.cpp.o.d"
+  "/root/repo/src/dstampede/core/rt_sync.cpp" "src/CMakeFiles/ds_core.dir/dstampede/core/rt_sync.cpp.o" "gcc" "src/CMakeFiles/ds_core.dir/dstampede/core/rt_sync.cpp.o.d"
+  "/root/repo/src/dstampede/core/runtime.cpp" "src/CMakeFiles/ds_core.dir/dstampede/core/runtime.cpp.o" "gcc" "src/CMakeFiles/ds_core.dir/dstampede/core/runtime.cpp.o.d"
+  "/root/repo/src/dstampede/core/wire.cpp" "src/CMakeFiles/ds_core.dir/dstampede/core/wire.cpp.o" "gcc" "src/CMakeFiles/ds_core.dir/dstampede/core/wire.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ds_clf.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ds_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ds_marshal.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ds_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ds_core.dir/dstampede/core/address_space.cpp.o"
+  "CMakeFiles/ds_core.dir/dstampede/core/address_space.cpp.o.d"
+  "CMakeFiles/ds_core.dir/dstampede/core/channel.cpp.o"
+  "CMakeFiles/ds_core.dir/dstampede/core/channel.cpp.o.d"
+  "CMakeFiles/ds_core.dir/dstampede/core/federation.cpp.o"
+  "CMakeFiles/ds_core.dir/dstampede/core/federation.cpp.o.d"
+  "CMakeFiles/ds_core.dir/dstampede/core/gc.cpp.o"
+  "CMakeFiles/ds_core.dir/dstampede/core/gc.cpp.o.d"
+  "CMakeFiles/ds_core.dir/dstampede/core/item.cpp.o"
+  "CMakeFiles/ds_core.dir/dstampede/core/item.cpp.o.d"
+  "CMakeFiles/ds_core.dir/dstampede/core/name_server.cpp.o"
+  "CMakeFiles/ds_core.dir/dstampede/core/name_server.cpp.o.d"
+  "CMakeFiles/ds_core.dir/dstampede/core/queue.cpp.o"
+  "CMakeFiles/ds_core.dir/dstampede/core/queue.cpp.o.d"
+  "CMakeFiles/ds_core.dir/dstampede/core/rt_sync.cpp.o"
+  "CMakeFiles/ds_core.dir/dstampede/core/rt_sync.cpp.o.d"
+  "CMakeFiles/ds_core.dir/dstampede/core/runtime.cpp.o"
+  "CMakeFiles/ds_core.dir/dstampede/core/runtime.cpp.o.d"
+  "CMakeFiles/ds_core.dir/dstampede/core/wire.cpp.o"
+  "CMakeFiles/ds_core.dir/dstampede/core/wire.cpp.o.d"
+  "libds_core.a"
+  "libds_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ds_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ds_marshal.dir/dstampede/marshal/java_style.cpp.o"
+  "CMakeFiles/ds_marshal.dir/dstampede/marshal/java_style.cpp.o.d"
+  "CMakeFiles/ds_marshal.dir/dstampede/marshal/xdr.cpp.o"
+  "CMakeFiles/ds_marshal.dir/dstampede/marshal/xdr.cpp.o.d"
+  "libds_marshal.a"
+  "libds_marshal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ds_marshal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ds_transport.dir/dstampede/transport/socket.cpp.o"
+  "CMakeFiles/ds_transport.dir/dstampede/transport/socket.cpp.o.d"
+  "CMakeFiles/ds_transport.dir/dstampede/transport/tcp.cpp.o"
+  "CMakeFiles/ds_transport.dir/dstampede/transport/tcp.cpp.o.d"
+  "CMakeFiles/ds_transport.dir/dstampede/transport/udp.cpp.o"
+  "CMakeFiles/ds_transport.dir/dstampede/transport/udp.cpp.o.d"
+  "libds_transport.a"
+  "libds_transport.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ds_transport.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

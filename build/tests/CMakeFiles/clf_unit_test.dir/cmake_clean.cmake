@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clf_unit_test.dir/clf_unit_test.cpp.o"
+  "CMakeFiles/clf_unit_test.dir/clf_unit_test.cpp.o.d"
+  "clf_unit_test"
+  "clf_unit_test.pdb"
+  "clf_unit_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clf_unit_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/correlator_test.dir/correlator_test.cpp.o"
+  "CMakeFiles/correlator_test.dir/correlator_test.cpp.o.d"
+  "correlator_test"
+  "correlator_test.pdb"
+  "correlator_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/correlator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gc_service_test.dir/gc_service_test.cpp.o"
+  "CMakeFiles/gc_service_test.dir/gc_service_test.cpp.o.d"
+  "gc_service_test"
+  "gc_service_test.pdb"
+  "gc_service_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gc_service_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/name_server_test.dir/name_server_test.cpp.o"
+  "CMakeFiles/name_server_test.dir/name_server_test.cpp.o.d"
+  "name_server_test"
+  "name_server_test.pdb"
+  "name_server_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/name_server_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reaper_test.dir/reaper_test.cpp.o"
+  "CMakeFiles/reaper_test.dir/reaper_test.cpp.o.d"
+  "reaper_test"
+  "reaper_test.pdb"
+  "reaper_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reaper_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

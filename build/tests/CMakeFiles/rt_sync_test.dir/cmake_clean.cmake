@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rt_sync_test.dir/rt_sync_test.cpp.o"
+  "CMakeFiles/rt_sync_test.dir/rt_sync_test.cpp.o.d"
+  "rt_sync_test"
+  "rt_sync_test.pdb"
+  "rt_sync_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rt_sync_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
