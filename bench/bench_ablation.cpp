@@ -8,7 +8,11 @@
 //      number of simultaneously parked remote waiters;
 //   C. the CLF shared-memory fast path vs the UDP path, measured at the
 //      application level (the micro-level comparison lives in
-//      bench_micro_ops).
+//      bench_micro_ops);
+//   D. failure-detection bound — how long after a network partition a
+//      blocked remote call fails with kUnavailable, as a function of
+//      peer_timeout (the knob trades detection latency against false
+//      positives on a loaded machine).
 //
 // Each table reports sustained relay throughput: producer in AS0 puts
 // S-byte items into a channel owned by AS1, a consumer thread gets and
@@ -150,6 +154,47 @@ int main() {
     std::printf("%10s %14.0f %10.1f\n", shm ? "shm" : "udp", r.items_per_sec,
                 r.mbytes_per_sec);
     rt->Shutdown();
+  }
+
+  // A consumer blocks in a remote Get while the link to the owner is
+  // cut in both directions; we time partition -> kUnavailable. The
+  // detection bound should track peer_timeout, not the call deadline.
+  std::printf("\n# Ablation D: failure-detection bound vs peer_timeout "
+              "(partition -> kUnavailable)\n");
+  std::printf("%15s %12s %14s\n", "peer_timeout_ms", "status", "detect_ms");
+  for (long timeout_ms : {50L, 100L, 250L, 500L, 1000L}) {
+    core::Runtime::Options opts;
+    opts.num_address_spaces = 2;
+    opts.gc_interval = Millis(10);
+    opts.clf_max_retransmits = 8;
+    opts.peer_keepalive_interval = Millis(timeout_ms / 4 + 1);
+    opts.peer_timeout = Millis(timeout_ms);
+    auto rt = core::Runtime::Create(opts);
+    if (!rt.ok()) bench::Die(rt.status(), "runtime");
+    auto ch = (*rt)->as(1).CreateChannel();
+    if (!ch.ok()) bench::Die(ch.status(), "channel");
+    auto in = (*rt)->as(0).Connect(*ch, core::ConnMode::kInput);
+    if (!in.ok()) bench::Die(in.status(), "connect");
+
+    StatusCode observed = StatusCode::kOk;
+    double detect_ms = 0;
+    TimePoint cut{};
+    std::thread blocked([&] {
+      auto item = (*rt)->as(0).Get(*in, core::GetSpec::Exact(0),
+                                   Deadline::AfterMillis(60000));
+      detect_ms = static_cast<double>(ToMicros(Now() - cut)) / 1e3;
+      observed = item.status().code();
+    });
+    std::this_thread::sleep_for(Millis(100));  // let the request park
+    cut = Now();
+    (*rt)->as(0).fault_injector().Partition((*rt)->as(1).clf_addr());
+    (*rt)->as(1).fault_injector().Partition((*rt)->as(0).clf_addr());
+    blocked.join();
+    std::printf("%15ld %12s %14.0f\n", timeout_ms,
+                observed == StatusCode::kUnavailable ? "unavailable"
+                                                     : "UNEXPECTED",
+                detect_ms);
+    (*rt)->Shutdown();
   }
   return 0;
 }

@@ -234,10 +234,12 @@ src/CMakeFiles/ds_client.dir/dstampede/client/client.cpp.o: \
  /usr/include/c++/12/bits/this_thread_sleep.h \
  /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
  /usr/include/x86_64-linux-gnu/bits/semaphore.h \
- /usr/include/c++/12/thread /root/repo/src/dstampede/clf/endpoint.hpp \
- /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
- /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/map \
- /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
+ /usr/include/c++/12/thread /usr/include/c++/12/unordered_set \
+ /usr/include/c++/12/bits/unordered_set.h \
+ /root/repo/src/dstampede/clf/endpoint.hpp /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
+ /usr/include/c++/12/bits/stl_map.h \
  /usr/include/c++/12/bits/stl_multimap.h \
  /root/repo/src/dstampede/clf/fault_injector.hpp \
  /usr/include/c++/12/optional /usr/include/c++/12/random \
@@ -268,8 +270,8 @@ src/CMakeFiles/ds_client.dir/dstampede/client/client.cpp.o: \
  /usr/include/c++/12/bits/random.tcc /usr/include/c++/12/numeric \
  /usr/include/c++/12/bits/stl_numeric.h \
  /usr/include/c++/12/pstl/glue_numeric_defs.h \
- /root/repo/src/dstampede/clf/shm_ring.hpp \
  /root/repo/src/dstampede/transport/socket.hpp \
+ /root/repo/src/dstampede/clf/shm_ring.hpp \
  /root/repo/src/dstampede/transport/udp.hpp \
  /root/repo/src/dstampede/common/thread_pool.hpp \
  /root/repo/src/dstampede/core/channel.hpp /usr/include/c++/12/set \

@@ -260,12 +260,12 @@ src/CMakeFiles/ds_client.dir/dstampede/client/listener.cpp.o: \
  /usr/include/c++/12/cstring /usr/include/string.h /usr/include/strings.h \
  /usr/include/c++/12/span /root/repo/src/dstampede/common/status.hpp \
  /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
- /usr/include/c++/12/variant /root/repo/src/dstampede/clf/shm_ring.hpp \
- /root/repo/src/dstampede/transport/socket.hpp \
- /root/repo/src/dstampede/common/clock.hpp /usr/include/c++/12/chrono \
- /usr/include/c++/12/sstream /usr/include/c++/12/istream \
- /usr/include/c++/12/bits/istream.tcc \
+ /usr/include/c++/12/variant /root/repo/src/dstampede/common/clock.hpp \
+ /usr/include/c++/12/chrono /usr/include/c++/12/sstream \
+ /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
  /usr/include/c++/12/bits/sstream.tcc \
+ /root/repo/src/dstampede/transport/socket.hpp \
+ /root/repo/src/dstampede/clf/shm_ring.hpp \
  /root/repo/src/dstampede/transport/udp.hpp \
  /root/repo/src/dstampede/common/ids.hpp \
  /root/repo/src/dstampede/common/thread_pool.hpp \

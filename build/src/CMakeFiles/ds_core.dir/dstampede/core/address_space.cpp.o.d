@@ -219,10 +219,12 @@ src/CMakeFiles/ds_core.dir/dstampede/core/address_space.cpp.o: \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
  /usr/include/c++/12/pstl/execution_defs.h /usr/include/c++/12/mutex \
- /usr/include/c++/12/thread /root/repo/src/dstampede/clf/endpoint.hpp \
- /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
- /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/map \
- /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
+ /usr/include/c++/12/thread /usr/include/c++/12/unordered_set \
+ /usr/include/c++/12/bits/unordered_set.h \
+ /root/repo/src/dstampede/clf/endpoint.hpp /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
+ /usr/include/c++/12/bits/stl_map.h \
  /usr/include/c++/12/bits/stl_multimap.h \
  /root/repo/src/dstampede/clf/fault_injector.hpp \
  /usr/include/c++/12/optional /usr/include/c++/12/random \
@@ -257,12 +259,12 @@ src/CMakeFiles/ds_core.dir/dstampede/core/address_space.cpp.o: \
  /usr/include/c++/12/cstring /usr/include/string.h /usr/include/strings.h \
  /usr/include/c++/12/span /root/repo/src/dstampede/common/status.hpp \
  /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
- /usr/include/c++/12/variant /root/repo/src/dstampede/clf/shm_ring.hpp \
- /root/repo/src/dstampede/transport/socket.hpp \
- /root/repo/src/dstampede/common/clock.hpp /usr/include/c++/12/chrono \
- /usr/include/c++/12/sstream /usr/include/c++/12/istream \
- /usr/include/c++/12/bits/istream.tcc \
+ /usr/include/c++/12/variant /root/repo/src/dstampede/common/clock.hpp \
+ /usr/include/c++/12/chrono /usr/include/c++/12/sstream \
+ /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
  /usr/include/c++/12/bits/sstream.tcc \
+ /root/repo/src/dstampede/transport/socket.hpp \
+ /root/repo/src/dstampede/clf/shm_ring.hpp \
  /root/repo/src/dstampede/transport/udp.hpp \
  /root/repo/src/dstampede/common/ids.hpp \
  /root/repo/src/dstampede/common/thread_pool.hpp \

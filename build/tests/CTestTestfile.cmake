@@ -26,6 +26,7 @@ include("/root/repo/build/tests/wire_test[1]_include.cmake")
 include("/root/repo/build/tests/stress_test[1]_include.cmake")
 include("/root/repo/build/tests/audio_test[1]_include.cmake")
 include("/root/repo/build/tests/clf_unit_test[1]_include.cmake")
+include("/root/repo/build/tests/failure_test[1]_include.cmake")
 include("/root/repo/build/tests/app_sweep_test[1]_include.cmake")
 include("/root/repo/build/tests/misc_test[1]_include.cmake")
 include("/root/repo/build/tests/capi_test[1]_include.cmake")

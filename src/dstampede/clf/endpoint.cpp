@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cstring>
+#include <random>
+#include <vector>
 
 #include "dstampede/common/logging.hpp"
 
@@ -11,10 +13,20 @@ namespace {
 constexpr std::uint16_t kMagic = 0xC1F0;
 constexpr std::uint8_t kTypeData = 1;
 constexpr std::uint8_t kTypeAck = 2;
+constexpr std::uint8_t kTypePing = 3;
+constexpr std::uint8_t kTypePong = 4;
 constexpr std::uint8_t kFlagFirstFragment = 0x01;
-constexpr std::size_t kHeaderSize = 12;  // magic u16, type u8, flags u8, seq u32, ack u32
+// magic u16, type u8, flags u8, seq u32, ack u32, epoch u32
+constexpr std::size_t kHeaderSize = 16;
 // Payload budget per datagram (the paper caps UDP messages at ~64 KB).
 constexpr std::size_t kMaxFragmentPayload = 60000;
+
+// Incarnation numbers: random per process, monotone within it, so a
+// restarted endpoint on the same port never repeats its predecessor's.
+std::uint32_t NextEpoch() {
+  static std::atomic<std::uint32_t> counter{std::random_device{}()};
+  return counter.fetch_add(1, std::memory_order_relaxed);
+}
 
 void PutU16(Buffer& b, std::uint16_t v) {
   b.push_back(static_cast<std::uint8_t>(v >> 8));
@@ -36,7 +48,8 @@ std::uint32_t ReadU32(const std::uint8_t* p) {
 }
 
 Buffer BuildPacket(std::uint8_t type, std::uint8_t flags, std::uint32_t seq,
-                   std::uint32_t ack, std::span<const std::uint8_t> payload) {
+                   std::uint32_t ack, std::uint32_t epoch,
+                   std::span<const std::uint8_t> payload) {
   Buffer pkt;
   pkt.reserve(kHeaderSize + payload.size());
   PutU16(pkt, kMagic);
@@ -44,6 +57,7 @@ Buffer BuildPacket(std::uint8_t type, std::uint8_t flags, std::uint32_t seq,
   pkt.push_back(flags);
   PutU32(pkt, seq);
   PutU32(pkt, ack);
+  PutU32(pkt, epoch);
   pkt.insert(pkt.end(), payload.begin(), payload.end());
   return pkt;
 }
@@ -68,7 +82,7 @@ Result<std::unique_ptr<Endpoint>> Endpoint::Create(const Options& options) {
 }
 
 Endpoint::Endpoint(const Options& options)
-    : options_(options), injector_(options.faults) {}
+    : options_(options), epoch_(NextEpoch()), injector_(options.faults) {}
 
 Endpoint::~Endpoint() { Shutdown(); }
 
@@ -90,10 +104,133 @@ void Endpoint::WireSend(const transport::SockAddr& to, Buffer datagram) {
     (void)socket_.SendTo(to, datagram);
     return;
   }
-  for (Buffer& d : injector_.Filter(std::move(datagram))) {
+  for (Buffer& d : injector_.Filter(to, std::move(datagram))) {
     (void)socket_.SendTo(to, d);
   }
 }
+
+// --- failure detection ---------------------------------------------------
+
+void Endpoint::WatchPeer(const transport::SockAddr& peer) {
+  std::lock_guard<std::mutex> lock(send_mu_);
+  PeerHealth& h = health_[peer];
+  if (h.last_heard == TimePoint{}) h.last_heard = Now();
+}
+
+void Endpoint::ForgetPeer(const transport::SockAddr& peer) {
+  {
+    std::lock_guard<std::mutex> lock(send_mu_);
+    auto hit = health_.find(peer);
+    if (hit != health_.end()) {
+      hit->second.dead = false;
+      hit->second.epoch_known = false;
+      hit->second.last_heard = Now();
+      hit->second.last_probe = TimePoint{};
+    }
+    auto sit = send_peers_.find(peer);
+    if (sit != send_peers_.end()) {
+      sit->second.unacked.clear();
+      sit->second.next_seq = 0;
+    }
+  }
+  window_cv_.notify_all();
+}
+
+bool Endpoint::IsPeerDead(const transport::SockAddr& peer) const {
+  std::lock_guard<std::mutex> lock(send_mu_);
+  auto it = health_.find(peer);
+  return it != health_.end() && it->second.dead;
+}
+
+void Endpoint::set_peer_down_callback(PeerEventCallback cb) {
+  std::lock_guard<std::mutex> lock(callback_mu_);
+  on_peer_down_ = std::move(cb);
+}
+
+void Endpoint::set_peer_up_callback(PeerEventCallback cb) {
+  std::lock_guard<std::mutex> lock(callback_mu_);
+  on_peer_up_ = std::move(cb);
+}
+
+void Endpoint::DeclarePeerDead(const transport::SockAddr& peer,
+                               const char* why) {
+  {
+    std::lock_guard<std::mutex> lock(send_mu_);
+    PeerHealth& h = health_[peer];
+    if (h.dead) return;
+    h.dead = true;
+    // Drop the ARQ state: pending packets to a dead peer are abandoned,
+    // and a resurrected incarnation expects sequences from zero.
+    auto it = send_peers_.find(peer);
+    if (it != send_peers_.end()) {
+      it->second.unacked.clear();
+      it->second.next_seq = 0;
+    }
+    stats_.peers_declared_dead.fetch_add(1, std::memory_order_relaxed);
+  }
+  // Receiver-side state is owned by the receiver thread — which is the
+  // only caller of this function.
+  recv_peers_.erase(peer);
+  window_cv_.notify_all();
+  DS_LOG(kWarn) << "CLF: peer " << peer.ToString() << " declared dead ("
+                << why << ")";
+  PeerEventCallback cb;
+  {
+    std::lock_guard<std::mutex> lock(callback_mu_);
+    cb = on_peer_down_;
+  }
+  if (cb) cb(peer);
+}
+
+bool Endpoint::ObservePeer(const transport::SockAddr& from,
+                           std::uint32_t epoch) {
+  bool resurrected = false;
+  bool epoch_reset = false;
+  {
+    std::lock_guard<std::mutex> lock(send_mu_);
+    PeerHealth& h = health_[from];
+    if (!h.epoch_known) {
+      h.epoch_known = true;
+      h.epoch = epoch;
+    } else if (h.epoch != epoch) {
+      // A fresh incarnation on the same address: discard every piece of
+      // sequence state tied to the old one so the restarted peer is not
+      // poisoned by stale numbering.
+      h.epoch = epoch;
+      epoch_reset = true;
+      stats_.epoch_resets.fetch_add(1, std::memory_order_relaxed);
+      auto it = send_peers_.find(from);
+      if (it != send_peers_.end()) {
+        it->second.unacked.clear();
+        it->second.next_seq = 0;
+      }
+    }
+    if (h.dead) {
+      if (!epoch_reset) return false;  // same incarnation stays dead
+      h.dead = false;
+      resurrected = true;
+      stats_.peers_resurrected.fetch_add(1, std::memory_order_relaxed);
+    }
+    h.last_heard = Now();
+  }
+  if (epoch_reset) {
+    recv_peers_.erase(from);  // receiver thread owns this state
+    window_cv_.notify_all();
+  }
+  if (resurrected) {
+    DS_LOG(kInfo) << "CLF: peer " << from.ToString()
+                  << " resurrected with epoch " << epoch;
+    PeerEventCallback cb;
+    {
+      std::lock_guard<std::mutex> lock(callback_mu_);
+      cb = on_peer_up_;
+    }
+    if (cb) cb(from);
+  }
+  return true;
+}
+
+// --- data path -----------------------------------------------------------
 
 Status Endpoint::Send(const transport::SockAddr& to,
                       std::span<const std::uint8_t> message) {
@@ -117,6 +254,9 @@ Status Endpoint::Send(const transport::SockAddr& to,
   std::shared_ptr<std::mutex> message_mu;
   {
     std::lock_guard<std::mutex> lock(send_mu_);
+    PeerHealth& h = health_[to];
+    if (h.dead) return UnavailableError("peer declared dead");
+    if (h.last_heard == TimePoint{}) h.last_heard = Now();
     message_mu = send_peers_[to].message_mu;
   }
   std::lock_guard<std::mutex> message_lock(*message_mu);
@@ -140,15 +280,18 @@ Status Endpoint::Send(const transport::SockAddr& to,
     {
       std::unique_lock<std::mutex> lock(send_mu_);
       SendPeer& peer = send_peers_[to];
+      PeerHealth& h = health_[to];
       window_cv_.wait(lock, [&] {
-        return stopping_.load() || peer.unacked.size() < options_.window_packets;
+        return stopping_.load() || h.dead ||
+               peer.unacked.size() < options_.window_packets;
       });
       if (stopping_.load()) return CancelledError("endpoint shut down");
+      if (h.dead) return UnavailableError("peer declared dead");
       seq = peer.next_seq++;
       datagram = BuildPacket(kTypeData, first ? kFlagFirstFragment : 0, seq,
-                             /*ack=*/0, payload);
+                             /*ack=*/0, epoch_, payload);
       peer.unacked[seq] = SendPeer::Unacked{
-          datagram, Now() + options_.initial_rto, options_.initial_rto};
+          datagram, Now() + options_.initial_rto, options_.initial_rto, 0};
     }
     stats_.data_packets_sent.fetch_add(1, std::memory_order_relaxed);
     WireSend(to, std::move(datagram));
@@ -192,7 +335,7 @@ void Endpoint::PushInbox(const transport::SockAddr& from, Buffer message) {
 
 void Endpoint::SendAck(const transport::SockAddr& to, std::uint32_t ack) {
   stats_.acks_sent.fetch_add(1, std::memory_order_relaxed);
-  WireSend(to, BuildPacket(kTypeAck, 0, /*seq=*/0, ack, {}));
+  WireSend(to, BuildPacket(kTypeAck, 0, /*seq=*/0, ack, epoch_, {}));
 }
 
 void Endpoint::HandleAck(const transport::SockAddr& from, std::uint32_t ack) {
@@ -250,13 +393,27 @@ void Endpoint::HandleDatagram(const transport::SockAddr& from,
   const std::uint8_t flags = datagram[3];
   const std::uint32_t seq = ReadU32(datagram.data() + 4);
   const std::uint32_t ack = ReadU32(datagram.data() + 8);
+  const std::uint32_t epoch = ReadU32(datagram.data() + 12);
   auto payload = datagram.subspan(kHeaderSize);
 
-  if (type == kTypeAck) {
-    HandleAck(from, ack);
-    return;
+  // Epoch/liveness bookkeeping for every packet type. A peer declared
+  // dead stays dead for its incarnation: only a new epoch revives it.
+  if (!ObservePeer(from, epoch)) return;
+
+  switch (type) {
+    case kTypeAck:
+      HandleAck(from, ack);
+      return;
+    case kTypePing:
+      WireSend(from, BuildPacket(kTypePong, 0, 0, 0, epoch_, {}));
+      return;
+    case kTypePong:
+      return;  // liveness already recorded above
+    case kTypeData:
+      break;
+    default:
+      return;
   }
-  if (type != kTypeData) return;
 
   stats_.data_packets_received.fetch_add(1, std::memory_order_relaxed);
   RecvPeer& peer = recv_peers_[from];
@@ -296,15 +453,45 @@ void Endpoint::HandleDatagram(const transport::SockAddr& from,
 
 void Endpoint::RetransmitScan() {
   std::vector<std::pair<transport::SockAddr, Buffer>> to_send;
+  std::vector<transport::SockAddr> to_probe;
+  std::vector<transport::SockAddr> expired;  // retransmit budget exhausted
+  std::vector<transport::SockAddr> silent;   // peer_timeout exceeded
   const TimePoint now = Now();
   {
     std::lock_guard<std::mutex> lock(send_mu_);
     for (auto& [addr, peer] : send_peers_) {
+      auto hit = health_.find(addr);
+      if (hit != health_.end() && hit->second.dead) continue;
       for (auto& [seq, entry] : peer.unacked) {
         if (entry.resend_at <= now) {
+          if (options_.max_retransmits > 0 &&
+              entry.retransmits >= options_.max_retransmits) {
+            expired.push_back(addr);
+            break;
+          }
+          ++entry.retransmits;
           entry.rto = std::min(entry.rto * 2, options_.max_rto);
           entry.resend_at = now + entry.rto;
           to_send.emplace_back(addr, entry.datagram);
+        }
+      }
+    }
+    if (detection_enabled()) {
+      for (auto& [addr, h] : health_) {
+        if (h.dead) continue;
+        if (h.last_heard == TimePoint{}) {
+          h.last_heard = now;
+          continue;
+        }
+        if (now - h.last_heard >= options_.peer_timeout) {
+          silent.push_back(addr);
+          continue;
+        }
+        if (now - h.last_heard >= options_.keepalive_interval &&
+            (h.last_probe == TimePoint{} ||
+             now - h.last_probe >= options_.keepalive_interval)) {
+          h.last_probe = now;
+          to_probe.push_back(addr);
         }
       }
     }
@@ -312,6 +499,16 @@ void Endpoint::RetransmitScan() {
   for (auto& [addr, datagram] : to_send) {
     stats_.retransmissions.fetch_add(1, std::memory_order_relaxed);
     WireSend(addr, std::move(datagram));
+  }
+  for (const auto& addr : to_probe) {
+    stats_.keepalive_probes_sent.fetch_add(1, std::memory_order_relaxed);
+    WireSend(addr, BuildPacket(kTypePing, 0, 0, 0, epoch_, {}));
+  }
+  for (const auto& addr : expired) {
+    DeclarePeerDead(addr, "retransmit budget exhausted");
+  }
+  for (const auto& addr : silent) {
+    DeclarePeerDead(addr, "silent past peer_timeout");
   }
   // Don't let a reorder-held packet rot while the link is idle.
   if (injector_.active()) {

@@ -12,12 +12,23 @@
 // exponential backoff. Delivery to the application is exactly-once and
 // in order per peer, regardless of drops, duplicates or reordering
 // underneath (see tests/clf_test.cpp property suite).
+//
+// Failure detection (cluster extension beyond the paper's §3.3 model):
+// every packet carries the sender's incarnation epoch. When enabled via
+// Options, the endpoint probes idle peers with keepalive pings, bounds
+// retransmission attempts, and declares a peer dead once it exceeds the
+// retransmit budget or stays silent past peer_timeout. Death fails
+// pending sends fast with kUnavailable, wakes window waiters, drops the
+// peer's ARQ state and fires the registered PeerDown callback. A
+// restarted peer shows up with a fresh epoch: stale sequence state is
+// discarded, the peer is resurrected, and PeerUp fires.
 #pragma once
 
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -41,6 +52,10 @@ struct EndpointStats {
   std::atomic<std::uint64_t> duplicates_discarded{0};
   std::atomic<std::uint64_t> messages_delivered{0};
   std::atomic<std::uint64_t> shm_messages{0};
+  std::atomic<std::uint64_t> keepalive_probes_sent{0};
+  std::atomic<std::uint64_t> peers_declared_dead{0};
+  std::atomic<std::uint64_t> peers_resurrected{0};
+  std::atomic<std::uint64_t> epoch_resets{0};
 };
 
 class Endpoint {
@@ -52,7 +67,21 @@ class Endpoint {
     Duration initial_rto = Millis(10);
     Duration max_rto = Millis(320);
     FaultInjector::Config faults;     // all-zero: faithful wire
+    // --- failure detection (defaults preserve the paper's model:
+    // retransmit forever, never declare a peer dead) ----------------
+    // Per-packet retransmission budget; exceeding it declares the
+    // peer dead. 0 = unbounded.
+    std::size_t max_retransmits = 0;
+    // Probe a peer after this much silence. Zero disables probing.
+    Duration keepalive_interval = Duration::zero();
+    // Declare a watched peer dead after this much silence. Zero
+    // disables silence-based death (probes alone never kill).
+    Duration peer_timeout = Duration::zero();
   };
+
+  // Fired (from the endpoint's receiver thread, outside all endpoint
+  // locks) when a peer is declared dead / heard from again.
+  using PeerEventCallback = std::function<void(const transport::SockAddr&)>;
 
   static Result<std::unique_ptr<Endpoint>> Create(const Options& options);
   ~Endpoint();
@@ -61,16 +90,34 @@ class Endpoint {
   Endpoint& operator=(const Endpoint&) = delete;
 
   const transport::SockAddr& addr() const { return addr_; }
+  // This endpoint's incarnation number, stamped on every packet.
+  std::uint32_t epoch() const { return epoch_; }
 
   // Reliable ordered send. Blocks while the per-peer window is full;
   // returns once every fragment has been handed to the wire (delivery
   // is then guaranteed by retransmission as long as both ends live).
+  // Fails fast with kUnavailable once the peer is declared dead.
   Status Send(const transport::SockAddr& to,
               std::span<const std::uint8_t> message);
 
   // Next fully reassembled message from any peer, in per-peer order.
   Status Recv(Buffer& out, transport::SockAddr& from,
               Deadline deadline = Deadline::Infinite());
+
+  // --- failure detection ------------------------------------------------
+  // Starts keepalive monitoring of `peer` before any traffic flows
+  // (the runtime watches its whole mesh). No-op when probing is off.
+  void WatchPeer(const transport::SockAddr& peer);
+  // Clears dead state and ARQ history for `peer` so a later Send
+  // starts fresh (a controller re-admitting a restarted peer).
+  void ForgetPeer(const transport::SockAddr& peer);
+  bool IsPeerDead(const transport::SockAddr& peer) const;
+  void set_peer_down_callback(PeerEventCallback cb);
+  void set_peer_up_callback(PeerEventCallback cb);
+
+  // The outgoing-path fault injector; tests and the ablation bench use
+  // it to install deterministic partitions.
+  FaultInjector& fault_injector() { return injector_; }
 
   // Stops the background thread and closes the socket. Unacked data is
   // abandoned (the paper's CLF has no teardown handshake either).
@@ -88,6 +135,7 @@ class Endpoint {
       Buffer datagram;
       TimePoint resend_at;
       Duration rto;
+      std::size_t retransmits = 0;
     };
     std::map<std::uint32_t, Unacked> unacked;
     // Held across ALL fragments of one message: concurrent senders to
@@ -105,6 +153,16 @@ class Endpoint {
     Buffer partial;
   };
 
+  // Liveness view of one peer. Entries are never erased (Send may hold
+  // a reference across a window wait); ForgetPeer resets in place.
+  struct PeerHealth {
+    bool dead = false;
+    bool epoch_known = false;
+    std::uint32_t epoch = 0;
+    TimePoint last_heard{};
+    TimePoint last_probe{};
+  };
+
   void ReceiverLoop();
   void HandleDatagram(const transport::SockAddr& from,
                       std::span<const std::uint8_t> datagram);
@@ -118,14 +176,33 @@ class Endpoint {
   // Applies fault injection and writes datagrams to the socket.
   void WireSend(const transport::SockAddr& to, Buffer datagram);
 
+  // Tracks the sender's epoch; resets ARQ state on a new incarnation
+  // and resurrects a dead peer. Returns false when the packet must be
+  // ignored (same-incarnation traffic from a peer already declared
+  // dead). Runs on the receiver thread.
+  bool ObservePeer(const transport::SockAddr& from, std::uint32_t epoch);
+  // Marks the peer dead, drops its state, wakes waiters, fires the
+  // callback. Runs on the receiver thread.
+  void DeclarePeerDead(const transport::SockAddr& peer, const char* why);
+  bool detection_enabled() const {
+    return options_.keepalive_interval > Duration::zero() &&
+           options_.peer_timeout > Duration::zero();
+  }
+
   Options options_;
   transport::UdpSocket socket_;
   transport::SockAddr addr_;
   EndpointStats stats_;
+  std::uint32_t epoch_ = 0;
 
-  std::mutex send_mu_;
+  mutable std::mutex send_mu_;
   std::condition_variable window_cv_;
   std::unordered_map<transport::SockAddr, SendPeer> send_peers_;
+  std::unordered_map<transport::SockAddr, PeerHealth> health_;
+
+  std::mutex callback_mu_;
+  PeerEventCallback on_peer_down_;
+  PeerEventCallback on_peer_up_;
 
   // Receiver-side state is touched only by the receiver thread.
   std::unordered_map<transport::SockAddr, RecvPeer> recv_peers_;

@@ -12,6 +12,20 @@ bool FaultInjector::Chance(double p) {
 
 std::vector<Buffer> FaultInjector::Filter(Buffer datagram) {
   std::lock_guard<std::mutex> lock(mu_);
+  return FilterLocked(std::move(datagram));
+}
+
+std::vector<Buffer> FaultInjector::Filter(const transport::SockAddr& to,
+                                          Buffer datagram) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (IsPartitionedLocked(to)) {
+    ++blackholed_;
+    return {};
+  }
+  return FilterLocked(std::move(datagram));
+}
+
+std::vector<Buffer> FaultInjector::FilterLocked(Buffer datagram) {
   std::vector<Buffer> out;
 
   if (Chance(config_.drop_probability)) {
@@ -49,6 +63,46 @@ std::optional<Buffer> FaultInjector::Flush() {
   std::optional<Buffer> out = std::move(held_);
   held_.reset();
   return out;
+}
+
+void FaultInjector::Partition(const transport::SockAddr& peer,
+                              TimePoint until) {
+  std::lock_guard<std::mutex> lock(mu_);
+  partitions_[peer] = until;
+  partition_count_.store(partitions_.size(), std::memory_order_relaxed);
+}
+
+void FaultInjector::PartitionFor(const transport::SockAddr& peer,
+                                 Duration window) {
+  Partition(peer, Now() + window);
+}
+
+void FaultInjector::Heal(const transport::SockAddr& peer) {
+  std::lock_guard<std::mutex> lock(mu_);
+  partitions_.erase(peer);
+  partition_count_.store(partitions_.size(), std::memory_order_relaxed);
+}
+
+void FaultInjector::HealAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  partitions_.clear();
+  partition_count_.store(0, std::memory_order_relaxed);
+}
+
+bool FaultInjector::IsPartitioned(const transport::SockAddr& peer) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return IsPartitionedLocked(peer);
+}
+
+bool FaultInjector::IsPartitionedLocked(const transport::SockAddr& peer) {
+  auto it = partitions_.find(peer);
+  if (it == partitions_.end()) return false;
+  if (it->second != TimePoint::max() && Now() >= it->second) {
+    partitions_.erase(it);  // window closed: the link heals itself
+    partition_count_.store(partitions_.size(), std::memory_order_relaxed);
+    return false;
+  }
+  return true;
 }
 
 }  // namespace dstampede::clf

@@ -3,15 +3,25 @@
 // CLF promises reliable, ordered delivery over an unreliable datagram
 // layer; the property tests drive it through this injector, which can
 // drop, duplicate and reorder outgoing datagrams under a seeded RNG.
+//
+// On top of the probabilistic faults, the injector implements a
+// deterministic partition ("blackhole") mode: every datagram toward a
+// chosen peer set is dropped, optionally only inside a time window.
+// Crashes and network partitions become reproducible in tests and in
+// bench_ablation's failure-detection tables.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <mutex>
 #include <optional>
 #include <random>
+#include <unordered_map>
 #include <vector>
 
 #include "dstampede/common/bytes.hpp"
+#include "dstampede/common/clock.hpp"
+#include "dstampede/transport/socket.hpp"
 
 namespace dstampede::clf {
 
@@ -32,29 +42,54 @@ class FaultInjector {
   // duplicates or a previously held-back packet). Thread-safe.
   std::vector<Buffer> Filter(Buffer datagram);
 
+  // Destination-aware variant used by the endpoint: datagrams toward a
+  // partitioned peer are blackholed before the probabilistic faults run.
+  std::vector<Buffer> Filter(const transport::SockAddr& to, Buffer datagram);
+
   // Releases any held-back packet (call when idle so reordered packets
   // are not stranded forever).
   std::optional<Buffer> Flush();
 
+  // --- partition / blackhole mode ------------------------------------
+  // Drops every datagram toward `peer` until `until` passes (the
+  // default window never closes: a hard partition until Heal).
+  void Partition(const transport::SockAddr& peer,
+                 TimePoint until = TimePoint::max());
+  // Convenience: partition for a bounded window from now.
+  void PartitionFor(const transport::SockAddr& peer, Duration window);
+  void Heal(const transport::SockAddr& peer);
+  void HealAll();
+  // True while a (non-expired) partition toward `peer` is installed.
+  bool IsPartitioned(const transport::SockAddr& peer);
+
   std::uint64_t dropped() const { return dropped_; }
   std::uint64_t duplicated() const { return duplicated_; }
   std::uint64_t reordered() const { return reordered_; }
+  std::uint64_t blackholed() const { return blackholed_; }
   bool active() const {
     return config_.drop_probability > 0 || config_.duplicate_probability > 0 ||
-           config_.reorder_probability > 0;
+           config_.reorder_probability > 0 ||
+           partition_count_.load(std::memory_order_relaxed) > 0;
   }
 
  private:
   bool Chance(double p);
+  // Lazily expires a time-windowed partition; caller holds mu_.
+  bool IsPartitionedLocked(const transport::SockAddr& peer);
+  std::vector<Buffer> FilterLocked(Buffer datagram);
 
   Config config_;
   std::mutex mu_;
   std::mt19937_64 rng_;
   std::uniform_real_distribution<double> unit_{0.0, 1.0};
   std::optional<Buffer> held_;
+  std::unordered_map<transport::SockAddr, TimePoint> partitions_;
+  // Mirrors partitions_.size() so active() stays lock-free.
+  std::atomic<std::size_t> partition_count_{0};
   std::uint64_t dropped_ = 0;
   std::uint64_t duplicated_ = 0;
   std::uint64_t reordered_ = 0;
+  std::uint64_t blackholed_ = 0;
 };
 
 }  // namespace dstampede::clf

@@ -13,7 +13,18 @@ Result<std::unique_ptr<AddressSpace>> AddressSpace::Create(
   ep_opts.port = options.clf_port;
   ep_opts.enable_shm_fastpath = options.shm_fastpath;
   ep_opts.faults = options.faults;
+  ep_opts.max_retransmits = options.clf_max_retransmits;
+  ep_opts.keepalive_interval = options.peer_keepalive_interval;
+  ep_opts.peer_timeout = options.peer_timeout;
   DS_ASSIGN_OR_RETURN(as->endpoint_, clf::Endpoint::Create(ep_opts));
+  as->endpoint_->set_peer_down_callback(
+      [raw = as.get()](const transport::SockAddr& addr) {
+        raw->OnPeerDown(addr);
+      });
+  as->endpoint_->set_peer_up_callback(
+      [raw = as.get()](const transport::SockAddr& addr) {
+        raw->OnPeerUp(addr);
+      });
   as->dispatcher_ = std::make_unique<ThreadPool>(options.dispatcher_threads);
   as->gc_ = std::make_unique<GcService>(options.gc_interval);
   if (options.host_name_server) {
@@ -65,8 +76,104 @@ void AddressSpace::Shutdown() {
 // --- topology -------------------------------------------------------------
 
 void AddressSpace::AddPeer(AsId peer, const transport::SockAddr& addr) {
+  {
+    std::lock_guard<std::mutex> lock(peers_mu_);
+    peers_[AsIndex(peer)] = addr;
+    peer_by_addr_[addr] = peer;
+    dead_peers_.erase(AsIndex(peer));  // re-adding re-admits
+  }
+  // Start liveness monitoring before any traffic flows (no-op unless
+  // failure detection is configured).
+  endpoint_->WatchPeer(addr);
+}
+
+bool AddressSpace::IsPeerDown(AsId peer) const {
   std::lock_guard<std::mutex> lock(peers_mu_);
-  peers_[AsIndex(peer)] = addr;
+  return dead_peers_.count(AsIndex(peer)) != 0;
+}
+
+void AddressSpace::OnPeerDown(const transport::SockAddr& addr) {
+  AsId dead = kInvalidAsId;
+  {
+    std::lock_guard<std::mutex> lock(peers_mu_);
+    auto it = peer_by_addr_.find(addr);
+    if (it == peer_by_addr_.end()) return;  // not a known peer AS
+    dead = it->second;
+    dead_peers_.insert(AsIndex(dead));
+  }
+  DS_LOG(kWarn) << "AS" << AsIndex(options_.id) << ": peer AS"
+                << AsIndex(dead) << " (" << addr.ToString()
+                << ") declared dead; running recovery";
+
+  // 1. Fail calls already waiting on a reply from the dead peer — the
+  // reply is never coming.
+  std::vector<std::shared_ptr<PendingCall>> doomed;
+  {
+    std::lock_guard<std::mutex> lock(calls_mu_);
+    for (auto it = calls_.begin(); it != calls_.end();) {
+      if (it->second->target == dead) {
+        doomed.push_back(it->second);
+        it = calls_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  for (auto& call : doomed) {
+    std::lock_guard<std::mutex> lock(call->mu);
+    call->done = true;
+    call->status = UnavailableError("peer address space declared dead");
+    call->cv.notify_all();
+  }
+
+  // 2. Detach the dead space's connections to our containers so the
+  // items it alone was holding become garbage (analogue of the
+  // surrogate's Reap for a vanished end device, §3.2.4).
+  std::vector<RemoteAttach> attachments;
+  {
+    std::lock_guard<std::mutex> lock(remote_attach_mu_);
+    auto it = remote_attachments_.find(AsIndex(dead));
+    if (it != remote_attachments_.end()) {
+      attachments = std::move(it->second);
+      remote_attachments_.erase(it);
+    }
+  }
+  for (const auto& att : attachments) {
+    Status detached = OkStatus();
+    if (att.is_queue) {
+      auto q = FindQueue(att.container_bits);
+      if (q) detached = q->Detach(att.slot);
+    } else {
+      auto ch = FindChannel(att.container_bits);
+      if (ch) detached = ch->Detach(att.slot);
+    }
+    if (!detached.ok()) {
+      DS_LOG(kWarn) << "recovery detach failed: " << detached.message();
+    }
+  }
+
+  // 3. If we host the name server, the dead space's names must not
+  // satisfy later lookups.
+  if (name_server_) {
+    const std::size_t purged = name_server_->PurgeOwner(dead);
+    if (purged != 0) {
+      DS_LOG(kInfo) << "purged " << purged << " name-server entries of AS"
+                    << AsIndex(dead);
+    }
+  }
+}
+
+void AddressSpace::OnPeerUp(const transport::SockAddr& addr) {
+  AsId peer = kInvalidAsId;
+  {
+    std::lock_guard<std::mutex> lock(peers_mu_);
+    auto it = peer_by_addr_.find(addr);
+    if (it == peer_by_addr_.end()) return;
+    peer = it->second;
+    if (dead_peers_.erase(AsIndex(peer)) == 0) return;  // was never down
+  }
+  DS_LOG(kInfo) << "AS" << AsIndex(options_.id) << ": peer AS"
+                << AsIndex(peer) << " resurrected with a new incarnation";
 }
 
 void AddressSpace::SetNameServerAs(AsId ns) { ns_as_ = ns; }
@@ -87,12 +194,16 @@ Result<Buffer> AddressSpace::Call(AsId target, Buffer request,
   if (stopping_.load()) return CancelledError("address space shut down");
   stats_.remote_calls.fetch_add(1, std::memory_order_relaxed);
   DS_ASSIGN_OR_RETURN(transport::SockAddr addr, PeerAddr(target));
+  if (IsPeerDown(target)) {
+    return UnavailableError("peer address space declared dead");
+  }
 
   // The request id sits after the 4-byte op field.
   marshal::XdrDecoder peek(request);
   DS_ASSIGN_OR_RETURN(auto hdr, DecodeRequestHeader(peek));
 
   auto pending = std::make_shared<PendingCall>();
+  pending->target = target;
   {
     std::lock_guard<std::mutex> lock(calls_mu_);
     calls_[hdr.request_id] = pending;
@@ -168,9 +279,17 @@ void AddressSpace::ReceiveLoop() {
 }
 
 void AddressSpace::DispatchRequest(transport::SockAddr from, Buffer message) {
-  auto task = [this, from, msg = std::move(message)]() {
+  // Attribute the request to the sending address space (for attachment
+  // bookkeeping); requests from unknown addresses stay anonymous.
+  AsId origin = kInvalidAsId;
+  {
+    std::lock_guard<std::mutex> lock(peers_mu_);
+    auto it = peer_by_addr_.find(from);
+    if (it != peer_by_addr_.end()) origin = it->second;
+  }
+  auto task = [this, from, origin, msg = std::move(message)]() {
     if (stopping_.load()) return;
-    Buffer reply = ProcessRequest(msg);
+    Buffer reply = ProcessRequest(msg, origin);
     if (!reply.empty()) {
       (void)endpoint_->Send(from, reply);
     }
@@ -196,7 +315,8 @@ AsId OwnerOf(std::uint64_t container_bits) {
 
 }  // namespace
 
-Buffer AddressSpace::ProcessRequest(std::span<const std::uint8_t> message) {
+Buffer AddressSpace::ProcessRequest(std::span<const std::uint8_t> message,
+                                    AsId origin) {
   marshal::XdrDecoder dec(message);
   auto hdr = DecodeRequestHeader(dec);
   if (!hdr.ok()) return Buffer();  // cannot even address a reply
@@ -240,6 +360,13 @@ Buffer AddressSpace::ProcessRequest(std::span<const std::uint8_t> message) {
               : Connect(ChannelId::FromBits(req->container_bits), req->mode,
                         req->label);
       if (!conn.ok()) return EncodeStatusReply(id, conn.status());
+      // Remember which peer holds the slot so its connections can be
+      // detached (and its items reclaimed) if it dies.
+      if (origin != kInvalidAsId && conn->owner() == options_.id) {
+        std::lock_guard<std::mutex> lock(remote_attach_mu_);
+        remote_attachments_[AsIndex(origin)].push_back(
+            {req->container_bits, req->is_queue, conn->slot()});
+      }
       marshal::XdrEncoder enc;
       EncodeResponseHeader(enc, id, OkStatus());
       enc.PutU32(conn->slot());
@@ -251,7 +378,22 @@ Buffer AddressSpace::ProcessRequest(std::span<const std::uint8_t> message) {
       const Connection conn(req->container_bits, req->is_queue,
                             ConnMode::kInputOutput,
                             OwnerOf(req->container_bits), req->slot);
-      return EncodeStatusReply(id, Disconnect(conn));
+      Status status = Disconnect(conn);
+      if (status.ok() && origin != kInvalidAsId) {
+        std::lock_guard<std::mutex> lock(remote_attach_mu_);
+        auto it = remote_attachments_.find(AsIndex(origin));
+        if (it != remote_attachments_.end()) {
+          auto& atts = it->second;
+          for (auto att = atts.begin(); att != atts.end(); ++att) {
+            if (att->container_bits == req->container_bits &&
+                att->is_queue == req->is_queue && att->slot == req->slot) {
+              atts.erase(att);
+              break;
+            }
+          }
+        }
+      }
+      return EncodeStatusReply(id, status);
     }
     case Op::kPut: {
       auto req = PutReq::Decode(dec);
@@ -386,7 +528,7 @@ Result<ChannelId> AddressSpace::CreateChannelOn(AsId owner,
   EncodeRequestHeader(enc, Op::kCreateChannel, next_request_id_.fetch_add(1));
   MakeCreateReq(attr).Encode(enc);
   DS_ASSIGN_OR_RETURN(Buffer reply,
-                      Call(owner, enc.Take(), Deadline::AfterMillis(10000)));
+                      Call(owner, enc.Take(), InternalDeadline()));
   marshal::XdrDecoder dec(reply);
   DS_ASSIGN_OR_RETURN(auto hdr, DecodeResponseHeader(dec));
   if (!hdr.status.ok()) return hdr.status;
@@ -400,7 +542,7 @@ Result<QueueId> AddressSpace::CreateQueueOn(AsId owner, const QueueAttr& attr) {
   EncodeRequestHeader(enc, Op::kCreateQueue, next_request_id_.fetch_add(1));
   MakeCreateReq(attr).Encode(enc);
   DS_ASSIGN_OR_RETURN(Buffer reply,
-                      Call(owner, enc.Take(), Deadline::AfterMillis(10000)));
+                      Call(owner, enc.Take(), InternalDeadline()));
   marshal::XdrDecoder dec(reply);
   DS_ASSIGN_OR_RETURN(auto hdr, DecodeResponseHeader(dec));
   if (!hdr.status.ok()) return hdr.status;
@@ -445,7 +587,7 @@ Result<Connection> AddressSpace::Connect(ChannelId ch, ConnMode mode,
   EncodeRequestHeader(enc, Op::kAttach, next_request_id_.fetch_add(1));
   req.Encode(enc);
   DS_ASSIGN_OR_RETURN(Buffer reply,
-                      Call(ch.owner(), enc.Take(), Deadline::AfterMillis(10000)));
+                      Call(ch.owner(), enc.Take(), InternalDeadline()));
   marshal::XdrDecoder dec(reply);
   DS_ASSIGN_OR_RETURN(auto hdr, DecodeResponseHeader(dec));
   if (!hdr.status.ok()) return hdr.status;
@@ -472,7 +614,7 @@ Result<Connection> AddressSpace::Connect(QueueId q, ConnMode mode,
   EncodeRequestHeader(enc, Op::kAttach, next_request_id_.fetch_add(1));
   req.Encode(enc);
   DS_ASSIGN_OR_RETURN(Buffer reply,
-                      Call(q.owner(), enc.Take(), Deadline::AfterMillis(10000)));
+                      Call(q.owner(), enc.Take(), InternalDeadline()));
   marshal::XdrDecoder dec(reply);
   DS_ASSIGN_OR_RETURN(auto hdr, DecodeResponseHeader(dec));
   if (!hdr.status.ok()) return hdr.status;
@@ -500,7 +642,7 @@ Status AddressSpace::Disconnect(const Connection& conn) {
   req.Encode(enc);
   DS_ASSIGN_OR_RETURN(
       Buffer reply,
-      Call(conn.owner(), enc.Take(), Deadline::AfterMillis(10000)));
+      Call(conn.owner(), enc.Take(), InternalDeadline()));
   marshal::XdrDecoder dec(reply);
   DS_ASSIGN_OR_RETURN(auto hdr, DecodeResponseHeader(dec));
   return hdr.status;
@@ -614,7 +756,7 @@ Status AddressSpace::Consume(const Connection& conn, Timestamp ts) {
   req.Encode(enc);
   DS_ASSIGN_OR_RETURN(
       Buffer reply,
-      Call(conn.owner(), enc.Take(), Deadline::AfterMillis(10000)));
+      Call(conn.owner(), enc.Take(), InternalDeadline()));
   marshal::XdrDecoder dec(reply);
   DS_ASSIGN_OR_RETURN(auto hdr, DecodeResponseHeader(dec));
   return hdr.status;
@@ -642,7 +784,7 @@ Status AddressSpace::ConsumeUntil(const Connection& conn, Timestamp ts) {
   req.Encode(enc);
   DS_ASSIGN_OR_RETURN(
       Buffer reply,
-      Call(conn.owner(), enc.Take(), Deadline::AfterMillis(10000)));
+      Call(conn.owner(), enc.Take(), InternalDeadline()));
   marshal::XdrDecoder dec(reply);
   DS_ASSIGN_OR_RETURN(auto hdr, DecodeResponseHeader(dec));
   return hdr.status;
@@ -667,7 +809,7 @@ Status AddressSpace::SetFilter(const Connection& conn,
   req.Encode(enc);
   DS_ASSIGN_OR_RETURN(
       Buffer reply,
-      Call(conn.owner(), enc.Take(), Deadline::AfterMillis(10000)));
+      Call(conn.owner(), enc.Take(), InternalDeadline()));
   marshal::XdrDecoder dec(reply);
   DS_ASSIGN_OR_RETURN(auto hdr, DecodeResponseHeader(dec));
   return hdr.status;
@@ -699,15 +841,21 @@ Status AddressSpace::SetQueueGcHandler(QueueId q, GcHandler handler) {
 
 Status AddressSpace::NsRegister(const NsEntry& entry) {
   stats_.ns_ops.fetch_add(1, std::memory_order_relaxed);
-  if (name_server_) return name_server_->Register(entry);
+  // Stamp ownership before the entry crosses the wire: recovery purges
+  // a dead space's names by this field. Entries arriving with ownership
+  // already set (forwarded registrations) keep it; entries from end
+  // devices get their host AS, since the host is what can die.
+  NsEntry stamped = entry;
+  if (stamped.owner_as == kInvalidAsId) stamped.owner_as = options_.id;
+  if (name_server_) return name_server_->Register(stamped);
   if (ns_as_ == kInvalidAsId) {
     return FailedPreconditionError("no name-server address space set");
   }
   marshal::XdrEncoder enc;
   EncodeRequestHeader(enc, Op::kNsRegister, next_request_id_.fetch_add(1));
-  EncodeNsEntry(enc, entry);
+  EncodeNsEntry(enc, stamped);
   DS_ASSIGN_OR_RETURN(Buffer reply,
-                      Call(ns_as_, enc.Take(), Deadline::AfterMillis(10000)));
+                      Call(ns_as_, enc.Take(), InternalDeadline()));
   marshal::XdrDecoder dec(reply);
   DS_ASSIGN_OR_RETURN(auto hdr, DecodeResponseHeader(dec));
   return hdr.status;
@@ -725,7 +873,7 @@ Status AddressSpace::NsUnregister(const std::string& name) {
   EncodeRequestHeader(enc, Op::kNsUnregister, next_request_id_.fetch_add(1));
   req.Encode(enc);
   DS_ASSIGN_OR_RETURN(Buffer reply,
-                      Call(ns_as_, enc.Take(), Deadline::AfterMillis(10000)));
+                      Call(ns_as_, enc.Take(), InternalDeadline()));
   marshal::XdrDecoder dec(reply);
   DS_ASSIGN_OR_RETURN(auto hdr, DecodeResponseHeader(dec));
   return hdr.status;
@@ -763,7 +911,7 @@ Result<std::vector<NsEntry>> AddressSpace::NsList(const std::string& prefix) {
   EncodeRequestHeader(enc, Op::kNsList, next_request_id_.fetch_add(1));
   req.Encode(enc);
   DS_ASSIGN_OR_RETURN(Buffer reply,
-                      Call(ns_as_, enc.Take(), Deadline::AfterMillis(10000)));
+                      Call(ns_as_, enc.Take(), InternalDeadline()));
   marshal::XdrDecoder dec(reply);
   DS_ASSIGN_OR_RETURN(auto hdr, DecodeResponseHeader(dec));
   if (!hdr.status.ok()) return hdr.status;

@@ -19,6 +19,7 @@
 #include <string>
 #include <thread>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "dstampede/clf/endpoint.hpp"
@@ -88,6 +89,15 @@ class AddressSpace {
     Duration gc_interval = Millis(20);
     bool host_name_server = false;    // exactly one AS per application
     clf::FaultInjector::Config faults;
+    // Deadline for the runtime's own control-plane RPCs (create-on,
+    // attach, detach, consume, ns ops). Data-plane Put/Get keep the
+    // caller's deadline.
+    Duration internal_rpc_deadline = Millis(10000);
+    // --- cluster failure detection (all-zero: paper model, peers are
+    // trusted to live forever; see docs "Failure model") --------------
+    std::size_t clf_max_retransmits = 0;           // 0 = retransmit forever
+    Duration peer_keepalive_interval = Duration::zero();
+    Duration peer_timeout = Duration::zero();
   };
 
   static Result<std::unique_ptr<AddressSpace>> Create(const Options& options);
@@ -154,6 +164,15 @@ class AddressSpace {
   void JoinThreads();
   std::size_t live_threads() const;
 
+  // --- failure visibility -----------------------------------------------
+  // True once the CLF layer declared this peer dead (and it has not
+  // come back with a fresh incarnation).
+  bool IsPeerDown(AsId peer) const;
+  // The CLF endpoint's outgoing fault injector; tests and the ablation
+  // bench install deterministic partitions through it.
+  clf::FaultInjector& fault_injector() { return endpoint_->fault_injector(); }
+  clf::Endpoint& clf_endpoint() { return *endpoint_; }
+
   // --- services ------------------------------------------------------------
   GcService& gc() { return *gc_; }
   // Null unless this AS hosts the name server.
@@ -181,16 +200,38 @@ class AddressSpace {
     bool done = false;
     Status status;   // transport-level failure
     Buffer response; // encoded reply when status.ok()
+    AsId target = kInvalidAsId;  // so peer death can fail it fast
+  };
+
+  // A peer thread's attachment to one of our containers, remembered so
+  // the slot can be detached if the peer dies (cluster-side analogue of
+  // the surrogate's Reap).
+  struct RemoteAttach {
+    std::uint64_t container_bits = 0;
+    bool is_queue = false;
+    std::uint32_t slot = 0;
   };
 
   // Sends an encoded request to a peer AS and waits for the reply.
   Result<Buffer> Call(AsId target, Buffer request, Deadline deadline);
   Result<transport::SockAddr> PeerAddr(AsId peer) const;
+  Deadline InternalDeadline() const {
+    return Deadline::After(options_.internal_rpc_deadline);
+  }
 
   void ReceiveLoop();
   void DispatchRequest(transport::SockAddr from, Buffer message);
   // Decodes and executes one request; returns the encoded reply.
-  Buffer ProcessRequest(std::span<const std::uint8_t> message);
+  // `origin` is the requesting peer AS when known (CLF dispatch);
+  // kInvalidAsId for surrogate-driven client requests.
+  Buffer ProcessRequest(std::span<const std::uint8_t> message,
+                        AsId origin = kInvalidAsId);
+
+  // Fired by the CLF endpoint (its receiver thread) on peer death /
+  // resurrection; translates transport addresses to AS ids and runs
+  // the recovery sequence.
+  void OnPeerDown(const transport::SockAddr& addr);
+  void OnPeerUp(const transport::SockAddr& addr);
 
   // Typed op executors (shared by the CLF dispatcher and, via public
   // wrappers, the client surrogates).
@@ -213,7 +254,13 @@ class AddressSpace {
 
   mutable std::mutex peers_mu_;
   std::unordered_map<std::uint32_t, transport::SockAddr> peers_;
+  std::unordered_map<transport::SockAddr, AsId> peer_by_addr_;
+  std::unordered_set<std::uint32_t> dead_peers_;
   AsId ns_as_ = kInvalidAsId;
+
+  std::mutex remote_attach_mu_;
+  std::unordered_map<std::uint32_t, std::vector<RemoteAttach>>
+      remote_attachments_;
 
   std::mutex containers_mu_;
   std::unordered_map<std::uint32_t, std::shared_ptr<LocalChannel>> channels_;

@@ -110,6 +110,10 @@ struct NsEntry {
   Kind kind = Kind::kOther;
   std::uint64_t id_bits = 0;  // ChannelId/QueueId bits
   std::string meta;           // free-form "intended use" description
+  // Which address space registered the entry. Stamped by the runtime on
+  // registration when the caller leaves it invalid (clients do); the
+  // failure-recovery path purges every entry owned by a dead space.
+  AsId owner_as = kInvalidAsId;
 };
 
 // Reclamation notice produced by the garbage collector and delivered

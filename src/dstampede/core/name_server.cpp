@@ -44,6 +44,20 @@ std::vector<NsEntry> NameServer::List(const std::string& prefix) const {
   return out;
 }
 
+std::size_t NameServer::PurgeOwner(AsId owner) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::size_t purged = 0;
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    if (it->second.owner_as == owner) {
+      it = entries_.erase(it);
+      ++purged;
+    } else {
+      ++it;
+    }
+  }
+  return purged;
+}
+
 std::size_t NameServer::size() const {
   std::lock_guard<std::mutex> lock(mu_);
   return entries_.size();

@@ -35,6 +35,11 @@ class NameServer {
   // Snapshot of all entries whose name begins with `prefix`.
   std::vector<NsEntry> List(const std::string& prefix = "") const;
 
+  // Drops every entry registered by `owner` (failure recovery: a dead
+  // address space's names must not satisfy later lookups). Returns how
+  // many entries were removed.
+  std::size_t PurgeOwner(AsId owner);
+
   std::size_t size() const;
 
  private:

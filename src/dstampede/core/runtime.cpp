@@ -24,6 +24,10 @@ Result<AddressSpace*> Runtime::AddAddressSpace() {
   as_opts.gc_interval = options_.gc_interval;
   as_opts.host_name_server = spaces_.empty() && options_.host_name_server;
   as_opts.faults = options_.faults;
+  as_opts.internal_rpc_deadline = options_.internal_rpc_deadline;
+  as_opts.clf_max_retransmits = options_.clf_max_retransmits;
+  as_opts.peer_keepalive_interval = options_.peer_keepalive_interval;
+  as_opts.peer_timeout = options_.peer_timeout;
   DS_ASSIGN_OR_RETURN(auto space, AddressSpace::Create(as_opts));
 
   // Full mesh: everyone learns the newcomer; the newcomer learns everyone.

@@ -31,6 +31,14 @@ class Runtime {
     std::uint32_t first_as_id = 0;
     bool host_name_server = true;
     AsId name_server_as = kInvalidAsId;  // invalid: this cluster's AS 0
+    // Control-plane RPC deadline for every address space (see
+    // AddressSpace::Options::internal_rpc_deadline).
+    Duration internal_rpc_deadline = Millis(10000);
+    // Cluster failure detection; all-zero keeps the paper's fail-free
+    // model. See AddressSpace::Options.
+    std::size_t clf_max_retransmits = 0;
+    Duration peer_keepalive_interval = Duration::zero();
+    Duration peer_timeout = Duration::zero();
   };
 
   static Result<std::unique_ptr<Runtime>> Create(const Options& options);

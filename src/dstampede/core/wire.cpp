@@ -116,6 +116,8 @@ Result<NsEntry> DecodeNsEntry(marshal::XdrDecoder& dec) {
   entry.kind = static_cast<NsEntry::Kind>(kind);
   DS_ASSIGN_OR_RETURN(entry.id_bits, dec.GetU64());
   DS_ASSIGN_OR_RETURN(entry.meta, dec.GetString());
+  DS_ASSIGN_OR_RETURN(std::uint32_t owner, dec.GetU32());
+  entry.owner_as = static_cast<AsId>(owner);
   return entry;
 }
 

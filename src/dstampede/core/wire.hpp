@@ -190,6 +190,7 @@ void EncodeNsEntry(Enc& enc, const NsEntry& entry) {
   enc.PutU32(static_cast<std::uint32_t>(entry.kind));
   enc.PutU64(entry.id_bits);
   enc.PutString(entry.meta);
+  enc.PutU32(AsIndex(entry.owner_as));
 }
 Result<NsEntry> DecodeNsEntry(marshal::XdrDecoder& dec);
 
