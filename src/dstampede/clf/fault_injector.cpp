@@ -3,7 +3,10 @@
 namespace dstampede::clf {
 
 FaultInjector::FaultInjector(const Config& config)
-    : config_(config), rng_(config.seed) {}
+    : config_(config), rng_(config.seed) {
+  kills_possible_.store(config.connection_kill_probability > 0.0,
+                        std::memory_order_relaxed);
+}
 
 bool FaultInjector::Chance(double p) {
   if (p <= 0.0) return false;
@@ -63,6 +66,38 @@ std::optional<Buffer> FaultInjector::Flush() {
   std::optional<Buffer> out = std::move(held_);
   held_.reset();
   return out;
+}
+
+void FaultInjector::ArmConnectionKill(std::size_t n, KillPoint point) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (point == KillPoint::kBeforeExecute) {
+    armed_kills_before_ += n;
+  } else {
+    armed_kills_after_ += n;
+  }
+  kills_possible_.store(true, std::memory_order_relaxed);
+}
+
+bool FaultInjector::TakeConnectionKill(KillPoint point) {
+  if (!kills_possible_.load(std::memory_order_relaxed)) return false;
+  std::lock_guard<std::mutex> lock(mu_);
+  std::size_t& armed = point == KillPoint::kBeforeExecute
+                           ? armed_kills_before_
+                           : armed_kills_after_;
+  bool fire = false;
+  if (armed > 0) {
+    --armed;
+    fire = true;
+  } else if (point == KillPoint::kBeforeExecute &&
+             Chance(config_.connection_kill_probability)) {
+    fire = true;
+  }
+  if (fire) connections_killed_.fetch_add(1, std::memory_order_relaxed);
+  if (armed_kills_before_ == 0 && armed_kills_after_ == 0 &&
+      config_.connection_kill_probability <= 0.0) {
+    kills_possible_.store(false, std::memory_order_relaxed);
+  }
+  return fire;
 }
 
 void FaultInjector::Partition(const transport::SockAddr& peer,

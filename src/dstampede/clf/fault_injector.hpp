@@ -31,6 +31,10 @@ class FaultInjector {
     double drop_probability = 0.0;
     double duplicate_probability = 0.0;
     double reorder_probability = 0.0;
+    // TCP-edge fault: probability that a surrogate kills the device's
+    // connection around the next request it services (reconnect churn
+    // for stress tests). Consulted via TakeConnectionKill, not Filter.
+    double connection_kill_probability = 0.0;
     std::uint64_t seed = 1;
   };
 
@@ -62,6 +66,29 @@ class FaultInjector {
   // True while a (non-expired) partition toward `peer` is installed.
   bool IsPartitioned(const transport::SockAddr& peer);
 
+  // --- connection-kill mode (TCP edge) --------------------------------
+  // The CLF faults above act on cluster datagrams; this mode acts on
+  // the client/surrogate TCP edge. A surrogate consults
+  // TakeConnectionKill at two points around each request it services:
+  //   kBeforeExecute — drop the link before the op runs (the client
+  //     replays an unacked call; it must not be lost);
+  //   kAfterExecute  — run the op, then drop the link before the reply
+  //     is sent (the client replays an *executed* call; it must not be
+  //     applied twice).
+  enum class KillPoint : std::uint8_t { kBeforeExecute = 0, kAfterExecute = 1 };
+
+  // Arms `n` deterministic kills at `point` (consumed one per request).
+  void ArmConnectionKill(std::size_t n,
+                         KillPoint point = KillPoint::kBeforeExecute);
+  // Returns true if the surrogate should kill the connection now:
+  // either an armed kill for this point is pending, or the seeded RNG
+  // fires under connection_kill_probability (probabilistic kills all
+  // trigger at `point == kBeforeExecute` consults).
+  bool TakeConnectionKill(KillPoint point);
+
+  std::uint64_t connections_killed() const {
+    return connections_killed_.load(std::memory_order_relaxed);
+  }
   std::uint64_t dropped() const { return dropped_; }
   std::uint64_t duplicated() const { return duplicated_; }
   std::uint64_t reordered() const { return reordered_; }
@@ -90,6 +117,12 @@ class FaultInjector {
   std::uint64_t duplicated_ = 0;
   std::uint64_t reordered_ = 0;
   std::uint64_t blackholed_ = 0;
+  std::size_t armed_kills_before_ = 0;
+  std::size_t armed_kills_after_ = 0;
+  // Fast path: lets TakeConnectionKill skip the lock entirely when no
+  // kill can possibly fire (the common, fault-free case).
+  std::atomic<bool> kills_possible_{false};
+  std::atomic<std::uint64_t> connections_killed_{0};
 };
 
 }  // namespace dstampede::clf

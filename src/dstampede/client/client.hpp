@@ -26,6 +26,7 @@
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <random>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -56,10 +57,29 @@ class BasicClient {
  public:
   using GcNoticeHandler = std::function<void(const core::GcNotice&)>;
 
+  // Transparent-reconnect policy (session resilience). On a transport
+  // failure mid-call the client reconnects with exponential backoff and
+  // jitter, re-binds its session via a Resume handshake (to the same
+  // listener, an alternate, or one discovered through the name
+  // server), and idempotently replays the in-flight call by its
+  // per-call ticket. Hello and Bye are never retried.
+  struct ReconnectPolicy {
+    bool enabled = true;
+    Duration initial_backoff = Millis(10);
+    Duration max_backoff = Millis(250);
+    double jitter = 0.5;  // backoff is scaled by [1, 1+jitter)
+    // Total budget per failed call before the error surfaces.
+    Duration give_up_after = Millis(3000);
+  };
+
   struct Options {
     transport::SockAddr server;       // the cluster listener
     std::string name = "end-device";
     std::int32_t preferred_as = -1;   // -1: listener picks
+    ReconnectPolicy reconnect;
+    // Extra listeners to try on reconnect (besides `server` and any
+    // `sys/listener/` advertisements cached from the name server).
+    std::vector<transport::SockAddr> alternate_servers;
   };
 
   // Joins the computation: connects, sends Hello, learns the host AS.
@@ -117,13 +137,27 @@ class BasicClient {
 
   std::uint64_t gc_notices_received() const { return notices_received_; }
   std::uint64_t calls_made() const { return calls_made_; }
+  // Session-resilience counters: successful Resume handshakes, and
+  // calls that were re-sent after a reconnect.
+  std::uint64_t reconnects() const { return reconnects_; }
+  std::uint64_t replays() const { return replays_; }
+
+  // Re-reads `sys/listener/` advertisements from the name server so a
+  // later reconnect can fail over to listeners started since Join.
+  // Called automatically on Join when reconnect is enabled.
+  Status RefreshListenerCache();
 
  private:
   BasicClient() = default;
 
   // Sends one encoded request, receives the reply frame, dispatches the
   // gc-notice trailer. Returns the reply for the caller to decode.
+  // Transparently reconnects and replays per ReconnectPolicy.
   Result<Buffer> Call(Buffer request, Deadline deadline);
+  // Re-establishes the session after a transport failure. Holds mu_.
+  Status ReconnectLocked();
+  Status TryResumeLocked(const transport::SockAddr& addr);
+  std::vector<transport::SockAddr> ReconnectCandidatesLocked() const;
   std::uint64_t NextId() { return next_request_id_++; }
   void DispatchNotices(const std::vector<core::GcNotice>& notices);
 
@@ -137,11 +171,17 @@ class BasicClient {
   Result<ParsedReply> CallAndParse(Buffer request, Deadline deadline);
 
   std::mutex mu_;
+  Options options_;
   transport::TcpConnection conn_;
   AsId host_as_ = kInvalidAsId;
   std::uint64_t session_id_ = 0;
   std::uint64_t next_request_id_ = 1;
+  std::uint64_t last_acked_id_ = 0;
   bool left_ = false;
+  std::uint64_t reconnects_ = 0;
+  std::uint64_t replays_ = 0;
+  std::vector<transport::SockAddr> listener_cache_;
+  std::mt19937_64 jitter_rng_{0x5D5742DEu};
 
   std::mutex handlers_mu_;
   std::unordered_map<std::uint64_t, GcNoticeHandler> gc_handlers_;

@@ -3,6 +3,9 @@
 // personalities (client code includes client.hpp only).
 #pragma once
 
+#include <algorithm>
+#include <thread>
+
 #include "dstampede/client/client.hpp"
 
 namespace dstampede::client {
@@ -11,6 +14,7 @@ template <typename Codec>
 Result<std::unique_ptr<BasicClient<Codec>>> BasicClient<Codec>::Join(
     const Options& options) {
   auto client = std::unique_ptr<BasicClient>(new BasicClient());
+  client->options_ = options;
   DS_ASSIGN_OR_RETURN(client->conn_,
                       transport::TcpConnection::Connect(options.server));
 
@@ -34,6 +38,11 @@ Result<std::unique_ptr<BasicClient<Codec>>> BasicClient<Codec>::Join(
   client->host_as_ = static_cast<AsId>(host);
   DS_ASSIGN_OR_RETURN(auto notices, DecodeNoticeTrailerT(dec));
   client->DispatchNotices(notices);
+  if (options.reconnect.enabled) {
+    // Best effort: prime the failover-target cache. The session works
+    // fine without it (the join address is always retried first).
+    (void)client->RefreshListenerCache();
+  }
   return client;
 }
 
@@ -52,10 +61,148 @@ Result<Buffer> BasicClient<Codec>::Call(Buffer request, Deadline deadline) {
   std::lock_guard<std::mutex> lock(mu_);
   if (left_) return ConnectionClosedError("client left the computation");
   ++calls_made_;
-  DS_RETURN_IF_ERROR(conn_.SendFrame(request));
+
+  // Peek the request's op and per-call ticket. Both codecs emit
+  // byte-identical octets, so the XDR decoder reads either personality.
+  marshal::XdrDecoder peek(request);
+  auto hdr = core::DecodeRequestHeader(peek);
+  const std::uint64_t call_id = hdr.ok() ? hdr->request_id : 0;
+  const bool session_op =
+      hdr.ok() && static_cast<std::uint32_t>(hdr->op) >=
+                      static_cast<std::uint32_t>(ClientOp::kHello);
+  // Hello/Bye/Resume are never replayed: retrying a teardown (or a
+  // handshake) through a reconnect would deadlock or fork the session.
+  const bool can_retry = options_.reconnect.enabled && hdr.ok() && !session_op;
+
+  for (std::uint32_t attempt = 0;; ++attempt) {
+    if (attempt > 0) ++replays_;
+    Status s = conn_.SendFrame(request);
+    Buffer reply;
+    if (s.ok()) {
+      for (;;) {
+        s = conn_.RecvFrame(reply, wait);
+        if (!s.ok()) break;
+        marshal::XdrDecoder rpeek(reply);
+        auto rhdr = core::DecodeRequestHeader(rpeek);
+        if (!rhdr.ok()) {
+          // Framing desync — unsafe to keep using this connection.
+          s = ConnectionClosedError("malformed reply frame");
+          break;
+        }
+        // A reply to an earlier ticket can arrive if a previous call
+        // timed out client-side but executed server-side; skip it.
+        if (call_id != 0 && rhdr->request_id != call_id) continue;
+        break;
+      }
+    }
+    if (s.ok()) {
+      last_acked_id_ = call_id;
+      return reply;
+    }
+    // Retry only when the transport is gone; a kTimeout from a live
+    // surrogate (e.g. a blocking Get that ran out of time) must surface
+    // as-is — replaying it could block for another full deadline.
+    const bool transport_lost = s.code() == StatusCode::kConnectionClosed ||
+                                s.code() == StatusCode::kUnavailable ||
+                                s.code() == StatusCode::kInternal;
+    if (!can_retry || !transport_lost) return s;
+    DS_RETURN_IF_ERROR(ReconnectLocked());
+  }
+}
+
+template <typename Codec>
+Status BasicClient<Codec>::ReconnectLocked() {
+  conn_.Close();
+  const ReconnectPolicy& policy = options_.reconnect;
+  const Deadline give_up = Deadline::After(policy.give_up_after);
+  Duration backoff = policy.initial_backoff;
+  std::uniform_real_distribution<double> jitter(
+      1.0, 1.0 + std::max(0.0, policy.jitter));
+  Status last = UnavailableError("no reconnect candidates");
+  for (;;) {
+    for (const auto& addr : ReconnectCandidatesLocked()) {
+      Status s = TryResumeLocked(addr);
+      if (s.ok()) {
+        ++reconnects_;
+        return OkStatus();
+      }
+      if (s.code() == StatusCode::kNotFound) {
+        // The cluster says this session no longer exists (reaped or
+        // left); no listener can bring it back, so stop trying.
+        left_ = true;
+        return ConnectionClosedError("session lost: " + s.message());
+      }
+      last = s;
+    }
+    if (give_up.expired()) {
+      return UnavailableError("reconnect gave up: " + last.message());
+    }
+    Duration nap = std::chrono::duration_cast<Duration>(
+        backoff * jitter(jitter_rng_));
+    std::this_thread::sleep_for(nap);
+    backoff = std::min(backoff * 2, policy.max_backoff);
+  }
+}
+
+template <typename Codec>
+Status BasicClient<Codec>::TryResumeLocked(const transport::SockAddr& addr) {
+  auto connected =
+      transport::TcpConnection::Connect(addr, Deadline::AfterMillis(1000));
+  if (!connected.ok()) return connected.status();
+
+  typename Codec::Encoder enc;
+  core::EncodeRequestHeader(enc, static_cast<core::Op>(ClientOp::kResume),
+                            NextId());
+  ResumeReq req;
+  req.client_kind = Codec::kKind;
+  req.session_id = session_id_;
+  req.last_acked_ticket = last_acked_id_;
+  req.preferred_as = options_.preferred_as;
+  req.Encode(enc);
+  DS_RETURN_IF_ERROR(connected->SendFrame(enc.Take()));
   Buffer reply;
-  DS_RETURN_IF_ERROR(conn_.RecvFrame(reply, wait));
-  return reply;
+  DS_RETURN_IF_ERROR(connected->RecvFrame(reply, Deadline::AfterMillis(2000)));
+
+  typename Codec::Decoder dec(reply);
+  DS_ASSIGN_OR_RETURN(auto hdr, DecodeResponseHeaderT(dec));
+  if (!hdr.status.ok()) return hdr.status;
+  DS_ASSIGN_OR_RETURN(ResumeResp resp, DecodeResumeRespT(dec));
+  auto notices = DecodeNoticeTrailerT(dec);
+
+  conn_ = std::move(connected).value();
+  host_as_ = static_cast<AsId>(resp.host_as);
+  // Safe while holding mu_: handlers run under handlers_mu_ only.
+  if (notices.ok()) DispatchNotices(*notices);
+  return OkStatus();
+}
+
+template <typename Codec>
+std::vector<transport::SockAddr>
+BasicClient<Codec>::ReconnectCandidatesLocked() const {
+  std::vector<transport::SockAddr> out;
+  auto add = [&out](const transport::SockAddr& addr) {
+    if (addr.port == 0) return;
+    for (const auto& seen : out) {
+      if (seen == addr) return;
+    }
+    out.push_back(addr);
+  };
+  add(options_.server);
+  for (const auto& addr : options_.alternate_servers) add(addr);
+  for (const auto& addr : listener_cache_) add(addr);
+  return out;
+}
+
+template <typename Codec>
+Status BasicClient<Codec>::RefreshListenerCache() {
+  DS_ASSIGN_OR_RETURN(auto entries, NsList("sys/listener/"));
+  std::lock_guard<std::mutex> lock(mu_);
+  listener_cache_.clear();
+  for (const auto& entry : entries) {
+    listener_cache_.push_back(transport::SockAddr::Loopback(
+        static_cast<std::uint16_t>(entry.id_bits)));
+  }
+  return OkStatus();
 }
 
 template <typename Codec>

@@ -5,12 +5,47 @@
 
 namespace dstampede::client {
 
+namespace {
+constexpr std::size_t kNoLiveAs = static_cast<std::size_t>(-1);
+
+void ReplyStatusAndClose(transport::TcpConnection& conn,
+                         std::uint64_t request_id, const Status& status) {
+  marshal::XdrEncoder enc;
+  core::EncodeResponseHeader(enc, request_id, status);
+  (void)conn.SendFrame(enc.Take());
+  conn.Close();
+}
+}  // namespace
+
 Result<std::unique_ptr<Listener>> Listener::Start(core::Runtime& runtime,
                                                   const Options& options) {
   auto listener = std::unique_ptr<Listener>(new Listener(runtime));
   listener->options_ = options;
   DS_ASSIGN_OR_RETURN(listener->listener_,
                       transport::TcpListener::Bind(options.port));
+  const std::uint16_t bound_port = listener->listener_.bound_addr().port;
+  // Session ids carry the bound port in their upper bits so sessions
+  // stay unique across every listener of the application (a session
+  // migrating between listeners keeps its id).
+  listener->next_session_ =
+      (static_cast<std::uint64_t>(bound_port) << 32) | 1u;
+  // Advertise this listener in the name server so reconnecting clients
+  // can discover failover targets. Ownership is preset to the name
+  // server's own AS so the advertisement survives other spaces dying.
+  listener->ns_name_ = "sys/listener/" + std::to_string(bound_port);
+  {
+    core::NsEntry entry;
+    entry.name = listener->ns_name_;
+    entry.kind = core::NsEntry::Kind::kOther;
+    entry.id_bits = bound_port;
+    entry.meta = "end-device listener";
+    entry.owner_as = runtime.as(0).name_server_as();
+    Status s = runtime.as(0).NsRegister(entry);
+    if (!s.ok()) {
+      DS_LOG(kWarn) << "listener advertisement failed: " << s;
+      listener->ns_name_.clear();
+    }
+  }
   listener->accept_thread_ =
       std::thread([raw = listener.get()] { raw->AcceptLoop(); });
   if (options.reap_parked_after > Duration::zero()) {
@@ -33,15 +68,39 @@ void Listener::AcceptLoop() {
   }
 }
 
+std::size_t Listener::PickLiveAs(std::int32_t preferred) {
+  if (preferred >= 0 &&
+      static_cast<std::size_t>(preferred) < runtime_.size() &&
+      !runtime_.as(static_cast<std::size_t>(preferred)).stopped()) {
+    return static_cast<std::size_t>(preferred);
+  }
+  for (std::size_t tried = 0; tried < runtime_.size(); ++tried) {
+    const std::size_t i = next_as_++ % runtime_.size();
+    if (!runtime_.as(i).stopped()) return i;
+  }
+  return kNoLiveAs;
+}
+
 void Listener::Handshake(transport::TcpConnection conn) {
-  // Read the Hello to learn which address space the device wants; the
-  // surrogate must be bound before it can answer anything else.
+  // Read the first frame to learn whether this is a fresh join (Hello)
+  // or a session resumption (Resume); either way the surrogate must be
+  // bound before it can answer anything else.
   Buffer frame;
   if (!conn.RecvFrame(frame, Deadline::AfterMillis(5000)).ok()) return;
 
   marshal::XdrDecoder dec(frame);
   auto hdr = core::DecodeRequestHeader(dec);
-  if (!hdr.ok() || static_cast<ClientOp>(hdr->op) != ClientOp::kHello) {
+  if (!hdr.ok()) return;
+
+  if (static_cast<ClientOp>(hdr->op) == ClientOp::kResume) {
+    auto resume = ResumeReq::Decode(dec);
+    if (!resume.ok()) return;
+    HandleResume(std::move(conn), frame, resume->session_id,
+                 resume->preferred_as);
+    return;
+  }
+
+  if (static_cast<ClientOp>(hdr->op) != ClientOp::kHello) {
     DS_LOG(kWarn) << "join without hello; dropping device";
     return;
   }
@@ -52,16 +111,15 @@ void Listener::Handshake(transport::TcpConnection conn) {
   Surrogate* raw = nullptr;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    std::size_t as_index;
-    if (hello->preferred_as >= 0 &&
-        static_cast<std::size_t>(hello->preferred_as) < runtime_.size()) {
-      as_index = static_cast<std::size_t>(hello->preferred_as);
-    } else {
-      as_index = next_as_++ % runtime_.size();
+    const std::size_t as_index = PickLiveAs(hello->preferred_as);
+    if (as_index == kNoLiveAs) {
+      ReplyStatusAndClose(conn, hdr->request_id,
+                          UnavailableError("no live address space"));
+      return;
     }
-    surrogate = std::make_unique<Surrogate>(next_session_++,
-                                            runtime_.as(as_index),
-                                            std::move(conn));
+    surrogate = std::make_unique<Surrogate>(
+        next_session_++, runtime_.as(as_index), std::move(conn),
+        options_.edge_faults, options_.durable_sessions);
     raw = surrogate.get();
     surrogates_.push_back(std::move(surrogate));
   }
@@ -70,6 +128,98 @@ void Listener::Handshake(transport::TcpConnection conn) {
     return;
   }
   std::lock_guard<std::mutex> lock(mu_);
+  threads_.emplace_back([raw] { raw->Run(); });
+}
+
+void Listener::HandleResume(transport::TcpConnection conn,
+                            const Buffer& frame, std::uint64_t session_id,
+                            std::int32_t preferred_as) {
+  marshal::XdrDecoder dec(frame);
+  auto hdr = core::DecodeRequestHeader(dec);
+  if (!hdr.ok()) return;
+
+  // Fast path: the session's surrogate is here and its host is alive —
+  // adopt the fresh connection in place (slots unchanged).
+  Surrogate* existing = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto& s : surrogates_) {
+      if (s->session_id() == session_id) {
+        existing = s.get();
+        break;
+      }
+    }
+  }
+  if (existing && !existing->host_stopped()) {
+    // The old Run thread may not have noticed the drop yet; nudge it
+    // and wait for it to park.
+    if (existing->state() == Surrogate::State::kActive) existing->Stop();
+    const Deadline park_wait = Deadline::After(options_.resume_park_wait);
+    while (existing->state() == Surrogate::State::kActive &&
+           !park_wait.expired() && !stopping_.load()) {
+      std::this_thread::sleep_for(Millis(2));
+    }
+    if (existing->state() == Surrogate::State::kParked &&
+        existing->Adopt(std::move(conn)).ok()) {
+      if (!existing->ServiceResume(frame).ok()) {
+        existing->Stop();
+        return;
+      }
+      sessions_resumed_.fetch_add(1, std::memory_order_relaxed);
+      std::lock_guard<std::mutex> lock(mu_);
+      threads_.emplace_back([existing] { existing->Run(); });
+      return;
+    }
+    if (existing->state() == Surrogate::State::kLeft ||
+        existing->state() == Surrogate::State::kReaped) {
+      ReplyStatusAndClose(conn, hdr->request_id,
+                          NotFoundError("session ended"));
+      return;
+    }
+    // Could not adopt (still active / raced); drop the connection and
+    // let the client's backoff retry.
+    return;
+  }
+
+  // Failover path: the original host died (or the session came from
+  // another listener). Rehydrate from the session registry onto a live
+  // address space.
+  std::unique_ptr<Surrogate> surrogate;
+  Surrogate* raw = nullptr;
+  std::size_t as_index;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    as_index = PickLiveAs(preferred_as);
+  }
+  if (as_index == kNoLiveAs) {
+    ReplyStatusAndClose(conn, hdr->request_id,
+                        UnavailableError("no live address space"));
+    return;
+  }
+  core::AddressSpace& live_as = runtime_.as(as_index);
+  auto record = live_as.SessionGet(session_id);
+  if (!record.ok()) {
+    // kNotFound tells the client the session is unrecoverable; any
+    // other failure (e.g. the name server is unreachable right now)
+    // closes the link so the client's backoff retries.
+    if (record.status().code() == StatusCode::kNotFound) {
+      ReplyStatusAndClose(conn, hdr->request_id, record.status());
+    }
+    return;
+  }
+  if (existing) existing->MarkSuperseded();
+
+  surrogate = std::make_unique<Surrogate>(session_id, live_as, std::move(conn),
+                                          options_.edge_faults,
+                                          options_.durable_sessions);
+  raw = surrogate.get();
+  if (!raw->Rehydrate(*record).ok() || !raw->ServiceResume(frame).ok()) {
+    raw->Stop();
+    return;  // surrogate is dropped; registry record remains for retry
+  }
+  sessions_migrated_.fetch_add(1, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(mu_);
+  surrogates_.push_back(std::move(surrogate));
   threads_.emplace_back([raw] { raw->Run(); });
 }
 
@@ -127,6 +277,9 @@ void Listener::JanitorLoop() {
 void Listener::Shutdown() {
   bool expected = false;
   if (!stopping_.compare_exchange_strong(expected, true)) return;
+  if (!ns_name_.empty() && !runtime_.as(0).stopped()) {
+    (void)runtime_.as(0).NsUnregister(ns_name_);
+  }
   listener_.Close();
   if (accept_thread_.joinable()) accept_thread_.join();
   if (janitor_thread_.joinable()) janitor_thread_.join();

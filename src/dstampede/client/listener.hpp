@@ -1,9 +1,18 @@
 // Listener (paper §3.2.2): the cluster-side thread that listens for
 // new end devices joining a D-Stampede computation. Upon a join it
-// creates a surrogate bound to one of the cluster's address spaces
-// (the device may request a specific one; otherwise round-robin) and
-// dedicates a thread to it. Surrogates whose device vanished stay
-// parked and countable — the paper's documented failure behaviour.
+// creates a surrogate bound to one of the cluster's live address
+// spaces (the device may request a specific one; otherwise
+// round-robin) and dedicates a thread to it. Surrogates whose device
+// vanished stay parked and countable — the paper's documented failure
+// behaviour.
+//
+// Session-resilience extension: the listener also accepts Resume
+// handshakes. A device reconnecting after a dropped link is re-bound
+// to its parked surrogate in place; a device whose surrogate's host
+// address space died has its session rehydrated from the name
+// server's session registry onto a live address space instead of
+// being lost. The listener advertises itself in the name server
+// (`sys/listener/<port>`) so clients can discover failover targets.
 #pragma once
 
 #include <atomic>
@@ -28,6 +37,16 @@ class Listener {
     // its GC holds) and unregistering its names. Zero preserves the
     // paper's documented behaviour: parked surrogates linger forever.
     Duration reap_parked_after = Duration::zero();
+    // Injects TCP-edge connection kills into every surrogate this
+    // listener creates (reconnect stress tests). Not owned; must
+    // outlive the listener.
+    clf::FaultInjector* edge_faults = nullptr;
+    // Mirror session state into the name server's session registry so
+    // sessions survive connection drops and host-AS death.
+    bool durable_sessions = true;
+    // How long a Resume waits for the session's old surrogate to
+    // finish parking before giving up on in-place adoption.
+    Duration resume_park_wait = Millis(2000);
   };
 
   static Result<std::unique_ptr<Listener>> Start(core::Runtime& runtime,
@@ -44,6 +63,8 @@ class Listener {
 
   std::size_t surrogates_total() const;
   std::size_t surrogates_in(Surrogate::State state) const;
+  std::uint64_t sessions_resumed() const { return sessions_resumed_.load(); }
+  std::uint64_t sessions_migrated() const { return sessions_migrated_.load(); }
 
   // Reaps every currently-parked surrogate immediately (regardless of
   // reap_parked_after); returns how many were reaped.
@@ -56,11 +77,17 @@ class Listener {
   explicit Listener(core::Runtime& runtime) : runtime_(runtime) {}
   void AcceptLoop();
   void Handshake(transport::TcpConnection conn);
+  void HandleResume(transport::TcpConnection conn, const Buffer& frame,
+                    std::uint64_t session_id, std::int32_t preferred_as);
   void JanitorLoop();
+  // Picks a live (not stopped) address space; honours `preferred` when
+  // it names a live one. Returns npos when the whole cluster is down.
+  std::size_t PickLiveAs(std::int32_t preferred);
 
   core::Runtime& runtime_;
   Options options_;
   transport::TcpListener listener_;
+  std::string ns_name_;  // sys/listener/<port> advertisement
 
   mutable std::mutex mu_;
   std::vector<std::unique_ptr<Surrogate>> surrogates_;
@@ -68,6 +95,8 @@ class Listener {
   std::uint64_t next_session_ = 1;
   std::size_t next_as_ = 0;  // round-robin cursor
 
+  std::atomic<std::uint64_t> sessions_resumed_{0};
+  std::atomic<std::uint64_t> sessions_migrated_{0};
   std::atomic<bool> stopping_{false};
   std::thread accept_thread_;
   std::thread janitor_thread_;

@@ -26,6 +26,11 @@ enum class ClientOp : std::uint32_t {
   kHello = 200,
   kBye = 201,
   kSetGcInterest = 202,
+  // Session resumption: re-binds an existing session after a dropped
+  // connection, on the original surrogate if it is parked and alive,
+  // or rehydrated from the name server's session registry on another
+  // address space if the original host died.
+  kResume = 203,
 };
 
 inline constexpr std::uint32_t kClientKindC = 0;
@@ -57,6 +62,82 @@ struct HelloResp {
   std::uint32_t host_as = 0;
   std::uint64_t session_id = 0;
 };
+
+struct ResumeReq {
+  std::uint32_t client_kind = kClientKindC;
+  std::uint64_t session_id = 0;
+  // Highest ticket whose reply the client has fully received. The
+  // surrogate uses it to dedup the replay of the in-flight call.
+  std::uint64_t last_acked_ticket = 0;
+  std::int32_t preferred_as = -1;
+
+  template <class Enc>
+  void Encode(Enc& enc) const {
+    enc.PutU32(client_kind);
+    enc.PutU64(session_id);
+    enc.PutU64(last_acked_ticket);
+    enc.PutI32(preferred_as);
+  }
+  static Result<ResumeReq> Decode(marshal::XdrDecoder& dec) {
+    ResumeReq req;
+    DS_ASSIGN_OR_RETURN(req.client_kind, dec.GetU32());
+    DS_ASSIGN_OR_RETURN(req.session_id, dec.GetU64());
+    DS_ASSIGN_OR_RETURN(req.last_acked_ticket, dec.GetU64());
+    DS_ASSIGN_OR_RETURN(req.preferred_as, dec.GetI32());
+    return req;
+  }
+};
+
+// One attachment whose surrogate-side slot changed across failover
+// (the rehydrated surrogate re-attached and got fresh slots). new_slot
+// == 0 means the attachment could not be restored (e.g. its container
+// was owned by the dead address space).
+struct SlotRemap {
+  std::uint64_t container_bits = 0;
+  bool is_queue = false;
+  std::uint32_t old_slot = 0;
+  std::uint32_t new_slot = 0;
+};
+
+struct ResumeResp {
+  std::uint32_t host_as = 0;
+  std::uint64_t session_id = 0;
+  std::uint64_t last_executed_ticket = 0;
+  std::vector<SlotRemap> remaps;
+};
+
+template <class Enc>
+void EncodeResumeResp(Enc& enc, const ResumeResp& resp) {
+  enc.PutU32(resp.host_as);
+  enc.PutU64(resp.session_id);
+  enc.PutU64(resp.last_executed_ticket);
+  enc.PutU32(static_cast<std::uint32_t>(resp.remaps.size()));
+  for (const auto& r : resp.remaps) {
+    enc.PutU64(r.container_bits);
+    enc.PutBool(r.is_queue);
+    enc.PutU32(r.old_slot);
+    enc.PutU32(r.new_slot);
+  }
+}
+
+template <class Dec>
+Result<ResumeResp> DecodeResumeRespT(Dec& dec) {
+  ResumeResp resp;
+  DS_ASSIGN_OR_RETURN(resp.host_as, dec.GetU32());
+  DS_ASSIGN_OR_RETURN(resp.session_id, dec.GetU64());
+  DS_ASSIGN_OR_RETURN(resp.last_executed_ticket, dec.GetU64());
+  DS_ASSIGN_OR_RETURN(std::uint32_t count, dec.GetU32());
+  resp.remaps.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    SlotRemap r;
+    DS_ASSIGN_OR_RETURN(r.container_bits, dec.GetU64());
+    DS_ASSIGN_OR_RETURN(r.is_queue, dec.GetBool());
+    DS_ASSIGN_OR_RETURN(r.old_slot, dec.GetU32());
+    DS_ASSIGN_OR_RETURN(r.new_slot, dec.GetU32());
+    resp.remaps.push_back(r);
+  }
+  return resp;
+}
 
 struct SetGcInterestReq {
   std::uint64_t container_bits = 0;

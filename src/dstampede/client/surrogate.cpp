@@ -1,13 +1,49 @@
 #include "dstampede/client/surrogate.hpp"
 
-#include "dstampede/client/protocol.hpp"
+#include <algorithm>
+
 #include "dstampede/common/logging.hpp"
 
 namespace dstampede::client {
 
+namespace {
+
+bool IsStmOp(core::Op op) {
+  return static_cast<std::uint32_t>(op) < 100;
+}
+
+// Ops whose effects must not run twice. Their replies carry no payload,
+// so an already-executed replay can be answered with a synthesized OK.
+bool IsIdempotentSynthOp(core::Op op) {
+  switch (op) {
+    case core::Op::kPut:
+    case core::Op::kConsume:
+    case core::Op::kDetach:
+    case core::Op::kSetFilter:
+    case core::Op::kNsRegister:
+    case core::Op::kNsUnregister:
+      return true;
+    default:
+      return false;
+  }
+}
+
+Buffer EncodeStatusOnly(std::uint64_t request_id, const Status& status) {
+  marshal::XdrEncoder enc;
+  core::EncodeResponseHeader(enc, request_id, status);
+  return enc.Take();
+}
+
+}  // namespace
+
 Surrogate::Surrogate(std::uint64_t session_id, core::AddressSpace& host,
-                     transport::TcpConnection conn)
-    : session_id_(session_id), host_(host), conn_(std::move(conn)) {
+                     transport::TcpConnection conn,
+                     clf::FaultInjector* edge_faults, bool durable)
+    : session_id_(session_id),
+      host_(host),
+      conn_(std::move(conn)),
+      edge_faults_(edge_faults),
+      durable_(durable) {
   gc_sink_token_ = host_.gc().AddSink(
       [this](const std::vector<core::GcNotice>& batch) {
         std::lock_guard<std::mutex> lock(gc_mu_);
@@ -46,13 +82,84 @@ Buffer Surrogate::HandleHello(std::span<const std::uint8_t> frame) {
     return enc.Take();
   }
   client_name_ = req->name;
+  client_kind_ = req->client_kind;
   core::EncodeResponseHeader(enc, hdr->request_id, OkStatus());
   enc.PutU32(AsIndex(host_.id()));
   enc.PutU64(session_id_);
   return enc.Take();
 }
 
-Buffer Surrogate::HandleFrame(std::span<const std::uint8_t> frame, bool& bye) {
+Buffer Surrogate::TranslateSlots(std::span<const std::uint8_t> frame) {
+  Buffer out(frame.begin(), frame.end());
+  {
+    std::lock_guard<std::mutex> lock(session_mu_);
+    if (slot_remaps_.empty()) return out;
+  }
+  marshal::XdrDecoder dec(frame);
+  auto hdr = core::DecodeRequestHeader(dec);
+  if (!hdr.ok()) return out;
+
+  auto remap = [this](std::uint64_t bits, bool is_queue,
+                      std::uint32_t slot) -> std::uint32_t {
+    std::lock_guard<std::mutex> lock(session_mu_);
+    for (const SlotRemap& r : slot_remaps_) {
+      if (r.container_bits == bits && r.is_queue == is_queue &&
+          r.old_slot == slot) {
+        return r.new_slot;
+      }
+    }
+    return slot;
+  };
+
+  marshal::XdrEncoder enc;
+  switch (hdr->op) {
+    case core::Op::kDetach: {
+      auto req = core::DetachReq::Decode(dec);
+      if (!req.ok()) return out;
+      req->slot = remap(req->container_bits, req->is_queue, req->slot);
+      core::EncodeRequestHeader(enc, hdr->op, hdr->request_id);
+      req->Encode(enc);
+      return enc.Take();
+    }
+    case core::Op::kPut: {
+      auto req = core::PutReq::Decode(dec);
+      if (!req.ok()) return out;
+      req->slot = remap(req->container_bits, req->is_queue, req->slot);
+      core::EncodeRequestHeader(enc, hdr->op, hdr->request_id);
+      req->Encode(enc);
+      return enc.Take();
+    }
+    case core::Op::kGet: {
+      auto req = core::GetReq::Decode(dec);
+      if (!req.ok()) return out;
+      req->slot = remap(req->container_bits, req->is_queue, req->slot);
+      core::EncodeRequestHeader(enc, hdr->op, hdr->request_id);
+      req->Encode(enc);
+      return enc.Take();
+    }
+    case core::Op::kConsume: {
+      auto req = core::ConsumeReq::Decode(dec);
+      if (!req.ok()) return out;
+      req->slot = remap(req->container_bits, req->is_queue, req->slot);
+      core::EncodeRequestHeader(enc, hdr->op, hdr->request_id);
+      req->Encode(enc);
+      return enc.Take();
+    }
+    case core::Op::kSetFilter: {
+      auto req = core::SetFilterReq::Decode(dec);
+      if (!req.ok()) return out;
+      req->slot = remap(req->container_bits, /*is_queue=*/false, req->slot);
+      core::EncodeRequestHeader(enc, hdr->op, hdr->request_id);
+      req->Encode(enc);
+      return enc.Take();
+    }
+    default:
+      return out;  // no slot field
+  }
+}
+
+Buffer Surrogate::HandleFrame(std::span<const std::uint8_t> frame, bool& bye,
+                              bool& kill_conn) {
   marshal::XdrDecoder dec(frame);
   auto hdr = core::DecodeRequestHeader(dec);
   if (!hdr.ok()) return Buffer();
@@ -76,22 +183,105 @@ Buffer Surrogate::HandleFrame(std::span<const std::uint8_t> frame, bool& bye) {
       {
         std::lock_guard<std::mutex> lock(gc_mu_);
         if (req->enable) {
-          gc_interest_.insert(req->container_bits);
+          gc_interest_[req->container_bits] = req->is_queue;
         } else {
           gc_interest_.erase(req->container_bits);
         }
       }
+      {
+        std::lock_guard<std::mutex> lock(session_mu_);
+        if (hdr->request_id > last_executed_ticket_) {
+          last_executed_ticket_ = hdr->request_id;
+        }
+      }
+      MirrorSession();
       core::EncodeResponseHeader(enc, hdr->request_id, OkStatus());
       return enc.Take();
     }
-    default: {
-      // An STM op: carry it out against the cluster on the device's
-      // behalf. The executor routes to any owning address space.
-      Buffer reply = host_.ExecuteWireRequest(frame);
-      TrackSessionState(frame, reply);
-      return reply;
+    case ClientOp::kResume: {
+      // A Resume mid-stream (the listener normally services it during
+      // the handshake): answer it in place.
+      marshal::XdrEncoder enc;
+      core::EncodeResponseHeader(enc, hdr->request_id, OkStatus());
+      ResumeResp resp;
+      resp.host_as = AsIndex(host_.id());
+      resp.session_id = session_id_;
+      {
+        std::lock_guard<std::mutex> lock(session_mu_);
+        resp.last_executed_ticket = last_executed_ticket_;
+        resp.remaps = slot_remaps_;
+      }
+      EncodeResumeResp(enc, resp);
+      return enc.Take();
+    }
+    default:
+      break;
+  }
+
+  // An STM op: carry it out against the cluster on the device's
+  // behalf. The executor routes to any owning address space.
+  const core::Op op = hdr->op;
+  const std::uint64_t ticket = hdr->request_id;
+
+  // Replay dedup: a call the device re-sends after a dropped
+  // connection must not run twice.
+  {
+    std::lock_guard<std::mutex> lock(session_mu_);
+    if (ticket == cached_reply_ticket_ && !cached_reply_.empty()) {
+      return cached_reply_;  // resend the very reply that was lost
+    }
+    if (ticket <= last_executed_ticket_ && IsIdempotentSynthOp(op)) {
+      // Executed before a failover; the original reply died with the
+      // old surrogate but the effect is durable. Ack it.
+      return EncodeStatusOnly(ticket, OkStatus());
     }
   }
+
+  if (edge_faults_ && IsStmOp(op) &&
+      edge_faults_->TakeConnectionKill(
+          clf::FaultInjector::KillPoint::kBeforeExecute)) {
+    kill_conn = true;  // drop the link before the op runs
+    return Buffer();
+  }
+
+  const Buffer effective = TranslateSlots(frame);
+  Buffer reply = host_.ExecuteWireRequest(effective);
+
+  // A stopping host answers everything kCancelled; park instead so the
+  // device sees a dead link and fails over to a live address space.
+  // Exception: if the op demonstrably executed (an OK reply raced the
+  // shutdown), deliver the ack — discarding it would make the device
+  // replay an op whose remote effect is already durable.
+  if (host_.stopped()) {
+    marshal::XdrDecoder reply_dec(reply);
+    auto reply_hdr = core::DecodeResponseHeader(reply_dec);
+    if (!reply_hdr.ok() || !reply_hdr->status.ok()) {
+      kill_conn = true;
+      return Buffer();
+    }
+  }
+
+  TrackSessionState(effective, reply);
+  {
+    std::lock_guard<std::mutex> lock(session_mu_);
+    if (ticket > last_executed_ticket_) last_executed_ticket_ = ticket;
+    cached_reply_ticket_ = ticket;
+    cached_reply_ = reply;  // pre-trailer; trailer is appended per send
+  }
+  MirrorTicket(ticket, op, [&] {
+    marshal::XdrDecoder body(effective);
+    (void)core::DecodeRequestHeader(body);
+    auto bits = body.GetU64();
+    return bits.ok() ? *bits : 0;
+  }());
+
+  if (edge_faults_ && IsStmOp(op) &&
+      edge_faults_->TakeConnectionKill(
+          clf::FaultInjector::KillPoint::kAfterExecute)) {
+    kill_conn = true;  // executed, but the reply never reaches the device
+    return Buffer();
+  }
+  return reply;
 }
 
 void Surrogate::TrackSessionState(std::span<const std::uint8_t> request,
@@ -108,40 +298,201 @@ void Surrogate::TrackSessionState(std::span<const std::uint8_t> request,
   auto reply_hdr = core::DecodeResponseHeader(reply_dec);
   if (!reply_hdr.ok() || !reply_hdr->status.ok()) return;
 
-  std::lock_guard<std::mutex> lock(session_mu_);
-  switch (req_hdr->op) {
-    case core::Op::kAttach: {
-      auto req = core::AttachReq::Decode(req_dec);
-      auto slot = reply_dec.GetU32();
-      if (req.ok() && slot.ok()) {
-        attachments_.push_back(
-            Attachment{req->container_bits, req->is_queue, *slot});
+  {
+    std::lock_guard<std::mutex> lock(session_mu_);
+    switch (req_hdr->op) {
+      case core::Op::kAttach: {
+        auto req = core::AttachReq::Decode(req_dec);
+        auto slot = reply_dec.GetU32();
+        if (req.ok() && slot.ok()) {
+          attachments_.push_back(Attachment{
+              req->container_bits, req->is_queue, *slot,
+              static_cast<std::uint8_t>(req->mode), req->label});
+        }
+        break;
       }
-      break;
-    }
-    case core::Op::kDetach: {
-      auto req = core::DetachReq::Decode(req_dec);
-      if (req.ok()) {
-        std::erase_if(attachments_, [&](const Attachment& a) {
-          return a.container_bits == req->container_bits &&
-                 a.is_queue == req->is_queue && a.slot == req->slot;
-        });
+      case core::Op::kDetach: {
+        auto req = core::DetachReq::Decode(req_dec);
+        if (req.ok()) {
+          std::erase_if(attachments_, [&](const Attachment& a) {
+            return a.container_bits == req->container_bits &&
+                   a.is_queue == req->is_queue && a.slot == req->slot;
+          });
+        }
+        break;
       }
-      break;
+      case core::Op::kNsRegister: {
+        auto entry = core::DecodeNsEntry(req_dec);
+        if (entry.ok()) registered_names_.push_back(entry->name);
+        break;
+      }
+      case core::Op::kNsUnregister: {
+        auto req = core::NsLookupReq::Decode(req_dec);
+        if (req.ok()) std::erase(registered_names_, req->name);
+        break;
+      }
+      default:
+        break;
     }
-    case core::Op::kNsRegister: {
-      auto entry = core::DecodeNsEntry(req_dec);
-      if (entry.ok()) registered_names_.push_back(entry->name);
-      break;
-    }
-    case core::Op::kNsUnregister: {
-      auto req = core::NsLookupReq::Decode(req_dec);
-      if (req.ok()) std::erase(registered_names_, req->name);
-      break;
-    }
-    default:
-      break;
   }
+  MirrorSession();
+}
+
+core::SessionRecord Surrogate::SnapshotRecord() {
+  core::SessionRecord record;
+  record.session_id = session_id_;
+  record.client_kind = client_kind_;
+  record.client_name = client_name_;
+  record.host_as = host_.id();
+  {
+    std::lock_guard<std::mutex> lock(session_mu_);
+    record.last_executed_ticket = last_executed_ticket_;
+    record.attachments.reserve(attachments_.size());
+    for (const Attachment& a : attachments_) {
+      record.attachments.push_back(core::SessionAttachment{
+          a.container_bits, a.is_queue, a.mode, a.slot, a.label});
+    }
+    record.registered_names = registered_names_;
+  }
+  {
+    std::lock_guard<std::mutex> lock(gc_mu_);
+    record.gc_interests.reserve(gc_interest_.size());
+    for (const auto& [bits, is_queue] : gc_interest_) {
+      record.gc_interests.push_back(core::SessionGcInterest{bits, is_queue});
+    }
+  }
+  return record;
+}
+
+void Surrogate::MirrorSession() {
+  if (!durable_ || host_.stopped()) return;
+  Status s = host_.SessionPut(SnapshotRecord());
+  if (!s.ok()) {
+    DS_LOG(kWarn) << "surrogate " << session_id_
+                  << ": session mirror failed: " << s;
+  }
+}
+
+void Surrogate::MirrorTicket(std::uint64_t ticket, core::Op op,
+                             std::uint64_t container_bits) {
+  if (!durable_ || host_.stopped()) return;
+  // Only mutations whose effects outlive this host need the durable
+  // high-water mark: ops on containers owned by a *peer* address space
+  // (they already pay a CLF round trip) and name-server mutations. An
+  // op on a host-owned container dies with the host anyway, so skipping
+  // the mirror there keeps the single-AS fast path free of extra RPCs.
+  // Attach/Detach/NsRegister/NsUnregister mirror the full record via
+  // TrackSessionState instead.
+  const bool ns_op = op == core::Op::kNsRegister ||
+                     op == core::Op::kNsUnregister;
+  const bool data_op = op == core::Op::kPut || op == core::Op::kConsume ||
+                       op == core::Op::kSetFilter;
+  if (!ns_op && !data_op) return;
+  const AsId target =
+      ns_op ? host_.name_server_as()
+            : ChannelId::FromBits(container_bits).owner();
+  if (target == host_.id()) return;
+  Status s = host_.SessionTick(session_id_, ticket);
+  if (!s.ok()) {
+    DS_LOG(kWarn) << "surrogate " << session_id_
+                  << ": ticket mirror failed: " << s;
+  }
+}
+
+Status Surrogate::Adopt(transport::TcpConnection conn) {
+  State expected = State::kParked;
+  if (!state_.compare_exchange_strong(expected, State::kActive)) {
+    return FailedPreconditionError("only parked surrogates can adopt");
+  }
+  stopping_.store(false);
+  conn_ = std::move(conn);
+  return OkStatus();
+}
+
+Status Surrogate::Rehydrate(const core::SessionRecord& record) {
+  client_name_ = record.client_name;
+  client_kind_ = record.client_kind;
+  {
+    std::lock_guard<std::mutex> lock(gc_mu_);
+    for (const auto& g : record.gc_interests) {
+      gc_interest_[g.container_bits] = g.is_queue;
+    }
+  }
+
+  std::vector<Attachment> restored;
+  std::vector<SlotRemap> remaps;
+  for (const auto& a : record.attachments) {
+    const auto mode = a.mode >= 1 && a.mode <= 3
+                          ? static_cast<core::ConnMode>(a.mode)
+                          : core::ConnMode::kInputOutput;
+    Result<core::Connection> conn =
+        a.is_queue
+            ? host_.Connect(QueueId::FromBits(a.container_bits), mode, a.label)
+            : host_.Connect(ChannelId::FromBits(a.container_bits), mode,
+                            a.label);
+    SlotRemap remap;
+    remap.container_bits = a.container_bits;
+    remap.is_queue = a.is_queue;
+    remap.old_slot = a.slot;
+    if (conn.ok()) {
+      remap.new_slot = conn->slot();
+      restored.push_back(Attachment{a.container_bits, a.is_queue, conn->slot(),
+                                    a.mode, a.label});
+    } else {
+      // Container gone (owned by the dead address space, or already
+      // reclaimed): the device's handle is now dangling; calls on it
+      // will fail with the owner's error.
+      remap.new_slot = 0;
+      DS_LOG(kWarn) << "surrogate " << session_id_
+                    << ": could not restore attachment to container "
+                    << a.container_bits << ": " << conn.status();
+    }
+    remaps.push_back(remap);
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(session_mu_);
+    attachments_ = std::move(restored);
+    registered_names_ = record.registered_names;
+    if (record.last_executed_ticket > last_executed_ticket_) {
+      last_executed_ticket_ = record.last_executed_ticket;
+    }
+    slot_remaps_ = std::move(remaps);
+  }
+  // The record now lives on this host: update host_as and slots.
+  MirrorSession();
+  return OkStatus();
+}
+
+Status Surrogate::ServiceResume(std::span<const std::uint8_t> frame) {
+  marshal::XdrDecoder dec(frame);
+  auto hdr = core::DecodeRequestHeader(dec);
+  if (!hdr.ok()) return InternalError("bad resume frame");
+  marshal::XdrEncoder enc;
+  core::EncodeResponseHeader(enc, hdr->request_id, OkStatus());
+  ResumeResp resp;
+  resp.host_as = AsIndex(host_.id());
+  resp.session_id = session_id_;
+  {
+    std::lock_guard<std::mutex> lock(session_mu_);
+    resp.last_executed_ticket = last_executed_ticket_;
+    resp.remaps = slot_remaps_;
+  }
+  EncodeResumeResp(enc, resp);
+  Buffer reply = enc.Take();
+  AppendNoticeTrailer(reply);
+  calls_serviced_.fetch_add(1, std::memory_order_relaxed);
+  return conn_.SendFrame(reply);
+}
+
+void Surrogate::MarkSuperseded() {
+  Stop();
+  State s = state_.load();
+  while (s != State::kReaped && s != State::kLeft &&
+         !state_.compare_exchange_weak(s, State::kReaped)) {
+  }
+  // conn_ is left to the Run thread (if still active, Stop() makes it
+  // exit and close within its receive timeout).
 }
 
 Status Surrogate::Reap() {
@@ -156,6 +507,10 @@ Status Surrogate::Reap() {
     attachments.swap(attachments_);
     names.swap(registered_names_);
   }
+  // A reap on a dead host releases nothing (the host's containers died
+  // with it) and must keep the registry record so the session can still
+  // be migrated; a reap on a live host is terminal.
+  if (host_.stopped()) return OkStatus();
   for (const Attachment& a : attachments) {
     const core::Connection conn(
         a.container_bits, a.is_queue, core::ConnMode::kInputOutput,
@@ -168,6 +523,7 @@ Status Surrogate::Reap() {
   for (const std::string& name : names) {
     (void)host_.NsUnregister(name);
   }
+  if (durable_) (void)host_.SessionDrop(session_id_);
   return OkStatus();
 }
 
@@ -176,10 +532,19 @@ std::size_t Surrogate::tracked_attachments() const {
   return attachments_.size();
 }
 
+std::uint64_t Surrogate::last_executed_ticket() const {
+  std::lock_guard<std::mutex> lock(session_mu_);
+  return last_executed_ticket_;
+}
+
 void Surrogate::Park() {
-  parked_since_ = Now();
-  state_.store(State::kParked);
+  // Close before publishing kParked: once the state is visible, the
+  // listener may Adopt() a fresh connection into conn_, and this (the
+  // old Run thread) must no longer touch it.
   conn_.Close();
+  parked_since_ = Now();
+  State expected = State::kActive;
+  state_.compare_exchange_strong(expected, State::kParked);
 }
 
 Status Surrogate::ServiceHello(std::span<const std::uint8_t> frame) {
@@ -187,6 +552,7 @@ Status Surrogate::ServiceHello(std::span<const std::uint8_t> frame) {
   if (reply.empty()) return InternalError("bad hello frame");
   AppendNoticeTrailer(reply);
   calls_serviced_.fetch_add(1, std::memory_order_relaxed);
+  MirrorSession();
   return conn_.SendFrame(reply);
 }
 
@@ -194,6 +560,14 @@ void Surrogate::Run() {
   Buffer frame;
   bool bye = false;
   while (!stopping_.load() && !bye) {
+    if (host_.stopped()) {
+      // The host AS is going down: close the link so the device fails
+      // over to a surrogate on a live address space.
+      DS_LOG(kInfo) << "surrogate " << session_id_
+                    << " parked: host address space stopping";
+      Park();
+      return;
+    }
     Status s = conn_.RecvFrame(frame, Deadline::AfterMillis(100));
     if (!s.ok()) {
       if (s.code() == StatusCode::kTimeout) continue;
@@ -202,8 +576,9 @@ void Surrogate::Run() {
       Park();
       return;
     }
-    Buffer reply = HandleFrame(frame, bye);
-    if (reply.empty()) {
+    bool kill_conn = false;
+    Buffer reply = HandleFrame(frame, bye, kill_conn);
+    if (kill_conn || reply.empty()) {
       Park();
       return;
     }
@@ -217,6 +592,7 @@ void Surrogate::Run() {
   if (bye) {
     state_.store(State::kLeft);
     conn_.Close();
+    if (durable_ && !host_.stopped()) (void)host_.SessionDrop(session_id_);
   } else {
     Park();
   }

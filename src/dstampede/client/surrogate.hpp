@@ -6,9 +6,16 @@
 // containers the device registered interest in, and the surrogate
 // forwards them piggybacked on the next response (§3.2.4).
 //
-// Failure model mirrors the paper's stated limitation (§3.3): if the
-// device vanishes without a clean Bye, the surrogate is left parked —
-// its connection slots remain attached and its state is retained.
+// Failure model: if the device vanishes without a clean Bye, the
+// surrogate is left parked — its connection slots remain attached and
+// its state is retained (the paper's §3.3 behaviour). On top of that,
+// the session-resilience extension makes parked sessions resumable:
+// the surrogate mirrors its session state (attachments, registered
+// names, GC interests, last executed per-call ticket) into the name
+// server's session registry, caches the last reply for idempotent
+// replay, and can be re-bound to a fresh TCP connection (Adopt) or
+// rebuilt from the registry on another address space (Rehydrate) when
+// its original host died.
 #pragma once
 
 #include <atomic>
@@ -16,9 +23,11 @@
 #include <deque>
 #include <mutex>
 #include <string>
-#include <unordered_set>
+#include <unordered_map>
 #include <vector>
 
+#include "dstampede/clf/fault_injector.hpp"
+#include "dstampede/client/protocol.hpp"
 #include "dstampede/core/address_space.hpp"
 #include "dstampede/transport/tcp.hpp"
 
@@ -28,8 +37,12 @@ class Surrogate {
  public:
   enum class State { kActive, kLeft, kParked, kReaped };
 
+  // `edge_faults` (optional) injects TCP-edge connection kills around
+  // serviced requests; `durable` mirrors session state into the name
+  // server so the session survives surrogate/host loss.
   Surrogate(std::uint64_t session_id, core::AddressSpace& host,
-            transport::TcpConnection conn);
+            transport::TcpConnection conn,
+            clf::FaultInjector* edge_faults = nullptr, bool durable = true);
   ~Surrogate();
 
   Surrogate(const Surrogate&) = delete;
@@ -51,6 +64,23 @@ class Surrogate {
   std::uint64_t notices_forwarded() const { return notices_forwarded_.load(); }
   // Valid once parked: when the device was last heard from.
   TimePoint parked_since() const { return parked_since_; }
+  bool host_stopped() const { return host_.stopped(); }
+
+  // --- session resumption ------------------------------------------------
+  // Re-binds a parked surrogate to a fresh connection from its device
+  // (same host AS; all slots still valid). Fails unless parked.
+  Status Adopt(transport::TcpConnection conn);
+  // Rebuilds session state from the registry record on THIS surrogate's
+  // (live) host: re-attaches every recorded connection, restoring GC
+  // interests and registered names. Old-slot -> new-slot remaps are
+  // kept so replayed and future device calls are translated.
+  Status Rehydrate(const core::SessionRecord& record);
+  // Answers the already-received Resume frame (remaps + last ticket).
+  Status ServiceResume(std::span<const std::uint8_t> frame);
+  // Marks a surrogate that lost its session to a migrated successor:
+  // terminal kReaped without detaching anything (its host is dead) and
+  // without dropping the registry record (the successor owns it now).
+  void MarkSuperseded();
 
   // Failure-handling extension (the paper's §6 future work): the
   // surrogate tracks every connection its device attached and every
@@ -61,38 +91,56 @@ class Surrogate {
   Status Reap();
 
   std::size_t tracked_attachments() const;
+  std::uint64_t last_executed_ticket() const;
 
  private:
   // Executes one request frame; returns the response frame. Sets bye
-  // when the device asked to leave.
-  Buffer HandleFrame(std::span<const std::uint8_t> frame, bool& bye);
+  // when the device asked to leave, kill_conn when the fault injector
+  // asks for the connection to be dropped instead of replying.
+  Buffer HandleFrame(std::span<const std::uint8_t> frame, bool& bye,
+                     bool& kill_conn);
   Buffer HandleHello(std::span<const std::uint8_t> frame);
   void AppendNoticeTrailer(Buffer& reply);
   // Inspects a successful STM request/reply pair to maintain the
-  // device's session state for Reap().
+  // device's session state for Reap() and the session registry.
   void TrackSessionState(std::span<const std::uint8_t> request,
                          std::span<const std::uint8_t> reply);
+  // Rewrites slots in a device request through the post-migration
+  // remap table (identity when the table is empty).
+  Buffer TranslateSlots(std::span<const std::uint8_t> frame);
+  // Mirrors the full session record / the ticket high-water mark into
+  // the name server's session registry (no-ops when not durable).
+  void MirrorSession();
+  void MirrorTicket(std::uint64_t ticket, core::Op op,
+                    std::uint64_t container_bits);
+  core::SessionRecord SnapshotRecord();
   void Park();
 
   struct Attachment {
     std::uint64_t container_bits;
     bool is_queue;
     std::uint32_t slot;
+    std::uint8_t mode;
+    std::string label;
   };
 
   std::uint64_t session_id_;
   core::AddressSpace& host_;
   transport::TcpConnection conn_;
+  clf::FaultInjector* edge_faults_ = nullptr;
+  bool durable_ = true;
   std::string client_name_ = "?";
+  std::uint32_t client_kind_ = 0;
 
   std::atomic<State> state_{State::kActive};
   std::atomic<bool> stopping_{false};
   std::atomic<std::uint64_t> calls_serviced_{0};
   std::atomic<std::uint64_t> notices_forwarded_{0};
 
-  // GC interest set and pending notices, fed by the GC-service sink.
+  // GC interest set (bits -> is_queue) and pending notices, fed by the
+  // GC-service sink.
   std::mutex gc_mu_;
-  std::unordered_set<std::uint64_t> gc_interest_;
+  std::unordered_map<std::uint64_t, bool> gc_interest_;
   std::deque<core::GcNotice> gc_pending_;
   std::uint64_t gc_sink_token_ = 0;
 
@@ -100,6 +148,14 @@ class Surrogate {
   mutable std::mutex session_mu_;
   std::vector<Attachment> attachments_;
   std::vector<std::string> registered_names_;
+  // Per-call ticket machinery: highest executed device request id, and
+  // the cached (pre-trailer) reply of the most recent STM call so a
+  // replay after a dropped connection is answered without re-running.
+  std::uint64_t last_executed_ticket_ = 0;
+  std::uint64_t cached_reply_ticket_ = 0;
+  Buffer cached_reply_;
+  // Post-migration slot translation (old surrogate's slot -> ours).
+  std::vector<SlotRemap> slot_remaps_;
   TimePoint parked_since_{};
 
   static constexpr std::size_t kMaxPendingNotices = 65536;

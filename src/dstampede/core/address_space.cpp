@@ -153,7 +153,9 @@ void AddressSpace::OnPeerDown(const transport::SockAddr& addr) {
   }
 
   // 3. If we host the name server, the dead space's names must not
-  // satisfy later lookups.
+  // satisfy later lookups. (Session records are NOT purged: a session
+  // hosted on the dead space is exactly what a listener needs to
+  // migrate that session to a live space.)
   if (name_server_) {
     const std::size_t purged = name_server_->PurgeOwner(dead);
     if (purged != 0) {
@@ -161,6 +163,20 @@ void AddressSpace::OnPeerDown(const transport::SockAddr& addr) {
                     << AsIndex(dead);
     }
   }
+
+  // 4. Tell higher layers (listeners, federation) so they can react
+  // without polling IsPeerDown.
+  std::vector<std::function<void(AsId)>> observers;
+  {
+    std::lock_guard<std::mutex> lock(peer_observers_mu_);
+    observers = peer_down_observers_;
+  }
+  for (auto& observer : observers) observer(dead);
+}
+
+void AddressSpace::AddPeerDownObserver(std::function<void(AsId)> observer) {
+  std::lock_guard<std::mutex> lock(peer_observers_mu_);
+  peer_down_observers_.push_back(std::move(observer));
 }
 
 void AddressSpace::OnPeerUp(const transport::SockAddr& addr) {
@@ -472,6 +488,31 @@ Buffer AddressSpace::ProcessRequest(std::span<const std::uint8_t> message,
       enc.PutU32(static_cast<std::uint32_t>(entries->size()));
       for (const auto& entry : *entries) EncodeNsEntry(enc, entry);
       return enc.Take();
+    }
+    case Op::kSessionPut: {
+      auto rec = DecodeSessionRecord(dec);
+      if (!rec.ok()) return EncodeStatusReply(id, rec.status());
+      return EncodeStatusReply(id, SessionPut(*rec));
+    }
+    case Op::kSessionGet: {
+      auto req = SessionIdReq::Decode(dec);
+      if (!req.ok()) return EncodeStatusReply(id, req.status());
+      auto rec = SessionGet(req->session_id);
+      if (!rec.ok()) return EncodeStatusReply(id, rec.status());
+      marshal::XdrEncoder enc;
+      EncodeResponseHeader(enc, id, OkStatus());
+      EncodeSessionRecord(enc, *rec);
+      return enc.Take();
+    }
+    case Op::kSessionDrop: {
+      auto req = SessionIdReq::Decode(dec);
+      if (!req.ok()) return EncodeStatusReply(id, req.status());
+      return EncodeStatusReply(id, SessionDrop(req->session_id));
+    }
+    case Op::kSessionTick: {
+      auto req = SessionTickReq::Decode(dec);
+      if (!req.ok()) return EncodeStatusReply(id, req.status());
+      return EncodeStatusReply(id, SessionTick(req->session_id, req->ticket));
     }
     case Op::kReply:
       break;
@@ -923,6 +964,81 @@ Result<std::vector<NsEntry>> AddressSpace::NsList(const std::string& prefix) {
     out.push_back(std::move(entry));
   }
   return out;
+}
+
+// --- end-device session registry -----------------------------------------------
+
+Status AddressSpace::SessionPut(const SessionRecord& record) {
+  stats_.ns_ops.fetch_add(1, std::memory_order_relaxed);
+  if (name_server_) return name_server_->PutSession(record);
+  if (ns_as_ == kInvalidAsId) {
+    return FailedPreconditionError("no name-server address space set");
+  }
+  marshal::XdrEncoder enc;
+  EncodeRequestHeader(enc, Op::kSessionPut, next_request_id_.fetch_add(1));
+  EncodeSessionRecord(enc, record);
+  DS_ASSIGN_OR_RETURN(Buffer reply,
+                      Call(ns_as_, enc.Take(), InternalDeadline()));
+  marshal::XdrDecoder dec(reply);
+  DS_ASSIGN_OR_RETURN(auto hdr, DecodeResponseHeader(dec));
+  return hdr.status;
+}
+
+Result<SessionRecord> AddressSpace::SessionGet(std::uint64_t session_id) {
+  stats_.ns_ops.fetch_add(1, std::memory_order_relaxed);
+  if (name_server_) return name_server_->GetSession(session_id);
+  if (ns_as_ == kInvalidAsId) {
+    return FailedPreconditionError("no name-server address space set");
+  }
+  SessionIdReq req;
+  req.session_id = session_id;
+  marshal::XdrEncoder enc;
+  EncodeRequestHeader(enc, Op::kSessionGet, next_request_id_.fetch_add(1));
+  req.Encode(enc);
+  DS_ASSIGN_OR_RETURN(Buffer reply,
+                      Call(ns_as_, enc.Take(), InternalDeadline()));
+  marshal::XdrDecoder dec(reply);
+  DS_ASSIGN_OR_RETURN(auto hdr, DecodeResponseHeader(dec));
+  if (!hdr.status.ok()) return hdr.status;
+  return DecodeSessionRecord(dec);
+}
+
+Status AddressSpace::SessionDrop(std::uint64_t session_id) {
+  stats_.ns_ops.fetch_add(1, std::memory_order_relaxed);
+  if (name_server_) return name_server_->DropSession(session_id);
+  if (ns_as_ == kInvalidAsId) {
+    return FailedPreconditionError("no name-server address space set");
+  }
+  SessionIdReq req;
+  req.session_id = session_id;
+  marshal::XdrEncoder enc;
+  EncodeRequestHeader(enc, Op::kSessionDrop, next_request_id_.fetch_add(1));
+  req.Encode(enc);
+  DS_ASSIGN_OR_RETURN(Buffer reply,
+                      Call(ns_as_, enc.Take(), InternalDeadline()));
+  marshal::XdrDecoder dec(reply);
+  DS_ASSIGN_OR_RETURN(auto hdr, DecodeResponseHeader(dec));
+  return hdr.status;
+}
+
+Status AddressSpace::SessionTick(std::uint64_t session_id,
+                                 std::uint64_t ticket) {
+  stats_.ns_ops.fetch_add(1, std::memory_order_relaxed);
+  if (name_server_) return name_server_->TickSession(session_id, ticket);
+  if (ns_as_ == kInvalidAsId) {
+    return FailedPreconditionError("no name-server address space set");
+  }
+  SessionTickReq req;
+  req.session_id = session_id;
+  req.ticket = ticket;
+  marshal::XdrEncoder enc;
+  EncodeRequestHeader(enc, Op::kSessionTick, next_request_id_.fetch_add(1));
+  req.Encode(enc);
+  DS_ASSIGN_OR_RETURN(Buffer reply,
+                      Call(ns_as_, enc.Take(), InternalDeadline()));
+  marshal::XdrDecoder dec(reply);
+  DS_ASSIGN_OR_RETURN(auto hdr, DecodeResponseHeader(dec));
+  return hdr.status;
 }
 
 // --- threads -----------------------------------------------------------------------

@@ -157,6 +157,16 @@ class AddressSpace {
                            Deadline deadline = Deadline::Poll());
   Result<std::vector<NsEntry>> NsList(const std::string& prefix = "");
 
+  // --- end-device session registry (client resilience layer) -----------
+  // Like the Ns* calls: local when this AS hosts the name server,
+  // forwarded over CLF otherwise. Surrogates mirror their session state
+  // through these so any listener can rehydrate a session whose TCP
+  // link dropped or whose host AS died.
+  Status SessionPut(const SessionRecord& record);
+  Result<SessionRecord> SessionGet(std::uint64_t session_id);
+  Status SessionDrop(std::uint64_t session_id);
+  Status SessionTick(std::uint64_t session_id, std::uint64_t ticket);
+
   // --- threads -----------------------------------------------------------
   // POSIX-like D-Stampede threads (§3.1). The runtime tracks them so
   // JoinThreads() can wait for the computation to finish.
@@ -168,6 +178,17 @@ class AddressSpace {
   // True once the CLF layer declared this peer dead (and it has not
   // come back with a fresh incarnation).
   bool IsPeerDown(AsId peer) const;
+  // Registers a callback fired (from the CLF receiver thread, outside
+  // internal locks) whenever a peer AS is declared dead. Listeners use
+  // this to migrate parked surrogate sessions off dead hosts; the
+  // Federation uses it for cluster-level fast-fail. Observers cannot be
+  // removed — keep captured state alive as long as this AS.
+  void AddPeerDownObserver(std::function<void(AsId)> observer);
+  // True once Shutdown() began: the surrogate layer parks its devices
+  // instead of letting a dying AS answer them with kCancelled.
+  bool stopped() const { return stopping_.load(); }
+  // Which AS hosts the name server (kInvalidAsId if unset).
+  AsId name_server_as() const { return ns_as_; }
   // The CLF endpoint's outgoing fault injector; tests and the ablation
   // bench install deterministic partitions through it.
   clf::FaultInjector& fault_injector() { return endpoint_->fault_injector(); }
@@ -257,6 +278,9 @@ class AddressSpace {
   std::unordered_map<transport::SockAddr, AsId> peer_by_addr_;
   std::unordered_set<std::uint32_t> dead_peers_;
   AsId ns_as_ = kInvalidAsId;
+
+  std::mutex peer_observers_mu_;
+  std::vector<std::function<void(AsId)>> peer_down_observers_;
 
   std::mutex remote_attach_mu_;
   std::unordered_map<std::uint32_t, std::vector<RemoteAttach>>

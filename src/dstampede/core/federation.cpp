@@ -29,9 +29,14 @@ Result<std::unique_ptr<Federation>> Federation::Create(
         static_cast<std::uint32_t>(i) * options.as_id_stride;
     rt_opts.host_name_server = (i == 0);
     rt_opts.name_server_as = global_ns;
+    rt_opts.clf_max_retransmits = options.clf_max_retransmits;
+    rt_opts.peer_keepalive_interval = options.peer_keepalive_interval;
+    rt_opts.peer_timeout = options.peer_timeout;
+    rt_opts.internal_rpc_deadline = options.internal_rpc_deadline;
     DS_ASSIGN_OR_RETURN(auto runtime, Runtime::Create(rt_opts));
     fed->clusters_.push_back(std::move(runtime));
   }
+  fed->down_.resize(fed->clusters_.size());
 
   // Cross-cluster mesh: every AS of every cluster learns every AS of
   // every other cluster (intra-cluster wiring was done by Runtime).
@@ -47,7 +52,39 @@ Result<std::unique_ptr<Federation>> Federation::Create(
       }
     }
   }
+
+  // Edge fast-fail: every address space reports dead peers to the
+  // federation so whole-cluster outages are visible (IsClusterDown).
+  // The raw pointer is safe: the federation owns the runtimes, and
+  // Shutdown() stops their failure detectors before members die.
+  Federation* raw = fed.get();
+  for (auto& cluster : fed->clusters_) {
+    for (std::size_t i = 0; i < cluster->size(); ++i) {
+      cluster->as(i).AddPeerDownObserver(
+          [raw](AsId dead) { raw->NotePeerDown(dead); });
+    }
+  }
   return fed;
+}
+
+void Federation::NotePeerDown(AsId dead) {
+  const std::uint32_t index = AsIndex(dead);
+  const std::size_t cluster = index / options_.as_id_stride;
+  std::lock_guard<std::mutex> lock(down_mu_);
+  if (cluster >= down_.size()) return;
+  down_[cluster].insert(index % options_.as_id_stride);
+}
+
+bool Federation::IsClusterDown(std::size_t i) const {
+  if (i >= clusters_.size()) return false;
+  std::lock_guard<std::mutex> lock(down_mu_);
+  return down_[i].size() >= clusters_[i]->size();
+}
+
+std::size_t Federation::DeadSpacesIn(std::size_t i) const {
+  if (i >= clusters_.size()) return 0;
+  std::lock_guard<std::mutex> lock(down_mu_);
+  return down_[i].size();
 }
 
 Result<AddressSpace*> Federation::AddAddressSpace(std::size_t i) {
@@ -61,6 +98,7 @@ Result<AddressSpace*> Federation::AddAddressSpace(std::size_t i) {
       space->AddPeer(other.as(j).id(), other.as(j).clf_addr());
     }
   }
+  space->AddPeerDownObserver([this](AsId dead) { NotePeerDown(dead); });
   return space;
 }
 

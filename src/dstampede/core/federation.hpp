@@ -20,6 +20,8 @@
 #pragma once
 
 #include <memory>
+#include <mutex>
+#include <set>
 #include <vector>
 
 #include "dstampede/core/runtime.hpp"
@@ -41,6 +43,13 @@ class Federation {
     // AsId range reserved per cluster; cluster i uses
     // [i*stride, (i+1)*stride). Plenty for any realistic cluster.
     std::uint32_t as_id_stride = 4096;
+    // Failure detection across the federation mesh (must be symmetric,
+    // so these are federation-wide rather than per-cluster). All-zero
+    // keeps the fail-free model; see Runtime::Options.
+    std::size_t clf_max_retransmits = 0;
+    Duration peer_keepalive_interval = Duration::zero();
+    Duration peer_timeout = Duration::zero();
+    Duration internal_rpc_deadline = Millis(10000);
   };
 
   static Result<std::unique_ptr<Federation>> Create(const Options& options);
@@ -56,13 +65,29 @@ class Federation {
   // federation (all clusters learn it; it learns everyone).
   Result<AddressSpace*> AddAddressSpace(std::size_t i);
 
+  // Edge fast-fail: true once CLF failure detection has declared every
+  // address space of cluster `i` dead. Federated lookups and data calls
+  // against a dead cluster already fail kUnavailable immediately (the
+  // sender's peer table short-circuits them); this accessor lets
+  // gateways and listeners skip a dead cluster without issuing a call.
+  // Requires failure detection to be enabled in Options.
+  bool IsClusterDown(std::size_t i) const;
+  // How many address spaces of cluster `i` are currently declared dead.
+  std::size_t DeadSpacesIn(std::size_t i) const;
+
   void Shutdown();
 
  private:
   Federation() = default;
+  void NotePeerDown(AsId dead);
 
   Options options_;
   std::vector<std::unique_ptr<Runtime>> clusters_;
+
+  // Dead-peer bookkeeping, fed by every address space's PeerDown
+  // observer (cluster index -> set of dead AS indices within it).
+  mutable std::mutex down_mu_;
+  std::vector<std::set<std::uint32_t>> down_;
 };
 
 }  // namespace dstampede::core

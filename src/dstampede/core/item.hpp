@@ -4,6 +4,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "dstampede/common/bytes.hpp"
 #include "dstampede/common/ids.hpp"
@@ -114,6 +115,38 @@ struct NsEntry {
   // registration when the caller leaves it invalid (clients do); the
   // failure-recovery path purges every entry owned by a dead space.
   AsId owner_as = kInvalidAsId;
+};
+
+// Durable, replayable record of an end-device session, mirrored by the
+// surrogate into the name server's session registry so that *any*
+// listener in the cluster can rehydrate the session after a dropped
+// connection or the death of the surrogate's host address space
+// (paper §3.2: tentacles "are naturally mobile and may need dynamic
+// reconfiguration").
+struct SessionAttachment {
+  std::uint64_t container_bits = 0;  // channel or queue id bits
+  bool is_queue = false;
+  std::uint8_t mode = 0;   // ConnMode bits as sent on the wire
+  std::uint32_t slot = 0;  // surrogate-local slot the client holds
+  std::string label;       // debug aid
+};
+
+struct SessionGcInterest {
+  std::uint64_t container_bits = 0;
+  bool is_queue = false;
+};
+
+struct SessionRecord {
+  std::uint64_t session_id = 0;
+  std::uint32_t client_kind = 0;  // ClientKind bits from the Hello
+  std::string client_name;
+  AsId host_as = kInvalidAsId;  // AS currently hosting the surrogate
+  // Highest per-call ticket (client request id) whose effects are
+  // durably applied. A replayed ticket <= this is acked, not re-run.
+  std::uint64_t last_executed_ticket = 0;
+  std::vector<SessionAttachment> attachments;
+  std::vector<SessionGcInterest> gc_interests;
+  std::vector<std::string> registered_names;
 };
 
 // Reclamation notice produced by the garbage collector and delivered

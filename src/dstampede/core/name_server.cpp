@@ -1,5 +1,7 @@
 #include "dstampede/core/name_server.hpp"
 
+#include <algorithm>
+
 namespace dstampede::core {
 
 Status NameServer::Register(const NsEntry& entry) {
@@ -61,6 +63,52 @@ std::size_t NameServer::PurgeOwner(AsId owner) {
 std::size_t NameServer::size() const {
   std::lock_guard<std::mutex> lock(mu_);
   return entries_.size();
+}
+
+Status NameServer::PutSession(const SessionRecord& record) {
+  if (record.session_id == 0) return InvalidArgumentError("session id 0");
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = sessions_.emplace(record.session_id, record);
+  if (!inserted) {
+    // Upsert, but never let a stale mirror rewind the ticket high-water
+    // mark — the dedup guarantee depends on it being monotone.
+    std::uint64_t ticket =
+        std::max(it->second.last_executed_ticket, record.last_executed_ticket);
+    it->second = record;
+    it->second.last_executed_ticket = ticket;
+  }
+  return OkStatus();
+}
+
+Result<SessionRecord> NameServer::GetSession(std::uint64_t session_id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sessions_.find(session_id);
+  if (it == sessions_.end())
+    return NotFoundError("session: " + std::to_string(session_id));
+  return it->second;
+}
+
+Status NameServer::DropSession(std::uint64_t session_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (sessions_.erase(session_id) == 0)
+    return NotFoundError("session: " + std::to_string(session_id));
+  return OkStatus();
+}
+
+Status NameServer::TickSession(std::uint64_t session_id,
+                               std::uint64_t ticket) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sessions_.find(session_id);
+  if (it == sessions_.end())
+    return NotFoundError("session: " + std::to_string(session_id));
+  if (ticket > it->second.last_executed_ticket)
+    it->second.last_executed_ticket = ticket;
+  return OkStatus();
+}
+
+std::size_t NameServer::session_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sessions_.size();
 }
 
 }  // namespace dstampede::core

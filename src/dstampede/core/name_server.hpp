@@ -42,10 +42,25 @@ class NameServer {
 
   std::size_t size() const;
 
+  // --- End-device session registry (client resilience layer) ---
+  //
+  // Sessions live in a registry separate from named entries on
+  // purpose: PurgeOwner destroys a dead space's *names*, but a
+  // session record hosted on a dead space is exactly what a listener
+  // needs to migrate the session to a live space. Records are
+  // upserted (surrogates mirror after every state change).
+  Status PutSession(const SessionRecord& record);
+  Result<SessionRecord> GetSession(std::uint64_t session_id) const;
+  Status DropSession(std::uint64_t session_id);
+  // Advances last_executed_ticket monotonically (never rewinds).
+  Status TickSession(std::uint64_t session_id, std::uint64_t ticket);
+  std::size_t session_count() const;
+
  private:
   mutable std::mutex mu_;
   std::condition_variable cv_;
   std::map<std::string, NsEntry> entries_;
+  std::map<std::uint64_t, SessionRecord> sessions_;
 };
 
 }  // namespace dstampede::core

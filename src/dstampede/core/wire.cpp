@@ -121,6 +121,59 @@ Result<NsEntry> DecodeNsEntry(marshal::XdrDecoder& dec) {
   return entry;
 }
 
+Result<SessionRecord> DecodeSessionRecord(marshal::XdrDecoder& dec) {
+  SessionRecord rec;
+  DS_ASSIGN_OR_RETURN(rec.session_id, dec.GetU64());
+  DS_ASSIGN_OR_RETURN(rec.client_kind, dec.GetU32());
+  DS_ASSIGN_OR_RETURN(rec.client_name, dec.GetString());
+  DS_ASSIGN_OR_RETURN(std::uint32_t host, dec.GetU32());
+  rec.host_as = static_cast<AsId>(host);
+  DS_ASSIGN_OR_RETURN(rec.last_executed_ticket, dec.GetU64());
+  DS_ASSIGN_OR_RETURN(std::uint32_t n_attach, dec.GetU32());
+  if (n_attach > 1u << 20) return InternalError("bad attachment count");
+  rec.attachments.reserve(n_attach);
+  for (std::uint32_t i = 0; i < n_attach; ++i) {
+    SessionAttachment a;
+    DS_ASSIGN_OR_RETURN(a.container_bits, dec.GetU64());
+    DS_ASSIGN_OR_RETURN(a.is_queue, dec.GetBool());
+    DS_ASSIGN_OR_RETURN(std::uint32_t mode, dec.GetU32());
+    a.mode = static_cast<std::uint8_t>(mode);
+    DS_ASSIGN_OR_RETURN(a.slot, dec.GetU32());
+    DS_ASSIGN_OR_RETURN(a.label, dec.GetString());
+    rec.attachments.push_back(std::move(a));
+  }
+  DS_ASSIGN_OR_RETURN(std::uint32_t n_gc, dec.GetU32());
+  if (n_gc > 1u << 20) return InternalError("bad gc-interest count");
+  rec.gc_interests.reserve(n_gc);
+  for (std::uint32_t i = 0; i < n_gc; ++i) {
+    SessionGcInterest g;
+    DS_ASSIGN_OR_RETURN(g.container_bits, dec.GetU64());
+    DS_ASSIGN_OR_RETURN(g.is_queue, dec.GetBool());
+    rec.gc_interests.push_back(g);
+  }
+  DS_ASSIGN_OR_RETURN(std::uint32_t n_names, dec.GetU32());
+  if (n_names > 1u << 20) return InternalError("bad name count");
+  rec.registered_names.reserve(n_names);
+  for (std::uint32_t i = 0; i < n_names; ++i) {
+    DS_ASSIGN_OR_RETURN(std::string name, dec.GetString());
+    rec.registered_names.push_back(std::move(name));
+  }
+  return rec;
+}
+
+Result<SessionIdReq> SessionIdReq::Decode(marshal::XdrDecoder& dec) {
+  SessionIdReq req;
+  DS_ASSIGN_OR_RETURN(req.session_id, dec.GetU64());
+  return req;
+}
+
+Result<SessionTickReq> SessionTickReq::Decode(marshal::XdrDecoder& dec) {
+  SessionTickReq req;
+  DS_ASSIGN_OR_RETURN(req.session_id, dec.GetU64());
+  DS_ASSIGN_OR_RETURN(req.ticket, dec.GetU64());
+  return req;
+}
+
 Result<NsLookupReq> NsLookupReq::Decode(marshal::XdrDecoder& dec) {
   NsLookupReq req;
   DS_ASSIGN_OR_RETURN(req.name, dec.GetString());

@@ -36,6 +36,13 @@ enum class Op : std::uint32_t {
   kNsUnregister = 10,
   kNsList = 11,
   kSetFilter = 12,
+  // End-device session registry (client resilience layer): surrogates
+  // mirror their session state into the name server so any listener
+  // can rehydrate a session after a connection drop or host death.
+  kSessionPut = 13,
+  kSessionGet = 14,
+  kSessionDrop = 15,
+  kSessionTick = 16,
   kReply = 100,
 };
 
@@ -193,6 +200,55 @@ void EncodeNsEntry(Enc& enc, const NsEntry& entry) {
   enc.PutU32(AsIndex(entry.owner_as));
 }
 Result<NsEntry> DecodeNsEntry(marshal::XdrDecoder& dec);
+
+// SessionRecord codec, used both in kSessionPut requests and in
+// kSessionGet / client-Resume replies.
+template <class Enc>
+void EncodeSessionRecord(Enc& enc, const SessionRecord& rec) {
+  enc.PutU64(rec.session_id);
+  enc.PutU32(rec.client_kind);
+  enc.PutString(rec.client_name);
+  enc.PutU32(AsIndex(rec.host_as));
+  enc.PutU64(rec.last_executed_ticket);
+  enc.PutU32(static_cast<std::uint32_t>(rec.attachments.size()));
+  for (const auto& a : rec.attachments) {
+    enc.PutU64(a.container_bits);
+    enc.PutBool(a.is_queue);
+    enc.PutU32(a.mode);
+    enc.PutU32(a.slot);
+    enc.PutString(a.label);
+  }
+  enc.PutU32(static_cast<std::uint32_t>(rec.gc_interests.size()));
+  for (const auto& g : rec.gc_interests) {
+    enc.PutU64(g.container_bits);
+    enc.PutBool(g.is_queue);
+  }
+  enc.PutU32(static_cast<std::uint32_t>(rec.registered_names.size()));
+  for (const auto& n : rec.registered_names) enc.PutString(n);
+}
+Result<SessionRecord> DecodeSessionRecord(marshal::XdrDecoder& dec);
+
+struct SessionIdReq {  // kSessionGet / kSessionDrop
+  std::uint64_t session_id = 0;
+
+  template <class Enc>
+  void Encode(Enc& enc) const {
+    enc.PutU64(session_id);
+  }
+  static Result<SessionIdReq> Decode(marshal::XdrDecoder& dec);
+};
+
+struct SessionTickReq {  // kSessionTick
+  std::uint64_t session_id = 0;
+  std::uint64_t ticket = 0;
+
+  template <class Enc>
+  void Encode(Enc& enc) const {
+    enc.PutU64(session_id);
+    enc.PutU64(ticket);
+  }
+  static Result<SessionTickReq> Decode(marshal::XdrDecoder& dec);
+};
 
 struct NsLookupReq {  // kNsLookup (also kNsUnregister: name only)
   std::string name;

@@ -18,10 +18,8 @@ std::string SockAddr::ToString() const {
 }
 
 void FdHandle::Reset() {
-  if (fd_ >= 0) {
-    ::close(fd_);
-    fd_ = -1;
-  }
+  const int fd = fd_.exchange(-1);
+  if (fd >= 0) ::close(fd);
 }
 
 Status WaitReadable(int fd, Deadline deadline) {

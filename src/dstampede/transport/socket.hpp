@@ -3,6 +3,7 @@
 // whole Octopus on one machine (see DESIGN.md substitutions).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 #include <utility>
@@ -32,30 +33,34 @@ struct SockAddr {
   }
 };
 
-// Owns a file descriptor; closes on destruction.
+// Owns a file descriptor; closes on destruction. The descriptor is
+// held atomically because Close()/Reset() is the documented way to
+// wake another thread blocked in accept/recv on the same handle
+// (shutdown paths do this deliberately); the waker and the blocked
+// reader must not race on the int itself.
 class FdHandle {
  public:
   FdHandle() = default;
   explicit FdHandle(int fd) : fd_(fd) {}
   ~FdHandle() { Reset(); }
 
-  FdHandle(FdHandle&& other) noexcept : fd_(std::exchange(other.fd_, -1)) {}
+  FdHandle(FdHandle&& other) noexcept : fd_(other.fd_.exchange(-1)) {}
   FdHandle& operator=(FdHandle&& other) noexcept {
     if (this != &other) {
       Reset();
-      fd_ = std::exchange(other.fd_, -1);
+      fd_.store(other.fd_.exchange(-1));
     }
     return *this;
   }
   FdHandle(const FdHandle&) = delete;
   FdHandle& operator=(const FdHandle&) = delete;
 
-  int get() const { return fd_; }
-  bool valid() const { return fd_ >= 0; }
+  int get() const { return fd_.load(std::memory_order_relaxed); }
+  bool valid() const { return get() >= 0; }
   void Reset();
 
  private:
-  int fd_ = -1;
+  std::atomic<int> fd_{-1};
 };
 
 // Waits until fd is readable or the deadline passes.

@@ -358,5 +358,234 @@ TEST_F(ClientTest, ManyDevicesConcurrently) {
   EXPECT_EQ(ok_count.load(), kDevices);
 }
 
+// --- session resilience: transparent reconnect & surrogate failover ---
+
+class ResilienceTest : public ::testing::Test {
+ protected:
+  // Failure detection on (the resilience layer rides on PR 1's CLF
+  // machinery); the listener shares one edge fault injector so tests
+  // can kill the device<->surrogate TCP link at precise points.
+  void Start() {
+    core::Runtime::Options opts;
+    opts.num_address_spaces = 2;
+    opts.gc_interval = Millis(10);
+    opts.clf_max_retransmits = 5;
+    opts.peer_keepalive_interval = Millis(50);
+    opts.peer_timeout = kPeerTimeout;
+    auto rt = core::Runtime::Create(opts);
+    ASSERT_TRUE(rt.ok()) << rt.status();
+    rt_ = std::move(rt).value();
+    Listener::Options lopts;
+    lopts.edge_faults = &edge_faults_;
+    auto listener = Listener::Start(*rt_, lopts);
+    ASSERT_TRUE(listener.ok()) << listener.status();
+    listener_ = std::move(listener).value();
+  }
+
+  void TearDown() override {
+    if (listener_) listener_->Shutdown();
+    if (rt_) rt_->Shutdown();
+  }
+
+  std::unique_ptr<CClient> JoinC(std::int32_t preferred_as = -1) {
+    CClient::Options opts;
+    opts.server = listener_->addr();
+    opts.preferred_as = preferred_as;
+    auto client = CClient::Join(opts);
+    EXPECT_TRUE(client.ok()) << client.status();
+    return std::move(client).value();
+  }
+
+  Buffer Bytes(std::string_view s) { return Buffer(s.begin(), s.end()); }
+
+  static constexpr auto kPeerTimeout = std::chrono::milliseconds(500);
+
+  clf::FaultInjector edge_faults_;
+  std::unique_ptr<core::Runtime> rt_;
+  std::unique_ptr<Listener> listener_;
+};
+
+TEST_F(ResilienceTest, TransparentReconnectIsExactlyOnce) {
+  Start();
+  auto client = JoinC();
+  auto q = client->CreateQueue();
+  ASSERT_TRUE(q.ok()) << q.status();
+  auto out = client->Connect(*q, ConnMode::kOutput);
+  auto in = client->Connect(*q, ConnMode::kInput);
+  ASSERT_TRUE(out.ok());
+  ASSERT_TRUE(in.ok());
+  ASSERT_TRUE(client->Put(*out, 0, Bytes("a")).ok());
+
+  // Link killed before the surrogate executes the put: the replay after
+  // reconnect must run it (for the first time) — nothing is lost.
+  edge_faults_.ArmConnectionKill(1,
+                                 clf::FaultInjector::KillPoint::kBeforeExecute);
+  ASSERT_TRUE(client->Put(*out, 1, Bytes("b")).ok());
+
+  // Link killed after the execute but before the reply: the replay must
+  // be answered from the surrogate's reply cache — nothing runs twice.
+  edge_faults_.ArmConnectionKill(1,
+                                 clf::FaultInjector::KillPoint::kAfterExecute);
+  ASSERT_TRUE(client->Put(*out, 2, Bytes("c")).ok());
+
+  EXPECT_EQ(client->reconnects(), 2u);
+  EXPECT_GE(client->replays(), 2u);
+  EXPECT_EQ(edge_faults_.connections_killed(), 2u);
+  EXPECT_EQ(listener_->sessions_resumed(), 2u);
+  EXPECT_EQ(listener_->sessions_migrated(), 0u);
+  EXPECT_EQ(listener_->surrogates_total(), 1u);
+
+  // Every acked put is in the queue exactly once, in order.
+  for (std::string_view want : {"a", "b", "c"}) {
+    auto item = client->Get(*in, Deadline::AfterMillis(5000));
+    ASSERT_TRUE(item.ok()) << item.status();
+    EXPECT_EQ(item->payload.ToString(), want);
+  }
+  EXPECT_EQ(client->Get(*in, Deadline::AfterMillis(100)).status().code(),
+            StatusCode::kTimeout);
+}
+
+TEST_F(ResilienceTest, FailoverToLiveAddressSpaceOnHostDeath) {
+  Start();
+  // Containers owned by AS 0 so they survive AS 1 (the session's host)
+  // dying mid-stream.
+  auto q = rt_->as(0).CreateQueue();
+  ASSERT_TRUE(q.ok()) << q.status();
+
+  auto client = JoinC(/*preferred_as=*/1);
+  ASSERT_EQ(AsIndex(client->host_as()), 1u);
+  auto out = client->Connect(*q, ConnMode::kOutput);
+  auto in = client->Connect(*q, ConnMode::kInput);
+  ASSERT_TRUE(out.ok()) << out.status();
+  ASSERT_TRUE(in.ok()) << in.status();
+
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(
+        client->Put(*out, i, Bytes("item-" + std::to_string(i))).ok());
+  }
+
+  rt_->as(1).Shutdown();
+  const TimePoint cut = Now();
+  for (int i = 5; i < 10; ++i) {
+    Status s = client->Put(*out, i, Bytes("item-" + std::to_string(i)));
+    ASSERT_TRUE(s.ok()) << "put " << i << ": " << s;
+  }
+  // The put that spanned the death paid for detection + failover; the
+  // documented bound is 2x the peer timeout.
+  EXPECT_LT(Now() - cut, 2 * kPeerTimeout);
+
+  EXPECT_EQ(AsIndex(client->host_as()), 0u) << "session must have migrated";
+  EXPECT_EQ(client->reconnects(), 1u);
+  EXPECT_EQ(listener_->sessions_migrated(), 1u);
+
+  // Zero acked ops lost, zero duplicated, order preserved — across the
+  // migration and the replayed in-flight call.
+  for (int i = 0; i < 10; ++i) {
+    auto item = client->Get(*in, Deadline::AfterMillis(5000));
+    ASSERT_TRUE(item.ok()) << item.status();
+    EXPECT_EQ(item->payload.ToString(), "item-" + std::to_string(i));
+  }
+  EXPECT_EQ(client->Get(*in, Deadline::AfterMillis(100)).status().code(),
+            StatusCode::kTimeout);
+}
+
+TEST_F(ResilienceTest, GcNoticesSurviveFailover) {
+  Start();
+  auto ch = rt_->as(0).CreateChannel();
+  ASSERT_TRUE(ch.ok());
+  auto client = JoinC(/*preferred_as=*/1);
+
+  std::atomic<int> reclaimed{0};
+  ASSERT_TRUE(client
+                  ->SetGcHandler(ch->bits(), /*is_queue=*/false,
+                                 [&](const core::GcNotice&) { ++reclaimed; })
+                  .ok());
+  auto out = client->Connect(*ch, ConnMode::kOutput);
+  auto in = client->Connect(*ch, ConnMode::kInput);
+  ASSERT_TRUE(out.ok());
+  ASSERT_TRUE(in.ok());
+
+  rt_->as(1).Shutdown();
+
+  // All of these replay/route through the migrated surrogate.
+  ASSERT_TRUE(client->Put(*out, 1, Bytes("x")).ok());
+  ASSERT_TRUE(client->Consume(*in, 1).ok());
+  for (int i = 0; i < 100 && reclaimed.load() == 0; ++i) {
+    std::this_thread::sleep_for(Millis(10));
+    (void)client->NsList("");
+  }
+  EXPECT_EQ(reclaimed.load(), 1)
+      << "the GC interest (and notice path) must survive migration";
+  EXPECT_EQ(listener_->sessions_migrated(), 1u);
+}
+
+TEST_F(ResilienceTest, ReconnectGivesUpWhenClusterGone) {
+  Start();
+  CClient::Options opts;
+  opts.server = listener_->addr();
+  opts.reconnect.give_up_after = Millis(300);
+  auto joined = CClient::Join(opts);
+  ASSERT_TRUE(joined.ok()) << joined.status();
+  auto client = std::move(joined).value();
+
+  listener_->Shutdown();
+
+  const TimePoint t0 = Now();
+  auto s = client->NsList("");
+  EXPECT_EQ(s.status().code(), StatusCode::kUnavailable) << s.status();
+  EXPECT_GE(Now() - t0, Millis(300)) << "should have kept trying for a while";
+  EXPECT_LT(Now() - t0, Millis(5000));
+}
+
+TEST_F(ResilienceTest, ResumeOfEndedOrUnknownSessionReportsNotFound) {
+  Start();
+  auto client = JoinC();
+  const std::uint64_t ended_session = client->session_id();
+  ASSERT_TRUE(client->Leave().ok());
+  for (int i = 0;
+       i < 100 && listener_->surrogates_in(Surrogate::State::kLeft) == 0;
+       ++i) {
+    std::this_thread::sleep_for(Millis(10));
+  }
+
+  auto try_resume = [&](std::uint64_t session_id) -> StatusCode {
+    auto conn = transport::TcpConnection::Connect(listener_->addr());
+    EXPECT_TRUE(conn.ok());
+    if (!conn.ok()) return StatusCode::kInternal;
+    marshal::XdrEncoder enc;
+    core::EncodeRequestHeader(enc, static_cast<core::Op>(ClientOp::kResume),
+                              77);
+    ResumeReq req;
+    req.client_kind = kClientKindC;
+    req.session_id = session_id;
+    req.last_acked_ticket = 0;
+    req.preferred_as = -1;
+    req.Encode(enc);
+    EXPECT_TRUE(conn->SendFrame(enc.Take()).ok());
+    Buffer reply;
+    Status s = conn->RecvFrame(reply, Deadline::AfterMillis(5000));
+    EXPECT_TRUE(s.ok()) << s;
+    if (!s.ok()) return StatusCode::kInternal;
+    marshal::XdrDecoder dec(reply);
+    auto hdr = core::DecodeResponseHeader(dec);
+    EXPECT_TRUE(hdr.ok());
+    return hdr.ok() ? hdr->status.code() : StatusCode::kInternal;
+  };
+
+  // A cleanly-ended session is gone (surrogate kLeft, registry dropped).
+  EXPECT_EQ(try_resume(ended_session), StatusCode::kNotFound);
+  // A session id that never existed has no registry record either.
+  EXPECT_EQ(try_resume(0xdeadbeefULL), StatusCode::kNotFound);
+}
+
+TEST_F(ResilienceTest, ListenerAdvertisesItselfInNameServer) {
+  Start();
+  auto client = JoinC();
+  auto entries = client->NsList("sys/listener/");
+  ASSERT_TRUE(entries.ok()) << entries.status();
+  ASSERT_EQ(entries->size(), 1u);
+  EXPECT_EQ((*entries)[0].id_bits, listener_->addr().port);
+}
+
 }  // namespace
 }  // namespace dstampede::client

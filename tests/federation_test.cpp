@@ -5,6 +5,8 @@
 // and dynamic growth.
 #include <gtest/gtest.h>
 
+#include <thread>
+
 #include "dstampede/client/client.hpp"
 #include "dstampede/client/listener.hpp"
 #include "dstampede/core/federation.hpp"
@@ -174,6 +176,61 @@ TEST(FederationValidationTest, ThreeClusters) {
                                            Deadline::AfterMillis(10000));
   ASSERT_TRUE(item.ok());
   EXPECT_EQ(item->payload.ToVector(), b);
+}
+
+TEST(FederationFailureTest, DeadClusterFailsFastAndPurgesItsNames) {
+  // Edge fast-fail: with CLF failure detection enabled federation-wide,
+  // an entire cluster going dark is (1) declared via IsClusterDown,
+  // (2) purged from the name server, and (3) unreachable calls against
+  // it fail kUnavailable immediately instead of waiting out deadlines.
+  Federation::Options opts;
+  opts.clusters = {Federation::ClusterSpec{.num_address_spaces = 2},
+                   Federation::ClusterSpec{.num_address_spaces = 1}};
+  opts.clf_max_retransmits = 5;
+  opts.peer_keepalive_interval = Millis(25);
+  opts.peer_timeout = Millis(150);
+  auto created = Federation::Create(opts);
+  ASSERT_TRUE(created.ok()) << created.status();
+  auto& fed = *created;
+
+  auto ch = fed->cluster(1).as(0).CreateChannel();
+  ASSERT_TRUE(ch.ok());
+  ASSERT_TRUE(fed->cluster(1)
+                  .as(0)
+                  .NsRegister(NsEntry{"fed/doomed", NsEntry::Kind::kChannel,
+                                      ch->bits(), "on cluster 1"})
+                  .ok());
+  auto out = fed->cluster(0).as(0).Connect(*ch, ConnMode::kOutput);
+  ASSERT_TRUE(out.ok()) << out.status();
+  EXPECT_FALSE(fed->IsClusterDown(1));
+  EXPECT_FALSE(fed->IsClusterDown(0));
+
+  fed->cluster(1).Shutdown();
+
+  const TimePoint give_up = Now() + Millis(10000);
+  while (!fed->IsClusterDown(1) && Now() < give_up) {
+    std::this_thread::sleep_for(Millis(5));
+  }
+  ASSERT_TRUE(fed->IsClusterDown(1)) << "CLF never declared the cluster dead";
+  EXPECT_EQ(fed->DeadSpacesIn(1), 1u);
+  EXPECT_FALSE(fed->IsClusterDown(0));
+
+  // Data calls toward the dead cluster fail fast, not after the wire
+  // deadline.
+  const TimePoint t0 = Now();
+  Status put = fed->cluster(0).as(0).Put(*out, 1, Buffer{1, 2, 3},
+                                         Deadline::AfterMillis(60000));
+  EXPECT_EQ(put.code(), StatusCode::kUnavailable) << put;
+  EXPECT_LT(Now() - t0, Millis(2000));
+
+  // Its registrations are purged from the federation-wide name server.
+  const TimePoint purge_give_up = Now() + Millis(5000);
+  while (fed->cluster(0).as(0).NsLookup("fed/doomed").ok() &&
+         Now() < purge_give_up) {
+    std::this_thread::sleep_for(Millis(5));
+  }
+  EXPECT_EQ(fed->cluster(0).as(0).NsLookup("fed/doomed").status().code(),
+            StatusCode::kNotFound);
 }
 
 }  // namespace

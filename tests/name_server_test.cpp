@@ -98,5 +98,57 @@ TEST(NameServerTest, StoresIntendedUse) {
   EXPECT_EQ(ns.Lookup("mic/0")->kind, NsEntry::Kind::kQueue);
 }
 
+// --- session registry (end-device session resilience) -----------------
+
+SessionRecord Session(std::uint64_t id, std::uint64_t ticket = 0) {
+  SessionRecord record;
+  record.session_id = id;
+  record.client_name = "dev";
+  record.host_as = static_cast<AsId>(1);
+  record.last_executed_ticket = ticket;
+  return record;
+}
+
+TEST(SessionRegistryTest, PutGetDropLifecycle) {
+  NameServer ns;
+  EXPECT_EQ(ns.GetSession(7).status().code(), StatusCode::kNotFound);
+  ASSERT_TRUE(ns.PutSession(Session(7, 3)).ok());
+  EXPECT_EQ(ns.session_count(), 1u);
+  auto got = ns.GetSession(7);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got->last_executed_ticket, 3u);
+  EXPECT_EQ(got->client_name, "dev");
+  ASSERT_TRUE(ns.DropSession(7).ok());
+  EXPECT_EQ(ns.GetSession(7).status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(ns.DropSession(7).code(), StatusCode::kNotFound);
+}
+
+TEST(SessionRegistryTest, StaleMirrorNeverRewindsTicket) {
+  NameServer ns;
+  ASSERT_TRUE(ns.PutSession(Session(7, 10)).ok());
+  // A full-record mirror that raced an older snapshot must not move the
+  // exactly-once high-water mark backwards.
+  ASSERT_TRUE(ns.PutSession(Session(7, 4)).ok());
+  EXPECT_EQ(ns.GetSession(7)->last_executed_ticket, 10u);
+  ASSERT_TRUE(ns.TickSession(7, 12).ok());
+  EXPECT_EQ(ns.GetSession(7)->last_executed_ticket, 12u);
+  ASSERT_TRUE(ns.TickSession(7, 11).ok());  // monotone: ignored
+  EXPECT_EQ(ns.GetSession(7)->last_executed_ticket, 12u);
+  EXPECT_EQ(ns.TickSession(99, 1).code(), StatusCode::kNotFound);
+}
+
+TEST(SessionRegistryTest, PurgeOwnerLeavesSessionsAlone) {
+  // PR 1's peer-death purge removes the dead space's *name* entries;
+  // session records must survive it — they are the failover state.
+  NameServer ns;
+  NsEntry entry = Entry("owned/x");
+  entry.owner_as = static_cast<AsId>(2);
+  ASSERT_TRUE(ns.Register(entry).ok());
+  ASSERT_TRUE(ns.PutSession(Session(7)).ok());
+  ns.PurgeOwner(static_cast<AsId>(2));
+  EXPECT_EQ(ns.Lookup("owned/x").status().code(), StatusCode::kNotFound);
+  EXPECT_TRUE(ns.GetSession(7).ok());
+}
+
 }  // namespace
 }  // namespace dstampede::core

@@ -202,5 +202,66 @@ TEST(StressTest, DeviceChurnAgainstOneListener) {
   (*listener)->Shutdown();
 }
 
+TEST(StressTest, ReconnectChurnLosesAndDuplicatesNothing) {
+  // Randomized connection kills on the device<->surrogate TCP edge
+  // while a client streams into a queue: with probability 0.05 the
+  // surrogate drops the link before executing a request, forcing a
+  // transparent reconnect + replay. Every acked put must land exactly
+  // once and in order; the client must finish without a surfaced error.
+  auto rt = core::Runtime::Create(core::Runtime::Options{
+      .num_address_spaces = 2, .gc_interval = Millis(10)});
+  ASSERT_TRUE(rt.ok()) << rt.status();
+
+  clf::FaultInjector::Config cfg;
+  cfg.connection_kill_probability = 0.05;
+  cfg.seed = 0xC0FFEE;
+  clf::FaultInjector edge_faults(cfg);
+
+  client::Listener::Options lopts;
+  lopts.edge_faults = &edge_faults;
+  auto listener = client::Listener::Start(**rt, lopts);
+  ASSERT_TRUE(listener.ok()) << listener.status();
+
+  client::CClient::Options copts;
+  copts.server = (*listener)->addr();
+  auto joined = client::CClient::Join(copts);
+  ASSERT_TRUE(joined.ok()) << joined.status();
+  auto& client = *joined;
+
+  auto q = client->CreateQueue();
+  ASSERT_TRUE(q.ok()) << q.status();
+  auto out = client->Connect(*q, core::ConnMode::kOutput);
+  auto in = client->Connect(*q, core::ConnMode::kInput);
+  ASSERT_TRUE(out.ok());
+  ASSERT_TRUE(in.ok());
+
+  constexpr int kOps = 300;
+  for (int i = 0; i < kOps; ++i) {
+    Status s = client->Put(*out, i, Buffer{static_cast<std::uint8_t>(i),
+                                           static_cast<std::uint8_t>(i >> 8)});
+    ASSERT_TRUE(s.ok()) << "put " << i << ": " << s;
+  }
+  for (int i = 0; i < kOps; ++i) {
+    auto item = client->Get(*in, Deadline::AfterMillis(10000));
+    ASSERT_TRUE(item.ok()) << "get " << i << ": " << item.status();
+    const auto bytes = item->payload.ToVector();
+    ASSERT_EQ(bytes.size(), 2u);
+    EXPECT_EQ(bytes[0], static_cast<std::uint8_t>(i)) << "at " << i;
+    EXPECT_EQ(bytes[1], static_cast<std::uint8_t>(i >> 8)) << "at " << i;
+  }
+  EXPECT_EQ(client->Get(*in, Deadline::AfterMillis(100)).status().code(),
+            StatusCode::kTimeout)
+      << "a duplicated put would leave an extra item behind";
+
+  // With ~600+ consults at p=0.05, the odds of zero kills are nil — the
+  // run above really did exercise the reconnect path.
+  EXPECT_GT(edge_faults.connections_killed(), 0u);
+  EXPECT_EQ(client->reconnects(), edge_faults.connections_killed());
+  EXPECT_EQ((*listener)->sessions_resumed(), edge_faults.connections_killed());
+
+  ASSERT_TRUE(client->Leave().ok());
+  (*listener)->Shutdown();
+}
+
 }  // namespace
 }  // namespace dstampede
