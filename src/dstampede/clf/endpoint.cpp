@@ -192,12 +192,20 @@ bool Endpoint::ObservePeer(const transport::SockAddr& from,
     if (!h.epoch_known) {
       h.epoch_known = true;
       h.epoch = epoch;
+      // A peer condemned before any of its packets were heard (it went
+      // silent before the first keepalive exchange) has no incarnation
+      // on record to hold against it; the first epoch that does arrive
+      // is indistinguishable from a restart, so treat it as one rather
+      // than shunning the address forever.
+      epoch_reset = h.dead;
     } else if (h.epoch != epoch) {
+      h.epoch = epoch;
+      epoch_reset = true;
+    }
+    if (epoch_reset) {
       // A fresh incarnation on the same address: discard every piece of
       // sequence state tied to the old one so the restarted peer is not
       // poisoned by stale numbering.
-      h.epoch = epoch;
-      epoch_reset = true;
       stats_.epoch_resets.fetch_add(1, std::memory_order_relaxed);
       auto it = send_peers_.find(from);
       if (it != send_peers_.end()) {

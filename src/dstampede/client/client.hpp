@@ -154,9 +154,16 @@ class BasicClient {
   // gc-notice trailer. Returns the reply for the caller to decode.
   // Transparently reconnects and replays per ReconnectPolicy.
   Result<Buffer> Call(Buffer request, Deadline deadline);
+  // Call's body, run under mu_. GC notices that arrive on Resume
+  // replies during a reconnect are appended to `deferred` instead of
+  // dispatched: a user handler may call back into the client, so it
+  // must only run once Call has released mu_ (as on the normal path).
+  Result<Buffer> CallLocked(Buffer request, Deadline deadline,
+                            std::vector<core::GcNotice>& deferred);
   // Re-establishes the session after a transport failure. Holds mu_.
-  Status ReconnectLocked();
-  Status TryResumeLocked(const transport::SockAddr& addr);
+  Status ReconnectLocked(std::vector<core::GcNotice>& deferred);
+  Status TryResumeLocked(const transport::SockAddr& addr,
+                         std::vector<core::GcNotice>& deferred);
   std::vector<transport::SockAddr> ReconnectCandidatesLocked() const;
   std::uint64_t NextId() { return next_request_id_++; }
   void DispatchNotices(const std::vector<core::GcNotice>& notices);

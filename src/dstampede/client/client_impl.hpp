@@ -54,11 +54,24 @@ BasicClient<Codec>::~BasicClient() {
 
 template <typename Codec>
 Result<Buffer> BasicClient<Codec>::Call(Buffer request, Deadline deadline) {
+  std::vector<core::GcNotice> deferred;
+  Result<Buffer> reply = [&]() -> Result<Buffer> {
+    std::lock_guard<std::mutex> lock(mu_);
+    return CallLocked(std::move(request), deadline, deferred);
+  }();
+  // Notices from Resume replies run only now, with mu_ released, so a
+  // handler that re-enters the client cannot deadlock.
+  DispatchNotices(deferred);
+  return reply;
+}
+
+template <typename Codec>
+Result<Buffer> BasicClient<Codec>::CallLocked(
+    Buffer request, Deadline deadline, std::vector<core::GcNotice>& deferred) {
   const Deadline wait =
       deadline.infinite()
           ? deadline
           : Deadline::After(deadline.remaining() + Millis(5000));
-  std::lock_guard<std::mutex> lock(mu_);
   if (left_) return ConnectionClosedError("client left the computation");
   ++calls_made_;
 
@@ -106,12 +119,13 @@ Result<Buffer> BasicClient<Codec>::Call(Buffer request, Deadline deadline) {
                                 s.code() == StatusCode::kUnavailable ||
                                 s.code() == StatusCode::kInternal;
     if (!can_retry || !transport_lost) return s;
-    DS_RETURN_IF_ERROR(ReconnectLocked());
+    DS_RETURN_IF_ERROR(ReconnectLocked(deferred));
   }
 }
 
 template <typename Codec>
-Status BasicClient<Codec>::ReconnectLocked() {
+Status BasicClient<Codec>::ReconnectLocked(
+    std::vector<core::GcNotice>& deferred) {
   conn_.Close();
   const ReconnectPolicy& policy = options_.reconnect;
   const Deadline give_up = Deadline::After(policy.give_up_after);
@@ -121,7 +135,7 @@ Status BasicClient<Codec>::ReconnectLocked() {
   Status last = UnavailableError("no reconnect candidates");
   for (;;) {
     for (const auto& addr : ReconnectCandidatesLocked()) {
-      Status s = TryResumeLocked(addr);
+      Status s = TryResumeLocked(addr, deferred);
       if (s.ok()) {
         ++reconnects_;
         return OkStatus();
@@ -145,7 +159,8 @@ Status BasicClient<Codec>::ReconnectLocked() {
 }
 
 template <typename Codec>
-Status BasicClient<Codec>::TryResumeLocked(const transport::SockAddr& addr) {
+Status BasicClient<Codec>::TryResumeLocked(
+    const transport::SockAddr& addr, std::vector<core::GcNotice>& deferred) {
   auto connected =
       transport::TcpConnection::Connect(addr, Deadline::AfterMillis(1000));
   if (!connected.ok()) return connected.status();
@@ -171,8 +186,11 @@ Status BasicClient<Codec>::TryResumeLocked(const transport::SockAddr& addr) {
 
   conn_ = std::move(connected).value();
   host_as_ = static_cast<AsId>(resp.host_as);
-  // Safe while holding mu_: handlers run under handlers_mu_ only.
-  if (notices.ok()) DispatchNotices(*notices);
+  // Deferred to Call's post-unlock dispatch: a handler may re-enter the
+  // client, which would deadlock on the non-recursive mu_ held here.
+  if (notices.ok()) {
+    deferred.insert(deferred.end(), notices->begin(), notices->end());
+  }
   return OkStatus();
 }
 
@@ -199,8 +217,16 @@ Status BasicClient<Codec>::RefreshListenerCache() {
   std::lock_guard<std::mutex> lock(mu_);
   listener_cache_.clear();
   for (const auto& entry : entries) {
-    listener_cache_.push_back(transport::SockAddr::Loopback(
-        static_cast<std::uint16_t>(entry.id_bits)));
+    // The listener advertises its full address in the entry's meta;
+    // entries without one (foreign registrations under the prefix)
+    // fall back to loopback plus the port carried in id_bits.
+    auto addr = transport::SockAddr::FromString(entry.meta);
+    if (addr.ok() && addr->ip_host_order != 0 && addr->port != 0) {
+      listener_cache_.push_back(*addr);
+    } else {
+      listener_cache_.push_back(transport::SockAddr::Loopback(
+          static_cast<std::uint16_t>(entry.id_bits)));
+    }
   }
   return OkStatus();
 }

@@ -30,7 +30,9 @@ Result<std::unique_ptr<Listener>> Listener::Start(core::Runtime& runtime,
   listener->next_session_ =
       (static_cast<std::uint64_t>(bound_port) << 32) | 1u;
   // Advertise this listener in the name server so reconnecting clients
-  // can discover failover targets. Ownership is preset to the name
+  // can discover failover targets. The full advertised address travels
+  // in the meta field (id_bits carries the port alone and would force
+  // clients to assume loopback). Ownership is preset to the name
   // server's own AS so the advertisement survives other spaces dying.
   listener->ns_name_ = "sys/listener/" + std::to_string(bound_port);
   {
@@ -38,7 +40,7 @@ Result<std::unique_ptr<Listener>> Listener::Start(core::Runtime& runtime,
     entry.name = listener->ns_name_;
     entry.kind = core::NsEntry::Kind::kOther;
     entry.id_bits = bound_port;
-    entry.meta = "end-device listener";
+    entry.meta = listener->listener_.bound_addr().ToString();
     entry.owner_as = runtime.as(0).name_server_as();
     Status s = runtime.as(0).NsRegister(entry);
     if (!s.ok()) {
@@ -48,10 +50,10 @@ Result<std::unique_ptr<Listener>> Listener::Start(core::Runtime& runtime,
   }
   listener->accept_thread_ =
       std::thread([raw = listener.get()] { raw->AcceptLoop(); });
-  if (options.reap_parked_after > Duration::zero()) {
-    listener->janitor_thread_ =
-        std::thread([raw = listener.get()] { raw->JanitorLoop(); });
-  }
+  // The janitor always runs: it joins exited surrogate Run threads.
+  // Reaping of long-parked surrogates stays opt-in via the option.
+  listener->janitor_thread_ =
+      std::thread([raw = listener.get()] { raw->JanitorLoop(); });
   return listener;
 }
 
@@ -127,8 +129,7 @@ void Listener::Handshake(transport::TcpConnection conn) {
     raw->Stop();
     return;
   }
-  std::lock_guard<std::mutex> lock(mu_);
-  threads_.emplace_back([raw] { raw->Run(); });
+  SpawnRun(raw);
 }
 
 void Listener::HandleResume(transport::TcpConnection conn,
@@ -139,15 +140,24 @@ void Listener::HandleResume(transport::TcpConnection conn,
   if (!hdr.ok()) return;
 
   // Fast path: the session's surrogate is here and its host is alive —
-  // adopt the fresh connection in place (slots unchanged).
+  // adopt the fresh connection in place (slots unchanged). Superseded
+  // and departed surrogates (kReaped/kLeft) are tombstones that stay in
+  // surrogates_ for the stats; matching one of them instead of the live
+  // incarnation would re-migrate the session and supersede (then reap)
+  // its actually-live surrogate, losing the registry record and the
+  // cached-reply dedup.
   Surrogate* existing = nullptr;
   {
     std::lock_guard<std::mutex> lock(mu_);
     for (auto& s : surrogates_) {
-      if (s->session_id() == session_id) {
-        existing = s.get();
-        break;
+      if (s->session_id() != session_id) continue;
+      const Surrogate::State state = s->state();
+      if (state == Surrogate::State::kReaped ||
+          state == Surrogate::State::kLeft) {
+        continue;
       }
+      existing = s.get();
+      break;
     }
   }
   if (existing && !existing->host_stopped()) {
@@ -166,8 +176,7 @@ void Listener::HandleResume(transport::TcpConnection conn,
         return;
       }
       sessions_resumed_.fetch_add(1, std::memory_order_relaxed);
-      std::lock_guard<std::mutex> lock(mu_);
-      threads_.emplace_back([existing] { existing->Run(); });
+      SpawnRun(existing);
       return;
     }
     if (existing->state() == Surrogate::State::kLeft ||
@@ -207,6 +216,8 @@ void Listener::HandleResume(transport::TcpConnection conn,
     }
     return;
   }
+  // `existing` (if any) is the live predecessor this migration replaces
+  // — never a tombstone, thanks to the scan above.
   if (existing) existing->MarkSuperseded();
 
   surrogate = std::make_unique<Surrogate>(session_id, live_as, std::move(conn),
@@ -218,9 +229,45 @@ void Listener::HandleResume(transport::TcpConnection conn,
     return;  // surrogate is dropped; registry record remains for retry
   }
   sessions_migrated_.fetch_add(1, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    surrogates_.push_back(std::move(surrogate));
+  }
+  SpawnRun(raw);
+}
+
+void Listener::SpawnRun(Surrogate* surrogate) {
+  auto done = std::make_shared<std::atomic<bool>>(false);
+  std::thread thread([surrogate, done] {
+    surrogate->Run();
+    done->store(true);
+  });
   std::lock_guard<std::mutex> lock(mu_);
-  surrogates_.push_back(std::move(surrogate));
-  threads_.emplace_back([raw] { raw->Run(); });
+  threads_.push_back(RunThread{std::move(thread), std::move(done)});
+}
+
+std::size_t Listener::ReapFinishedThreads() {
+  std::vector<std::thread> finished;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto it = threads_.begin(); it != threads_.end();) {
+      if (it->done->load()) {
+        finished.push_back(std::move(it->thread));
+        it = threads_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  // The done flag is set as Run() returns, so these joins are at most a
+  // thread-exit away from immediate.
+  for (auto& t : finished) t.join();
+  return finished.size();
+}
+
+std::size_t Listener::run_threads() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return threads_.size();
 }
 
 std::size_t Listener::surrogates_total() const {
@@ -257,6 +304,8 @@ std::size_t Listener::ReapParked() {
 void Listener::JanitorLoop() {
   while (!stopping_.load()) {
     std::this_thread::sleep_for(Millis(10));
+    ReapFinishedThreads();
+    if (options_.reap_parked_after <= Duration::zero()) continue;
     std::vector<Surrogate*> expired;
     {
       std::lock_guard<std::mutex> lock(mu_);
@@ -283,14 +332,14 @@ void Listener::Shutdown() {
   listener_.Close();
   if (accept_thread_.joinable()) accept_thread_.join();
   if (janitor_thread_.joinable()) janitor_thread_.join();
-  std::vector<std::thread> to_join;
+  std::vector<RunThread> to_join;
   {
     std::lock_guard<std::mutex> lock(mu_);
     for (auto& surrogate : surrogates_) surrogate->Stop();
     to_join.swap(threads_);
   }
   for (auto& t : to_join) {
-    if (t.joinable()) t.join();
+    if (t.thread.joinable()) t.thread.join();
   }
 }
 

@@ -65,6 +65,9 @@ class Listener {
   std::size_t surrogates_in(Surrogate::State state) const;
   std::uint64_t sessions_resumed() const { return sessions_resumed_.load(); }
   std::uint64_t sessions_migrated() const { return sessions_migrated_.load(); }
+  // Surrogate Run threads not yet joined by the janitor (tests assert
+  // reconnect churn does not accumulate exited threads).
+  std::size_t run_threads() const;
 
   // Reaps every currently-parked surrogate immediately (regardless of
   // reap_parked_after); returns how many were reaped.
@@ -83,6 +86,20 @@ class Listener {
   // Picks a live (not stopped) address space; honours `preferred` when
   // it names a live one. Returns npos when the whole cluster is down.
   std::size_t PickLiveAs(std::int32_t preferred);
+  // Dedicates a thread to one surrogate activation (join, resume or
+  // migration). The thread is tracked with a done flag so the janitor
+  // can join and drop it once Run() returns.
+  void SpawnRun(Surrogate* surrogate);
+  // Joins every Run thread whose surrogate finished; returns how many.
+  std::size_t ReapFinishedThreads();
+
+  // One Run thread per surrogate activation. A surrogate that resumes
+  // or migrates gets a fresh activation, so under reconnect churn the
+  // janitor must reap exited threads instead of accumulating them.
+  struct RunThread {
+    std::thread thread;
+    std::shared_ptr<std::atomic<bool>> done;
+  };
 
   core::Runtime& runtime_;
   Options options_;
@@ -91,7 +108,7 @@ class Listener {
 
   mutable std::mutex mu_;
   std::vector<std::unique_ptr<Surrogate>> surrogates_;
-  std::vector<std::thread> threads_;
+  std::vector<RunThread> threads_;
   std::uint64_t next_session_ = 1;
   std::size_t next_as_ = 0;  // round-robin cursor
 

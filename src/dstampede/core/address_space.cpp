@@ -179,6 +179,11 @@ void AddressSpace::AddPeerDownObserver(std::function<void(AsId)> observer) {
   peer_down_observers_.push_back(std::move(observer));
 }
 
+void AddressSpace::AddPeerUpObserver(std::function<void(AsId)> observer) {
+  std::lock_guard<std::mutex> lock(peer_observers_mu_);
+  peer_up_observers_.push_back(std::move(observer));
+}
+
 void AddressSpace::OnPeerUp(const transport::SockAddr& addr) {
   AsId peer = kInvalidAsId;
   {
@@ -190,6 +195,12 @@ void AddressSpace::OnPeerUp(const transport::SockAddr& addr) {
   }
   DS_LOG(kInfo) << "AS" << AsIndex(options_.id) << ": peer AS"
                 << AsIndex(peer) << " resurrected with a new incarnation";
+  std::vector<std::function<void(AsId)>> observers;
+  {
+    std::lock_guard<std::mutex> lock(peer_observers_mu_);
+    observers = peer_up_observers_;
+  }
+  for (auto& observer : observers) observer(peer);
 }
 
 void AddressSpace::SetNameServerAs(AsId ns) { ns_as_ = ns; }

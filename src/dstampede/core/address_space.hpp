@@ -184,6 +184,11 @@ class AddressSpace {
   // Federation uses it for cluster-level fast-fail. Observers cannot be
   // removed — keep captured state alive as long as this AS.
   void AddPeerDownObserver(std::function<void(AsId)> observer);
+  // Counterpart fired when a dead peer comes back with a fresh
+  // incarnation (CLF epoch reset): the Federation un-counts it from its
+  // cluster-down bookkeeping. Same threading and lifetime rules as
+  // AddPeerDownObserver.
+  void AddPeerUpObserver(std::function<void(AsId)> observer);
   // True once Shutdown() began: the surrogate layer parks its devices
   // instead of letting a dying AS answer them with kCancelled.
   bool stopped() const { return stopping_.load(); }
@@ -281,6 +286,7 @@ class AddressSpace {
 
   std::mutex peer_observers_mu_;
   std::vector<std::function<void(AsId)>> peer_down_observers_;
+  std::vector<std::function<void(AsId)>> peer_up_observers_;
 
   std::mutex remote_attach_mu_;
   std::unordered_map<std::uint32_t, std::vector<RemoteAttach>>

@@ -54,14 +54,18 @@ Result<std::unique_ptr<Federation>> Federation::Create(
   }
 
   // Edge fast-fail: every address space reports dead peers to the
-  // federation so whole-cluster outages are visible (IsClusterDown).
-  // The raw pointer is safe: the federation owns the runtimes, and
-  // Shutdown() stops their failure detectors before members die.
+  // federation so whole-cluster outages are visible (IsClusterDown),
+  // and revived peers (fresh CLF incarnations) so a recovered cluster
+  // is not shunned forever. The raw pointer is safe: the federation
+  // owns the runtimes, and Shutdown() stops their failure detectors
+  // before members die.
   Federation* raw = fed.get();
   for (auto& cluster : fed->clusters_) {
     for (std::size_t i = 0; i < cluster->size(); ++i) {
       cluster->as(i).AddPeerDownObserver(
           [raw](AsId dead) { raw->NotePeerDown(dead); });
+      cluster->as(i).AddPeerUpObserver(
+          [raw](AsId alive) { raw->NotePeerUp(alive); });
     }
   }
   return fed;
@@ -73,6 +77,14 @@ void Federation::NotePeerDown(AsId dead) {
   std::lock_guard<std::mutex> lock(down_mu_);
   if (cluster >= down_.size()) return;
   down_[cluster].insert(index % options_.as_id_stride);
+}
+
+void Federation::NotePeerUp(AsId alive) {
+  const std::uint32_t index = AsIndex(alive);
+  const std::size_t cluster = index / options_.as_id_stride;
+  std::lock_guard<std::mutex> lock(down_mu_);
+  if (cluster >= down_.size()) return;
+  down_[cluster].erase(index % options_.as_id_stride);
 }
 
 bool Federation::IsClusterDown(std::size_t i) const {
@@ -99,6 +111,7 @@ Result<AddressSpace*> Federation::AddAddressSpace(std::size_t i) {
     }
   }
   space->AddPeerDownObserver([this](AsId dead) { NotePeerDown(dead); });
+  space->AddPeerUpObserver([this](AsId alive) { NotePeerUp(alive); });
   return space;
 }
 

@@ -70,7 +70,9 @@ class Federation {
   // against a dead cluster already fail kUnavailable immediately (the
   // sender's peer table short-circuits them); this accessor lets
   // gateways and listeners skip a dead cluster without issuing a call.
-  // Requires failure detection to be enabled in Options.
+  // A space that comes back with a fresh CLF incarnation is un-counted,
+  // so a recovered cluster is reported live again. Requires failure
+  // detection to be enabled in Options.
   bool IsClusterDown(std::size_t i) const;
   // How many address spaces of cluster `i` are currently declared dead.
   std::size_t DeadSpacesIn(std::size_t i) const;
@@ -80,12 +82,14 @@ class Federation {
  private:
   Federation() = default;
   void NotePeerDown(AsId dead);
+  void NotePeerUp(AsId alive);
 
   Options options_;
   std::vector<std::unique_ptr<Runtime>> clusters_;
 
-  // Dead-peer bookkeeping, fed by every address space's PeerDown
-  // observer (cluster index -> set of dead AS indices within it).
+  // Dead-peer bookkeeping, fed by every address space's PeerDown and
+  // PeerUp observers (cluster index -> set of dead AS indices within
+  // it; a revived incarnation is erased again).
   mutable std::mutex down_mu_;
   std::vector<std::set<std::uint32_t>> down_;
 };

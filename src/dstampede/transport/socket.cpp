@@ -1,6 +1,7 @@
 #include "dstampede/transport/socket.hpp"
 
 #include <cerrno>
+#include <cstdio>
 #include <cstring>
 #include <poll.h>
 #include <unistd.h>
@@ -15,6 +16,18 @@ std::string SockAddr::ToString() const {
      << '.' << ((ip_host_order >> 8) & 0xff) << '.' << (ip_host_order & 0xff)
      << ':' << port;
   return os.str();
+}
+
+Result<SockAddr> SockAddr::FromString(const std::string& s) {
+  unsigned a = 0, b = 0, c = 0, d = 0, port = 0;
+  char trailing = 0;
+  if (std::sscanf(s.c_str(), "%u.%u.%u.%u:%u%c", &a, &b, &c, &d, &port,
+                  &trailing) != 5 ||
+      a > 255 || b > 255 || c > 255 || d > 255 || port > 65535) {
+    return InvalidArgumentError("not an a.b.c.d:port address: " + s);
+  }
+  return SockAddr{(a << 24) | (b << 16) | (c << 8) | d,
+                  static_cast<std::uint16_t>(port)};
 }
 
 void FdHandle::Reset() {

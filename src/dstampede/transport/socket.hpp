@@ -23,6 +23,8 @@ struct SockAddr {
   }
 
   std::string ToString() const;
+  // Parses the ToString() format, "a.b.c.d:port".
+  static Result<SockAddr> FromString(const std::string& s);
 
   friend bool operator==(const SockAddr& a, const SockAddr& b) {
     return a.ip_host_order == b.ip_host_order && a.port == b.port;

@@ -489,6 +489,69 @@ TEST_F(ResilienceTest, FailoverToLiveAddressSpaceOnHostDeath) {
             StatusCode::kTimeout);
 }
 
+TEST_F(ResilienceTest, ResumeAfterMigrationAdoptsTheLiveSurrogate) {
+  Start();
+  auto q = rt_->as(0).CreateQueue();
+  ASSERT_TRUE(q.ok()) << q.status();
+  auto client = JoinC(/*preferred_as=*/1);
+  auto out = client->Connect(*q, ConnMode::kOutput);
+  auto in = client->Connect(*q, ConnMode::kInput);
+  ASSERT_TRUE(out.ok()) << out.status();
+  ASSERT_TRUE(in.ok()) << in.status();
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(client->Put(*out, i, Bytes("item-" + std::to_string(i))).ok());
+  }
+
+  // Host death migrates the session; the dead-host surrogate becomes a
+  // superseded tombstone that stays in the listener's table.
+  rt_->as(1).Shutdown();
+  for (int i = 3; i < 6; ++i) {
+    ASSERT_TRUE(client->Put(*out, i, Bytes("item-" + std::to_string(i))).ok());
+  }
+  ASSERT_EQ(listener_->sessions_migrated(), 1u);
+
+  // Drop the TCP link to the *migrated* surrogate. The resume must
+  // match the live surrogate past the tombstone and adopt it in place;
+  // re-migrating through the tombstone would supersede the live
+  // surrogate, whose eventual reap (on a live host) destroys the
+  // session's registry record and reply cache.
+  edge_faults_.ArmConnectionKill(1,
+                                 clf::FaultInjector::KillPoint::kBeforeExecute);
+  for (int i = 6; i < 9; ++i) {
+    ASSERT_TRUE(client->Put(*out, i, Bytes("item-" + std::to_string(i))).ok());
+  }
+  EXPECT_EQ(listener_->sessions_migrated(), 1u)
+      << "resume re-migrated through a superseded tombstone";
+  EXPECT_EQ(listener_->sessions_resumed(), 1u);
+
+  // A second drop: the once-resumed session must stay resumable.
+  edge_faults_.ArmConnectionKill(1,
+                                 clf::FaultInjector::KillPoint::kAfterExecute);
+  for (int i = 9; i < 12; ++i) {
+    ASSERT_TRUE(client->Put(*out, i, Bytes("item-" + std::to_string(i))).ok());
+  }
+  EXPECT_EQ(listener_->sessions_migrated(), 1u);
+  EXPECT_EQ(listener_->sessions_resumed(), 2u);
+
+  // Exactly-once across the migration and both resumes, in order.
+  for (int i = 0; i < 12; ++i) {
+    auto item = client->Get(*in, Deadline::AfterMillis(5000));
+    ASSERT_TRUE(item.ok()) << item.status();
+    EXPECT_EQ(item->payload.ToString(), "item-" + std::to_string(i));
+  }
+  EXPECT_EQ(client->Get(*in, Deadline::AfterMillis(100)).status().code(),
+            StatusCode::kTimeout);
+
+  // Reconnect churn spawned four surrogate activations but must not
+  // accumulate their exited Run threads: the janitor joins them,
+  // leaving only the live one.
+  const TimePoint reap_give_up = Now() + Millis(5000);
+  while (listener_->run_threads() > 1 && Now() < reap_give_up) {
+    std::this_thread::sleep_for(Millis(10));
+  }
+  EXPECT_EQ(listener_->run_threads(), 1u);
+}
+
 TEST_F(ResilienceTest, GcNoticesSurviveFailover) {
   Start();
   auto ch = rt_->as(0).CreateChannel();
@@ -585,6 +648,11 @@ TEST_F(ResilienceTest, ListenerAdvertisesItselfInNameServer) {
   ASSERT_TRUE(entries.ok()) << entries.status();
   ASSERT_EQ(entries->size(), 1u);
   EXPECT_EQ((*entries)[0].id_bits, listener_->addr().port);
+  // The full advertised address travels in the meta field, so failover
+  // candidates need not assume loopback.
+  auto advertised = transport::SockAddr::FromString((*entries)[0].meta);
+  ASSERT_TRUE(advertised.ok()) << advertised.status();
+  EXPECT_EQ(*advertised, listener_->addr());
 }
 
 }  // namespace

@@ -7,6 +7,7 @@
 
 #include <thread>
 
+#include "dstampede/clf/endpoint.hpp"
 #include "dstampede/client/client.hpp"
 #include "dstampede/client/listener.hpp"
 #include "dstampede/core/federation.hpp"
@@ -231,6 +232,48 @@ TEST(FederationFailureTest, DeadClusterFailsFastAndPurgesItsNames) {
   }
   EXPECT_EQ(fed->cluster(0).as(0).NsLookup("fed/doomed").status().code(),
             StatusCode::kNotFound);
+}
+
+TEST(FederationFailureTest, RevivedClusterIsNoLongerDown) {
+  // The cluster-down verdict must not be sticky: once the dead space
+  // comes back with a fresh CLF incarnation at its old address, the
+  // peer-up observers un-count it and IsClusterDown flips back.
+  Federation::Options opts;
+  opts.clusters = {Federation::ClusterSpec{.num_address_spaces = 1},
+                   Federation::ClusterSpec{.num_address_spaces = 1}};
+  opts.clf_max_retransmits = 5;
+  opts.peer_keepalive_interval = Millis(25);
+  opts.peer_timeout = Millis(150);
+  auto created = Federation::Create(opts);
+  ASSERT_TRUE(created.ok()) << created.status();
+  auto& fed = *created;
+
+  const transport::SockAddr doomed_addr = fed->cluster(1).as(0).clf_addr();
+  fed->cluster(1).Shutdown();
+  const TimePoint give_up = Now() + Millis(10000);
+  while (!fed->IsClusterDown(1) && Now() < give_up) {
+    std::this_thread::sleep_for(Millis(5));
+  }
+  ASSERT_TRUE(fed->IsClusterDown(1)) << "CLF never declared the cluster dead";
+
+  // A restarted node: a fresh CLF incarnation bound to the dead space's
+  // address, probing a survivor. The epoch reset resurrects the peer.
+  clf::Endpoint::Options ep_opts;
+  ep_opts.port = doomed_addr.port;
+  ep_opts.max_retransmits = 5;
+  ep_opts.keepalive_interval = Millis(25);
+  ep_opts.peer_timeout = Millis(150);
+  auto revived = clf::Endpoint::Create(ep_opts);
+  ASSERT_TRUE(revived.ok()) << revived.status();
+  (*revived)->WatchPeer(fed->cluster(0).as(0).clf_addr());
+
+  const TimePoint revive_give_up = Now() + Millis(10000);
+  while (fed->IsClusterDown(1) && Now() < revive_give_up) {
+    std::this_thread::sleep_for(Millis(5));
+  }
+  EXPECT_FALSE(fed->IsClusterDown(1)) << "revived cluster still shunned";
+  EXPECT_EQ(fed->DeadSpacesIn(1), 0u);
+  (*revived)->Shutdown();
 }
 
 }  // namespace

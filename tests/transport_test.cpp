@@ -15,6 +15,22 @@ TEST(SockAddrTest, FormatsDottedQuad) {
   EXPECT_EQ(SockAddr::Loopback(8080).ToString(), "127.0.0.1:8080");
 }
 
+TEST(SockAddrTest, FromStringRoundTrips) {
+  const SockAddr addr{0xc0a80a02u, 9123};  // 192.168.10.2
+  auto parsed = SockAddr::FromString(addr.ToString());
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(*parsed, addr);
+}
+
+TEST(SockAddrTest, FromStringRejectsMalformed) {
+  EXPECT_FALSE(SockAddr::FromString("").ok());
+  EXPECT_FALSE(SockAddr::FromString("localhost:80").ok());
+  EXPECT_FALSE(SockAddr::FromString("127.0.0.1").ok());
+  EXPECT_FALSE(SockAddr::FromString("256.0.0.1:80").ok());
+  EXPECT_FALSE(SockAddr::FromString("1.2.3.4:70000").ok());
+  EXPECT_FALSE(SockAddr::FromString("1.2.3.4:80x").ok());
+}
+
 TEST(TcpTest, ListenerPicksFreePort) {
   auto listener = TcpListener::Bind(0);
   ASSERT_TRUE(listener.ok());
