@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# Runs clang-tidy over the library sources using the CMake compilation
+# database. Usage:
+#
+#   scripts/run-tidy.sh [build-dir] [-- extra clang-tidy args]
+#
+# The build dir must have been configured with CMake (compile_commands
+# .json is exported by default; see CMAKE_EXPORT_COMPILE_COMMANDS in
+# the top-level CMakeLists.txt). Exits non-zero on any finding in a
+# WarningsAsErrors category (see .clang-tidy).
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-$repo_root/build}"
+shift || true
+[ "${1:-}" = "--" ] && shift
+
+if [ ! -f "$build_dir/compile_commands.json" ]; then
+  echo "error: $build_dir/compile_commands.json not found." >&2
+  echo "Configure first: cmake -B $build_dir -S $repo_root" >&2
+  exit 2
+fi
+
+tidy="${CLANG_TIDY:-clang-tidy}"
+if ! command -v "$tidy" >/dev/null 2>&1; then
+  echo "error: $tidy not found (set CLANG_TIDY to override)." >&2
+  exit 2
+fi
+
+# Library sources only: tests and benches lean on gtest/benchmark
+# macros that trip bugprone checks with no fix available to us.
+mapfile -t sources < <(find "$repo_root/src" -name '*.cpp' | sort)
+
+status=0
+for source in "${sources[@]}"; do
+  echo "== ${source#"$repo_root"/}"
+  "$tidy" -p "$build_dir" --quiet "$@" "$source" || status=1
+done
+if [ "$status" -eq 0 ]; then
+  echo "clang-tidy: clean"
+else
+  echo "clang-tidy: findings above (WarningsAsErrors categories fail)" >&2
+fi
+exit "$status"

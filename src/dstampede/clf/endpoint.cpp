@@ -95,8 +95,8 @@ void Endpoint::Shutdown() {
   if (shm_ring_) ShmRegistry::Instance().Unregister(addr_);
   if (receiver_.joinable()) receiver_.join();
   socket_.Close();
-  window_cv_.notify_all();
-  inbox_cv_.notify_all();
+  window_cv_.NotifyAll();
+  inbox_cv_.NotifyAll();
 }
 
 void Endpoint::WireSend(const transport::SockAddr& to, Buffer datagram) {
@@ -112,14 +112,14 @@ void Endpoint::WireSend(const transport::SockAddr& to, Buffer datagram) {
 // --- failure detection ---------------------------------------------------
 
 void Endpoint::WatchPeer(const transport::SockAddr& peer) {
-  std::lock_guard<std::mutex> lock(send_mu_);
+  ds::MutexLock lock(send_mu_);
   PeerHealth& h = health_[peer];
   if (h.last_heard == TimePoint{}) h.last_heard = Now();
 }
 
 void Endpoint::ForgetPeer(const transport::SockAddr& peer) {
   {
-    std::lock_guard<std::mutex> lock(send_mu_);
+    ds::MutexLock lock(send_mu_);
     auto hit = health_.find(peer);
     if (hit != health_.end()) {
       hit->second.dead = false;
@@ -133,29 +133,29 @@ void Endpoint::ForgetPeer(const transport::SockAddr& peer) {
       sit->second.next_seq = 0;
     }
   }
-  window_cv_.notify_all();
+  window_cv_.NotifyAll();
 }
 
 bool Endpoint::IsPeerDead(const transport::SockAddr& peer) const {
-  std::lock_guard<std::mutex> lock(send_mu_);
+  ds::MutexLock lock(send_mu_);
   auto it = health_.find(peer);
   return it != health_.end() && it->second.dead;
 }
 
 void Endpoint::set_peer_down_callback(PeerEventCallback cb) {
-  std::lock_guard<std::mutex> lock(callback_mu_);
+  ds::MutexLock lock(callback_mu_);
   on_peer_down_ = std::move(cb);
 }
 
 void Endpoint::set_peer_up_callback(PeerEventCallback cb) {
-  std::lock_guard<std::mutex> lock(callback_mu_);
+  ds::MutexLock lock(callback_mu_);
   on_peer_up_ = std::move(cb);
 }
 
 void Endpoint::DeclarePeerDead(const transport::SockAddr& peer,
                                const char* why) {
   {
-    std::lock_guard<std::mutex> lock(send_mu_);
+    ds::MutexLock lock(send_mu_);
     PeerHealth& h = health_[peer];
     if (h.dead) return;
     h.dead = true;
@@ -171,12 +171,12 @@ void Endpoint::DeclarePeerDead(const transport::SockAddr& peer,
   // Receiver-side state is owned by the receiver thread — which is the
   // only caller of this function.
   recv_peers_.erase(peer);
-  window_cv_.notify_all();
+  window_cv_.NotifyAll();
   DS_LOG(kWarn) << "CLF: peer " << peer.ToString() << " declared dead ("
                 << why << ")";
   PeerEventCallback cb;
   {
-    std::lock_guard<std::mutex> lock(callback_mu_);
+    ds::MutexLock lock(callback_mu_);
     cb = on_peer_down_;
   }
   if (cb) cb(peer);
@@ -187,7 +187,7 @@ bool Endpoint::ObservePeer(const transport::SockAddr& from,
   bool resurrected = false;
   bool epoch_reset = false;
   {
-    std::lock_guard<std::mutex> lock(send_mu_);
+    ds::MutexLock lock(send_mu_);
     PeerHealth& h = health_[from];
     if (!h.epoch_known) {
       h.epoch_known = true;
@@ -223,14 +223,14 @@ bool Endpoint::ObservePeer(const transport::SockAddr& from,
   }
   if (epoch_reset) {
     recv_peers_.erase(from);  // receiver thread owns this state
-    window_cv_.notify_all();
+    window_cv_.NotifyAll();
   }
   if (resurrected) {
     DS_LOG(kInfo) << "CLF: peer " << from.ToString()
                   << " resurrected with epoch " << epoch;
     PeerEventCallback cb;
     {
-      std::lock_guard<std::mutex> lock(callback_mu_);
+      ds::MutexLock lock(callback_mu_);
       cb = on_peer_up_;
     }
     if (cb) cb(from);
@@ -242,6 +242,9 @@ bool Endpoint::ObservePeer(const transport::SockAddr& from,
 
 Status Endpoint::Send(const transport::SockAddr& to,
                       std::span<const std::uint8_t> message) {
+  // A CLF send can stall on the ARQ window for as long as the peer is
+  // slow; callers must not enter it holding a lock (PR 2 invariant).
+  sync::AssertBlockingAllowed("clf::Endpoint::Send");
   if (stopping_.load()) return CancelledError("endpoint shut down");
 
   // Shared-memory fast path for in-process peers.
@@ -259,15 +262,15 @@ Status Endpoint::Send(const transport::SockAddr& to,
 
   // One message at a time per peer (fragments must stay contiguous in
   // the sequence space).
-  std::shared_ptr<std::mutex> message_mu;
+  std::shared_ptr<ds::Mutex> message_mu;
   {
-    std::lock_guard<std::mutex> lock(send_mu_);
+    ds::MutexLock lock(send_mu_);
     PeerHealth& h = health_[to];
     if (h.dead) return UnavailableError("peer declared dead");
     if (h.last_heard == TimePoint{}) h.last_heard = Now();
     message_mu = send_peers_[to].message_mu;
   }
-  std::lock_guard<std::mutex> message_lock(*message_mu);
+  ds::MutexLock message_lock(*message_mu);
 
   std::size_t offset = 0;
   bool first = true;
@@ -286,13 +289,13 @@ Status Endpoint::Send(const transport::SockAddr& to,
     std::uint32_t seq;
     Buffer datagram;
     {
-      std::unique_lock<std::mutex> lock(send_mu_);
+      ds::MutexLock lock(send_mu_);
       SendPeer& peer = send_peers_[to];
       PeerHealth& h = health_[to];
-      window_cv_.wait(lock, [&] {
-        return stopping_.load() || h.dead ||
-               peer.unacked.size() < options_.window_packets;
-      });
+      while (!stopping_.load() && !h.dead &&
+             peer.unacked.size() >= options_.window_packets) {
+        window_cv_.Wait(send_mu_);
+      }
       if (stopping_.load()) return CancelledError("endpoint shut down");
       if (h.dead) return UnavailableError("peer declared dead");
       seq = peer.next_seq++;
@@ -311,7 +314,10 @@ Status Endpoint::Send(const transport::SockAddr& to,
 
 Status Endpoint::Recv(Buffer& out, transport::SockAddr& from,
                       Deadline deadline) {
-  std::unique_lock<std::mutex> lock(inbox_mu_);
+  // Blocks until a message arrives; a held lock here is a latent
+  // deadlock against whatever the sender needs to make progress.
+  sync::AssertBlockingAllowed("clf::Endpoint::Recv");
+  ds::MutexLock lock(inbox_mu_);
   for (;;) {
     if (!inbox_.empty()) {
       from = inbox_.front().first;
@@ -320,25 +326,19 @@ Status Endpoint::Recv(Buffer& out, transport::SockAddr& from,
       return OkStatus();
     }
     if (stopping_.load()) return CancelledError("endpoint shut down");
-    if (deadline.infinite()) {
-      inbox_cv_.wait(lock);
-    } else {
-      if (inbox_cv_.wait_until(lock, deadline.when()) ==
-          std::cv_status::timeout &&
-          inbox_.empty()) {
-        return TimeoutError("clf recv");
-      }
+    if (!inbox_cv_.WaitUntil(inbox_mu_, deadline) && inbox_.empty()) {
+      return TimeoutError("clf recv");
     }
   }
 }
 
 void Endpoint::PushInbox(const transport::SockAddr& from, Buffer message) {
   {
-    std::lock_guard<std::mutex> lock(inbox_mu_);
+    ds::MutexLock lock(inbox_mu_);
     inbox_.emplace_back(from, std::move(message));
   }
   stats_.messages_delivered.fetch_add(1, std::memory_order_relaxed);
-  inbox_cv_.notify_one();
+  inbox_cv_.NotifyOne();
 }
 
 void Endpoint::SendAck(const transport::SockAddr& to, std::uint32_t ack) {
@@ -349,7 +349,7 @@ void Endpoint::SendAck(const transport::SockAddr& to, std::uint32_t ack) {
 void Endpoint::HandleAck(const transport::SockAddr& from, std::uint32_t ack) {
   bool opened = false;
   {
-    std::lock_guard<std::mutex> lock(send_mu_);
+    ds::MutexLock lock(send_mu_);
     auto it = send_peers_.find(from);
     if (it == send_peers_.end()) return;
     auto& unacked = it->second.unacked;
@@ -358,7 +358,7 @@ void Endpoint::HandleAck(const transport::SockAddr& from, std::uint32_t ack) {
       opened = true;
     }
   }
-  if (opened) window_cv_.notify_all();
+  if (opened) window_cv_.NotifyAll();
 }
 
 void Endpoint::DeliverInOrderFragment(const transport::SockAddr& from,
@@ -466,7 +466,7 @@ void Endpoint::RetransmitScan() {
   std::vector<transport::SockAddr> silent;   // peer_timeout exceeded
   const TimePoint now = Now();
   {
-    std::lock_guard<std::mutex> lock(send_mu_);
+    ds::MutexLock lock(send_mu_);
     for (auto& [addr, peer] : send_peers_) {
       auto hit = health_.find(addr);
       if (hit != health_.end() && hit->second.dead) continue;

@@ -25,13 +25,11 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <unordered_map>
 
@@ -40,6 +38,7 @@
 #include "dstampede/common/bytes.hpp"
 #include "dstampede/common/clock.hpp"
 #include "dstampede/common/status.hpp"
+#include "dstampede/common/sync.hpp"
 #include "dstampede/transport/udp.hpp"
 
 namespace dstampede::clf {
@@ -140,8 +139,11 @@ class Endpoint {
     std::map<std::uint32_t, Unacked> unacked;
     // Held across ALL fragments of one message: concurrent senders to
     // the same peer must not interleave fragments, or the receiver's
-    // reassembly sees a foreign first-fragment mid message.
-    std::shared_ptr<std::mutex> message_mu = std::make_shared<std::mutex>();
+    // reassembly sees a foreign first-fragment mid message. Blocking-
+    // allowed: the holder legitimately waits on the ARQ window (and
+    // thus on the wire) with it held.
+    std::shared_ptr<ds::Mutex> message_mu = std::make_shared<ds::Mutex>(
+        "clf.message_mu", ds::Mutex::kBlockingAllowed);
   };
 
   struct RecvPeer {
@@ -195,21 +197,26 @@ class Endpoint {
   EndpointStats stats_;
   std::uint32_t epoch_ = 0;
 
-  mutable std::mutex send_mu_;
-  std::condition_variable window_cv_;
-  std::unordered_map<transport::SockAddr, SendPeer> send_peers_;
-  std::unordered_map<transport::SockAddr, PeerHealth> health_;
+  mutable ds::Mutex send_mu_{"clf.send_mu"};
+  ds::CondVar window_cv_;
+  std::unordered_map<transport::SockAddr, SendPeer> send_peers_
+      DS_GUARDED_BY(send_mu_);
+  std::unordered_map<transport::SockAddr, PeerHealth> health_
+      DS_GUARDED_BY(send_mu_);
 
-  std::mutex callback_mu_;
-  PeerEventCallback on_peer_down_;
-  PeerEventCallback on_peer_up_;
+  // Leaf lock: held only to copy a callback out, never while firing it.
+  ds::Mutex callback_mu_{"clf.callback_mu"};
+  PeerEventCallback on_peer_down_ DS_GUARDED_BY(callback_mu_);
+  PeerEventCallback on_peer_up_ DS_GUARDED_BY(callback_mu_);
 
-  // Receiver-side state is touched only by the receiver thread.
+  // Receiver-side state is touched only by the receiver thread; it is
+  // deliberately unguarded (single-owner data, see ReceiverLoop).
   std::unordered_map<transport::SockAddr, RecvPeer> recv_peers_;
 
-  std::mutex inbox_mu_;
-  std::condition_variable inbox_cv_;
-  std::deque<std::pair<transport::SockAddr, Buffer>> inbox_;
+  ds::Mutex inbox_mu_{"clf.inbox_mu"};
+  ds::CondVar inbox_cv_;
+  std::deque<std::pair<transport::SockAddr, Buffer>> inbox_
+      DS_GUARDED_BY(inbox_mu_);
 
   FaultInjector injector_;
   std::shared_ptr<ShmRing> shm_ring_;

@@ -14,13 +14,13 @@ bool FaultInjector::Chance(double p) {
 }
 
 std::vector<Buffer> FaultInjector::Filter(Buffer datagram) {
-  std::lock_guard<std::mutex> lock(mu_);
+  ds::MutexLock lock(mu_);
   return FilterLocked(std::move(datagram));
 }
 
 std::vector<Buffer> FaultInjector::Filter(const transport::SockAddr& to,
                                           Buffer datagram) {
-  std::lock_guard<std::mutex> lock(mu_);
+  ds::MutexLock lock(mu_);
   if (IsPartitionedLocked(to)) {
     ++blackholed_;
     return {};
@@ -62,14 +62,14 @@ std::vector<Buffer> FaultInjector::FilterLocked(Buffer datagram) {
 }
 
 std::optional<Buffer> FaultInjector::Flush() {
-  std::lock_guard<std::mutex> lock(mu_);
+  ds::MutexLock lock(mu_);
   std::optional<Buffer> out = std::move(held_);
   held_.reset();
   return out;
 }
 
 void FaultInjector::ArmConnectionKill(std::size_t n, KillPoint point) {
-  std::lock_guard<std::mutex> lock(mu_);
+  ds::MutexLock lock(mu_);
   if (point == KillPoint::kBeforeExecute) {
     armed_kills_before_ += n;
   } else {
@@ -80,7 +80,7 @@ void FaultInjector::ArmConnectionKill(std::size_t n, KillPoint point) {
 
 bool FaultInjector::TakeConnectionKill(KillPoint point) {
   if (!kills_possible_.load(std::memory_order_relaxed)) return false;
-  std::lock_guard<std::mutex> lock(mu_);
+  ds::MutexLock lock(mu_);
   std::size_t& armed = point == KillPoint::kBeforeExecute
                            ? armed_kills_before_
                            : armed_kills_after_;
@@ -102,7 +102,7 @@ bool FaultInjector::TakeConnectionKill(KillPoint point) {
 
 void FaultInjector::Partition(const transport::SockAddr& peer,
                               TimePoint until) {
-  std::lock_guard<std::mutex> lock(mu_);
+  ds::MutexLock lock(mu_);
   partitions_[peer] = until;
   partition_count_.store(partitions_.size(), std::memory_order_relaxed);
 }
@@ -113,19 +113,19 @@ void FaultInjector::PartitionFor(const transport::SockAddr& peer,
 }
 
 void FaultInjector::Heal(const transport::SockAddr& peer) {
-  std::lock_guard<std::mutex> lock(mu_);
+  ds::MutexLock lock(mu_);
   partitions_.erase(peer);
   partition_count_.store(partitions_.size(), std::memory_order_relaxed);
 }
 
 void FaultInjector::HealAll() {
-  std::lock_guard<std::mutex> lock(mu_);
+  ds::MutexLock lock(mu_);
   partitions_.clear();
   partition_count_.store(0, std::memory_order_relaxed);
 }
 
 bool FaultInjector::IsPartitioned(const transport::SockAddr& peer) {
-  std::lock_guard<std::mutex> lock(mu_);
+  ds::MutexLock lock(mu_);
   return IsPartitionedLocked(peer);
 }
 

@@ -13,7 +13,6 @@
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <optional>
 #include <random>
 #include <unordered_map>
@@ -21,6 +20,7 @@
 
 #include "dstampede/common/bytes.hpp"
 #include "dstampede/common/clock.hpp"
+#include "dstampede/common/sync.hpp"
 #include "dstampede/transport/socket.hpp"
 
 namespace dstampede::clf {
@@ -89,10 +89,22 @@ class FaultInjector {
   std::uint64_t connections_killed() const {
     return connections_killed_.load(std::memory_order_relaxed);
   }
-  std::uint64_t dropped() const { return dropped_; }
-  std::uint64_t duplicated() const { return duplicated_; }
-  std::uint64_t reordered() const { return reordered_; }
-  std::uint64_t blackholed() const { return blackholed_; }
+  std::uint64_t dropped() const {
+    ds::MutexLock lock(mu_);
+    return dropped_;
+  }
+  std::uint64_t duplicated() const {
+    ds::MutexLock lock(mu_);
+    return duplicated_;
+  }
+  std::uint64_t reordered() const {
+    ds::MutexLock lock(mu_);
+    return reordered_;
+  }
+  std::uint64_t blackholed() const {
+    ds::MutexLock lock(mu_);
+    return blackholed_;
+  }
   bool active() const {
     return config_.drop_probability > 0 || config_.duplicate_probability > 0 ||
            config_.reorder_probability > 0 ||
@@ -100,25 +112,28 @@ class FaultInjector {
   }
 
  private:
-  bool Chance(double p);
+  bool Chance(double p) DS_REQUIRES(mu_);
   // Lazily expires a time-windowed partition; caller holds mu_.
-  bool IsPartitionedLocked(const transport::SockAddr& peer);
-  std::vector<Buffer> FilterLocked(Buffer datagram);
+  bool IsPartitionedLocked(const transport::SockAddr& peer) DS_REQUIRES(mu_);
+  std::vector<Buffer> FilterLocked(Buffer datagram) DS_REQUIRES(mu_);
 
   Config config_;
-  std::mutex mu_;
-  std::mt19937_64 rng_;
-  std::uniform_real_distribution<double> unit_{0.0, 1.0};
-  std::optional<Buffer> held_;
-  std::unordered_map<transport::SockAddr, TimePoint> partitions_;
+  // Leaf lock: taken inside the endpoint's send path with clf.send_mu
+  // held; must never wrap a call back into the endpoint.
+  mutable ds::Mutex mu_{"fault_injector.mu"};
+  std::mt19937_64 rng_ DS_GUARDED_BY(mu_);
+  std::uniform_real_distribution<double> unit_ DS_GUARDED_BY(mu_){0.0, 1.0};
+  std::optional<Buffer> held_ DS_GUARDED_BY(mu_);
+  std::unordered_map<transport::SockAddr, TimePoint> partitions_
+      DS_GUARDED_BY(mu_);
   // Mirrors partitions_.size() so active() stays lock-free.
   std::atomic<std::size_t> partition_count_{0};
-  std::uint64_t dropped_ = 0;
-  std::uint64_t duplicated_ = 0;
-  std::uint64_t reordered_ = 0;
-  std::uint64_t blackholed_ = 0;
-  std::size_t armed_kills_before_ = 0;
-  std::size_t armed_kills_after_ = 0;
+  std::uint64_t dropped_ DS_GUARDED_BY(mu_) = 0;
+  std::uint64_t duplicated_ DS_GUARDED_BY(mu_) = 0;
+  std::uint64_t reordered_ DS_GUARDED_BY(mu_) = 0;
+  std::uint64_t blackholed_ DS_GUARDED_BY(mu_) = 0;
+  std::size_t armed_kills_before_ DS_GUARDED_BY(mu_) = 0;
+  std::size_t armed_kills_after_ DS_GUARDED_BY(mu_) = 0;
   // Fast path: lets TakeConnectionKill skip the lock entirely when no
   // kill can possibly fire (the common, fault-free case).
   std::atomic<bool> kills_possible_{false};

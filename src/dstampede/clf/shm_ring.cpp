@@ -9,7 +9,7 @@ void ShmRing::Transfer(const transport::SockAddr& from,
   Buffer assembled;
   assembled.reserve(message.size());
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    ds::MutexLock lock(mu_);
     std::size_t off = 0;
     while (off < message.size()) {
       const std::size_t n = std::min(kChunk, message.size() - off);
@@ -28,17 +28,17 @@ ShmRegistry& ShmRegistry::Instance() {
 
 void ShmRegistry::Register(const transport::SockAddr& addr,
                            std::shared_ptr<ShmRing> ring) {
-  std::lock_guard<std::mutex> lock(mu_);
+  ds::MutexLock lock(mu_);
   rings_[addr] = std::move(ring);
 }
 
 void ShmRegistry::Unregister(const transport::SockAddr& addr) {
-  std::lock_guard<std::mutex> lock(mu_);
+  ds::MutexLock lock(mu_);
   rings_.erase(addr);
 }
 
 std::shared_ptr<ShmRing> ShmRegistry::Lookup(const transport::SockAddr& addr) {
-  std::lock_guard<std::mutex> lock(mu_);
+  ds::MutexLock lock(mu_);
   auto it = rings_.find(addr);
   return it == rings_.end() ? nullptr : it->second;
 }

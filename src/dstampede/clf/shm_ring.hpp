@@ -8,15 +8,14 @@
 // memory-channel style transfer) instead of the UDP path.
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 
 #include "dstampede/common/bytes.hpp"
 #include "dstampede/common/status.hpp"
+#include "dstampede/common/sync.hpp"
 #include "dstampede/transport/socket.hpp"
 
 namespace dstampede::clf {
@@ -39,9 +38,9 @@ class ShmRing {
   void Transfer(const transport::SockAddr& from, std::span<const std::uint8_t> message);
 
  private:
-  std::mutex mu_;
-  std::uint8_t staging_[kChunk]{};
-  ShmDeliverFn deliver_;
+  ds::Mutex mu_{"shm_ring.mu"};
+  std::uint8_t staging_[kChunk] DS_GUARDED_BY(mu_){};
+  const ShmDeliverFn deliver_;  // bound at construction, immutable
 };
 
 // Process-wide registry mapping CLF addresses to their in-process ring.
@@ -57,8 +56,9 @@ class ShmRegistry {
   std::shared_ptr<ShmRing> Lookup(const transport::SockAddr& addr);
 
  private:
-  std::mutex mu_;
-  std::unordered_map<transport::SockAddr, std::shared_ptr<ShmRing>> rings_;
+  ds::Mutex mu_{"shm_registry.mu"};
+  std::unordered_map<transport::SockAddr, std::shared_ptr<ShmRing>> rings_
+      DS_GUARDED_BY(mu_);
 };
 
 }  // namespace dstampede::clf

@@ -22,10 +22,10 @@
 // end devices anyway.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <random>
 #include <string>
 #include <unordered_map>
@@ -33,6 +33,7 @@
 
 #include "dstampede/client/protocol.hpp"
 #include "dstampede/common/ids.hpp"
+#include "dstampede/common/sync.hpp"
 #include "dstampede/core/address_space.hpp"
 #include "dstampede/marshal/java_style.hpp"
 #include "dstampede/marshal/xdr.hpp"
@@ -135,12 +136,24 @@ class BasicClient {
   // Clean departure (Bye). After this every call fails.
   Status Leave();
 
-  std::uint64_t gc_notices_received() const { return notices_received_; }
-  std::uint64_t calls_made() const { return calls_made_; }
+  std::uint64_t gc_notices_received() const {
+    ds::MutexLock lock(handlers_mu_);
+    return notices_received_;
+  }
+  std::uint64_t calls_made() const {
+    ds::MutexLock lock(mu_);
+    return calls_made_;
+  }
   // Session-resilience counters: successful Resume handshakes, and
   // calls that were re-sent after a reconnect.
-  std::uint64_t reconnects() const { return reconnects_; }
-  std::uint64_t replays() const { return replays_; }
+  std::uint64_t reconnects() const {
+    ds::MutexLock lock(mu_);
+    return reconnects_;
+  }
+  std::uint64_t replays() const {
+    ds::MutexLock lock(mu_);
+    return replays_;
+  }
 
   // Re-reads `sys/listener/` advertisements from the name server so a
   // later reconnect can fail over to listeners started since Join.
@@ -153,19 +166,25 @@ class BasicClient {
   // Sends one encoded request, receives the reply frame, dispatches the
   // gc-notice trailer. Returns the reply for the caller to decode.
   // Transparently reconnects and replays per ReconnectPolicy.
-  Result<Buffer> Call(Buffer request, Deadline deadline);
+  Result<Buffer> Call(Buffer request, Deadline deadline) DS_EXCLUDES(mu_);
   // Call's body, run under mu_. GC notices that arrive on Resume
   // replies during a reconnect are appended to `deferred` instead of
   // dispatched: a user handler may call back into the client, so it
   // must only run once Call has released mu_ (as on the normal path).
   Result<Buffer> CallLocked(Buffer request, Deadline deadline,
-                            std::vector<core::GcNotice>& deferred);
+                            std::vector<core::GcNotice>& deferred)
+      DS_REQUIRES(mu_);
   // Re-establishes the session after a transport failure. Holds mu_.
-  Status ReconnectLocked(std::vector<core::GcNotice>& deferred);
+  Status ReconnectLocked(std::vector<core::GcNotice>& deferred)
+      DS_REQUIRES(mu_);
   Status TryResumeLocked(const transport::SockAddr& addr,
-                         std::vector<core::GcNotice>& deferred);
-  std::vector<transport::SockAddr> ReconnectCandidatesLocked() const;
-  std::uint64_t NextId() { return next_request_id_++; }
+                         std::vector<core::GcNotice>& deferred)
+      DS_REQUIRES(mu_);
+  std::vector<transport::SockAddr> ReconnectCandidatesLocked() const
+      DS_REQUIRES(mu_);
+  std::uint64_t NextId() {
+    return next_request_id_.fetch_add(1, std::memory_order_relaxed);
+  }
   void DispatchNotices(const std::vector<core::GcNotice>& notices);
 
   // Decodes the standard reply envelope; on success returns a decoder
@@ -177,24 +196,32 @@ class BasicClient {
   };
   Result<ParsedReply> CallAndParse(Buffer request, Deadline deadline);
 
-  std::mutex mu_;
-  Options options_;
-  transport::TcpConnection conn_;
+  // Serializes the session: held across the socket round trip (and the
+  // reconnect/backoff loop) by design, hence blocking-allowed. Never
+  // held while running a user GC handler.
+  mutable ds::Mutex mu_{"client.mu", ds::Mutex::kBlockingAllowed};
+  Options options_;  // immutable after Join
+  transport::TcpConnection conn_ DS_GUARDED_BY(mu_);
+  // host_as_/session_id_ are set during Join (single-threaded) and on
+  // resume under mu_; the plain reads in the accessors match the
+  // documented calls-are-serialized threading model.
   AsId host_as_ = kInvalidAsId;
   std::uint64_t session_id_ = 0;
-  std::uint64_t next_request_id_ = 1;
-  std::uint64_t last_acked_id_ = 0;
-  bool left_ = false;
-  std::uint64_t reconnects_ = 0;
-  std::uint64_t replays_ = 0;
-  std::vector<transport::SockAddr> listener_cache_;
-  std::mt19937_64 jitter_rng_{0x5D5742DEu};
+  std::atomic<std::uint64_t> next_request_id_{1};
+  std::uint64_t last_acked_id_ DS_GUARDED_BY(mu_) = 0;
+  bool left_ DS_GUARDED_BY(mu_) = false;
+  std::uint64_t reconnects_ DS_GUARDED_BY(mu_) = 0;
+  std::uint64_t replays_ DS_GUARDED_BY(mu_) = 0;
+  std::vector<transport::SockAddr> listener_cache_ DS_GUARDED_BY(mu_);
+  std::mt19937_64 jitter_rng_ DS_GUARDED_BY(mu_){0x5D5742DEu};
+  std::uint64_t calls_made_ DS_GUARDED_BY(mu_) = 0;
 
-  std::mutex handlers_mu_;
-  std::unordered_map<std::uint64_t, GcNoticeHandler> gc_handlers_;
-
-  std::uint64_t notices_received_ = 0;
-  std::uint64_t calls_made_ = 0;
+  // Leaf lock: guards the handler table and the notice counter; never
+  // held while a handler runs.
+  mutable ds::Mutex handlers_mu_{"client.handlers_mu"};
+  std::unordered_map<std::uint64_t, GcNoticeHandler> gc_handlers_
+      DS_GUARDED_BY(handlers_mu_);
+  std::uint64_t notices_received_ DS_GUARDED_BY(handlers_mu_) = 0;
 };
 
 using CClient = BasicClient<CCodec>;

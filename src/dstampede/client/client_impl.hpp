@@ -15,8 +15,11 @@ Result<std::unique_ptr<BasicClient<Codec>>> BasicClient<Codec>::Join(
     const Options& options) {
   auto client = std::unique_ptr<BasicClient>(new BasicClient());
   client->options_ = options;
-  DS_ASSIGN_OR_RETURN(client->conn_,
-                      transport::TcpConnection::Connect(options.server));
+  {
+    ds::MutexLock lock(client->mu_);
+    DS_ASSIGN_OR_RETURN(client->conn_,
+                        transport::TcpConnection::Connect(options.server));
+  }
 
   typename Codec::Encoder enc;
   core::EncodeRequestHeader(enc, static_cast<core::Op>(ClientOp::kHello),
@@ -56,7 +59,7 @@ template <typename Codec>
 Result<Buffer> BasicClient<Codec>::Call(Buffer request, Deadline deadline) {
   std::vector<core::GcNotice> deferred;
   Result<Buffer> reply = [&]() -> Result<Buffer> {
-    std::lock_guard<std::mutex> lock(mu_);
+    ds::MutexLock lock(mu_);
     return CallLocked(std::move(request), deadline, deferred);
   }();
   // Notices from Resume replies run only now, with mu_ released, so a
@@ -214,7 +217,7 @@ BasicClient<Codec>::ReconnectCandidatesLocked() const {
 template <typename Codec>
 Status BasicClient<Codec>::RefreshListenerCache() {
   DS_ASSIGN_OR_RETURN(auto entries, NsList("sys/listener/"));
-  std::lock_guard<std::mutex> lock(mu_);
+  ds::MutexLock lock(mu_);
   listener_cache_.clear();
   for (const auto& entry : entries) {
     // The listener advertises its full address in the entry's meta;
@@ -248,10 +251,10 @@ template <typename Codec>
 void BasicClient<Codec>::DispatchNotices(
     const std::vector<core::GcNotice>& notices) {
   if (notices.empty()) return;
-  notices_received_ += notices.size();
   std::vector<std::pair<GcNoticeHandler, core::GcNotice>> to_run;
   {
-    std::lock_guard<std::mutex> lock(handlers_mu_);
+    ds::MutexLock lock(handlers_mu_);
+    notices_received_ += notices.size();
     for (const auto& notice : notices) {
       auto it = gc_handlers_.find(notice.container_bits);
       if (it != gc_handlers_.end()) to_run.emplace_back(it->second, notice);
@@ -605,7 +608,7 @@ Status BasicClient<Codec>::SetGcHandler(std::uint64_t container_bits,
                                   .subspan(parsed.payload_offset));
   DS_CLIENT_FINISH(dec);
   if (parsed.status.ok()) {
-    std::lock_guard<std::mutex> lock(handlers_mu_);
+    ds::MutexLock lock(handlers_mu_);
     if (handler) {
       gc_handlers_[container_bits] = std::move(handler);
     } else {
@@ -618,14 +621,14 @@ Status BasicClient<Codec>::SetGcHandler(std::uint64_t container_bits,
 template <typename Codec>
 Status BasicClient<Codec>::Leave() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    ds::MutexLock lock(mu_);
     if (left_ || !conn_.valid()) return OkStatus();
   }
   typename Codec::Encoder enc;
   core::EncodeRequestHeader(enc, static_cast<core::Op>(ClientOp::kBye),
                             NextId());
   auto parsed = CallAndParse(enc.Take(), Deadline::AfterMillis(5000));
-  std::lock_guard<std::mutex> lock(mu_);
+  ds::MutexLock lock(mu_);
   left_ = true;
   conn_.Close();
   return parsed.ok() ? parsed->status : parsed.status();

@@ -27,8 +27,11 @@ Result<std::unique_ptr<Listener>> Listener::Start(core::Runtime& runtime,
   // Session ids carry the bound port in their upper bits so sessions
   // stay unique across every listener of the application (a session
   // migrating between listeners keeps its id).
-  listener->next_session_ =
-      (static_cast<std::uint64_t>(bound_port) << 32) | 1u;
+  {
+    ds::MutexLock lock(listener->mu_);
+    listener->next_session_ =
+        (static_cast<std::uint64_t>(bound_port) << 32) | 1u;
+  }
   // Advertise this listener in the name server so reconnecting clients
   // can discover failover targets. The full advertised address travels
   // in the meta field (id_bits carries the port alone and would force
@@ -112,7 +115,7 @@ void Listener::Handshake(transport::TcpConnection conn) {
   std::unique_ptr<Surrogate> surrogate;
   Surrogate* raw = nullptr;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    ds::MutexLock lock(mu_);
     const std::size_t as_index = PickLiveAs(hello->preferred_as);
     if (as_index == kNoLiveAs) {
       ReplyStatusAndClose(conn, hdr->request_id,
@@ -148,7 +151,7 @@ void Listener::HandleResume(transport::TcpConnection conn,
   // cached-reply dedup.
   Surrogate* existing = nullptr;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    ds::MutexLock lock(mu_);
     for (auto& s : surrogates_) {
       if (s->session_id() != session_id) continue;
       const Surrogate::State state = s->state();
@@ -197,7 +200,7 @@ void Listener::HandleResume(transport::TcpConnection conn,
   Surrogate* raw = nullptr;
   std::size_t as_index;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    ds::MutexLock lock(mu_);
     as_index = PickLiveAs(preferred_as);
   }
   if (as_index == kNoLiveAs) {
@@ -230,7 +233,7 @@ void Listener::HandleResume(transport::TcpConnection conn,
   }
   sessions_migrated_.fetch_add(1, std::memory_order_relaxed);
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    ds::MutexLock lock(mu_);
     surrogates_.push_back(std::move(surrogate));
   }
   SpawnRun(raw);
@@ -242,14 +245,14 @@ void Listener::SpawnRun(Surrogate* surrogate) {
     surrogate->Run();
     done->store(true);
   });
-  std::lock_guard<std::mutex> lock(mu_);
+  ds::MutexLock lock(mu_);
   threads_.push_back(RunThread{std::move(thread), std::move(done)});
 }
 
 std::size_t Listener::ReapFinishedThreads() {
   std::vector<std::thread> finished;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    ds::MutexLock lock(mu_);
     for (auto it = threads_.begin(); it != threads_.end();) {
       if (it->done->load()) {
         finished.push_back(std::move(it->thread));
@@ -266,17 +269,17 @@ std::size_t Listener::ReapFinishedThreads() {
 }
 
 std::size_t Listener::run_threads() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  ds::MutexLock lock(mu_);
   return threads_.size();
 }
 
 std::size_t Listener::surrogates_total() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  ds::MutexLock lock(mu_);
   return surrogates_.size();
 }
 
 std::size_t Listener::surrogates_in(Surrogate::State state) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  ds::MutexLock lock(mu_);
   std::size_t n = 0;
   for (const auto& surrogate : surrogates_) {
     if (surrogate->state() == state) ++n;
@@ -287,7 +290,7 @@ std::size_t Listener::surrogates_in(Surrogate::State state) const {
 std::size_t Listener::ReapParked() {
   std::vector<Surrogate*> parked;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    ds::MutexLock lock(mu_);
     for (auto& surrogate : surrogates_) {
       if (surrogate->state() == Surrogate::State::kParked) {
         parked.push_back(surrogate.get());
@@ -308,7 +311,7 @@ void Listener::JanitorLoop() {
     if (options_.reap_parked_after <= Duration::zero()) continue;
     std::vector<Surrogate*> expired;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      ds::MutexLock lock(mu_);
       const TimePoint cutoff = Now() - options_.reap_parked_after;
       for (auto& surrogate : surrogates_) {
         if (surrogate->state() == Surrogate::State::kParked &&
@@ -334,7 +337,7 @@ void Listener::Shutdown() {
   if (janitor_thread_.joinable()) janitor_thread_.join();
   std::vector<RunThread> to_join;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    ds::MutexLock lock(mu_);
     for (auto& surrogate : surrogates_) surrogate->Stop();
     to_join.swap(threads_);
   }

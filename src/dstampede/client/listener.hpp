@@ -17,11 +17,11 @@
 
 #include <atomic>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "dstampede/client/surrogate.hpp"
+#include "dstampede/common/sync.hpp"
 #include "dstampede/core/runtime.hpp"
 #include "dstampede/transport/tcp.hpp"
 
@@ -85,7 +85,7 @@ class Listener {
   void JanitorLoop();
   // Picks a live (not stopped) address space; honours `preferred` when
   // it names a live one. Returns npos when the whole cluster is down.
-  std::size_t PickLiveAs(std::int32_t preferred);
+  std::size_t PickLiveAs(std::int32_t preferred) DS_REQUIRES(mu_);
   // Dedicates a thread to one surrogate activation (join, resume or
   // migration). The thread is tracked with a done flag so the janitor
   // can join and drop it once Run() returns.
@@ -106,11 +106,13 @@ class Listener {
   transport::TcpListener listener_;
   std::string ns_name_;  // sys/listener/<port> advertisement
 
-  mutable std::mutex mu_;
-  std::vector<std::unique_ptr<Surrogate>> surrogates_;
-  std::vector<RunThread> threads_;
-  std::uint64_t next_session_ = 1;
-  std::size_t next_as_ = 0;  // round-robin cursor
+  // Protects the surrogate/thread registries and the join cursors.
+  // Never held while calling into a surrogate or an address space.
+  mutable ds::Mutex mu_{"listener.mu"};
+  std::vector<std::unique_ptr<Surrogate>> surrogates_ DS_GUARDED_BY(mu_);
+  std::vector<RunThread> threads_ DS_GUARDED_BY(mu_);
+  std::uint64_t next_session_ DS_GUARDED_BY(mu_) = 1;
+  std::size_t next_as_ DS_GUARDED_BY(mu_) = 0;  // round-robin cursor
 
   std::atomic<std::uint64_t> sessions_resumed_{0};
   std::atomic<std::uint64_t> sessions_migrated_{0};

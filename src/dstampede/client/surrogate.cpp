@@ -46,7 +46,7 @@ Surrogate::Surrogate(std::uint64_t session_id, core::AddressSpace& host,
       durable_(durable) {
   gc_sink_token_ = host_.gc().AddSink(
       [this](const std::vector<core::GcNotice>& batch) {
-        std::lock_guard<std::mutex> lock(gc_mu_);
+        ds::MutexLock lock(gc_mu_);
         for (const auto& notice : batch) {
           if (gc_interest_.count(notice.container_bits) == 0) continue;
           if (gc_pending_.size() >= kMaxPendingNotices) gc_pending_.pop_front();
@@ -60,7 +60,7 @@ Surrogate::~Surrogate() { host_.gc().RemoveSink(gc_sink_token_); }
 void Surrogate::AppendNoticeTrailer(Buffer& reply) {
   std::vector<core::GcNotice> drained;
   {
-    std::lock_guard<std::mutex> lock(gc_mu_);
+    ds::MutexLock lock(gc_mu_);
     drained.assign(gc_pending_.begin(), gc_pending_.end());
     gc_pending_.clear();
   }
@@ -92,7 +92,7 @@ Buffer Surrogate::HandleHello(std::span<const std::uint8_t> frame) {
 Buffer Surrogate::TranslateSlots(std::span<const std::uint8_t> frame) {
   Buffer out(frame.begin(), frame.end());
   {
-    std::lock_guard<std::mutex> lock(session_mu_);
+    ds::MutexLock lock(session_mu_);
     if (slot_remaps_.empty()) return out;
   }
   marshal::XdrDecoder dec(frame);
@@ -101,7 +101,7 @@ Buffer Surrogate::TranslateSlots(std::span<const std::uint8_t> frame) {
 
   auto remap = [this](std::uint64_t bits, bool is_queue,
                       std::uint32_t slot) -> std::uint32_t {
-    std::lock_guard<std::mutex> lock(session_mu_);
+    ds::MutexLock lock(session_mu_);
     for (const SlotRemap& r : slot_remaps_) {
       if (r.container_bits == bits && r.is_queue == is_queue &&
           r.old_slot == slot) {
@@ -181,7 +181,7 @@ Buffer Surrogate::HandleFrame(std::span<const std::uint8_t> frame, bool& bye,
         return enc.Take();
       }
       {
-        std::lock_guard<std::mutex> lock(gc_mu_);
+        ds::MutexLock lock(gc_mu_);
         if (req->enable) {
           gc_interest_[req->container_bits] = req->is_queue;
         } else {
@@ -189,7 +189,7 @@ Buffer Surrogate::HandleFrame(std::span<const std::uint8_t> frame, bool& bye,
         }
       }
       {
-        std::lock_guard<std::mutex> lock(session_mu_);
+        ds::MutexLock lock(session_mu_);
         if (hdr->request_id > last_executed_ticket_) {
           last_executed_ticket_ = hdr->request_id;
         }
@@ -207,7 +207,7 @@ Buffer Surrogate::HandleFrame(std::span<const std::uint8_t> frame, bool& bye,
       resp.host_as = AsIndex(host_.id());
       resp.session_id = session_id_;
       {
-        std::lock_guard<std::mutex> lock(session_mu_);
+        ds::MutexLock lock(session_mu_);
         resp.last_executed_ticket = last_executed_ticket_;
         resp.remaps = slot_remaps_;
       }
@@ -226,7 +226,7 @@ Buffer Surrogate::HandleFrame(std::span<const std::uint8_t> frame, bool& bye,
   // Replay dedup: a call the device re-sends after a dropped
   // connection must not run twice.
   {
-    std::lock_guard<std::mutex> lock(session_mu_);
+    ds::MutexLock lock(session_mu_);
     if (ticket == cached_reply_ticket_ && !cached_reply_.empty()) {
       return cached_reply_;  // resend the very reply that was lost
     }
@@ -263,7 +263,7 @@ Buffer Surrogate::HandleFrame(std::span<const std::uint8_t> frame, bool& bye,
 
   TrackSessionState(effective, reply);
   {
-    std::lock_guard<std::mutex> lock(session_mu_);
+    ds::MutexLock lock(session_mu_);
     if (ticket > last_executed_ticket_) last_executed_ticket_ = ticket;
     cached_reply_ticket_ = ticket;
     cached_reply_ = reply;  // pre-trailer; trailer is appended per send
@@ -299,7 +299,7 @@ void Surrogate::TrackSessionState(std::span<const std::uint8_t> request,
   if (!reply_hdr.ok() || !reply_hdr->status.ok()) return;
 
   {
-    std::lock_guard<std::mutex> lock(session_mu_);
+    ds::MutexLock lock(session_mu_);
     switch (req_hdr->op) {
       case core::Op::kAttach: {
         auto req = core::AttachReq::Decode(req_dec);
@@ -345,7 +345,7 @@ core::SessionRecord Surrogate::SnapshotRecord() {
   record.client_name = client_name_;
   record.host_as = host_.id();
   {
-    std::lock_guard<std::mutex> lock(session_mu_);
+    ds::MutexLock lock(session_mu_);
     record.last_executed_ticket = last_executed_ticket_;
     record.attachments.reserve(attachments_.size());
     for (const Attachment& a : attachments_) {
@@ -355,7 +355,7 @@ core::SessionRecord Surrogate::SnapshotRecord() {
     record.registered_names = registered_names_;
   }
   {
-    std::lock_guard<std::mutex> lock(gc_mu_);
+    ds::MutexLock lock(gc_mu_);
     record.gc_interests.reserve(gc_interest_.size());
     for (const auto& [bits, is_queue] : gc_interest_) {
       record.gc_interests.push_back(core::SessionGcInterest{bits, is_queue});
@@ -413,7 +413,7 @@ Status Surrogate::Rehydrate(const core::SessionRecord& record) {
   client_name_ = record.client_name;
   client_kind_ = record.client_kind;
   {
-    std::lock_guard<std::mutex> lock(gc_mu_);
+    ds::MutexLock lock(gc_mu_);
     for (const auto& g : record.gc_interests) {
       gc_interest_[g.container_bits] = g.is_queue;
     }
@@ -451,7 +451,7 @@ Status Surrogate::Rehydrate(const core::SessionRecord& record) {
   }
 
   {
-    std::lock_guard<std::mutex> lock(session_mu_);
+    ds::MutexLock lock(session_mu_);
     attachments_ = std::move(restored);
     registered_names_ = record.registered_names;
     if (record.last_executed_ticket > last_executed_ticket_) {
@@ -474,7 +474,7 @@ Status Surrogate::ServiceResume(std::span<const std::uint8_t> frame) {
   resp.host_as = AsIndex(host_.id());
   resp.session_id = session_id_;
   {
-    std::lock_guard<std::mutex> lock(session_mu_);
+    ds::MutexLock lock(session_mu_);
     resp.last_executed_ticket = last_executed_ticket_;
     resp.remaps = slot_remaps_;
   }
@@ -503,7 +503,7 @@ Status Surrogate::Reap() {
   std::vector<Attachment> attachments;
   std::vector<std::string> names;
   {
-    std::lock_guard<std::mutex> lock(session_mu_);
+    ds::MutexLock lock(session_mu_);
     attachments.swap(attachments_);
     names.swap(registered_names_);
   }
@@ -528,12 +528,12 @@ Status Surrogate::Reap() {
 }
 
 std::size_t Surrogate::tracked_attachments() const {
-  std::lock_guard<std::mutex> lock(session_mu_);
+  ds::MutexLock lock(session_mu_);
   return attachments_.size();
 }
 
 std::uint64_t Surrogate::last_executed_ticket() const {
-  std::lock_guard<std::mutex> lock(session_mu_);
+  ds::MutexLock lock(session_mu_);
   return last_executed_ticket_;
 }
 

@@ -21,12 +21,12 @@
 #include <atomic>
 #include <cstdint>
 #include <deque>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "dstampede/clf/fault_injector.hpp"
+#include "dstampede/common/sync.hpp"
 #include "dstampede/client/protocol.hpp"
 #include "dstampede/core/address_space.hpp"
 #include "dstampede/transport/tcp.hpp"
@@ -138,24 +138,27 @@ class Surrogate {
   std::atomic<std::uint64_t> notices_forwarded_{0};
 
   // GC interest set (bits -> is_queue) and pending notices, fed by the
-  // GC-service sink.
-  std::mutex gc_mu_;
-  std::unordered_map<std::uint64_t, bool> gc_interest_;
-  std::deque<core::GcNotice> gc_pending_;
-  std::uint64_t gc_sink_token_ = 0;
+  // GC-service sink. Leaf lock: taken inside the GC sink callback, so
+  // it must never be held while calling into the host address space.
+  ds::Mutex gc_mu_{"surrogate.gc_mu"};
+  std::unordered_map<std::uint64_t, bool> gc_interest_ DS_GUARDED_BY(gc_mu_);
+  std::deque<core::GcNotice> gc_pending_ DS_GUARDED_BY(gc_mu_);
+  std::uint64_t gc_sink_token_ = 0;  // set in ctor, read in dtor only
 
-  // Session state for the failure-handling extension.
-  mutable std::mutex session_mu_;
-  std::vector<Attachment> attachments_;
-  std::vector<std::string> registered_names_;
+  // Session state for the failure-handling extension. Never held while
+  // calling into the host (ExecuteWireRequest/Session*/Connect) and
+  // never nested with gc_mu_.
+  mutable ds::Mutex session_mu_{"surrogate.session_mu"};
+  std::vector<Attachment> attachments_ DS_GUARDED_BY(session_mu_);
+  std::vector<std::string> registered_names_ DS_GUARDED_BY(session_mu_);
   // Per-call ticket machinery: highest executed device request id, and
   // the cached (pre-trailer) reply of the most recent STM call so a
   // replay after a dropped connection is answered without re-running.
-  std::uint64_t last_executed_ticket_ = 0;
-  std::uint64_t cached_reply_ticket_ = 0;
-  Buffer cached_reply_;
+  std::uint64_t last_executed_ticket_ DS_GUARDED_BY(session_mu_) = 0;
+  std::uint64_t cached_reply_ticket_ DS_GUARDED_BY(session_mu_) = 0;
+  Buffer cached_reply_ DS_GUARDED_BY(session_mu_);
   // Post-migration slot translation (old surrogate's slot -> ours).
-  std::vector<SlotRemap> slot_remaps_;
+  std::vector<SlotRemap> slot_remaps_ DS_GUARDED_BY(session_mu_);
   TimePoint parked_since_{};
 
   static constexpr std::size_t kMaxPendingNotices = 65536;

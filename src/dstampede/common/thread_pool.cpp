@@ -13,24 +13,22 @@ ThreadPool::~ThreadPool() { Shutdown(); }
 
 bool ThreadPool::Submit(std::function<void()> task) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    ds::MutexLock lock(mu_);
     if (stopping_) return false;
     queue_.push_back(std::move(task));
   }
-  cv_.notify_one();
+  cv_.NotifyOne();
   return true;
 }
 
 void ThreadPool::Shutdown() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
-    if (stopping_) {
-      // Another caller already initiated shutdown; workers may still be
-      // joining, so fall through only if we own unjoined threads.
-    }
+    ds::MutexLock lock(mu_);
+    // If another caller already initiated shutdown, workers may still
+    // be joining; fall through — join() below is idempotent per thread.
     stopping_ = true;
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
   for (auto& worker : workers_) {
     if (worker.joinable()) worker.join();
   }
@@ -40,8 +38,8 @@ void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
+      ds::MutexLock lock(mu_);
+      while (!stopping_ && queue_.empty()) cv_.Wait(mu_);
       if (queue_.empty()) return;  // stopping and drained
       task = std::move(queue_.front());
       queue_.pop_front();

@@ -5,12 +5,12 @@
 // request to a pool worker instead of servicing it on the receive loop.
 #pragma once
 
-#include <condition_variable>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "dstampede/common/sync.hpp"
 
 namespace dstampede {
 
@@ -33,10 +33,10 @@ class ThreadPool {
  private:
   void WorkerLoop();
 
-  std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<std::function<void()>> queue_;
-  bool stopping_ = false;
+  ds::Mutex mu_{"thread_pool.mu"};
+  ds::CondVar cv_;
+  std::deque<std::function<void()>> queue_ DS_GUARDED_BY(mu_);
+  bool stopping_ DS_GUARDED_BY(mu_) = false;
   std::vector<std::thread> workers_;
 };
 
@@ -44,22 +44,22 @@ class ThreadPool {
 class WaitGroup {
  public:
   void Add(int n = 1) {
-    std::lock_guard<std::mutex> lock(mu_);
+    ds::MutexLock lock(mu_);
     count_ += n;
   }
   void Done() {
-    std::lock_guard<std::mutex> lock(mu_);
-    if (--count_ == 0) cv_.notify_all();
+    ds::MutexLock lock(mu_);
+    if (--count_ == 0) cv_.NotifyAll();
   }
   void Wait() {
-    std::unique_lock<std::mutex> lock(mu_);
-    cv_.wait(lock, [&] { return count_ == 0; });
+    ds::MutexLock lock(mu_);
+    while (count_ != 0) cv_.Wait(mu_);
   }
 
  private:
-  std::mutex mu_;
-  std::condition_variable cv_;
-  int count_ = 0;
+  ds::Mutex mu_{"wait_group.mu"};
+  ds::CondVar cv_;
+  int count_ DS_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace dstampede

@@ -49,7 +49,7 @@ void AddressSpace::Shutdown() {
 
   // Unblock every local waiter first so dispatcher tasks can finish.
   {
-    std::lock_guard<std::mutex> lock(containers_mu_);
+    ds::MutexLock lock(containers_mu_);
     for (auto& [slot, ch] : channels_) ch->Close();
     for (auto& [slot, q] : queues_) q->Close();
   }
@@ -61,15 +61,15 @@ void AddressSpace::Shutdown() {
   // Fail calls still waiting for replies.
   std::vector<std::shared_ptr<PendingCall>> orphans;
   {
-    std::lock_guard<std::mutex> lock(calls_mu_);
+    ds::MutexLock lock(calls_mu_);
     for (auto& [id, call] : calls_) orphans.push_back(call);
     calls_.clear();
   }
   for (auto& call : orphans) {
-    std::lock_guard<std::mutex> lock(call->mu);
+    ds::MutexLock lock(call->mu);
     call->done = true;
     call->status = CancelledError("address space shut down");
-    call->cv.notify_all();
+    call->cv.NotifyAll();
   }
 }
 
@@ -77,7 +77,7 @@ void AddressSpace::Shutdown() {
 
 void AddressSpace::AddPeer(AsId peer, const transport::SockAddr& addr) {
   {
-    std::lock_guard<std::mutex> lock(peers_mu_);
+    ds::MutexLock lock(peers_mu_);
     peers_[AsIndex(peer)] = addr;
     peer_by_addr_[addr] = peer;
     dead_peers_.erase(AsIndex(peer));  // re-adding re-admits
@@ -88,14 +88,14 @@ void AddressSpace::AddPeer(AsId peer, const transport::SockAddr& addr) {
 }
 
 bool AddressSpace::IsPeerDown(AsId peer) const {
-  std::lock_guard<std::mutex> lock(peers_mu_);
+  ds::MutexLock lock(peers_mu_);
   return dead_peers_.count(AsIndex(peer)) != 0;
 }
 
 void AddressSpace::OnPeerDown(const transport::SockAddr& addr) {
   AsId dead = kInvalidAsId;
   {
-    std::lock_guard<std::mutex> lock(peers_mu_);
+    ds::MutexLock lock(peers_mu_);
     auto it = peer_by_addr_.find(addr);
     if (it == peer_by_addr_.end()) return;  // not a known peer AS
     dead = it->second;
@@ -109,7 +109,7 @@ void AddressSpace::OnPeerDown(const transport::SockAddr& addr) {
   // reply is never coming.
   std::vector<std::shared_ptr<PendingCall>> doomed;
   {
-    std::lock_guard<std::mutex> lock(calls_mu_);
+    ds::MutexLock lock(calls_mu_);
     for (auto it = calls_.begin(); it != calls_.end();) {
       if (it->second->target == dead) {
         doomed.push_back(it->second);
@@ -120,10 +120,10 @@ void AddressSpace::OnPeerDown(const transport::SockAddr& addr) {
     }
   }
   for (auto& call : doomed) {
-    std::lock_guard<std::mutex> lock(call->mu);
+    ds::MutexLock lock(call->mu);
     call->done = true;
     call->status = UnavailableError("peer address space declared dead");
-    call->cv.notify_all();
+    call->cv.NotifyAll();
   }
 
   // 2. Detach the dead space's connections to our containers so the
@@ -131,7 +131,7 @@ void AddressSpace::OnPeerDown(const transport::SockAddr& addr) {
   // surrogate's Reap for a vanished end device, §3.2.4).
   std::vector<RemoteAttach> attachments;
   {
-    std::lock_guard<std::mutex> lock(remote_attach_mu_);
+    ds::MutexLock lock(remote_attach_mu_);
     auto it = remote_attachments_.find(AsIndex(dead));
     if (it != remote_attachments_.end()) {
       attachments = std::move(it->second);
@@ -168,26 +168,26 @@ void AddressSpace::OnPeerDown(const transport::SockAddr& addr) {
   // without polling IsPeerDown.
   std::vector<std::function<void(AsId)>> observers;
   {
-    std::lock_guard<std::mutex> lock(peer_observers_mu_);
+    ds::MutexLock lock(peer_observers_mu_);
     observers = peer_down_observers_;
   }
   for (auto& observer : observers) observer(dead);
 }
 
 void AddressSpace::AddPeerDownObserver(std::function<void(AsId)> observer) {
-  std::lock_guard<std::mutex> lock(peer_observers_mu_);
+  ds::MutexLock lock(peer_observers_mu_);
   peer_down_observers_.push_back(std::move(observer));
 }
 
 void AddressSpace::AddPeerUpObserver(std::function<void(AsId)> observer) {
-  std::lock_guard<std::mutex> lock(peer_observers_mu_);
+  ds::MutexLock lock(peer_observers_mu_);
   peer_up_observers_.push_back(std::move(observer));
 }
 
 void AddressSpace::OnPeerUp(const transport::SockAddr& addr) {
   AsId peer = kInvalidAsId;
   {
-    std::lock_guard<std::mutex> lock(peers_mu_);
+    ds::MutexLock lock(peers_mu_);
     auto it = peer_by_addr_.find(addr);
     if (it == peer_by_addr_.end()) return;
     peer = it->second;
@@ -197,7 +197,7 @@ void AddressSpace::OnPeerUp(const transport::SockAddr& addr) {
                 << AsIndex(peer) << " resurrected with a new incarnation";
   std::vector<std::function<void(AsId)>> observers;
   {
-    std::lock_guard<std::mutex> lock(peer_observers_mu_);
+    ds::MutexLock lock(peer_observers_mu_);
     observers = peer_up_observers_;
   }
   for (auto& observer : observers) observer(peer);
@@ -206,7 +206,7 @@ void AddressSpace::OnPeerUp(const transport::SockAddr& addr) {
 void AddressSpace::SetNameServerAs(AsId ns) { ns_as_ = ns; }
 
 Result<transport::SockAddr> AddressSpace::PeerAddr(AsId peer) const {
-  std::lock_guard<std::mutex> lock(peers_mu_);
+  ds::MutexLock lock(peers_mu_);
   auto it = peers_.find(AsIndex(peer));
   if (it == peers_.end()) {
     return NotFoundError("unknown peer address space");
@@ -218,6 +218,10 @@ Result<transport::SockAddr> AddressSpace::PeerAddr(AsId peer) const {
 
 Result<Buffer> AddressSpace::Call(AsId target, Buffer request,
                                   Deadline deadline) {
+  // A Call blocks on the CLF round-trip; entering it with any ds::Mutex
+  // held is the invariant violation behind the PR 2 Resume-reply
+  // deadlock, so fail loudly under the runtime detector.
+  sync::AssertBlockingAllowed("AddressSpace::Call");
   if (stopping_.load()) return CancelledError("address space shut down");
   stats_.remote_calls.fetch_add(1, std::memory_order_relaxed);
   DS_ASSIGN_OR_RETURN(transport::SockAddr addr, PeerAddr(target));
@@ -232,12 +236,12 @@ Result<Buffer> AddressSpace::Call(AsId target, Buffer request,
   auto pending = std::make_shared<PendingCall>();
   pending->target = target;
   {
-    std::lock_guard<std::mutex> lock(calls_mu_);
+    ds::MutexLock lock(calls_mu_);
     calls_[hdr.request_id] = pending;
   }
   Status sent = endpoint_->Send(addr, request);
   if (!sent.ok()) {
-    std::lock_guard<std::mutex> lock(calls_mu_);
+    ds::MutexLock lock(calls_mu_);
     calls_.erase(hdr.request_id);
     return sent;
   }
@@ -247,16 +251,11 @@ Result<Buffer> AddressSpace::Call(AsId target, Buffer request,
   Deadline wait = deadline.infinite()
                       ? deadline
                       : Deadline::After(deadline.remaining() + Millis(5000));
-  std::unique_lock<std::mutex> lock(pending->mu);
-  for (;;) {
-    if (pending->done) break;
-    if (wait.infinite()) {
-      pending->cv.wait(lock);
-    } else if (pending->cv.wait_until(lock, wait.when()) ==
-                   std::cv_status::timeout &&
-               !pending->done) {
-      lock.unlock();
-      std::lock_guard<std::mutex> erase_lock(calls_mu_);
+  ds::MutexLock lock(pending->mu);
+  while (!pending->done) {
+    if (!pending->cv.WaitUntil(pending->mu, wait) && !pending->done) {
+      lock.Unlock();
+      ds::MutexLock erase_lock(calls_mu_);
       calls_.erase(hdr.request_id);
       return TimeoutError("rpc call");
     }
@@ -283,7 +282,7 @@ void AddressSpace::ReceiveLoop() {
     if (hdr->op == Op::kReply) {
       std::shared_ptr<PendingCall> call;
       {
-        std::lock_guard<std::mutex> lock(calls_mu_);
+        ds::MutexLock lock(calls_mu_);
         auto it = calls_.find(hdr->request_id);
         if (it != calls_.end()) {
           call = it->second;
@@ -291,10 +290,10 @@ void AddressSpace::ReceiveLoop() {
         }
       }
       if (call) {
-        std::lock_guard<std::mutex> lock(call->mu);
+        ds::MutexLock lock(call->mu);
         call->done = true;
         call->response = std::move(message);
-        call->cv.notify_all();
+        call->cv.NotifyAll();
       }
       message = Buffer();
       continue;
@@ -310,7 +309,7 @@ void AddressSpace::DispatchRequest(transport::SockAddr from, Buffer message) {
   // bookkeeping); requests from unknown addresses stay anonymous.
   AsId origin = kInvalidAsId;
   {
-    std::lock_guard<std::mutex> lock(peers_mu_);
+    ds::MutexLock lock(peers_mu_);
     auto it = peer_by_addr_.find(from);
     if (it != peer_by_addr_.end()) origin = it->second;
   }
@@ -390,7 +389,7 @@ Buffer AddressSpace::ProcessRequest(std::span<const std::uint8_t> message,
       // Remember which peer holds the slot so its connections can be
       // detached (and its items reclaimed) if it dies.
       if (origin != kInvalidAsId && conn->owner() == options_.id) {
-        std::lock_guard<std::mutex> lock(remote_attach_mu_);
+        ds::MutexLock lock(remote_attach_mu_);
         remote_attachments_[AsIndex(origin)].push_back(
             {req->container_bits, req->is_queue, conn->slot()});
       }
@@ -407,7 +406,7 @@ Buffer AddressSpace::ProcessRequest(std::span<const std::uint8_t> message,
                             OwnerOf(req->container_bits), req->slot);
       Status status = Disconnect(conn);
       if (status.ok() && origin != kInvalidAsId) {
-        std::lock_guard<std::mutex> lock(remote_attach_mu_);
+        ds::MutexLock lock(remote_attach_mu_);
         auto it = remote_attachments_.find(AsIndex(origin));
         if (it != remote_attachments_.end()) {
           auto& atts = it->second;
@@ -538,7 +537,7 @@ Result<ChannelId> AddressSpace::CreateChannel(const ChannelAttr& attr) {
   std::uint32_t slot;
   std::shared_ptr<LocalChannel> ch;
   {
-    std::lock_guard<std::mutex> lock(containers_mu_);
+    ds::MutexLock lock(containers_mu_);
     slot = next_container_slot_++;
     ch = std::make_shared<LocalChannel>(attr);
     channels_[slot] = ch;
@@ -553,7 +552,7 @@ Result<QueueId> AddressSpace::CreateQueue(const QueueAttr& attr) {
   std::uint32_t slot;
   std::shared_ptr<LocalQueue> q;
   {
-    std::lock_guard<std::mutex> lock(containers_mu_);
+    ds::MutexLock lock(containers_mu_);
     slot = next_container_slot_++;
     q = std::make_shared<LocalQueue>(attr);
     queues_[slot] = q;
@@ -605,7 +604,7 @@ Result<QueueId> AddressSpace::CreateQueueOn(AsId owner, const QueueAttr& attr) {
 std::shared_ptr<LocalChannel> AddressSpace::FindChannel(std::uint64_t bits) {
   const ChannelId cid = ChannelId::FromBits(bits);
   if (cid.owner() != options_.id) return nullptr;
-  std::lock_guard<std::mutex> lock(containers_mu_);
+  ds::MutexLock lock(containers_mu_);
   auto it = channels_.find(cid.slot());
   return it == channels_.end() ? nullptr : it->second;
 }
@@ -613,7 +612,7 @@ std::shared_ptr<LocalChannel> AddressSpace::FindChannel(std::uint64_t bits) {
 std::shared_ptr<LocalQueue> AddressSpace::FindQueue(std::uint64_t bits) {
   const QueueId qid = QueueId::FromBits(bits);
   if (qid.owner() != options_.id) return nullptr;
-  std::lock_guard<std::mutex> lock(containers_mu_);
+  ds::MutexLock lock(containers_mu_);
   auto it = queues_.find(qid.slot());
   return it == queues_.end() ? nullptr : it->second;
 }
@@ -1055,7 +1054,7 @@ Status AddressSpace::SessionTick(std::uint64_t session_id,
 // --- threads -----------------------------------------------------------------------
 
 ThreadId AddressSpace::Spawn(std::string name, std::function<void()> body) {
-  std::lock_guard<std::mutex> lock(threads_mu_);
+  ds::MutexLock lock(threads_mu_);
   const std::uint32_t slot = next_thread_slot_++;
   (void)name;  // kept for debuggers; thread names are advisory
   threads_.emplace_back(std::move(body));
@@ -1066,7 +1065,7 @@ void AddressSpace::JoinThreads() {
   for (;;) {
     std::vector<std::thread> batch;
     {
-      std::lock_guard<std::mutex> lock(threads_mu_);
+      ds::MutexLock lock(threads_mu_);
       if (threads_.empty()) return;
       batch.swap(threads_);
     }
@@ -1077,7 +1076,7 @@ void AddressSpace::JoinThreads() {
 }
 
 std::size_t AddressSpace::live_threads() const {
-  std::lock_guard<std::mutex> lock(threads_mu_);
+  ds::MutexLock lock(threads_mu_);
   return threads_.size();
 }
 

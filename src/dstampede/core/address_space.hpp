@@ -11,11 +11,9 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <unordered_map>
@@ -24,6 +22,7 @@
 
 #include "dstampede/clf/endpoint.hpp"
 #include "dstampede/common/ids.hpp"
+#include "dstampede/common/sync.hpp"
 #include "dstampede/common/thread_pool.hpp"
 #include "dstampede/core/channel.hpp"
 #include "dstampede/core/gc.hpp"
@@ -221,12 +220,15 @@ class AddressSpace {
   explicit AddressSpace(const Options& options);
 
   struct PendingCall {
-    std::mutex mu;
-    std::condition_variable cv;
-    bool done = false;
-    Status status;   // transport-level failure
-    Buffer response; // encoded reply when status.ok()
-    AsId target = kInvalidAsId;  // so peer death can fail it fast
+    // One node for every in-flight call: a thread completing call A
+    // while holding call B's mu would be an ordering bug worth hearing
+    // about, and the shared name keeps the detector graph bounded.
+    ds::Mutex mu{"as.pending_call.mu"};
+    ds::CondVar cv;
+    bool done DS_GUARDED_BY(mu) = false;
+    Status status DS_GUARDED_BY(mu);    // transport-level failure
+    Buffer response DS_GUARDED_BY(mu);  // encoded reply when status.ok()
+    AsId target = kInvalidAsId;  // immutable after Call registers it
   };
 
   // A peer thread's attachment to one of our containers, remembered so
@@ -278,32 +280,46 @@ class AddressSpace {
   std::unique_ptr<GcService> gc_;
   std::unique_ptr<NameServer> name_server_;
 
-  mutable std::mutex peers_mu_;
-  std::unordered_map<std::uint32_t, transport::SockAddr> peers_;
-  std::unordered_map<transport::SockAddr, AsId> peer_by_addr_;
-  std::unordered_set<std::uint32_t> dead_peers_;
+  mutable ds::Mutex peers_mu_{"as.peers_mu"};
+  std::unordered_map<std::uint32_t, transport::SockAddr> peers_
+      DS_GUARDED_BY(peers_mu_);
+  std::unordered_map<transport::SockAddr, AsId> peer_by_addr_
+      DS_GUARDED_BY(peers_mu_);
+  std::unordered_set<std::uint32_t> dead_peers_ DS_GUARDED_BY(peers_mu_);
+  // Set during single-threaded setup (Create/Runtime wiring), read-only
+  // afterwards; deliberately unguarded.
   AsId ns_as_ = kInvalidAsId;
 
-  std::mutex peer_observers_mu_;
-  std::vector<std::function<void(AsId)>> peer_down_observers_;
-  std::vector<std::function<void(AsId)>> peer_up_observers_;
+  // Leaf lock: held only to copy the observer list, never while firing.
+  ds::Mutex peer_observers_mu_{"as.peer_observers_mu"};
+  std::vector<std::function<void(AsId)>> peer_down_observers_
+      DS_GUARDED_BY(peer_observers_mu_);
+  std::vector<std::function<void(AsId)>> peer_up_observers_
+      DS_GUARDED_BY(peer_observers_mu_);
 
-  std::mutex remote_attach_mu_;
+  ds::Mutex remote_attach_mu_{"as.remote_attach_mu"};
   std::unordered_map<std::uint32_t, std::vector<RemoteAttach>>
-      remote_attachments_;
+      remote_attachments_ DS_GUARDED_BY(remote_attach_mu_);
 
-  std::mutex containers_mu_;
-  std::unordered_map<std::uint32_t, std::shared_ptr<LocalChannel>> channels_;
-  std::unordered_map<std::uint32_t, std::shared_ptr<LocalQueue>> queues_;
-  std::uint32_t next_container_slot_ = 1;
+  // May be held while taking a container's own lock (Shutdown closes
+  // every container under it); never while calling into CLF.
+  ds::Mutex containers_mu_{"as.containers_mu"};
+  std::unordered_map<std::uint32_t, std::shared_ptr<LocalChannel>> channels_
+      DS_GUARDED_BY(containers_mu_);
+  std::unordered_map<std::uint32_t, std::shared_ptr<LocalQueue>> queues_
+      DS_GUARDED_BY(containers_mu_);
+  std::uint32_t next_container_slot_ DS_GUARDED_BY(containers_mu_) = 1;
 
-  std::mutex calls_mu_;
-  std::unordered_map<std::uint64_t, std::shared_ptr<PendingCall>> calls_;
+  // Never held while locking a PendingCall's mu (both Call and the
+  // receive/recovery paths release one before taking the other).
+  ds::Mutex calls_mu_{"as.calls_mu"};
+  std::unordered_map<std::uint64_t, std::shared_ptr<PendingCall>> calls_
+      DS_GUARDED_BY(calls_mu_);
   std::atomic<std::uint64_t> next_request_id_{1};
 
-  mutable std::mutex threads_mu_;
-  std::vector<std::thread> threads_;
-  std::uint32_t next_thread_slot_ = 1;
+  mutable ds::Mutex threads_mu_{"as.threads_mu"};
+  std::vector<std::thread> threads_ DS_GUARDED_BY(threads_mu_);
+  std::uint32_t next_thread_slot_ DS_GUARDED_BY(threads_mu_) = 1;
 
   std::atomic<bool> stopping_{false};
   std::thread receiver_;

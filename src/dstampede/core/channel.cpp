@@ -16,7 +16,7 @@ void LocalChannel::ConnState::Compact() {
 }
 
 std::uint32_t LocalChannel::Attach(ConnMode mode, std::string label) {
-  std::lock_guard<std::mutex> lock(mu_);
+  ds::MutexLock lock(mu_);
   const std::uint32_t slot = next_slot_++;
   ConnState state;
   state.mode = mode;
@@ -29,7 +29,7 @@ Status LocalChannel::Detach(std::uint32_t slot) {
   std::vector<std::pair<Timestamp, SharedBuffer>> freed;
   GcHandler handler;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    ds::MutexLock lock(mu_);
     auto it = conns_.find(slot);
     if (it == conns_.end()) return NotFoundError("connection");
     conns_.erase(it);
@@ -55,10 +55,10 @@ bool LocalChannel::IsGarbageLocked(Timestamp ts, std::size_t bytes) const {
 
 void LocalChannel::Close() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    ds::MutexLock lock(mu_);
     closed_ = true;
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
 }
 
 Status LocalChannel::Put(Timestamp ts, SharedBuffer payload,
@@ -66,7 +66,7 @@ Status LocalChannel::Put(Timestamp ts, SharedBuffer payload,
   std::vector<std::pair<Timestamp, SharedBuffer>> freed;
   GcHandler handler;
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    ds::MutexLock lock(mu_);
     if (ts == kInvalidTimestamp) return InvalidArgumentError("bad timestamp");
     for (;;) {
       if (closed_) return CancelledError("channel closed");
@@ -79,12 +79,9 @@ Status LocalChannel::Put(Timestamp ts, SharedBuffer payload,
       if (attr_.capacity_items == 0 || items_.size() < attr_.capacity_items) {
         break;
       }
-      if (deadline.infinite()) {
-        cv_.wait(lock);
-      } else if (cv_.wait_until(lock, deadline.when()) ==
-                 std::cv_status::timeout) {
-        if (attr_.capacity_items != 0 && items_.size() >= attr_.capacity_items)
-          return TimeoutError("channel at capacity");
+      if (!cv_.WaitUntil(mu_, deadline) && attr_.capacity_items != 0 &&
+          items_.size() >= attr_.capacity_items) {
+        return TimeoutError("channel at capacity");
       }
     }
     const std::size_t bytes = payload.size();
@@ -162,7 +159,7 @@ Status LocalChannel::CheckGetPreconditionsLocked(const ConnState& conn,
 
 Result<ItemView> LocalChannel::Get(std::uint32_t slot, GetSpec spec,
                                    Deadline deadline) {
-  std::unique_lock<std::mutex> lock(mu_);
+  ds::MutexLock lock(mu_);
   for (;;) {
     if (closed_) return CancelledError("channel closed");
     auto conn_it = conns_.find(slot);
@@ -173,12 +170,7 @@ Result<ItemView> LocalChannel::Get(std::uint32_t slot, GetSpec spec,
     if (found.ok()) return found;
     // Not available yet: wait for a put (or reclaim that turns the
     // wait into an error).
-    if (deadline.infinite()) {
-      cv_.wait(lock);
-    } else if (cv_.wait_until(lock, deadline.when()) ==
-               std::cv_status::timeout) {
-      return TimeoutError("channel get");
-    }
+    if (!cv_.WaitUntil(mu_, deadline)) return TimeoutError("channel get");
   }
 }
 
@@ -186,7 +178,7 @@ Status LocalChannel::SetFilter(std::uint32_t slot, const ItemFilter& filter) {
   std::vector<std::pair<Timestamp, SharedBuffer>> freed;
   GcHandler handler;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    ds::MutexLock lock(mu_);
     auto it = conns_.find(slot);
     if (it == conns_.end()) return NotFoundError("connection");
     if (!CanInput(it->second.mode)) {
@@ -210,7 +202,7 @@ Status LocalChannel::Consume(std::uint32_t slot, Timestamp ts) {
   std::vector<std::pair<Timestamp, SharedBuffer>> freed;
   GcHandler handler;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    ds::MutexLock lock(mu_);
     auto it = conns_.find(slot);
     if (it == conns_.end()) return NotFoundError("connection");
     ConnState& conn = it->second;
@@ -234,7 +226,7 @@ Status LocalChannel::ConsumeUntil(std::uint32_t slot, Timestamp ts) {
   std::vector<std::pair<Timestamp, SharedBuffer>> freed;
   GcHandler handler;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    ds::MutexLock lock(mu_);
     auto it = conns_.find(slot);
     if (it == conns_.end()) return NotFoundError("connection");
     ConnState& conn = it->second;
@@ -256,7 +248,7 @@ Status LocalChannel::ConsumeUntil(std::uint32_t slot, Timestamp ts) {
 }
 
 void LocalChannel::set_gc_handler(GcHandler handler) {
-  std::lock_guard<std::mutex> lock(mu_);
+  ds::MutexLock lock(mu_);
   gc_handler_ = std::move(handler);
 }
 
@@ -279,7 +271,7 @@ void LocalChannel::ReclaimLocked(
 
 void LocalChannel::FinishReclaim(
     std::vector<std::pair<Timestamp, SharedBuffer>> freed, GcHandler handler) {
-  cv_.notify_all();
+  cv_.NotifyAll();
   if (handler) {
     for (auto& [ts, payload] : freed) handler(ts, payload);
   }
@@ -290,7 +282,7 @@ std::vector<GcNotice> LocalChannel::Sweep(std::uint64_t channel_bits) {
   std::vector<GcNotice> notices;
   GcHandler handler_copy;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    ds::MutexLock lock(mu_);
     ReclaimLocked(freed);
     notices = std::move(pending_notices_);
     pending_notices_.clear();
@@ -302,12 +294,12 @@ std::vector<GcNotice> LocalChannel::Sweep(std::uint64_t channel_bits) {
 }
 
 std::size_t LocalChannel::live_items() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  ds::MutexLock lock(mu_);
   return items_.size();
 }
 
 std::size_t LocalChannel::input_connections() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  ds::MutexLock lock(mu_);
   std::size_t n = 0;
   for (const auto& [slot, conn] : conns_) {
     if (CanInput(conn.mode)) ++n;
@@ -316,7 +308,7 @@ std::size_t LocalChannel::input_connections() const {
 }
 
 Timestamp LocalChannel::newest_timestamp() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  ds::MutexLock lock(mu_);
   return items_.empty() ? kInvalidTimestamp : items_.rbegin()->first;
 }
 

@@ -12,11 +12,9 @@
 // watermark. Reclaimed items are handed to the channel's GC handler.
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <map>
-#include <mutex>
 #include <set>
 #include <string>
 #include <vector>
@@ -24,6 +22,7 @@
 #include "dstampede/common/clock.hpp"
 #include "dstampede/common/ids.hpp"
 #include "dstampede/common/status.hpp"
+#include "dstampede/common/sync.hpp"
 #include "dstampede/core/item.hpp"
 
 namespace dstampede::core {
@@ -85,8 +84,14 @@ class LocalChannel {
   std::size_t live_items() const;
   std::size_t input_connections() const;
   Timestamp newest_timestamp() const;  // kInvalidTimestamp when empty
-  std::uint64_t total_puts() const { return total_puts_; }
-  std::uint64_t total_reclaimed() const { return total_reclaimed_; }
+  std::uint64_t total_puts() const {
+    ds::MutexLock lock(mu_);
+    return total_puts_;
+  }
+  std::uint64_t total_reclaimed() const {
+    ds::MutexLock lock(mu_);
+    return total_reclaimed_;
+  }
 
  private:
   struct ConnState {
@@ -111,32 +116,38 @@ class LocalChannel {
     void Compact();
   };
 
-  bool IsGarbageLocked(Timestamp ts, std::size_t bytes) const;
-  Result<ItemView> SelectLocked(const ConnState& conn, GetSpec spec) const;
+  bool IsGarbageLocked(Timestamp ts, std::size_t bytes) const
+      DS_REQUIRES(mu_);
+  Result<ItemView> SelectLocked(const ConnState& conn, GetSpec spec) const
+      DS_REQUIRES(mu_);
   // True when a Get(spec) could never be satisfied without new puts.
-  Status CheckGetPreconditionsLocked(const ConnState& conn, GetSpec spec) const;
+  Status CheckGetPreconditionsLocked(const ConnState& conn, GetSpec spec) const
+      DS_REQUIRES(mu_);
   // Removes garbage items (all of them, or only those <= up_to when
   // bounded), queues notices, collects freed payloads for the handler.
-  void ReclaimLocked(std::vector<std::pair<Timestamp, SharedBuffer>>& freed);
+  void ReclaimLocked(std::vector<std::pair<Timestamp, SharedBuffer>>& freed)
+      DS_REQUIRES(mu_);
   // Post-mutation tail shared by Consume/ConsumeUntil/Detach: runs the
-  // GC handler outside the lock and wakes waiters.
+  // GC handler outside the lock (a handler may call back into the
+  // channel) and wakes waiters.
   void FinishReclaim(std::vector<std::pair<Timestamp, SharedBuffer>> freed,
-                     GcHandler handler);
+                     GcHandler handler) DS_EXCLUDES(mu_);
 
   ChannelAttr attr_;
-  mutable std::mutex mu_;
-  std::condition_variable cv_;  // signalled on put/consume/reclaim/detach
+  mutable ds::Mutex mu_{"channel.mu"};
+  ds::CondVar cv_;  // signalled on put/consume/reclaim/detach
 
-  bool closed_ = false;
-  std::map<Timestamp, SharedBuffer> items_;
-  std::map<std::uint32_t, ConnState> conns_;
-  std::uint32_t next_slot_ = 1;
-  Timestamp max_reclaimed_ = kInvalidTimestamp;
+  bool closed_ DS_GUARDED_BY(mu_) = false;
+  std::map<Timestamp, SharedBuffer> items_ DS_GUARDED_BY(mu_);
+  std::map<std::uint32_t, ConnState> conns_ DS_GUARDED_BY(mu_);
+  std::uint32_t next_slot_ DS_GUARDED_BY(mu_) = 1;
+  Timestamp max_reclaimed_ DS_GUARDED_BY(mu_) = kInvalidTimestamp;
 
-  GcHandler gc_handler_;
-  std::vector<GcNotice> pending_notices_;  // drained by Sweep
-  std::uint64_t total_puts_ = 0;
-  std::uint64_t total_reclaimed_ = 0;
+  GcHandler gc_handler_ DS_GUARDED_BY(mu_);
+  // Drained by Sweep.
+  std::vector<GcNotice> pending_notices_ DS_GUARDED_BY(mu_);
+  std::uint64_t total_puts_ DS_GUARDED_BY(mu_) = 0;
+  std::uint64_t total_reclaimed_ DS_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace dstampede::core

@@ -74,7 +74,7 @@ Result<std::unique_ptr<Federation>> Federation::Create(
 void Federation::NotePeerDown(AsId dead) {
   const std::uint32_t index = AsIndex(dead);
   const std::size_t cluster = index / options_.as_id_stride;
-  std::lock_guard<std::mutex> lock(down_mu_);
+  ds::MutexLock lock(down_mu_);
   if (cluster >= down_.size()) return;
   down_[cluster].insert(index % options_.as_id_stride);
 }
@@ -82,20 +82,20 @@ void Federation::NotePeerDown(AsId dead) {
 void Federation::NotePeerUp(AsId alive) {
   const std::uint32_t index = AsIndex(alive);
   const std::size_t cluster = index / options_.as_id_stride;
-  std::lock_guard<std::mutex> lock(down_mu_);
+  ds::MutexLock lock(down_mu_);
   if (cluster >= down_.size()) return;
   down_[cluster].erase(index % options_.as_id_stride);
 }
 
 bool Federation::IsClusterDown(std::size_t i) const {
   if (i >= clusters_.size()) return false;
-  std::lock_guard<std::mutex> lock(down_mu_);
+  ds::MutexLock lock(down_mu_);
   return down_[i].size() >= clusters_[i]->size();
 }
 
 std::size_t Federation::DeadSpacesIn(std::size_t i) const {
   if (i >= clusters_.size()) return 0;
-  std::lock_guard<std::mutex> lock(down_mu_);
+  ds::MutexLock lock(down_mu_);
   return down_[i].size();
 }
 

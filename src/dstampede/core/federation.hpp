@@ -20,10 +20,10 @@
 #pragma once
 
 #include <memory>
-#include <mutex>
 #include <set>
 #include <vector>
 
+#include "dstampede/common/sync.hpp"
 #include "dstampede/core/runtime.hpp"
 
 namespace dstampede::core {
@@ -90,8 +90,8 @@ class Federation {
   // Dead-peer bookkeeping, fed by every address space's PeerDown and
   // PeerUp observers (cluster index -> set of dead AS indices within
   // it; a revived incarnation is erased again).
-  mutable std::mutex down_mu_;
-  std::vector<std::set<std::uint32_t>> down_;
+  mutable ds::Mutex down_mu_{"federation.down_mu"};
+  std::vector<std::set<std::uint32_t>> down_ DS_GUARDED_BY(down_mu_);
 };
 
 }  // namespace dstampede::core

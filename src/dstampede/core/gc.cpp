@@ -4,35 +4,35 @@ namespace dstampede::core {
 
 void GcService::RegisterChannel(std::uint64_t bits,
                                 std::shared_ptr<LocalChannel> ch) {
-  std::lock_guard<std::mutex> lock(mu_);
+  ds::MutexLock lock(mu_);
   channels_[bits] = std::move(ch);
 }
 
 void GcService::UnregisterChannel(std::uint64_t bits) {
-  std::lock_guard<std::mutex> lock(mu_);
+  ds::MutexLock lock(mu_);
   channels_.erase(bits);
 }
 
 void GcService::RegisterQueue(std::uint64_t bits,
                               std::shared_ptr<LocalQueue> q) {
-  std::lock_guard<std::mutex> lock(mu_);
+  ds::MutexLock lock(mu_);
   queues_[bits] = std::move(q);
 }
 
 void GcService::UnregisterQueue(std::uint64_t bits) {
-  std::lock_guard<std::mutex> lock(mu_);
+  ds::MutexLock lock(mu_);
   queues_.erase(bits);
 }
 
 std::uint64_t GcService::AddSink(NoticeSink sink) {
-  std::lock_guard<std::mutex> lock(mu_);
+  ds::MutexLock lock(mu_);
   const std::uint64_t token = next_sink_token_++;
   sinks_[token] = std::move(sink);
   return token;
 }
 
 void GcService::RemoveSink(std::uint64_t token) {
-  std::lock_guard<std::mutex> lock(mu_);
+  ds::MutexLock lock(mu_);
   sinks_.erase(token);
 }
 
@@ -42,7 +42,7 @@ std::vector<GcNotice> GcService::SweepOnce() {
   std::vector<std::pair<std::uint64_t, std::shared_ptr<LocalChannel>>> chans;
   std::vector<std::pair<std::uint64_t, std::shared_ptr<LocalQueue>>> queues;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    ds::MutexLock lock(mu_);
     chans.assign(channels_.begin(), channels_.end());
     queues.assign(queues_.begin(), queues_.end());
   }
@@ -62,7 +62,7 @@ std::vector<GcNotice> GcService::SweepOnce() {
     notices_total_.fetch_add(all.size(), std::memory_order_relaxed);
     std::vector<NoticeSink> sink_copies;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      ds::MutexLock lock(mu_);
       sink_copies.reserve(sinks_.size());
       for (auto& [token, sink] : sinks_) sink_copies.push_back(sink);
     }

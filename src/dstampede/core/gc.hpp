@@ -11,12 +11,12 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <unordered_map>
 #include <vector>
 
 #include "dstampede/common/clock.hpp"
+#include "dstampede/common/sync.hpp"
 #include "dstampede/core/channel.hpp"
 #include "dstampede/core/queue.hpp"
 
@@ -56,11 +56,15 @@ class GcService {
   void Loop();
 
   Duration interval_;
-  std::mutex mu_;
-  std::unordered_map<std::uint64_t, std::shared_ptr<LocalChannel>> channels_;
-  std::unordered_map<std::uint64_t, std::shared_ptr<LocalQueue>> queues_;
-  std::unordered_map<std::uint64_t, NoticeSink> sinks_;
-  std::uint64_t next_sink_token_ = 1;
+  // Never held while calling into a container's Sweep or a sink: both
+  // may call back into this service (see SweepOnce).
+  ds::Mutex mu_{"gc_service.mu"};
+  std::unordered_map<std::uint64_t, std::shared_ptr<LocalChannel>> channels_
+      DS_GUARDED_BY(mu_);
+  std::unordered_map<std::uint64_t, std::shared_ptr<LocalQueue>> queues_
+      DS_GUARDED_BY(mu_);
+  std::unordered_map<std::uint64_t, NoticeSink> sinks_ DS_GUARDED_BY(mu_);
+  std::uint64_t next_sink_token_ DS_GUARDED_BY(mu_) = 1;
 
   std::atomic<bool> running_{false};
   std::atomic<std::uint64_t> sweeps_{0};

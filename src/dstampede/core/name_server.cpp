@@ -6,39 +6,37 @@ namespace dstampede::core {
 
 Status NameServer::Register(const NsEntry& entry) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    ds::MutexLock lock(mu_);
     if (entry.name.empty()) return InvalidArgumentError("empty name");
     auto [it, inserted] = entries_.emplace(entry.name, entry);
     (void)it;
     if (!inserted) return AlreadyExistsError("name registered: " + entry.name);
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
   return OkStatus();
 }
 
 Status NameServer::Unregister(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  ds::MutexLock lock(mu_);
   if (entries_.erase(name) == 0) return NotFoundError("name: " + name);
   return OkStatus();
 }
 
 Result<NsEntry> NameServer::Lookup(const std::string& name,
                                    Deadline deadline) {
-  std::unique_lock<std::mutex> lock(mu_);
+  ds::MutexLock lock(mu_);
   for (;;) {
     auto it = entries_.find(name);
     if (it != entries_.end()) return it->second;
-    if (deadline.infinite()) {
-      cv_.wait(lock);
-    } else {
-      if (deadline.expired()) return NotFoundError("name: " + name);
-      cv_.wait_until(lock, deadline.when());
+    if (!deadline.infinite() && deadline.expired()) {
+      return NotFoundError("name: " + name);
     }
+    cv_.WaitUntil(mu_, deadline);
   }
 }
 
 std::vector<NsEntry> NameServer::List(const std::string& prefix) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  ds::MutexLock lock(mu_);
   std::vector<NsEntry> out;
   for (const auto& [name, entry] : entries_) {
     if (name.compare(0, prefix.size(), prefix) == 0) out.push_back(entry);
@@ -47,7 +45,7 @@ std::vector<NsEntry> NameServer::List(const std::string& prefix) const {
 }
 
 std::size_t NameServer::PurgeOwner(AsId owner) {
-  std::lock_guard<std::mutex> lock(mu_);
+  ds::MutexLock lock(mu_);
   std::size_t purged = 0;
   for (auto it = entries_.begin(); it != entries_.end();) {
     if (it->second.owner_as == owner) {
@@ -61,13 +59,13 @@ std::size_t NameServer::PurgeOwner(AsId owner) {
 }
 
 std::size_t NameServer::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  ds::MutexLock lock(mu_);
   return entries_.size();
 }
 
 Status NameServer::PutSession(const SessionRecord& record) {
   if (record.session_id == 0) return InvalidArgumentError("session id 0");
-  std::lock_guard<std::mutex> lock(mu_);
+  ds::MutexLock lock(mu_);
   auto [it, inserted] = sessions_.emplace(record.session_id, record);
   if (!inserted) {
     // Upsert, but never let a stale mirror rewind the ticket high-water
@@ -81,7 +79,7 @@ Status NameServer::PutSession(const SessionRecord& record) {
 }
 
 Result<SessionRecord> NameServer::GetSession(std::uint64_t session_id) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  ds::MutexLock lock(mu_);
   auto it = sessions_.find(session_id);
   if (it == sessions_.end())
     return NotFoundError("session: " + std::to_string(session_id));
@@ -89,7 +87,7 @@ Result<SessionRecord> NameServer::GetSession(std::uint64_t session_id) const {
 }
 
 Status NameServer::DropSession(std::uint64_t session_id) {
-  std::lock_guard<std::mutex> lock(mu_);
+  ds::MutexLock lock(mu_);
   if (sessions_.erase(session_id) == 0)
     return NotFoundError("session: " + std::to_string(session_id));
   return OkStatus();
@@ -97,7 +95,7 @@ Status NameServer::DropSession(std::uint64_t session_id) {
 
 Status NameServer::TickSession(std::uint64_t session_id,
                                std::uint64_t ticket) {
-  std::lock_guard<std::mutex> lock(mu_);
+  ds::MutexLock lock(mu_);
   auto it = sessions_.find(session_id);
   if (it == sessions_.end())
     return NotFoundError("session: " + std::to_string(session_id));
@@ -107,7 +105,7 @@ Status NameServer::TickSession(std::uint64_t session_id,
 }
 
 std::size_t NameServer::session_count() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  ds::MutexLock lock(mu_);
   return sessions_.size();
 }
 

@@ -6,14 +6,13 @@
 // (and through the client protocol from end devices).
 #pragma once
 
-#include <condition_variable>
 #include <map>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "dstampede/common/clock.hpp"
 #include "dstampede/common/status.hpp"
+#include "dstampede/common/sync.hpp"
 #include "dstampede/core/item.hpp"
 
 namespace dstampede::core {
@@ -57,10 +56,10 @@ class NameServer {
   std::size_t session_count() const;
 
  private:
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::map<std::string, NsEntry> entries_;
-  std::map<std::uint64_t, SessionRecord> sessions_;
+  mutable ds::Mutex mu_{"name_server.mu"};
+  ds::CondVar cv_;  // signalled on Register (Lookup blocks on it)
+  std::map<std::string, NsEntry> entries_ DS_GUARDED_BY(mu_);
+  std::map<std::uint64_t, SessionRecord> sessions_ DS_GUARDED_BY(mu_);
 };
 
 }  // namespace dstampede::core

@@ -5,7 +5,7 @@
 namespace dstampede::core {
 
 std::uint32_t LocalQueue::Attach(ConnMode mode, std::string label) {
-  std::lock_guard<std::mutex> lock(mu_);
+  ds::MutexLock lock(mu_);
   const std::uint32_t slot = next_slot_++;
   conns_.emplace(slot, ConnState{mode, std::move(label), {}});
   return slot;
@@ -13,7 +13,7 @@ std::uint32_t LocalQueue::Attach(ConnMode mode, std::string label) {
 
 Status LocalQueue::Detach(std::uint32_t slot) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    ds::MutexLock lock(mu_);
     auto it = conns_.find(slot);
     if (it == conns_.end()) return NotFoundError("connection");
     // Return unconsumed in-flight items to the queue head, in original
@@ -26,40 +26,35 @@ Status LocalQueue::Detach(std::uint32_t slot) {
     }
     conns_.erase(it);
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
   return OkStatus();
 }
 
 void LocalQueue::Close() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    ds::MutexLock lock(mu_);
     closed_ = true;
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
 }
 
 Status LocalQueue::Put(Timestamp ts, SharedBuffer payload, Deadline deadline) {
-  std::unique_lock<std::mutex> lock(mu_);
+  ds::MutexLock lock(mu_);
   if (ts == kInvalidTimestamp) return InvalidArgumentError("bad timestamp");
   if (closed_) return CancelledError("queue closed");
   while (attr_.capacity_items != 0 && items_.size() >= attr_.capacity_items) {
     if (closed_) return CancelledError("queue closed");
-    if (deadline.infinite()) {
-      cv_.wait(lock);
-    } else if (cv_.wait_until(lock, deadline.when()) ==
-               std::cv_status::timeout) {
-      return TimeoutError("queue at capacity");
-    }
+    if (!cv_.WaitUntil(mu_, deadline)) return TimeoutError("queue at capacity");
   }
   items_.push_back(Entry{ts, std::move(payload), next_order_++});
   ++total_puts_;
-  lock.unlock();
-  cv_.notify_all();
+  lock.Unlock();
+  cv_.NotifyAll();
   return OkStatus();
 }
 
 Result<ItemView> LocalQueue::Get(std::uint32_t slot, Deadline deadline) {
-  std::unique_lock<std::mutex> lock(mu_);
+  ds::MutexLock lock(mu_);
   for (;;) {
     if (closed_) return CancelledError("queue closed");
     auto it = conns_.find(slot);
@@ -72,16 +67,11 @@ Result<ItemView> LocalQueue::Get(std::uint32_t slot, Deadline deadline) {
       items_.pop_front();
       ItemView view{entry.ts, entry.payload};
       it->second.in_flight.push_back(std::move(entry));
-      lock.unlock();
-      cv_.notify_all();  // a put may be waiting on capacity
+      lock.Unlock();
+      cv_.NotifyAll();  // a put may be waiting on capacity
       return view;
     }
-    if (deadline.infinite()) {
-      cv_.wait(lock);
-    } else if (cv_.wait_until(lock, deadline.when()) ==
-               std::cv_status::timeout) {
-      return TimeoutError("queue get");
-    }
+    if (!cv_.WaitUntil(mu_, deadline)) return TimeoutError("queue get");
   }
 }
 
@@ -90,7 +80,7 @@ Status LocalQueue::Consume(std::uint32_t slot, Timestamp ts) {
   Timestamp freed_ts = kInvalidTimestamp;
   SharedBuffer freed_payload;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    ds::MutexLock lock(mu_);
     auto it = conns_.find(slot);
     if (it == conns_.end()) return NotFoundError("connection");
     auto& in_flight = it->second.in_flight;
@@ -113,12 +103,12 @@ Status LocalQueue::Consume(std::uint32_t slot, Timestamp ts) {
 }
 
 void LocalQueue::set_gc_handler(GcHandler handler) {
-  std::lock_guard<std::mutex> lock(mu_);
+  ds::MutexLock lock(mu_);
   gc_handler_ = std::move(handler);
 }
 
 std::vector<GcNotice> LocalQueue::Sweep(std::uint64_t queue_bits) {
-  std::lock_guard<std::mutex> lock(mu_);
+  ds::MutexLock lock(mu_);
   std::vector<GcNotice> out = std::move(pending_notices_);
   pending_notices_.clear();
   for (auto& notice : out) notice.container_bits = queue_bits;
@@ -126,12 +116,12 @@ std::vector<GcNotice> LocalQueue::Sweep(std::uint64_t queue_bits) {
 }
 
 std::size_t LocalQueue::queued_items() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  ds::MutexLock lock(mu_);
   return items_.size();
 }
 
 std::size_t LocalQueue::in_flight_items() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  ds::MutexLock lock(mu_);
   std::size_t n = 0;
   for (const auto& [slot, conn] : conns_) n += conn.in_flight.size();
   return n;

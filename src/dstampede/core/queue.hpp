@@ -12,18 +12,17 @@
 // when a worker leaves (dynamic start/stop).
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <map>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "dstampede/common/clock.hpp"
 #include "dstampede/common/ids.hpp"
 #include "dstampede/common/status.hpp"
+#include "dstampede/common/sync.hpp"
 #include "dstampede/core/channel.hpp"  // GcHandler
 #include "dstampede/core/item.hpp"
 
@@ -61,8 +60,14 @@ class LocalQueue {
 
   std::size_t queued_items() const;
   std::size_t in_flight_items() const;
-  std::uint64_t total_puts() const { return total_puts_; }
-  std::uint64_t total_consumed() const { return total_consumed_; }
+  std::uint64_t total_puts() const {
+    ds::MutexLock lock(mu_);
+    return total_puts_;
+  }
+  std::uint64_t total_consumed() const {
+    ds::MutexLock lock(mu_);
+    return total_consumed_;
+  }
 
  private:
   struct Entry {
@@ -77,19 +82,19 @@ class LocalQueue {
   };
 
   QueueAttr attr_;
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
+  mutable ds::Mutex mu_{"queue.mu"};
+  ds::CondVar cv_;
 
-  bool closed_ = false;
-  std::deque<Entry> items_;
-  std::map<std::uint32_t, ConnState> conns_;
-  std::uint32_t next_slot_ = 1;
-  std::uint64_t next_order_ = 0;
+  bool closed_ DS_GUARDED_BY(mu_) = false;
+  std::deque<Entry> items_ DS_GUARDED_BY(mu_);
+  std::map<std::uint32_t, ConnState> conns_ DS_GUARDED_BY(mu_);
+  std::uint32_t next_slot_ DS_GUARDED_BY(mu_) = 1;
+  std::uint64_t next_order_ DS_GUARDED_BY(mu_) = 0;
 
-  GcHandler gc_handler_;
-  std::vector<GcNotice> pending_notices_;
-  std::uint64_t total_puts_ = 0;
-  std::uint64_t total_consumed_ = 0;
+  GcHandler gc_handler_ DS_GUARDED_BY(mu_);
+  std::vector<GcNotice> pending_notices_ DS_GUARDED_BY(mu_);
+  std::uint64_t total_puts_ DS_GUARDED_BY(mu_) = 0;
+  std::uint64_t total_consumed_ DS_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace dstampede::core

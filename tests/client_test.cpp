@@ -7,6 +7,7 @@
 
 #include "dstampede/client/java_client.hpp"
 #include "dstampede/client/listener.hpp"
+#include "dstampede/common/sync.hpp"
 #include "dstampede/core/runtime.hpp"
 
 namespace dstampede::client {
@@ -639,6 +640,108 @@ TEST_F(ResilienceTest, ResumeOfEndedOrUnknownSessionReportsNotFound) {
   EXPECT_EQ(try_resume(ended_session), StatusCode::kNotFound);
   // A session id that never existed has no registry record either.
   EXPECT_EQ(try_resume(0xdeadbeefULL), StatusCode::kNotFound);
+}
+
+TEST_F(ResilienceTest, GcNoticeReentrancySurvivesTheDeadlockDetector) {
+  // Regression for the Resume-reply deadlock fixed in the resilience
+  // PR: GC notices arriving on a Resume reply are deferred until
+  // client.mu is released, so a handler that re-enters the client must
+  // not deadlock. Run the whole scenario with the runtime lock-order /
+  // blocking-while-locked detector armed: a regression (dispatching
+  // under the lock) shows up as a re-entrant-acquisition abort instead
+  // of a silent hang.
+  sync::SetDeadlockDetectionForTesting(true);
+  struct DetectorOff {
+    ~DetectorOff() { sync::SetDeadlockDetectionForTesting(false); }
+  } detector_off;
+
+  Start();
+  auto client = JoinC();
+  auto ch = client->CreateChannel();
+  ASSERT_TRUE(ch.ok()) << ch.status();
+
+  std::atomic<int> notices{0};
+  std::atomic<int> reentered{0};
+  CClient* raw = client.get();
+  ASSERT_TRUE(client
+                  ->SetGcHandler(ch->bits(), /*is_queue=*/false,
+                                 [&, raw](const core::GcNotice&) {
+                                   ++notices;
+                                   // Re-enter the client mid-dispatch.
+                                   if (raw->NsList("").ok()) ++reentered;
+                                 })
+                  .ok());
+  auto out = client->Connect(*ch, ConnMode::kOutput);
+  auto in = client->Connect(*ch, ConnMode::kInput);
+  ASSERT_TRUE(out.ok());
+  ASSERT_TRUE(in.ok());
+  ASSERT_TRUE(client->Put(*out, 1, Bytes("x")).ok());
+  ASSERT_TRUE(client->Consume(*in, 1).ok());
+
+  // Let the owner's GC sweep deliver the notice to the surrogate's
+  // pending set while the client makes no calls, then kill the link:
+  // the notice rides back on the Resume reply (the deferred-dispatch
+  // path) rather than a normal call's trailer.
+  std::this_thread::sleep_for(Millis(100));
+  edge_faults_.ArmConnectionKill(1,
+                                 clf::FaultInjector::KillPoint::kBeforeExecute);
+  for (int i = 0; i < 100 && notices.load() == 0; ++i) {
+    (void)client->NsList("");
+    std::this_thread::sleep_for(Millis(10));
+  }
+  EXPECT_GE(notices.load(), 1);
+  EXPECT_EQ(reentered.load(), notices.load());
+  EXPECT_GE(client->reconnects(), 1u);
+}
+
+TEST_F(ResilienceTest, ResumeThroughADifferentListenerAfterListenerDeath) {
+  // Two listeners over the same cluster. The session is created through
+  // the first; killing that listener must not kill the session — the
+  // client's reconnect tries its alternate server and the second
+  // listener rehydrates the session from the shared registry, even
+  // though it never saw this device before.
+  Start();
+  auto second = Listener::Start(*rt_, Listener::Options{});
+  ASSERT_TRUE(second.ok()) << second.status();
+
+  CClient::Options opts;
+  opts.server = listener_->addr();
+  opts.alternate_servers = {(*second)->addr()};
+  auto joined = CClient::Join(opts);
+  ASSERT_TRUE(joined.ok()) << joined.status();
+  auto client = std::move(joined).value();
+
+  auto q = client->CreateQueue();
+  ASSERT_TRUE(q.ok()) << q.status();
+  auto out = client->Connect(*q, ConnMode::kOutput);
+  auto in = client->Connect(*q, ConnMode::kInput);
+  ASSERT_TRUE(out.ok());
+  ASSERT_TRUE(in.ok());
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(client->Put(*out, i, Bytes("item-" + std::to_string(i))).ok());
+  }
+
+  // Kill the listener that owns the session's surrogate. The cluster
+  // (every address space) stays alive — only the front door dies.
+  listener_->Shutdown();
+
+  for (int i = 5; i < 10; ++i) {
+    Status s = client->Put(*out, i, Bytes("item-" + std::to_string(i)));
+    ASSERT_TRUE(s.ok()) << "put " << i << " after listener death: " << s;
+  }
+  EXPECT_GE(client->reconnects(), 1u);
+  EXPECT_EQ((*second)->sessions_migrated(), 1u)
+      << "the second listener must have rehydrated the session";
+
+  // Exactly-once, in order, across the listener failover.
+  for (int i = 0; i < 10; ++i) {
+    auto item = client->Get(*in, Deadline::AfterMillis(5000));
+    ASSERT_TRUE(item.ok()) << item.status();
+    EXPECT_EQ(item->payload.ToString(), "item-" + std::to_string(i));
+  }
+  EXPECT_EQ(client->Get(*in, Deadline::AfterMillis(100)).status().code(),
+            StatusCode::kTimeout);
+  (*second)->Shutdown();
 }
 
 TEST_F(ResilienceTest, ListenerAdvertisesItselfInNameServer) {
