@@ -4,8 +4,12 @@
 //      bound that keeps producers from flooding a pipeline; too small
 //      serializes the stages, unbounded hides overload;
 //   B. dispatcher pool width (AddressSpace::Options::dispatcher_threads)
-//      — blocking remote gets occupy a worker each, so width bounds the
-//      number of simultaneously parked remote waiters;
+//      vs parked remote getters — historically a blocking remote get
+//      occupied a worker each, so width bounded the number of
+//      simultaneously parked waiters (the liveness cliff). Blocking ops
+//      now suspend into continuation waiters, so the sweep drives the
+//      waiter count far past the pool width and expects every cell to
+//      flow;
 //   C. the CLF shared-memory fast path vs the UDP path, measured at the
 //      application level (the micro-level comparison lives in
 //      bench_micro_ops);
@@ -17,6 +21,9 @@
 // Each table reports sustained relay throughput: producer in AS0 puts
 // S-byte items into a channel owned by AS1, a consumer thread gets and
 // consumes them in timestamp order.
+//
+// Besides the printed tables, every row is appended to
+// BENCH_ablation.json so sweeps can be diffed across revisions.
 #include <thread>
 
 #include "bench_util.hpp"
@@ -30,6 +37,42 @@ struct RelayResult {
   double items_per_sec = 0;
   double mbytes_per_sec = 0;
 };
+
+// One machine-readable result row, mirrored into BENCH_ablation.json.
+struct JsonRow {
+  std::string ablation;
+  std::string parameter;
+  std::string outcome;
+  double elapsed_ms = 0;
+};
+
+std::vector<JsonRow> g_rows;
+
+void Record(std::string ablation, std::string parameter, std::string outcome,
+            double elapsed_ms) {
+  g_rows.push_back(JsonRow{std::move(ablation), std::move(parameter),
+                           std::move(outcome), elapsed_ms});
+}
+
+void WriteJson(const char* path) {
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path);
+    return;
+  }
+  std::fprintf(f, "[\n");
+  for (std::size_t i = 0; i < g_rows.size(); ++i) {
+    const JsonRow& row = g_rows[i];
+    std::fprintf(f,
+                 "  {\"ablation\": \"%s\", \"parameter\": \"%s\", "
+                 "\"outcome\": \"%s\", \"elapsed_ms\": %.1f}%s\n",
+                 row.ablation.c_str(), row.parameter.c_str(),
+                 row.outcome.c_str(), row.elapsed_ms,
+                 i + 1 < g_rows.size() ? "," : "");
+  }
+  std::fprintf(f, "]\n");
+  std::fclose(f);
+}
 
 // Runs one producer->channel->consumer relay and reports throughput.
 RelayResult RunRelay(core::Runtime& rt, std::size_t payload_bytes,
@@ -89,7 +132,11 @@ int main() {
                                std::size_t{16}, std::size_t{64},
                                std::size_t{0} /* unbounded */}) {
     auto rt = MakeRuntime(8, /*shm_fastpath=*/false);
+    const TimePoint start = Now();
     RelayResult r = RunRelay(*rt, 64 * 1024, items, capacity);
+    const double ms = static_cast<double>(ToMicros(Now() - start)) / 1e3;
+    const std::string label =
+        capacity == 0 ? "unbounded" : ("capacity=" + std::to_string(capacity));
     if (capacity == 0) {
       std::printf("%10s %14.0f %10.1f\n", "unbounded", r.items_per_sec,
                   r.mbytes_per_sec);
@@ -97,52 +144,78 @@ int main() {
       std::printf("%10zu %14.0f %10.1f\n", capacity, r.items_per_sec,
                   r.mbytes_per_sec);
     }
+    char outcome[64];
+    std::snprintf(outcome, sizeof(outcome), "%.0f items/s", r.items_per_sec);
+    Record("A:backpressure_depth", label, outcome, ms);
     rt->Shutdown();
   }
 
-  // Every blocking remote get parks one dispatcher worker at the owner
-  // until its item arrives. If parked waiters exhaust the pool, the
-  // puts that would satisfy them cannot be processed: the pipeline
-  // stalls until the get deadlines expire. Width must exceed the number
-  // of concurrently parked waiters — this run demonstrates the cliff.
-  std::printf("\n# Ablation B: dispatcher pool width vs 4 parked remote "
-              "getters (liveness cliff)\n");
-  std::printf("%10s %12s %12s\n", "width", "outcome", "elapsed_ms");
-  for (std::size_t width : {std::size_t{2}, std::size_t{4}, std::size_t{5},
-                            std::size_t{8}, std::size_t{16}}) {
-    auto rt = MakeRuntime(width, /*shm_fastpath=*/false);
-    constexpr int kWaiters = 4;
-    std::vector<ChannelId> channels;
-    for (int p = 0; p < kWaiters; ++p) {
+  // Historically every blocking remote get parked one dispatcher worker
+  // at the owner until its item arrived, so parked waiters past the pool
+  // width deadlocked the pipeline until the get deadlines expired (the
+  // liveness cliff). Blocking ops now suspend into continuation waiters
+  // and free the worker, so the sweep drives the waiter count far past
+  // the width — including 256 waiters against a width-2 pool — and every
+  // cell must flow. While the waiters are parked a fresh Attach is timed
+  // as a starvation probe: it must complete promptly even though
+  // hundreds of gets are outstanding.
+  std::printf("\n# Ablation B: parked remote getters vs dispatcher width "
+              "(liveness cliff, now removed)\n");
+  std::printf("%10s %10s %12s %12s %12s\n", "width", "waiters", "outcome",
+              "elapsed_ms", "attach_ms");
+  for (std::size_t width : {std::size_t{2}, std::size_t{4}, std::size_t{8}}) {
+    for (int waiters_n : {4, 64, 256}) {
+      auto rt = MakeRuntime(width, /*shm_fastpath=*/false);
+      // All getters share one channel, each waiting on its own
+      // timestamp, so the sweep scales without hundreds of containers.
       auto ch = rt->as(1).CreateChannel();
       if (!ch.ok()) bench::Die(ch.status(), "channel");
-      channels.push_back(*ch);
-    }
-    std::atomic<int> satisfied{0};
-    std::vector<std::thread> waiters;
-    const TimePoint start = Now();
-    for (int p = 0; p < kWaiters; ++p) {
-      waiters.emplace_back([&, p] {
-        auto in = rt->as(0).Connect(channels[p], core::ConnMode::kInput);
-        if (!in.ok()) bench::Die(in.status(), "connect");
-        // Parks a worker at AS1 until the producer's put lands.
-        auto item = rt->as(0).Get(*in, core::GetSpec::Exact(0),
-                                  Deadline::AfterMillis(2000));
-        if (item.ok()) satisfied.fetch_add(1);
-      });
-    }
-    std::this_thread::sleep_for(Millis(200));  // let all four park
-    for (int p = 0; p < kWaiters; ++p) {
-      auto out = rt->as(0).Connect(channels[p], core::ConnMode::kOutput);
+      std::atomic<int> satisfied{0};
+      std::vector<std::thread> waiters;
+      waiters.reserve(static_cast<std::size_t>(waiters_n));
+      const TimePoint start = Now();
+      for (int p = 0; p < waiters_n; ++p) {
+        waiters.emplace_back([&, p] {
+          auto in = rt->as(0).Connect(*ch, core::ConnMode::kInput);
+          if (!in.ok()) bench::Die(in.status(), "connect");
+          auto item = rt->as(0).Get(*in, core::GetSpec::Exact(p),
+                                    Deadline::AfterMillis(30000));
+          if (item.ok()) {
+            DS_BENCH_CHECK(rt->as(0).Consume(*in, p), "consume");
+            satisfied.fetch_add(1);
+          }
+        });
+      }
+      // Wait until every get is parked at the owner (not just sent).
+      auto owned = rt->as(1).FindChannel(ch->bits());
+      while (owned->parked_get_waiters() <
+             static_cast<std::size_t>(waiters_n)) {
+        std::this_thread::sleep_for(Millis(5));
+      }
+      // Starvation probe: a control-plane op through the same pool.
+      const TimePoint attach_start = Now();
+      auto probe = rt->as(0).Connect(*ch, core::ConnMode::kInputOutput);
+      if (!probe.ok()) bench::Die(probe.status(), "probe attach");
+      const double attach_ms =
+          static_cast<double>(ToMicros(Now() - attach_start)) / 1e3;
+      auto out = rt->as(0).Connect(*ch, core::ConnMode::kOutput);
       if (!out.ok()) bench::Die(out.status(), "connect out");
-      // With the pool exhausted this put waits behind the parked gets.
-      (void)rt->as(0).Put(*out, 0, Buffer(1024), Deadline::AfterMillis(2500));
+      for (int p = 0; p < waiters_n; ++p) {
+        DS_BENCH_CHECK(
+            rt->as(0).Put(*out, p, Buffer(1024), Deadline::AfterMillis(30000)),
+            "put");
+      }
+      for (auto& t : waiters) t.join();
+      const double ms = static_cast<double>(ToMicros(Now() - start)) / 1e3;
+      const bool flows = satisfied.load() == waiters_n;
+      std::printf("%10zu %10d %12s %12.0f %12.1f\n", width, waiters_n,
+                  flows ? "flows" : "STALLS", ms, attach_ms);
+      char param[64];
+      std::snprintf(param, sizeof(param), "width=%zu waiters=%d", width,
+                    waiters_n);
+      Record("B:dispatcher_width", param, flows ? "flows" : "STALLS", ms);
+      rt->Shutdown();
     }
-    for (auto& t : waiters) t.join();
-    const double ms = static_cast<double>(ToMicros(Now() - start)) / 1e3;
-    std::printf("%10zu %12s %12.0f\n", width,
-                satisfied.load() == kWaiters ? "flows" : "STALLS", ms);
-    rt->Shutdown();
   }
 
   std::printf("\n# Ablation C: CLF transport path, 256 KB items "
@@ -150,9 +223,14 @@ int main() {
   std::printf("%10s %14s %10s\n", "path", "items_per_sec", "MB_per_sec");
   for (bool shm : {false, true}) {
     auto rt = MakeRuntime(8, shm);
+    const TimePoint start = Now();
     RelayResult r = RunRelay(*rt, 256 * 1024, items / 2, /*capacity=*/16);
+    const double ms = static_cast<double>(ToMicros(Now() - start)) / 1e3;
     std::printf("%10s %14.0f %10.1f\n", shm ? "shm" : "udp", r.items_per_sec,
                 r.mbytes_per_sec);
+    char outcome[64];
+    std::snprintf(outcome, sizeof(outcome), "%.0f items/s", r.items_per_sec);
+    Record("C:clf_path", shm ? "shm" : "udp", outcome, ms);
     rt->Shutdown();
   }
 
@@ -194,7 +272,14 @@ int main() {
                 observed == StatusCode::kUnavailable ? "unavailable"
                                                      : "UNEXPECTED",
                 detect_ms);
+    char param[64];
+    std::snprintf(param, sizeof(param), "peer_timeout_ms=%ld", timeout_ms);
+    Record("D:failure_detection", param,
+           observed == StatusCode::kUnavailable ? "unavailable" : "UNEXPECTED",
+           detect_ms);
     (*rt)->Shutdown();
   }
+
+  WriteJson("BENCH_ablation.json");
   return 0;
 }

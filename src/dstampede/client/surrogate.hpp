@@ -6,6 +6,16 @@
 // containers the device registered interest in, and the surrogate
 // forwards them piggybacked on the next response (§3.2.4).
 //
+// Threading: the surrogate owns a dedicated session thread per device,
+// so its container calls use the classic blocking Get/Put API — that
+// parks the *surrogate's* thread (one per device by design), not a
+// shared dispatcher worker. Under the hood those wrappers ride the
+// same two-phase waiter machinery as suspended remote requests
+// (SyncWaiter over GetAsync/PutAsync), so lifecycle cancellation —
+// container close, owner shutdown, peer death — unwinds a blocked
+// surrogate with the same statuses, and the reply cache sees an
+// ordinary Status/ItemView result either way.
+//
 // Failure model: if the device vanishes without a clean Bye, the
 // surrogate is left parked — its connection slots remain attached and
 // its state is retained (the paper's §3.3 behaviour). On top of that,

@@ -32,6 +32,8 @@ class Deadline {
   static Deadline Poll() { return Deadline(TimePoint::min()); }
   static Deadline After(Duration d) { return Deadline(Now() + d); }
   static Deadline AfterMillis(std::int64_t ms) { return After(Millis(ms)); }
+  // An absolute deadline; used by timer plumbing that stores TimePoints.
+  static Deadline At(TimePoint when) { return Deadline(when); }
 
   bool expired() const { return when_ != TimePoint::max() && Now() >= when_; }
   bool infinite() const { return when_ == TimePoint::max(); }

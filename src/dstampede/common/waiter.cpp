@@ -1,0 +1,96 @@
+#include "dstampede/common/waiter.hpp"
+
+#include <vector>
+
+namespace dstampede {
+
+TimerWheel::TimerWheel() {
+  thread_ = std::thread([this] { Loop(); });
+}
+
+TimerWheel::~TimerWheel() { Shutdown(); }
+
+TimerWheel::TimerId TimerWheel::Schedule(Deadline deadline,
+                                         std::function<void()> fn) {
+  if (deadline.infinite()) return 0;
+  const TimePoint when = deadline.when();
+  TimerId id = 0;
+  {
+    ds::MutexLock lock(mu_);
+    if (stopping_) return 0;
+    id = next_id_++;
+    entries_.emplace(std::make_pair(when, id), std::move(fn));
+    index_.emplace(id, when);
+  }
+  // Only the wheel thread waits on cv_; wake it to re-evaluate the
+  // front entry (the new one may be due sooner than what it sleeps on).
+  cv_.NotifyOne();
+  return id;
+}
+
+bool TimerWheel::Cancel(TimerId id) {
+  if (id == 0) return false;
+  std::function<void()> dropped;
+  {
+    ds::MutexLock lock(mu_);
+    auto it = index_.find(id);
+    if (it == index_.end()) return false;
+    auto entry = entries_.find(std::make_pair(it->second, id));
+    if (entry != entries_.end()) {
+      dropped = std::move(entry->second);
+      entries_.erase(entry);
+    }
+    index_.erase(it);
+  }
+  // `dropped` (and whatever its captures own) is destroyed here,
+  // outside the wheel lock.
+  return true;
+}
+
+void TimerWheel::Shutdown() {
+  decltype(entries_) dropped;
+  {
+    ds::MutexLock lock(mu_);
+    stopping_ = true;
+    dropped.swap(entries_);
+    index_.clear();
+  }
+  cv_.NotifyOne();
+  if (thread_.joinable()) thread_.join();
+}
+
+std::size_t TimerWheel::pending() const {
+  ds::MutexLock lock(mu_);
+  return entries_.size();
+}
+
+void TimerWheel::Loop() {
+  for (;;) {
+    std::vector<std::function<void()>> fire;
+    {
+      ds::MutexLock lock(mu_);
+      for (;;) {
+        if (stopping_) return;
+        if (entries_.empty()) {
+          cv_.Wait(mu_);
+          continue;
+        }
+        const TimePoint due = entries_.begin()->first.first;
+        if (Now() >= due) break;
+        // Woken early by Schedule/Shutdown: re-evaluate the front.
+        cv_.WaitUntil(mu_, Deadline::At(due));
+      }
+      const TimePoint now = Now();
+      while (!entries_.empty() && entries_.begin()->first.first <= now) {
+        fire.push_back(std::move(entries_.begin()->second));
+        index_.erase(entries_.begin()->first.second);
+        entries_.erase(entries_.begin());
+      }
+    }
+    // Callbacks run with no wheel lock held; they may take container
+    // locks (CancelWaiter) or send replies.
+    for (auto& fn : fire) fn();
+  }
+}
+
+}  // namespace dstampede

@@ -1,0 +1,186 @@
+// Continuation-waiter primitives: the building blocks of event-driven
+// blocking on the dispatch path.
+//
+// The space-time-memory API is blocking by definition — a get waits for
+// its item, a put waits out back-pressure (paper §3.1) — but *how* a
+// wait is implemented is an implementation choice with a liveness
+// consequence. Parking a dispatcher worker per blocked remote call
+// makes pool width a hard bound on the number of simultaneously blocked
+// clients (the bench_ablation B cliff). Instead, the containers stage a
+// blocked request as a registered continuation waiter — the same move
+// tuple-space implementations make when they keep pending-match records
+// for blocked in/rd requests — and the worker returns to the pool
+// immediately. The thread whose put/consume/reclaim/close resolves the
+// wait runs the continuation; deadline expiry and lifecycle events
+// (peer death, container close, shutdown) complete it with the right
+// error status instead.
+//
+// This header provides the pieces shared by every waiter site:
+//
+//  - DeferredReply: a once-only reply slot for a suspended request.
+//    Whichever completer gets there first (item arrival, timeout, peer
+//    death, shutdown) sends the reply; everyone else finds it claimed.
+//  - TimerWheel: a shared deadline thread that turns "deadline expired
+//    while parked" into a callback, so no thread has to sleep per
+//    waiter just to enforce its deadline.
+//  - SyncWaiter<T>: the inverse adapter — a stack-allocated completion
+//    target that turns the two-phase async API back into the blocking
+//    call the public STM API (and the surrogate threads serving end
+//    devices) still expose.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+
+#include "dstampede/common/bytes.hpp"
+#include "dstampede/common/clock.hpp"
+#include "dstampede/common/sync.hpp"
+
+namespace dstampede {
+
+// Origin tag a waiter carries when it was registered on behalf of a
+// peer address space (AsIndex of the requester), so peer death can
+// cancel exactly that peer's waiters. Waiters registered by local
+// threads carry kNoWaiterOrigin (== AsIndex(kInvalidAsId)).
+inline constexpr std::uint32_t kNoWaiterOrigin = 0xffffffffu;
+
+// A once-only reply slot for a request suspended into a waiter. The
+// dispatcher worker that suspends the request creates one; the
+// completing thread — item arrival, deadline expiry, peer death,
+// container close — encodes the reply and calls Complete(). Exactly
+// one completer wins; the rest are no-ops, so racing completion paths
+// need no further coordination.
+class DeferredReply {
+ public:
+  using Sender = std::function<void(Buffer)>;
+
+  DeferredReply(std::uint64_t request_id, Sender sender)
+      : request_id_(request_id), sender_(std::move(sender)) {}
+
+  DeferredReply(const DeferredReply&) = delete;
+  DeferredReply& operator=(const DeferredReply&) = delete;
+
+  // Sends `reply` through the sender iff this is the first completion.
+  // Returns whether this call won the claim.
+  bool Complete(Buffer reply) {
+    if (completed_.exchange(true, std::memory_order_acq_rel)) return false;
+    sender_(std::move(reply));
+    return true;
+  }
+
+  bool completed() const { return completed_.load(std::memory_order_acquire); }
+  std::uint64_t request_id() const { return request_id_; }
+
+ private:
+  const std::uint64_t request_id_;
+  std::atomic<bool> completed_{false};
+  Sender sender_;
+};
+
+// Deadline service for parked waiters: one background thread per
+// address space fires scheduled callbacks at their deadlines, so a
+// thousand parked waiters with deadlines cost one sleeping thread, not
+// a thousand. Implemented as a deadline-ordered map rather than a
+// cascading bucket wheel: waiter populations here are hundreds, and
+// the ordered map keeps cancellation (the overwhelmingly common case —
+// most waiters complete long before their deadline) a cheap erase.
+//
+// Callbacks run on the wheel thread with no wheel lock held, so they
+// may freely take container locks (CancelWaiter). They must not block
+// indefinitely — every other timer waits behind them.
+class TimerWheel {
+ public:
+  using TimerId = std::uint64_t;
+
+  TimerWheel();
+  ~TimerWheel();
+
+  TimerWheel(const TimerWheel&) = delete;
+  TimerWheel& operator=(const TimerWheel&) = delete;
+
+  // Schedules `fn` to run at `deadline` (immediately, but still on the
+  // wheel thread, if it already passed). An infinite deadline is never
+  // scheduled: returns 0, a TimerId no other entry uses. Safe to call
+  // while holding a container lock (the wheel lock is a leaf).
+  TimerId Schedule(Deadline deadline, std::function<void()> fn);
+
+  // Removes a pending entry. Returns false when the entry already
+  // fired, was cancelled, or never existed (id 0).
+  bool Cancel(TimerId id);
+
+  // Stops the thread; pending entries are dropped without firing. Any
+  // callback mid-flight finishes first (the destructor joins).
+  // Idempotent.
+  void Shutdown();
+
+  std::size_t pending() const;
+
+ private:
+  void Loop();
+
+  mutable ds::Mutex mu_{"timer_wheel.mu"};
+  ds::CondVar cv_;
+  // Ordered by (deadline, id): the front entry is always the next due.
+  std::map<std::pair<TimePoint, TimerId>, std::function<void()>> entries_
+      DS_GUARDED_BY(mu_);
+  std::unordered_map<TimerId, TimePoint> index_ DS_GUARDED_BY(mu_);
+  TimerId next_id_ DS_GUARDED_BY(mu_) = 1;
+  bool stopping_ DS_GUARDED_BY(mu_) = false;
+  std::thread thread_;
+};
+
+// Turns the two-phase async container API back into a blocking call:
+// the caller registers a completion that writes here, then parks its
+// own thread — which is fine, because it is the *caller's* thread (an
+// application thread or a surrogate's dedicated session thread), not a
+// shared dispatcher worker.
+//
+// Stack allocation is safe because every registered waiter is
+// completed exactly once (by progress, deadline, cancellation, or
+// close) before its record is dropped; the wrapper does not return
+// until that completion ran.
+template <typename T>
+class SyncWaiter {
+ public:
+  SyncWaiter() = default;
+  SyncWaiter(const SyncWaiter&) = delete;
+  SyncWaiter& operator=(const SyncWaiter&) = delete;
+
+  void Complete(T value) {
+    ds::MutexLock lock(mu_);
+    result_.emplace(std::move(value));
+    cv_.NotifyAll();
+  }
+
+  // Waits for Complete() up to `deadline`; true iff it ran.
+  bool AwaitUntil(Deadline deadline) {
+    ds::MutexLock lock(mu_);
+    while (!result_.has_value()) {
+      if (!cv_.WaitUntil(mu_, deadline)) return result_.has_value();
+    }
+    return true;
+  }
+
+  // Waits for Complete() without a deadline and yields the result.
+  // Only call after arranging that completion is inevitable (e.g. a
+  // successful CancelWaiter runs it inline).
+  T TakeResult() {
+    ds::MutexLock lock(mu_);
+    while (!result_.has_value()) cv_.Wait(mu_);
+    T out = std::move(*result_);
+    return out;
+  }
+
+ private:
+  ds::Mutex mu_{"sync_waiter.mu"};
+  ds::CondVar cv_;
+  std::optional<T> result_ DS_GUARDED_BY(mu_);
+};
+
+}  // namespace dstampede

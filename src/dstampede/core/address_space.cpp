@@ -9,6 +9,7 @@ namespace dstampede::core {
 Result<std::unique_ptr<AddressSpace>> AddressSpace::Create(
     const Options& options) {
   auto as = std::unique_ptr<AddressSpace>(new AddressSpace(options));
+  as->wheel_ = std::make_unique<TimerWheel>();
   clf::Endpoint::Options ep_opts;
   ep_opts.port = options.clf_port;
   ep_opts.enable_shm_fastpath = options.shm_fastpath;
@@ -47,12 +48,25 @@ void AddressSpace::Shutdown() {
   bool expected = false;
   if (!stopping_.compare_exchange_strong(expected, true)) return;
 
-  // Unblock every local waiter first so dispatcher tasks can finish.
+  // Complete every parked waiter (kCancelled) first, so suspended
+  // remote requests flush their replies while the endpoint is still
+  // up and local blocked callers unwind. Close runs outside
+  // containers_mu_ because it fires completions, which send over CLF.
+  std::vector<std::shared_ptr<LocalChannel>> channels;
+  std::vector<std::shared_ptr<LocalQueue>> queues;
   {
     ds::MutexLock lock(containers_mu_);
-    for (auto& [slot, ch] : channels_) ch->Close();
-    for (auto& [slot, q] : queues_) q->Close();
+    channels.reserve(channels_.size());
+    for (auto& [slot, ch] : channels_) channels.push_back(ch);
+    queues.reserve(queues_.size());
+    for (auto& [slot, q] : queues_) queues.push_back(q);
   }
+  for (auto& ch : channels) ch->Close();
+  for (auto& q : queues) q->Close();
+  // Join the timer wheel before tearing down what its callbacks touch
+  // (containers, endpoint). New waiters cannot register: the containers
+  // are closed.
+  if (wheel_) wheel_->Shutdown();
   gc_->Stop();
   dispatcher_->Shutdown();
   endpoint_->Shutdown();
@@ -126,7 +140,31 @@ void AddressSpace::OnPeerDown(const transport::SockAddr& addr) {
     call->cv.NotifyAll();
   }
 
-  // 2. Detach the dead space's connections to our containers so the
+  // 2. Complete the dead space's parked waiters with kUnavailable —
+  // their replies are undeliverable, and the records would otherwise
+  // pin payloads and timers until their deadlines expire (or forever,
+  // for infinite-deadline waits).
+  {
+    std::vector<std::shared_ptr<LocalChannel>> channels;
+    std::vector<std::shared_ptr<LocalQueue>> queues;
+    {
+      ds::MutexLock lock(containers_mu_);
+      channels.reserve(channels_.size());
+      for (auto& [slot, ch] : channels_) channels.push_back(ch);
+      queues.reserve(queues_.size());
+      for (auto& [slot, q] : queues_) queues.push_back(q);
+    }
+    const Status gone = UnavailableError("peer address space declared dead");
+    std::size_t cancelled = 0;
+    for (auto& ch : channels) cancelled += ch->CancelWaitersOf(AsIndex(dead), gone);
+    for (auto& q : queues) cancelled += q->CancelWaitersOf(AsIndex(dead), gone);
+    if (cancelled != 0) {
+      DS_LOG(kInfo) << "completed " << cancelled
+                    << " parked waiters of dead AS" << AsIndex(dead);
+    }
+  }
+
+  // 3. Detach the dead space's connections to our containers so the
   // items it alone was holding become garbage (analogue of the
   // surrogate's Reap for a vanished end device, §3.2.4).
   std::vector<RemoteAttach> attachments;
@@ -152,7 +190,7 @@ void AddressSpace::OnPeerDown(const transport::SockAddr& addr) {
     }
   }
 
-  // 3. If we host the name server, the dead space's names must not
+  // 4. If we host the name server, the dead space's names must not
   // satisfy later lookups. (Session records are NOT purged: a session
   // hosted on the dead space is exactly what a listener needs to
   // migrate that session to a live space.)
@@ -164,7 +202,7 @@ void AddressSpace::OnPeerDown(const transport::SockAddr& addr) {
     }
   }
 
-  // 4. Tell higher layers (listeners, federation) so they can react
+  // 5. Tell higher layers (listeners, federation) so they can react
   // without polling IsPeerDown.
   std::vector<std::function<void(AsId)>> observers;
   {
@@ -313,8 +351,31 @@ void AddressSpace::DispatchRequest(transport::SockAddr from, Buffer message) {
     auto it = peer_by_addr_.find(from);
     if (it != peer_by_addr_.end()) origin = it->second;
   }
-  auto task = [this, from, origin, msg = std::move(message)]() {
-    if (stopping_.load()) return;
+  // Peek the request id before the message is moved so a refusal can
+  // still be addressed to the caller instead of leaving it to time out.
+  std::uint64_t request_id = 0;
+  bool have_id = false;
+  {
+    marshal::XdrDecoder peek(message);
+    if (auto hdr = DecodeRequestHeader(peek); hdr.ok()) {
+      request_id = hdr->request_id;
+      have_id = true;
+    }
+  }
+  auto task = [this, from, origin, request_id, have_id,
+               msg = std::move(message)]() {
+    if (stopping_.load()) {
+      if (have_id) {
+        (void)endpoint_->Send(
+            from, EncodeStatusReply(
+                      request_id,
+                      UnavailableError("address space shutting down")));
+      }
+      return;
+    }
+    // Blocking container ops suspend into a waiter instead of parking
+    // this worker; everything else is served synchronously.
+    if (ServeDeferred(msg, origin, from)) return;
     Buffer reply = ProcessRequest(msg, origin);
     if (!reply.empty()) {
       (void)endpoint_->Send(from, reply);
@@ -322,16 +383,15 @@ void AddressSpace::DispatchRequest(transport::SockAddr from, Buffer message) {
   };
   if (!dispatcher_->Submit(std::move(task))) {
     DS_LOG(kWarn) << "dispatcher rejected request (shutting down)";
+    if (have_id) {
+      (void)endpoint_->Send(
+          from, EncodeStatusReply(
+                    request_id, UnavailableError("dispatcher shutting down")));
+    }
   }
 }
 
 namespace {
-
-Buffer EncodeStatusReply(std::uint64_t request_id, const Status& status) {
-  marshal::XdrEncoder enc;
-  EncodeResponseHeader(enc, request_id, status);
-  return enc.Take();
-}
 
 // Container ids embed their owner AS (ids.hpp); channels and queues
 // share the handle layout so either tag works for extraction.
@@ -340,6 +400,97 @@ AsId OwnerOf(std::uint64_t container_bits) {
 }
 
 }  // namespace
+
+bool AddressSpace::ServeDeferred(std::span<const std::uint8_t> message,
+                                 AsId origin, const transport::SockAddr& from) {
+  marshal::XdrDecoder dec(message);
+  auto hdr = DecodeRequestHeader(dec);
+  if (!hdr.ok()) return false;
+  if (hdr->op != Op::kGet && hdr->op != Op::kPut) return false;
+  const std::uint64_t id = hdr->request_id;
+
+  // Tag remote waiters with the caller's AS index so OnPeerDown can
+  // cancel them; anonymous callers (end devices via a surrogate that is
+  // not a registered peer) share the no-origin sentinel and are only
+  // completed by deadline, container close, or shutdown.
+  const std::uint32_t origin_tag =
+      origin == kInvalidAsId ? kNoWaiterOrigin : AsIndex(origin);
+  // Reply exactly once from whichever thread resolves the waiter
+  // (putter, consumer, timer wheel, peer-death, close, shutdown).
+  auto reply = std::make_shared<DeferredReply>(
+      id, [this, from](Buffer encoded) {
+        if (!encoded.empty()) (void)endpoint_->Send(from, encoded);
+      });
+
+  if (hdr->op == Op::kGet) {
+    auto req = GetReq::Decode(dec);
+    if (!req.ok()) return false;  // sync path emits the decode error
+    if (OwnerOf(req->container_bits) != options_.id) return false;
+    stats_.requests_served.fetch_add(1, std::memory_order_relaxed);
+    stats_.gets.fetch_add(1, std::memory_order_relaxed);
+    auto done = [this, id, reply](Result<ItemView> item) {
+      if (!item.ok()) {
+        (void)reply->Complete(EncodeStatusReply(id, item.status()));
+        return;
+      }
+      stats_.bytes_got.fetch_add(item->payload.size(),
+                                 std::memory_order_relaxed);
+      (void)reply->Complete(EncodeItemReply(id, *item));
+    };
+    const Deadline deadline = DecodeDeadline(req->deadline_ms);
+    if (req->is_queue) {
+      auto q = FindQueue(req->container_bits);
+      if (!q) {
+        (void)reply->Complete(EncodeStatusReply(id, NotFoundError("queue")));
+        return true;
+      }
+      q->GetAsync(req->slot, deadline, std::move(done), origin_tag);
+    } else {
+      auto ch = FindChannel(req->container_bits);
+      if (!ch) {
+        (void)reply->Complete(EncodeStatusReply(id, NotFoundError("channel")));
+        return true;
+      }
+      ch->GetAsync(req->slot, req->spec, deadline, std::move(done),
+                   origin_tag);
+    }
+    return true;
+  }
+
+  auto req = PutReq::Decode(dec);
+  if (!req.ok()) return false;
+  if (OwnerOf(req->container_bits) != options_.id) return false;
+  stats_.requests_served.fetch_add(1, std::memory_order_relaxed);
+  stats_.puts.fetch_add(1, std::memory_order_relaxed);
+  stats_.bytes_put.fetch_add(req->payload.size(), std::memory_order_relaxed);
+  if (!CanOutput(req->mode)) {
+    (void)reply->Complete(EncodeStatusReply(
+        id, PermissionDeniedError("connection is input-only")));
+    return true;
+  }
+  auto done = [id, reply](Status st) {
+    (void)reply->Complete(EncodeStatusReply(id, st));
+  };
+  const Deadline deadline = DecodeDeadline(req->deadline_ms);
+  if (req->is_queue) {
+    auto q = FindQueue(req->container_bits);
+    if (!q) {
+      (void)reply->Complete(EncodeStatusReply(id, NotFoundError("queue")));
+      return true;
+    }
+    q->PutAsync(req->ts, SharedBuffer(std::move(req->payload)), deadline,
+                std::move(done), origin_tag);
+  } else {
+    auto ch = FindChannel(req->container_bits);
+    if (!ch) {
+      (void)reply->Complete(EncodeStatusReply(id, NotFoundError("channel")));
+      return true;
+    }
+    ch->PutAsync(req->ts, SharedBuffer(std::move(req->payload)), deadline,
+                 std::move(done), origin_tag);
+  }
+  return true;
+}
 
 Buffer AddressSpace::ProcessRequest(std::span<const std::uint8_t> message,
                                     AsId origin) {
@@ -442,11 +593,7 @@ Buffer AddressSpace::ProcessRequest(std::span<const std::uint8_t> message,
           req->is_queue ? Get(conn, DecodeDeadline(req->deadline_ms))
                         : Get(conn, req->spec, DecodeDeadline(req->deadline_ms));
       if (!item.ok()) return EncodeStatusReply(id, item.status());
-      marshal::XdrEncoder enc(item->payload.size() + 64);
-      EncodeResponseHeader(enc, id, OkStatus());
-      enc.PutI64(item->timestamp);
-      enc.PutOpaque(item->payload.span());
-      return enc.Take();
+      return EncodeItemReply(id, *item);
     }
     case Op::kConsume: {
       auto req = ConsumeReq::Decode(dec);
@@ -539,7 +686,7 @@ Result<ChannelId> AddressSpace::CreateChannel(const ChannelAttr& attr) {
   {
     ds::MutexLock lock(containers_mu_);
     slot = next_container_slot_++;
-    ch = std::make_shared<LocalChannel>(attr);
+    ch = std::make_shared<LocalChannel>(attr, wheel_.get());
     channels_[slot] = ch;
   }
   const ChannelId cid(options_.id, slot);
@@ -554,7 +701,7 @@ Result<QueueId> AddressSpace::CreateQueue(const QueueAttr& attr) {
   {
     ds::MutexLock lock(containers_mu_);
     slot = next_container_slot_++;
-    q = std::make_shared<LocalQueue>(attr);
+    q = std::make_shared<LocalQueue>(attr, wheel_.get());
     queues_[slot] = q;
   }
   const QueueId qid(options_.id, slot);

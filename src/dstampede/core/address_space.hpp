@@ -24,6 +24,7 @@
 #include "dstampede/common/ids.hpp"
 #include "dstampede/common/sync.hpp"
 #include "dstampede/common/thread_pool.hpp"
+#include "dstampede/common/waiter.hpp"
 #include "dstampede/core/channel.hpp"
 #include "dstampede/core/gc.hpp"
 #include "dstampede/core/item.hpp"
@@ -254,6 +255,17 @@ class AddressSpace {
   // kInvalidAsId for surrogate-driven client requests.
   Buffer ProcessRequest(std::span<const std::uint8_t> message,
                         AsId origin = kInvalidAsId);
+  // Serves kGet/kPut against locally-owned containers through the
+  // two-phase waiter API: the try phase runs on the dispatcher worker,
+  // and when the op would block, a continuation waiter (carrying a
+  // once-only DeferredReply) is registered and the worker returns to
+  // the pool — the thread that later resolves the wait (putter,
+  // consumer, GC sweep, timer wheel, peer death, close) encodes and
+  // sends the reply. Returns false when the request is not one of
+  // those ops (or targets a container owned elsewhere): the caller
+  // falls back to the synchronous ProcessRequest path.
+  bool ServeDeferred(std::span<const std::uint8_t> message, AsId origin,
+                     const transport::SockAddr& from);
 
   // Fired by the CLF endpoint (its receiver thread) on peer death /
   // resurrection; translates transport addresses to AS ids and runs
@@ -276,6 +288,11 @@ class AddressSpace {
   Options options_;
   AsStats stats_;
   std::unique_ptr<clf::Endpoint> endpoint_;
+  // Deadline service for parked container waiters. Declared before the
+  // container maps so it outlives every channel/queue holding a raw
+  // pointer to it; Shutdown() joins its thread before the endpoint is
+  // torn down so late timer callbacks cannot touch a dead endpoint.
+  std::unique_ptr<TimerWheel> wheel_;
   std::unique_ptr<ThreadPool> dispatcher_;
   std::unique_ptr<GcService> gc_;
   std::unique_ptr<NameServer> name_server_;

@@ -26,18 +26,19 @@ std::uint32_t LocalChannel::Attach(ConnMode mode, std::string label) {
 }
 
 Status LocalChannel::Detach(std::uint32_t slot) {
-  std::vector<std::pair<Timestamp, SharedBuffer>> freed;
-  GcHandler handler;
+  Wakeups wakeups;
   {
     ds::MutexLock lock(mu_);
     auto it = conns_.find(slot);
     if (it == conns_.end()) return NotFoundError("connection");
     conns_.erase(it);
     // Items only the departed connection was holding up become garbage.
-    ReclaimLocked(freed);
-    handler = gc_handler_;
+    ReclaimLocked(wakeups);
+    // Reclaim can admit back-pressured puts; gets parked on the now
+    // dead slot complete with kNotFound.
+    EvaluateWaitersLocked(wakeups);
   }
-  FinishReclaim(std::move(freed), std::move(handler));
+  Finish(std::move(wakeups));
   return OkStatus();
 }
 
@@ -54,49 +55,88 @@ bool LocalChannel::IsGarbageLocked(Timestamp ts, std::size_t bytes) const {
 }
 
 void LocalChannel::Close() {
+  Wakeups wakeups;
   {
     ds::MutexLock lock(mu_);
     closed_ = true;
+    // Every parked waiter now resolves terminally (kCancelled).
+    EvaluateWaitersLocked(wakeups);
   }
-  cv_.NotifyAll();
+  Finish(std::move(wakeups));
+}
+
+std::optional<Status> LocalChannel::TryPutLocked(Timestamp ts,
+                                                 SharedBuffer& payload,
+                                                 Wakeups& out) {
+  if (closed_) return CancelledError("channel closed");
+  if (max_reclaimed_ != kInvalidTimestamp && ts <= max_reclaimed_) {
+    return GarbageCollectedError("timestamp below reclaim horizon");
+  }
+  if (items_.count(ts) > 0) {
+    return AlreadyExistsError("timestamp already in channel");
+  }
+  if (attr_.capacity_items != 0 && items_.size() >= attr_.capacity_items) {
+    return std::nullopt;  // back-pressure: park
+  }
+  const std::size_t bytes = payload.size();
+  items_.emplace(ts, std::move(payload));
+  ++total_puts_;
+  // An item can be born garbage: every attached input has already
+  // consumed past it (or filters it out). Reclaim it on the spot so
+  // its GC handler fires promptly instead of on the next sweep.
+  if (IsGarbageLocked(ts, bytes)) ReclaimLocked(out);
+  return OkStatus();
 }
 
 Status LocalChannel::Put(Timestamp ts, SharedBuffer payload,
                          Deadline deadline) {
-  std::vector<std::pair<Timestamp, SharedBuffer>> freed;
-  GcHandler handler;
+  SyncWaiter<Status> sync;
+  const std::uint64_t id = PutAsync(
+      ts, std::move(payload), deadline,
+      [&sync](Status st) { sync.Complete(std::move(st)); }, kNoWaiterOrigin,
+      /*use_timer=*/false);
+  if (!sync.AwaitUntil(deadline) && id != 0) {
+    // Deadline passed while parked. If we win the cancellation race
+    // this completes the waiter with kTimeout inline; if a real
+    // completer beat us, TakeResult() returns its result instead.
+    CancelWaiter(id, TimeoutError("channel at capacity"));
+  }
+  return sync.TakeResult();
+}
+
+std::uint64_t LocalChannel::PutAsync(Timestamp ts, SharedBuffer payload,
+                                     Deadline deadline, PutCompletion done,
+                                     std::uint32_t origin, bool use_timer) {
+  if (ts == kInvalidTimestamp) {
+    done(InvalidArgumentError("bad timestamp"));
+    return 0;
+  }
+  Wakeups wakeups;
+  std::optional<Status> inline_result;
+  std::uint64_t id = 0;
   {
     ds::MutexLock lock(mu_);
-    if (ts == kInvalidTimestamp) return InvalidArgumentError("bad timestamp");
-    for (;;) {
-      if (closed_) return CancelledError("channel closed");
-      if (max_reclaimed_ != kInvalidTimestamp && ts <= max_reclaimed_) {
-        return GarbageCollectedError("timestamp below reclaim horizon");
+    inline_result = TryPutLocked(ts, payload, wakeups);
+    if (inline_result.has_value()) {
+      // The new item (or the reclaim it triggered) may resolve parked
+      // waiters.
+      if (inline_result->ok()) EvaluateWaitersLocked(wakeups);
+    } else if (deadline.expired()) {
+      inline_result = TimeoutError("channel at capacity");
+    } else {
+      id = next_waiter_id_++;
+      PutWaiter waiter{ts, std::move(payload), std::move(done), origin, 0};
+      if (use_timer && wheel_ != nullptr) {
+        waiter.timer = wheel_->Schedule(deadline, [this, id] {
+          CancelWaiter(id, TimeoutError("channel at capacity"));
+        });
       }
-      if (items_.count(ts) > 0) {
-        return AlreadyExistsError("timestamp already in channel");
-      }
-      if (attr_.capacity_items == 0 || items_.size() < attr_.capacity_items) {
-        break;
-      }
-      if (!cv_.WaitUntil(mu_, deadline) && attr_.capacity_items != 0 &&
-          items_.size() >= attr_.capacity_items) {
-        return TimeoutError("channel at capacity");
-      }
-    }
-    const std::size_t bytes = payload.size();
-    items_.emplace(ts, std::move(payload));
-    ++total_puts_;
-    // An item can be born garbage: every attached input has already
-    // consumed past it (or filters it out). Reclaim it on the spot so
-    // its GC handler fires promptly instead of on the next sweep.
-    if (IsGarbageLocked(ts, bytes)) {
-      ReclaimLocked(freed);
-      handler = gc_handler_;
+      put_waiters_.emplace(id, std::move(waiter));
     }
   }
-  FinishReclaim(std::move(freed), std::move(handler));
-  return OkStatus();
+  Finish(std::move(wakeups));
+  if (inline_result.has_value()) done(std::move(*inline_result));
+  return id;
 }
 
 Result<ItemView> LocalChannel::SelectLocked(const ConnState& conn,
@@ -157,26 +197,162 @@ Status LocalChannel::CheckGetPreconditionsLocked(const ConnState& conn,
   return OkStatus();
 }
 
+std::optional<Result<ItemView>> LocalChannel::TryGetLocked(std::uint32_t slot,
+                                                           GetSpec spec) const {
+  if (closed_) return Result<ItemView>(CancelledError("channel closed"));
+  auto conn_it = conns_.find(slot);
+  if (conn_it == conns_.end()) {
+    return Result<ItemView>(NotFoundError("connection"));
+  }
+  const ConnState& conn = conn_it->second;
+  Status pre = CheckGetPreconditionsLocked(conn, spec);
+  if (!pre.ok()) return Result<ItemView>(std::move(pre));
+  Result<ItemView> found = SelectLocked(conn, spec);
+  if (found.ok()) return found;
+  // No eligible item yet; a put (or reclaim that turns the wait into
+  // an error) re-evaluates.
+  return std::nullopt;
+}
+
 Result<ItemView> LocalChannel::Get(std::uint32_t slot, GetSpec spec,
                                    Deadline deadline) {
-  ds::MutexLock lock(mu_);
-  for (;;) {
-    if (closed_) return CancelledError("channel closed");
-    auto conn_it = conns_.find(slot);
-    if (conn_it == conns_.end()) return NotFoundError("connection");
-    const ConnState& conn = conn_it->second;
-    DS_RETURN_IF_ERROR(CheckGetPreconditionsLocked(conn, spec));
-    Result<ItemView> found = SelectLocked(conn, spec);
-    if (found.ok()) return found;
-    // Not available yet: wait for a put (or reclaim that turns the
-    // wait into an error).
-    if (!cv_.WaitUntil(mu_, deadline)) return TimeoutError("channel get");
+  SyncWaiter<Result<ItemView>> sync;
+  const std::uint64_t id = GetAsync(
+      slot, spec, deadline,
+      [&sync](Result<ItemView> item) { sync.Complete(std::move(item)); },
+      kNoWaiterOrigin, /*use_timer=*/false);
+  if (!sync.AwaitUntil(deadline) && id != 0) {
+    CancelWaiter(id, TimeoutError("channel get"));
+  }
+  return sync.TakeResult();
+}
+
+std::uint64_t LocalChannel::GetAsync(std::uint32_t slot, GetSpec spec,
+                                     Deadline deadline, GetCompletion done,
+                                     std::uint32_t origin, bool use_timer) {
+  std::optional<Result<ItemView>> inline_result;
+  std::uint64_t id = 0;
+  {
+    ds::MutexLock lock(mu_);
+    inline_result = TryGetLocked(slot, spec);
+    if (!inline_result.has_value() && deadline.expired()) {
+      inline_result = Result<ItemView>(TimeoutError("channel get"));
+    }
+    if (!inline_result.has_value()) {
+      id = next_waiter_id_++;
+      GetWaiter waiter{slot, spec, std::move(done), origin, 0};
+      if (use_timer && wheel_ != nullptr) {
+        waiter.timer = wheel_->Schedule(deadline, [this, id] {
+          CancelWaiter(id, TimeoutError("channel get"));
+        });
+      }
+      get_waiters_.emplace(id, std::move(waiter));
+    }
+  }
+  if (inline_result.has_value()) done(std::move(*inline_result));
+  return id;
+}
+
+bool LocalChannel::CancelWaiter(std::uint64_t waiter_id,
+                                const Status& status) {
+  std::function<void()> completion;
+  TimerWheel::TimerId timer = 0;
+  {
+    ds::MutexLock lock(mu_);
+    if (auto it = get_waiters_.find(waiter_id); it != get_waiters_.end()) {
+      timer = it->second.timer;
+      completion = [done = std::move(it->second.done), st = status]() mutable {
+        done(Result<ItemView>(std::move(st)));
+      };
+      get_waiters_.erase(it);
+    } else if (auto pit = put_waiters_.find(waiter_id);
+               pit != put_waiters_.end()) {
+      timer = pit->second.timer;
+      completion = [done = std::move(pit->second.done),
+                    st = status]() mutable { done(std::move(st)); };
+      put_waiters_.erase(pit);
+    } else {
+      return false;  // already completed (or never existed)
+    }
+  }
+  if (timer != 0 && wheel_ != nullptr) wheel_->Cancel(timer);
+  completion();
+  return true;
+}
+
+std::size_t LocalChannel::CancelWaitersOf(std::uint32_t origin,
+                                          const Status& status) {
+  Wakeups wakeups;
+  {
+    ds::MutexLock lock(mu_);
+    for (auto it = get_waiters_.begin(); it != get_waiters_.end();) {
+      if (it->second.origin != origin) {
+        ++it;
+        continue;
+      }
+      if (it->second.timer != 0) wakeups.timers.push_back(it->second.timer);
+      wakeups.completions.push_back(
+          [done = std::move(it->second.done), st = status]() mutable {
+            done(Result<ItemView>(std::move(st)));
+          });
+      it = get_waiters_.erase(it);
+    }
+    for (auto it = put_waiters_.begin(); it != put_waiters_.end();) {
+      if (it->second.origin != origin) {
+        ++it;
+        continue;
+      }
+      if (it->second.timer != 0) wakeups.timers.push_back(it->second.timer);
+      wakeups.completions.push_back(
+          [done = std::move(it->second.done), st = status]() mutable {
+            done(std::move(st));
+          });
+      it = put_waiters_.erase(it);
+    }
+  }
+  const std::size_t cancelled = wakeups.completions.size();
+  Finish(std::move(wakeups));
+  return cancelled;
+}
+
+void LocalChannel::EvaluateWaitersLocked(Wakeups& out) {
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    // Parked puts first: admission is what can satisfy parked gets,
+    // and the reclaim an admission triggers can admit further puts
+    // (hence the fixpoint loop).
+    for (auto it = put_waiters_.begin(); it != put_waiters_.end();) {
+      auto tried = TryPutLocked(it->second.ts, it->second.payload, out);
+      if (!tried.has_value()) {
+        ++it;
+        continue;
+      }
+      if (it->second.timer != 0) out.timers.push_back(it->second.timer);
+      out.completions.push_back(
+          [done = std::move(it->second.done),
+           st = std::move(*tried)]() mutable { done(std::move(st)); });
+      it = put_waiters_.erase(it);
+      progress = true;
+    }
+    for (auto it = get_waiters_.begin(); it != get_waiters_.end();) {
+      auto tried = TryGetLocked(it->second.slot, it->second.spec);
+      if (!tried.has_value()) {
+        ++it;
+        continue;
+      }
+      if (it->second.timer != 0) out.timers.push_back(it->second.timer);
+      out.completions.push_back(
+          [done = std::move(it->second.done),
+           item = std::move(*tried)]() mutable { done(std::move(item)); });
+      it = get_waiters_.erase(it);
+      progress = true;
+    }
   }
 }
 
 Status LocalChannel::SetFilter(std::uint32_t slot, const ItemFilter& filter) {
-  std::vector<std::pair<Timestamp, SharedBuffer>> freed;
-  GcHandler handler;
+  Wakeups wakeups;
   {
     ds::MutexLock lock(mu_);
     auto it = conns_.find(slot);
@@ -191,16 +367,15 @@ Status LocalChannel::SetFilter(std::uint32_t slot, const ItemFilter& filter) {
     it->second.filter = filter;
     // Narrowing the filter can drop this connection's claim on items
     // it previously held up.
-    ReclaimLocked(freed);
-    handler = gc_handler_;
+    ReclaimLocked(wakeups);
+    EvaluateWaitersLocked(wakeups);
   }
-  FinishReclaim(std::move(freed), std::move(handler));
+  Finish(std::move(wakeups));
   return OkStatus();
 }
 
 Status LocalChannel::Consume(std::uint32_t slot, Timestamp ts) {
-  std::vector<std::pair<Timestamp, SharedBuffer>> freed;
-  GcHandler handler;
+  Wakeups wakeups;
   {
     ds::MutexLock lock(mu_);
     auto it = conns_.find(slot);
@@ -214,17 +389,16 @@ Status LocalChannel::Consume(std::uint32_t slot, Timestamp ts) {
     auto item_it = items_.find(ts);
     if (item_it != items_.end() &&
         IsGarbageLocked(ts, item_it->second.size())) {
-      ReclaimLocked(freed);
-      handler = gc_handler_;
+      ReclaimLocked(wakeups);
+      EvaluateWaitersLocked(wakeups);
     }
   }
-  FinishReclaim(std::move(freed), std::move(handler));
+  Finish(std::move(wakeups));
   return OkStatus();
 }
 
 Status LocalChannel::ConsumeUntil(std::uint32_t slot, Timestamp ts) {
-  std::vector<std::pair<Timestamp, SharedBuffer>> freed;
-  GcHandler handler;
+  Wakeups wakeups;
   {
     ds::MutexLock lock(mu_);
     auto it = conns_.find(slot);
@@ -240,10 +414,10 @@ Status LocalChannel::ConsumeUntil(std::uint32_t slot, Timestamp ts) {
                           conn.consumed.upper_bound(ts));
       conn.Compact();
     }
-    ReclaimLocked(freed);
-    handler = gc_handler_;
+    ReclaimLocked(wakeups);
+    EvaluateWaitersLocked(wakeups);
   }
-  FinishReclaim(std::move(freed), std::move(handler));
+  Finish(std::move(wakeups));
   return OkStatus();
 }
 
@@ -252,14 +426,13 @@ void LocalChannel::set_gc_handler(GcHandler handler) {
   gc_handler_ = std::move(handler);
 }
 
-void LocalChannel::ReclaimLocked(
-    std::vector<std::pair<Timestamp, SharedBuffer>>& freed) {
+void LocalChannel::ReclaimLocked(Wakeups& out) {
   for (auto it = items_.begin(); it != items_.end();) {
     if (IsGarbageLocked(it->first, it->second.size())) {
       pending_notices_.push_back(GcNotice{/*container_bits=*/0,
                                           /*is_queue=*/false, it->first,
                                           it->second.size()});
-      freed.emplace_back(it->first, std::move(it->second));
+      out.freed.emplace_back(it->first, std::move(it->second));
       max_reclaimed_ = std::max(max_reclaimed_, it->first);
       ++total_reclaimed_;
       it = items_.erase(it);
@@ -267,29 +440,31 @@ void LocalChannel::ReclaimLocked(
       ++it;
     }
   }
+  if (!out.freed.empty() && !out.handler) out.handler = gc_handler_;
 }
 
-void LocalChannel::FinishReclaim(
-    std::vector<std::pair<Timestamp, SharedBuffer>> freed, GcHandler handler) {
-  cv_.NotifyAll();
-  if (handler) {
-    for (auto& [ts, payload] : freed) handler(ts, payload);
+void LocalChannel::Finish(Wakeups wakeups) {
+  for (TimerWheel::TimerId timer : wakeups.timers) {
+    if (wheel_ != nullptr) wheel_->Cancel(timer);
   }
+  if (wakeups.handler) {
+    for (auto& [ts, payload] : wakeups.freed) wakeups.handler(ts, payload);
+  }
+  for (auto& completion : wakeups.completions) completion();
 }
 
 std::vector<GcNotice> LocalChannel::Sweep(std::uint64_t channel_bits) {
-  std::vector<std::pair<Timestamp, SharedBuffer>> freed;
+  Wakeups wakeups;
   std::vector<GcNotice> notices;
-  GcHandler handler_copy;
   {
     ds::MutexLock lock(mu_);
-    ReclaimLocked(freed);
+    ReclaimLocked(wakeups);
     notices = std::move(pending_notices_);
     pending_notices_.clear();
-    handler_copy = gc_handler_;
+    EvaluateWaitersLocked(wakeups);
   }
   for (auto& notice : notices) notice.container_bits = channel_bits;
-  FinishReclaim(std::move(freed), std::move(handler_copy));
+  Finish(std::move(wakeups));
   return notices;
 }
 
@@ -310,6 +485,16 @@ std::size_t LocalChannel::input_connections() const {
 Timestamp LocalChannel::newest_timestamp() const {
   ds::MutexLock lock(mu_);
   return items_.empty() ? kInvalidTimestamp : items_.rbegin()->first;
+}
+
+std::size_t LocalChannel::parked_get_waiters() const {
+  ds::MutexLock lock(mu_);
+  return get_waiters_.size();
+}
+
+std::size_t LocalChannel::parked_put_waiters() const {
+  ds::MutexLock lock(mu_);
+  return put_waiters_.size();
 }
 
 }  // namespace dstampede::core

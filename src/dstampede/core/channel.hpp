@@ -6,6 +6,14 @@
 // the reclamation rule; AddressSpace layers location transparency and
 // the wire protocol on top.
 //
+// Blocking is event-driven: every would-block operation is expressed
+// through the two-phase async API (try, else register a continuation
+// waiter), and every state change re-evaluates the parked waiters and
+// completes the ones it satisfied — outside the channel lock, on the
+// thread that made the progress. The classic blocking Get/Put are thin
+// wrappers that park the *caller's* thread on a SyncWaiter; no shared
+// dispatcher thread ever parks inside the channel.
+//
 // Reclamation rule (the heart of the paper's automatic distributed GC):
 // an item is garbage once *every currently attached input connection*
 // has consumed it — either individually or via a consume-until
@@ -15,14 +23,17 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <optional>
 #include <set>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "dstampede/common/clock.hpp"
 #include "dstampede/common/ids.hpp"
 #include "dstampede/common/status.hpp"
 #include "dstampede/common/sync.hpp"
+#include "dstampede/common/waiter.hpp"
 #include "dstampede/core/item.hpp"
 
 namespace dstampede::core {
@@ -32,9 +43,21 @@ namespace dstampede::core {
 // user-space state associated with the item here.
 using GcHandler = std::function<void(Timestamp, const SharedBuffer&)>;
 
+// Continuations for the two-phase async container API. They run
+// exactly once, with no container lock held, on whichever thread
+// resolved the wait: the inline caller, a putter/consumer, the GC
+// sweeper, the timer wheel, or a lifecycle path (close, peer death).
+using GetCompletion = std::function<void(Result<ItemView>)>;
+using PutCompletion = std::function<void(Status)>;
+
 class LocalChannel {
  public:
-  explicit LocalChannel(ChannelAttr attr) : attr_(std::move(attr)) {}
+  // `wheel` (optional, must outlive the channel) enforces deadlines of
+  // parked async waiters. Without one, finite-deadline async waiters
+  // only resolve through progress or an explicit CancelWaiter — the
+  // sync wrappers are unaffected (they enforce their own deadline).
+  explicit LocalChannel(ChannelAttr attr, TimerWheel* wheel = nullptr)
+      : attr_(std::move(attr)), wheel_(wheel) {}
 
   const ChannelAttr& attr() const { return attr_; }
 
@@ -57,6 +80,30 @@ class LocalChannel {
   // be produced; the selectors wait for any eligible item.
   Result<ItemView> Get(std::uint32_t slot, GetSpec spec, Deadline deadline);
 
+  // --- two-phase (try-else-register) API -------------------------------
+  // Phase one runs under the lock: if the operation can complete (or
+  // terminally fail) right now, `done` runs inline on this thread and
+  // 0 is returned. Otherwise a waiter is registered and its id (> 0)
+  // returned; `done` later runs exactly once on the completing thread.
+  // `origin` tags the waiter for CancelWaitersOf (peer death).
+  // `use_timer=false` skips the wheel for callers that enforce the
+  // deadline themselves (the sync wrappers).
+  std::uint64_t GetAsync(std::uint32_t slot, GetSpec spec, Deadline deadline,
+                         GetCompletion done,
+                         std::uint32_t origin = kNoWaiterOrigin,
+                         bool use_timer = true);
+  std::uint64_t PutAsync(Timestamp ts, SharedBuffer payload, Deadline deadline,
+                         PutCompletion done,
+                         std::uint32_t origin = kNoWaiterOrigin,
+                         bool use_timer = true);
+  // Completes a parked waiter with `status` (inline, on this thread).
+  // Returns false when the waiter already completed — the caller lost
+  // the race and the genuine completion stands.
+  bool CancelWaiter(std::uint64_t waiter_id, const Status& status);
+  // Completes every parked waiter tagged with `origin`; returns how
+  // many. Used when the peer the reply would go to is dead.
+  std::size_t CancelWaitersOf(std::uint32_t origin, const Status& status);
+
   // Installs a declarative filter on an input connection ("selective
   // attention", §6 future work): the connection's gets only see
   // matching items, and non-matching items carry no GC claim from it.
@@ -76,7 +123,7 @@ class LocalChannel {
   // service to fan out. Handlers have already run for drained notices.
   std::vector<GcNotice> Sweep(std::uint64_t channel_bits);
 
-  // Wakes every blocked waiter with kCancelled and fails subsequent
+  // Completes every parked waiter with kCancelled and fails subsequent
   // blocking calls; used when the owning address space shuts down.
   void Close();
 
@@ -84,6 +131,8 @@ class LocalChannel {
   std::size_t live_items() const;
   std::size_t input_connections() const;
   Timestamp newest_timestamp() const;  // kInvalidTimestamp when empty
+  std::size_t parked_get_waiters() const;
+  std::size_t parked_put_waiters() const;
   std::uint64_t total_puts() const {
     ds::MutexLock lock(mu_);
     return total_puts_;
@@ -116,6 +165,37 @@ class LocalChannel {
     void Compact();
   };
 
+  // A blocked get staged as data instead of a parked thread (the
+  // tuple-space pending-match-record move). Owned by get_waiters_;
+  // completion-by-removal under mu_ is what makes delivery
+  // exactly-once even with racing completers.
+  struct GetWaiter {
+    std::uint32_t slot;
+    GetSpec spec;
+    GetCompletion done;
+    std::uint32_t origin;
+    TimerWheel::TimerId timer = 0;
+  };
+  // A back-pressured put: the payload waits in the record, not in a
+  // blocked thread's stack frame.
+  struct PutWaiter {
+    Timestamp ts;
+    SharedBuffer payload;
+    PutCompletion done;
+    std::uint32_t origin;
+    TimerWheel::TimerId timer = 0;
+  };
+
+  // Work discovered under mu_ that must run only after it is released:
+  // reclaimed payloads for the GC handler, waiter completions, and
+  // timer cancellations for waiters that completed early.
+  struct Wakeups {
+    std::vector<std::pair<Timestamp, SharedBuffer>> freed;
+    GcHandler handler;
+    std::vector<std::function<void()>> completions;
+    std::vector<TimerWheel::TimerId> timers;
+  };
+
   bool IsGarbageLocked(Timestamp ts, std::size_t bytes) const
       DS_REQUIRES(mu_);
   Result<ItemView> SelectLocked(const ConnState& conn, GetSpec spec) const
@@ -123,25 +203,40 @@ class LocalChannel {
   // True when a Get(spec) could never be satisfied without new puts.
   Status CheckGetPreconditionsLocked(const ConnState& conn, GetSpec spec) const
       DS_REQUIRES(mu_);
-  // Removes garbage items (all of them, or only those <= up_to when
-  // bounded), queues notices, collects freed payloads for the handler.
-  void ReclaimLocked(std::vector<std::pair<Timestamp, SharedBuffer>>& freed)
+  // Phase-one attempts. nullopt means "would block: park"; a value is
+  // the operation's final result (success or terminal error).
+  std::optional<Result<ItemView>> TryGetLocked(std::uint32_t slot,
+                                               GetSpec spec) const
       DS_REQUIRES(mu_);
-  // Post-mutation tail shared by Consume/ConsumeUntil/Detach: runs the
-  // GC handler outside the lock (a handler may call back into the
-  // channel) and wakes waiters.
-  void FinishReclaim(std::vector<std::pair<Timestamp, SharedBuffer>> freed,
-                     GcHandler handler) DS_EXCLUDES(mu_);
+  std::optional<Status> TryPutLocked(Timestamp ts, SharedBuffer& payload,
+                                     Wakeups& out) DS_REQUIRES(mu_);
+  // Re-runs phase one for every parked waiter, to fixpoint: an admitted
+  // put can satisfy parked gets, and the reclaim it triggers can admit
+  // further puts. Completed waiters move into `out`.
+  void EvaluateWaitersLocked(Wakeups& out) DS_REQUIRES(mu_);
+  // Removes garbage items, queues notices, collects freed payloads
+  // (and the handler to run on them) into `out`.
+  void ReclaimLocked(Wakeups& out) DS_REQUIRES(mu_);
+  // Post-mutation tail shared by every path: cancels obsolete timers,
+  // runs the GC handler, then the waiter completions — all outside the
+  // lock (handlers and completions may call back into the channel).
+  void Finish(Wakeups wakeups) DS_EXCLUDES(mu_);
 
   ChannelAttr attr_;
+  TimerWheel* const wheel_;
   mutable ds::Mutex mu_{"channel.mu"};
-  ds::CondVar cv_;  // signalled on put/consume/reclaim/detach
 
   bool closed_ DS_GUARDED_BY(mu_) = false;
   std::map<Timestamp, SharedBuffer> items_ DS_GUARDED_BY(mu_);
   std::map<std::uint32_t, ConnState> conns_ DS_GUARDED_BY(mu_);
   std::uint32_t next_slot_ DS_GUARDED_BY(mu_) = 1;
   Timestamp max_reclaimed_ DS_GUARDED_BY(mu_) = kInvalidTimestamp;
+
+  // Waiter id order is registration order: the maps double as FIFO
+  // queues, so back-pressured puts are admitted first-come-first-served.
+  std::map<std::uint64_t, GetWaiter> get_waiters_ DS_GUARDED_BY(mu_);
+  std::map<std::uint64_t, PutWaiter> put_waiters_ DS_GUARDED_BY(mu_);
+  std::uint64_t next_waiter_id_ DS_GUARDED_BY(mu_) = 1;
 
   GcHandler gc_handler_ DS_GUARDED_BY(mu_);
   // Drained by Sweep.

@@ -16,6 +16,20 @@ Deadline DecodeDeadline(std::int64_t wire_ms) {
   return Deadline::AfterMillis(wire_ms);
 }
 
+Buffer EncodeStatusReply(std::uint64_t request_id, const Status& status) {
+  marshal::XdrEncoder enc;
+  EncodeResponseHeader(enc, request_id, status);
+  return enc.Take();
+}
+
+Buffer EncodeItemReply(std::uint64_t request_id, const ItemView& item) {
+  marshal::XdrEncoder enc(item.payload.size() + 64);
+  EncodeResponseHeader(enc, request_id, OkStatus());
+  enc.PutI64(item.timestamp);
+  enc.PutOpaque(item.payload.span());
+  return enc.Take();
+}
+
 Result<RequestHeader> DecodeRequestHeader(marshal::XdrDecoder& dec) {
   RequestHeader hdr;
   DS_ASSIGN_OR_RETURN(std::uint32_t op, dec.GetU32());

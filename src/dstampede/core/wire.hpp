@@ -279,6 +279,13 @@ struct ResponseHeader {
 // Expects the decoder positioned at the op field.
 Result<ResponseHeader> DecodeResponseHeader(marshal::XdrDecoder& dec);
 
+// Fully-encoded replies, shared by the synchronous dispatch path and
+// the deferred-completion path (which encodes on whatever thread
+// resolved the waiter — putter, GC sweeper, timer wheel, shutdown).
+Buffer EncodeStatusReply(std::uint64_t request_id, const Status& status);
+// Successful kGet reply: status header + timestamp + payload.
+Buffer EncodeItemReply(std::uint64_t request_id, const ItemView& item);
+
 // GcNotice encoding, used for surrogate -> end device forwarding.
 template <class Enc>
 void EncodeGcNotice(Enc& enc, const GcNotice& notice) {
