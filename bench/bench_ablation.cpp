@@ -39,19 +39,43 @@ struct RelayResult {
 };
 
 // One machine-readable result row, mirrored into BENCH_ablation.json.
+// gc_lag_p50_us and retransmits come from the runtime's metrics
+// registry / CLF stats, sampled just before the runtime shuts down.
 struct JsonRow {
   std::string ablation;
   std::string parameter;
   std::string outcome;
   double elapsed_ms = 0;
+  double gc_lag_p50_us = 0;
+  std::uint64_t retransmits = 0;
 };
 
 std::vector<JsonRow> g_rows;
 
 void Record(std::string ablation, std::string parameter, std::string outcome,
-            double elapsed_ms) {
+            double elapsed_ms, double gc_lag_p50_us = 0,
+            std::uint64_t retransmits = 0) {
   g_rows.push_back(JsonRow{std::move(ablation), std::move(parameter),
-                           std::move(outcome), elapsed_ms});
+                           std::move(outcome), elapsed_ms, gc_lag_p50_us,
+                           retransmits});
+}
+
+// Median put-to-reclaim lag of items on the container owner (AS1 in
+// every sweep here).
+double GcLagP50(core::Runtime& rt) {
+  return static_cast<double>(rt.as(1)
+                                 .metrics_registry()
+                                 .GetHistogram("stm.reclaim_lag_us")
+                                 .Percentile(50));
+}
+
+std::uint64_t Retransmits(core::Runtime& rt) {
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < rt.size(); ++i) {
+    total += rt.as(i).transport_stats().retransmissions.load(
+        std::memory_order_relaxed);
+  }
+  return total;
 }
 
 void WriteJson(const char* path) {
@@ -65,9 +89,11 @@ void WriteJson(const char* path) {
     const JsonRow& row = g_rows[i];
     std::fprintf(f,
                  "  {\"ablation\": \"%s\", \"parameter\": \"%s\", "
-                 "\"outcome\": \"%s\", \"elapsed_ms\": %.1f}%s\n",
+                 "\"outcome\": \"%s\", \"elapsed_ms\": %.1f, "
+                 "\"gc_lag_p50_us\": %.0f, \"retransmits\": %llu}%s\n",
                  row.ablation.c_str(), row.parameter.c_str(),
-                 row.outcome.c_str(), row.elapsed_ms,
+                 row.outcome.c_str(), row.elapsed_ms, row.gc_lag_p50_us,
+                 static_cast<unsigned long long>(row.retransmits),
                  i + 1 < g_rows.size() ? "," : "");
   }
   std::fprintf(f, "]\n");
@@ -146,7 +172,8 @@ int main() {
     }
     char outcome[64];
     std::snprintf(outcome, sizeof(outcome), "%.0f items/s", r.items_per_sec);
-    Record("A:backpressure_depth", label, outcome, ms);
+    Record("A:backpressure_depth", label, outcome, ms, GcLagP50(*rt),
+           Retransmits(*rt));
     rt->Shutdown();
   }
 
@@ -213,7 +240,8 @@ int main() {
       char param[64];
       std::snprintf(param, sizeof(param), "width=%zu waiters=%d", width,
                     waiters_n);
-      Record("B:dispatcher_width", param, flows ? "flows" : "STALLS", ms);
+      Record("B:dispatcher_width", param, flows ? "flows" : "STALLS", ms,
+             GcLagP50(*rt), Retransmits(*rt));
       rt->Shutdown();
     }
   }
@@ -230,7 +258,8 @@ int main() {
                 r.mbytes_per_sec);
     char outcome[64];
     std::snprintf(outcome, sizeof(outcome), "%.0f items/s", r.items_per_sec);
-    Record("C:clf_path", shm ? "shm" : "udp", outcome, ms);
+    Record("C:clf_path", shm ? "shm" : "udp", outcome, ms, GcLagP50(*rt),
+           Retransmits(*rt));
     rt->Shutdown();
   }
 
@@ -276,7 +305,7 @@ int main() {
     std::snprintf(param, sizeof(param), "peer_timeout_ms=%ld", timeout_ms);
     Record("D:failure_detection", param,
            observed == StatusCode::kUnavailable ? "unavailable" : "UNEXPECTED",
-           detect_ms);
+           detect_ms, GcLagP50(**rt), Retransmits(**rt));
     (*rt)->Shutdown();
   }
 

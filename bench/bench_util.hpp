@@ -15,7 +15,7 @@
 
 #include "dstampede/common/bytes.hpp"
 #include "dstampede/common/clock.hpp"
-#include "dstampede/common/stats.hpp"
+#include "dstampede/common/metrics.hpp"
 #include "dstampede/common/status.hpp"
 #include "dstampede/transport/tcp.hpp"
 #include "dstampede/transport/udp.hpp"
@@ -53,18 +53,21 @@ inline void Die(const Status& status, const char* what) {
   } while (false)
 
 // Measures the median latency (microseconds) of fn() over the
-// configured iterations, after `warmup` unrecorded calls.
+// configured iterations, after `warmup` unrecorded calls. Samples land
+// in the same log-scale histogram the runtime registry uses, so bench
+// medians and sys/metrics quantiles share bucketing (~3% bucket error;
+// well under run-to-run noise at the paper's iteration counts).
 template <typename Fn>
 double MeasureMedianMicros(Fn&& fn, int warmup = 3) {
   for (int i = 0; i < warmup; ++i) fn();
-  LatencyRecorder recorder;
+  metrics::Histogram hist;
   const int iters = Iterations();
   for (int i = 0; i < iters; ++i) {
     const TimePoint start = Now();
     fn();
-    recorder.AddDuration(Now() - start);
+    hist.Observe(ToMicros(Now() - start));
   }
-  return static_cast<double>(recorder.Median());
+  return static_cast<double>(hist.Percentile(50));
 }
 
 // --- raw baselines (the paper's comparison series) --------------------------

@@ -5,8 +5,14 @@
 // validated end to end. Run with:
 //
 //   videoconf_demo [participants=3] [image_kb=32] [frames=60] [mt=1]
+//                  [linger_sec=0]
+//
+// With linger_sec > 0 the cluster stays up after the conference so
+// dsctl can be pointed at the printed DSCTL_PORT to inspect the
+// per-channel space-time state the run left behind.
 #include <cstdio>
 #include <cstdlib>
+#include <thread>
 
 #include "dstampede/app/videoconf.hpp"
 
@@ -19,6 +25,7 @@ int main(int argc, char** argv) {
       argc > 2 ? static_cast<std::size_t>(std::atoi(argv[2])) : 32;
   const Timestamp frames = argc > 3 ? std::atoll(argv[3]) : 60;
   const bool multithreaded = argc > 4 ? std::atoi(argv[4]) != 0 : true;
+  const long linger_sec = argc > 5 ? std::atol(argv[5]) : 0;
 
   core::Runtime::Options rt_opts;
   rt_opts.num_address_spaces = 3;
@@ -35,6 +42,9 @@ int main(int argc, char** argv) {
                  listener.status().ToString().c_str());
     return 1;
   }
+
+  std::printf("DSCTL_PORT=%u\n", (*listener)->addr().port);
+  std::fflush(stdout);
 
   app::VideoConfConfig config;
   config.num_clients = participants;
@@ -67,6 +77,13 @@ int main(int argc, char** argv) {
               "all %lld frames validated\n",
               report->min_display_fps,
               static_cast<long long>(report->frames_completed));
+
+  if (linger_sec > 0) {
+    std::printf("lingering %ld s for dsctl (port %u)\n", linger_sec,
+                (*listener)->addr().port);
+    std::fflush(stdout);
+    std::this_thread::sleep_for(std::chrono::seconds(linger_sec));
+  }
 
   (*listener)->Shutdown();
   (*runtime)->Shutdown();

@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# CI observability smoke: start a 3-space mini cluster, point dsctl at
+# it through the name server's sys/metrics/ discovery, and fail when
+# any space's snapshot is missing, empty or unparsable.
+#
+# Usage: scripts/metrics_smoke.sh [build_dir]
+set -u
+
+BUILD="${1:-build}"
+
+out="$(mktemp)"
+trap 'kill "${pid:-0}" 2>/dev/null; rm -f "$out"' EXIT
+
+"$BUILD/tools/mini_cluster" 60 >"$out" 2>&1 &
+pid=$!
+
+port=""
+for _ in $(seq 1 100); do
+  port="$(sed -n 's/^DSCTL_PORT=\([0-9]*\)$/\1/p' "$out")"
+  [ -n "$port" ] && break
+  if ! kill -0 "$pid" 2>/dev/null; then
+    echo "metrics_smoke: mini_cluster exited early" >&2
+    cat "$out" >&2
+    exit 1
+  fi
+  sleep 0.1
+done
+if [ -z "$port" ]; then
+  echo "metrics_smoke: mini_cluster never printed DSCTL_PORT" >&2
+  cat "$out" >&2
+  exit 1
+fi
+
+"$BUILD/tools/dsctl" "127.0.0.1:$port" --check
+rc=$?
+if [ "$rc" -ne 0 ]; then
+  echo "metrics_smoke: dsctl --check failed (rc=$rc)" >&2
+  exit "$rc"
+fi
+echo "metrics_smoke: OK"

@@ -301,8 +301,12 @@ Status Endpoint::Send(const transport::SockAddr& to,
       seq = peer.next_seq++;
       datagram = BuildPacket(kTypeData, first ? kFlagFirstFragment : 0, seq,
                              /*ack=*/0, epoch_, payload);
+      const TimePoint now = Now();
       peer.unacked[seq] = SendPeer::Unacked{
-          datagram, Now() + options_.initial_rto, options_.initial_rto, 0};
+          datagram, now + options_.initial_rto, options_.initial_rto, 0,
+          metrics_registry_.load(std::memory_order_acquire) != nullptr
+              ? now
+              : TimePoint{}};
     }
     stats_.data_packets_sent.fetch_add(1, std::memory_order_relaxed);
     WireSend(to, std::move(datagram));
@@ -353,7 +357,20 @@ void Endpoint::HandleAck(const transport::SockAddr& from, std::uint32_t ack) {
     auto it = send_peers_.find(from);
     if (it == send_peers_.end()) return;
     auto& unacked = it->second.unacked;
+    metrics::Registry* registry =
+        metrics_registry_.load(std::memory_order_acquire);
     while (!unacked.empty() && unacked.begin()->first < ack) {
+      const SendPeer::Unacked& entry = unacked.begin()->second;
+      // Karn's rule: only fresh (never retransmitted) packets yield an
+      // unambiguous round-trip sample.
+      if (registry != nullptr && entry.retransmits == 0 &&
+          entry.sent_at != TimePoint{}) {
+        metrics::Histogram*& hist = rtt_hist_[from];
+        if (hist == nullptr) {
+          hist = &registry->GetHistogram("clf.rtt_us." + from.ToString());
+        }
+        hist->Observe(ToMicros(Now() - entry.sent_at));
+      }
       unacked.erase(unacked.begin());
       opened = true;
     }

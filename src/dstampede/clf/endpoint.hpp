@@ -37,6 +37,7 @@
 #include "dstampede/clf/shm_ring.hpp"
 #include "dstampede/common/bytes.hpp"
 #include "dstampede/common/clock.hpp"
+#include "dstampede/common/metrics.hpp"
 #include "dstampede/common/status.hpp"
 #include "dstampede/common/sync.hpp"
 #include "dstampede/transport/udp.hpp"
@@ -124,6 +125,15 @@ class Endpoint {
 
   const EndpointStats& stats() const { return stats_; }
 
+  // Optional telemetry hook: when set, the endpoint records a per-peer
+  // round-trip histogram ("clf.rtt_us.<addr>", microseconds) from the
+  // send of a fresh data packet to its cumulative ack. Retransmitted
+  // packets are excluded (Karn's rule: their RTT is ambiguous). May be
+  // set at any time; null disables.
+  void set_metrics_registry(metrics::Registry* registry) {
+    metrics_registry_.store(registry, std::memory_order_release);
+  }
+
  private:
   explicit Endpoint(const Options& options);
 
@@ -135,6 +145,9 @@ class Endpoint {
       TimePoint resend_at;
       Duration rto;
       std::size_t retransmits = 0;
+      // First wire send, for the RTT histogram (unset when telemetry
+      // is off, so the hot path skips the clock read).
+      TimePoint sent_at{};
     };
     std::map<std::uint32_t, Unacked> unacked;
     // Held across ALL fragments of one message: concurrent senders to
@@ -200,6 +213,12 @@ class Endpoint {
   mutable ds::Mutex send_mu_{"clf.send_mu"};
   ds::CondVar window_cv_;
   std::unordered_map<transport::SockAddr, SendPeer> send_peers_
+      DS_GUARDED_BY(send_mu_);
+  // Telemetry (optional). The histogram cache avoids a registry name
+  // lookup per ack; Histogram::Observe itself is lock-free, so
+  // recording under send_mu_ is safe.
+  std::atomic<metrics::Registry*> metrics_registry_{nullptr};
+  std::unordered_map<transport::SockAddr, metrics::Histogram*> rtt_hist_
       DS_GUARDED_BY(send_mu_);
   std::unordered_map<transport::SockAddr, PeerHealth> health_
       DS_GUARDED_BY(send_mu_);

@@ -81,6 +81,11 @@ class BasicClient {
     // Extra listeners to try on reconnect (besides `server` and any
     // `sys/listener/` advertisements cached from the name server).
     std::vector<transport::SockAddr> alternate_servers;
+    // Stamps every STM call with a sampled trace context (a fresh root
+    // per call unless the calling thread already carries one). Off by
+    // default: an untraced frame is byte-identical to the pre-trace
+    // wire format. Session ops (Hello/Resume/Bye) are never stamped.
+    bool trace_calls = false;
   };
 
   // Joins the computation: connects, sends Hello, learns the host AS.
@@ -119,6 +124,18 @@ class BasicClient {
   // frame sets {.stride = 5} and never holds the rest back from GC.
   Status SetFilter(const core::Connection& conn,
                    const core::ItemFilter& filter);
+
+  // --- introspection ------------------------------------------------------
+  // Fetches the sys/metrics JSON snapshot of `target` (any address
+  // space of the cluster; the request is forwarded over CLF when the
+  // target is not the session's host).
+  Result<std::string> MetricsSnapshot(AsId target);
+  // Trace id stamped on the most recent traced call (0 when
+  // trace_calls is off). Tests correlate this with server-side spans.
+  std::uint64_t last_trace_id() const {
+    ds::MutexLock lock(mu_);
+    return last_trace_id_;
+  }
 
   // --- name server ------------------------------------------------------------
   Status NsRegister(const core::NsEntry& entry);
@@ -215,6 +232,7 @@ class BasicClient {
   std::vector<transport::SockAddr> listener_cache_ DS_GUARDED_BY(mu_);
   std::mt19937_64 jitter_rng_ DS_GUARDED_BY(mu_){0x5D5742DEu};
   std::uint64_t calls_made_ DS_GUARDED_BY(mu_) = 0;
+  std::uint64_t last_trace_id_ DS_GUARDED_BY(mu_) = 0;
 
   // Leaf lock: guards the handler table and the notice counter; never
   // held while a handler runs.

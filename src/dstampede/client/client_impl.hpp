@@ -90,6 +90,30 @@ Result<Buffer> BasicClient<Codec>::CallLocked(
   // handshake) through a reconnect would deadlock or fork the session.
   const bool can_retry = options_.reconnect.enabled && hdr.ok() && !session_op;
 
+  if (options_.trace_calls && hdr.ok() && !session_op &&
+      !hdr->trace.sampled()) {
+    // Splice a trace context into the already-encoded frame: rebuild
+    // the 12-byte [op][request_id] header with kTraceFlag set, insert
+    // the context, keep the op fields verbatim. Both codecs emit
+    // byte-identical octets, so an XDR splice serves either
+    // personality.
+    trace::TraceContext ctx = trace::CurrentContext();
+    if (!ctx.sampled()) {
+      ctx = trace::TraceContext{trace::NewId(), trace::NewId(),
+                                trace::TraceContext::kSampled};
+    }
+    marshal::XdrEncoder spliced;
+    spliced.PutU32(static_cast<std::uint32_t>(hdr->op) | core::kTraceFlag);
+    spliced.PutU64(hdr->request_id);
+    spliced.PutU64(ctx.trace_id);
+    spliced.PutU64(ctx.span_id);
+    spliced.PutU32(ctx.flags);
+    Buffer traced = spliced.Take();
+    traced.insert(traced.end(), request.begin() + 12, request.end());
+    request = std::move(traced);
+    last_trace_id_ = ctx.trace_id;
+  }
+
   for (std::uint32_t attempt = 0;; ++attempt) {
     if (attempt > 0) ++replays_;
     Status s = conn_.SendFrame(request);
@@ -588,6 +612,26 @@ Result<std::vector<core::NsEntry>> BasicClient<Codec>::NsList(
   }
   DS_CLIENT_FINISH(dec);
   return out;
+}
+
+template <typename Codec>
+Result<std::string> BasicClient<Codec>::MetricsSnapshot(AsId target) {
+  typename Codec::Encoder enc;
+  core::EncodeRequestHeader(enc, core::Op::kMetrics, NextId());
+  core::MetricsReq req;
+  req.target_as = AsIndex(target);
+  req.Encode(enc);
+  DS_ASSIGN_OR_RETURN(ParsedReply parsed,
+                      CallAndParse(enc.Take(), Deadline::AfterMillis(10000)));
+  typename Codec::Decoder dec(std::span<const std::uint8_t>(parsed.frame)
+                                  .subspan(parsed.payload_offset));
+  if (!parsed.status.ok()) {
+    DS_CLIENT_FINISH(dec);
+    return parsed.status;
+  }
+  DS_ASSIGN_OR_RETURN(std::string snapshot, dec.GetString());
+  DS_CLIENT_FINISH(dec);
+  return snapshot;
 }
 
 template <typename Codec>

@@ -2,6 +2,7 @@
 
 #include "dstampede/client/protocol.hpp"
 #include "dstampede/common/logging.hpp"
+#include "dstampede/common/metrics.hpp"
 
 namespace dstampede::client {
 
@@ -50,6 +51,38 @@ Result<std::unique_ptr<Listener>> Listener::Start(core::Runtime& runtime,
       DS_LOG(kWarn) << "listener advertisement failed: " << s;
       listener->ns_name_.clear();
     }
+  }
+  // Session health is visible through the AS-0 sys/metrics snapshot
+  // alongside the space's own instruments.
+  {
+    metrics::Registry& reg = runtime.as(0).metrics_registry();
+    Listener* raw = listener.get();
+    listener->provider_tokens_ = {
+        reg.AddProvider("listener.sessions_total",
+                        [raw] {
+                          return static_cast<std::int64_t>(
+                              raw->surrogates_total());
+                        }),
+        reg.AddProvider("listener.sessions_parked",
+                        [raw] {
+                          return static_cast<std::int64_t>(
+                              raw->surrogates_in(Surrogate::State::kParked));
+                        }),
+        reg.AddProvider("listener.sessions_resumed",
+                        [raw] {
+                          return static_cast<std::int64_t>(
+                              raw->sessions_resumed());
+                        }),
+        reg.AddProvider("listener.sessions_migrated",
+                        [raw] {
+                          return static_cast<std::int64_t>(
+                              raw->sessions_migrated());
+                        }),
+        reg.AddProvider("listener.run_threads",
+                        [raw] {
+                          return static_cast<std::int64_t>(raw->run_threads());
+                        }),
+    };
   }
   listener->accept_thread_ =
       std::thread([raw = listener.get()] { raw->AcceptLoop(); });
@@ -329,6 +362,10 @@ void Listener::JanitorLoop() {
 void Listener::Shutdown() {
   bool expected = false;
   if (!stopping_.compare_exchange_strong(expected, true)) return;
+  for (std::uint64_t token : provider_tokens_) {
+    runtime_.as(0).metrics_registry().RemoveProvider(token);
+  }
+  provider_tokens_.clear();
   if (!ns_name_.empty() && !runtime_.as(0).stopped()) {
     (void)runtime_.as(0).NsUnregister(ns_name_);
   }

@@ -116,6 +116,9 @@ class Listener {
 
   std::atomic<std::uint64_t> sessions_resumed_{0};
   std::atomic<std::uint64_t> sessions_migrated_{0};
+  // Pull-provider registrations in AS 0's metrics registry (written in
+  // Start before any thread exists, cleared once in Shutdown).
+  std::vector<std::uint64_t> provider_tokens_;
   std::atomic<bool> stopping_{false};
   std::thread accept_thread_;
   std::thread janitor_thread_;

@@ -44,6 +44,9 @@ Surrogate::Surrogate(std::uint64_t session_id, core::AddressSpace& host,
       conn_(std::move(conn)),
       edge_faults_(edge_faults),
       durable_(durable) {
+  m_replay_hits_ = &host_.metrics_registry().GetCounter(
+      "surrogate.replay_cache_hits");
+  m_calls_ = &host_.metrics_registry().GetCounter("surrogate.calls");
   gc_sink_token_ = host_.gc().AddSink(
       [this](const std::vector<core::GcNotice>& batch) {
         ds::MutexLock lock(gc_mu_);
@@ -228,14 +231,17 @@ Buffer Surrogate::HandleFrame(std::span<const std::uint8_t> frame, bool& bye,
   {
     ds::MutexLock lock(session_mu_);
     if (ticket == cached_reply_ticket_ && !cached_reply_.empty()) {
+      m_replay_hits_->Add();
       return cached_reply_;  // resend the very reply that was lost
     }
     if (ticket <= last_executed_ticket_ && IsIdempotentSynthOp(op)) {
       // Executed before a failover; the original reply died with the
       // old surrogate but the effect is durable. Ack it.
+      m_replay_hits_->Add();
       return EncodeStatusOnly(ticket, OkStatus());
     }
   }
+  m_calls_->Add();
 
   if (edge_faults_ && IsStmOp(op) &&
       edge_faults_->TakeConnectionKill(
@@ -244,8 +250,21 @@ Buffer Surrogate::HandleFrame(std::span<const std::uint8_t> frame, bool& bye,
     return Buffer();
   }
 
-  const Buffer effective = TranslateSlots(frame);
-  Buffer reply = host_.ExecuteWireRequest(effective);
+  // Tracing: adopt the device's wire span as "client.call" (the client
+  // call as observed cluster-side) and execute under a child
+  // "surrogate.dispatch" span. Both install themselves as the thread's
+  // current context, so the re-encoded frame (TranslateSlots) and every
+  // RPC the execution fans out carry the context onward. No-ops when
+  // the frame carried no sampled context.
+  trace::ScopedSpan client_call(&host_.span_sink(), "client.call", hdr->trace,
+                                /*adopt_span_id=*/true);
+  Buffer effective;
+  Buffer reply;
+  {
+    trace::ScopedSpan dispatch(&host_.span_sink(), "surrogate.dispatch");
+    effective = TranslateSlots(frame);
+    reply = host_.ExecuteWireRequest(effective);
+  }
 
   // A stopping host answers everything kCancelled; park instead so the
   // device sees a dead link and fails over to a live address space.
@@ -557,6 +576,7 @@ Status Surrogate::ServiceHello(std::span<const std::uint8_t> frame) {
 }
 
 void Surrogate::Run() {
+  SetThreadLogContext("sur/" + std::to_string(session_id_));
   Buffer frame;
   bool bye = false;
   while (!stopping_.load() && !bye) {

@@ -147,6 +147,10 @@ class Surrogate {
   std::atomic<std::uint64_t> calls_serviced_{0};
   std::atomic<std::uint64_t> notices_forwarded_{0};
 
+  // Host-registry instruments (stable addresses, cached at construction).
+  metrics::Counter* m_replay_hits_ = nullptr;
+  metrics::Counter* m_calls_ = nullptr;
+
   // GC interest set (bits -> is_queue) and pending notices, fed by the
   // GC-service sink. Leaf lock: taken inside the GC sink callback, so
   // it must never be held while calling into the host address space.

@@ -2,9 +2,32 @@
 
 #include <chrono>
 #include <cstdio>
+#include <cstring>
 #include <mutex>
 
 namespace dstampede {
+namespace {
+
+// Fixed-size TLS buffers: no allocation on the logging path, trivially
+// destructible (safe to touch during thread teardown).
+struct ThreadLogState {
+  char name[32] = {0};
+  std::uint64_t trace_id = 0;
+};
+thread_local ThreadLogState t_log_state;
+
+}  // namespace
+
+void SetThreadLogContext(std::string_view name) {
+  const std::size_t n = std::min(name.size(), sizeof(t_log_state.name) - 1);
+  std::memcpy(t_log_state.name, name.data(), n);
+  t_log_state.name[n] = '\0';
+}
+
+void SetThreadLogTraceId(std::uint64_t trace_id) {
+  t_log_state.trace_id = trace_id;
+}
+
 namespace {
 
 std::mutex& WriteMutex() {
@@ -42,10 +65,21 @@ void Logger::Write(LogLevel level, std::string_view file, int line,
                        steady_clock::now().time_since_epoch())
                        .count();
   std::string_view base = Basename(file);
+  // Per-thread context prefix: "[AS0] " / "[AS0 trace=1f..] ".
+  char ctx[64] = {0};
+  if (t_log_state.name[0] != '\0' || t_log_state.trace_id != 0) {
+    if (t_log_state.trace_id != 0) {
+      std::snprintf(ctx, sizeof(ctx), "[%s%strace=%016llx] ",
+                    t_log_state.name, t_log_state.name[0] ? " " : "",
+                    static_cast<unsigned long long>(t_log_state.trace_id));
+    } else {
+      std::snprintf(ctx, sizeof(ctx), "[%s] ", t_log_state.name);
+    }
+  }
   std::lock_guard<std::mutex> lock(WriteMutex());
-  std::fprintf(stderr, "%s %lld.%06lld %.*s:%d] %.*s\n", LevelTag(level),
+  std::fprintf(stderr, "%s %lld.%06lld %s%.*s:%d] %.*s\n", LevelTag(level),
                static_cast<long long>(now / 1000000),
-               static_cast<long long>(now % 1000000),
+               static_cast<long long>(now % 1000000), ctx,
                static_cast<int>(base.size()), base.data(), line,
                static_cast<int>(message.size()), message.data());
 }

@@ -4,12 +4,21 @@
 #pragma once
 
 #include <atomic>
+#include <cstdint>
 #include <sstream>
 #include <string_view>
 
 namespace dstampede {
 
 enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+// Per-thread log context: every line the thread writes is prefixed
+// with "[name]" (the owning address space / surrogate, set once per
+// worker thread) and, when a sampled trace context is installed,
+// "trace=<id>". Interleaved multi-space test logs stay attributable.
+// Both are no-ops on threads that never set them.
+void SetThreadLogContext(std::string_view name);
+void SetThreadLogTraceId(std::uint64_t trace_id);  // 0 clears
 
 class Logger {
  public:

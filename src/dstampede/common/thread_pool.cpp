@@ -1,11 +1,17 @@
 #include "dstampede/common/thread_pool.hpp"
 
+#include "dstampede/common/logging.hpp"
+
 namespace dstampede {
 
-ThreadPool::ThreadPool(std::size_t num_threads) {
+ThreadPool::ThreadPool(std::size_t num_threads, std::string name)
+    : name_(std::move(name)) {
   workers_.reserve(num_threads);
   for (std::size_t i = 0; i < num_threads; ++i) {
-    workers_.emplace_back([this] { WorkerLoop(); });
+    workers_.emplace_back([this] {
+      if (!name_.empty()) SetThreadLogContext(name_);
+      WorkerLoop();
+    });
   }
 }
 

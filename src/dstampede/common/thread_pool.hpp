@@ -7,6 +7,7 @@
 
 #include <deque>
 #include <functional>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -16,7 +17,10 @@ namespace dstampede {
 
 class ThreadPool {
  public:
-  explicit ThreadPool(std::size_t num_threads);
+  // `name`, when set, becomes each worker's per-thread log context
+  // (see logging.hpp), so dispatcher log lines carry their address
+  // space.
+  explicit ThreadPool(std::size_t num_threads, std::string name = {});
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
@@ -29,14 +33,20 @@ class ThreadPool {
   void Shutdown();
 
   std::size_t size() const { return workers_.size(); }
+  // Tasks queued but not yet picked up (dispatcher queue depth).
+  std::size_t pending() const {
+    ds::MutexLock lock(mu_);
+    return queue_.size();
+  }
 
  private:
   void WorkerLoop();
 
-  ds::Mutex mu_{"thread_pool.mu"};
+  mutable ds::Mutex mu_{"thread_pool.mu"};
   ds::CondVar cv_;
   std::deque<std::function<void()>> queue_ DS_GUARDED_BY(mu_);
   bool stopping_ DS_GUARDED_BY(mu_) = false;
+  std::string name_;
   std::vector<std::thread> workers_;
 };
 

@@ -1,0 +1,174 @@
+#include "dstampede/common/trace.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <random>
+
+#include "dstampede/common/logging.hpp"
+
+namespace dstampede::trace {
+
+namespace {
+thread_local TraceContext t_context;
+}  // namespace
+
+TraceContext CurrentContext() { return t_context; }
+
+void SetCurrentContext(const TraceContext& ctx) {
+  t_context = ctx;
+  SetThreadLogTraceId(ctx.sampled() ? ctx.trace_id : 0);
+}
+
+std::uint64_t NewId() {
+  // Process-unique base: without it every process walks the same id
+  // sequence and two clients tracing concurrently collide trace ids.
+  static const std::uint64_t base = [] {
+    std::random_device rd;
+    std::uint64_t b = (static_cast<std::uint64_t>(rd()) << 32) ^ rd();
+    return b ^ static_cast<std::uint64_t>(
+                   std::chrono::system_clock::now().time_since_epoch().count());
+  }();
+  static std::atomic<std::uint64_t> seed{0x9E3779B97F4A7C15ull};
+  thread_local std::uint64_t state =
+      base ^ seed.fetch_add(0xBF58476D1CE4E5B9ull, std::memory_order_relaxed);
+  // splitmix64: cheap, well-distributed, never 0 in practice — but
+  // guard anyway since 0 means "no trace".
+  std::uint64_t z = (state += 0x9E3779B97F4A7C15ull);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  z ^= z >> 31;
+  return z != 0 ? z : 1;
+}
+
+void SpanSink::Record(Span span) {
+  ds::MutexLock lock(mu_);
+  if (spans_.size() >= capacity_) {
+    spans_.pop_front();
+    ++dropped_;
+  }
+  spans_.push_back(std::move(span));
+}
+
+void SpanSink::BeginActive(const Span& span) {
+  ds::MutexLock lock(mu_);
+  active_.emplace(span.span_id, span);
+}
+
+void SpanSink::EndActive(std::uint64_t span_id) {
+  ds::MutexLock lock(mu_);
+  active_.erase(span_id);
+}
+
+std::vector<Span> SpanSink::Snapshot() const {
+  ds::MutexLock lock(mu_);
+  return std::vector<Span>(spans_.begin(), spans_.end());
+}
+
+std::vector<Span> SpanSink::ActiveSnapshot() const {
+  ds::MutexLock lock(mu_);
+  std::vector<Span> out;
+  out.reserve(active_.size());
+  for (const auto& [id, span] : active_) out.push_back(span);
+  return out;
+}
+
+std::uint64_t SpanSink::dropped() const {
+  ds::MutexLock lock(mu_);
+  return dropped_;
+}
+
+namespace {
+
+void AppendSpan(std::string& out, const Span& span, bool is_active) {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "{\"trace_id\":\"%016" PRIx64 "\",\"span_id\":\"%016" PRIx64
+                "\",\"parent_span_id\":\"%016" PRIx64
+                "\",\"name\":\"%s\",\"duration_us\":%" PRId64
+                ",\"active\":%s}",
+                span.trace_id, span.span_id, span.parent_span_id,
+                span.name.c_str(), ToMicros(span.duration),
+                is_active ? "true" : "false");
+  out += buf;
+}
+
+}  // namespace
+
+void SpanSink::WriteJson(std::string& out) const {
+  const std::vector<Span> done = Snapshot();
+  const std::vector<Span> active = ActiveSnapshot();
+  out.push_back('[');
+  bool first = true;
+  for (const Span& span : done) {
+    if (!first) out.push_back(',');
+    first = false;
+    AppendSpan(out, span, /*is_active=*/false);
+  }
+  for (const Span& span : active) {
+    if (!first) out.push_back(',');
+    first = false;
+    AppendSpan(out, span, /*is_active=*/true);
+  }
+  out.push_back(']');
+}
+
+ScopedSpan::ScopedSpan(SpanSink* sink, const char* name,
+                       const TraceContext& ctx, bool adopt_span_id) {
+  if (sink == nullptr || !ctx.sampled()) return;
+  sink_ = sink;
+  span_.trace_id = ctx.trace_id;
+  span_.name = name;
+  span_.start = Now();
+  if (adopt_span_id) {
+    span_.span_id = ctx.span_id;
+    span_.parent_span_id = 0;
+  } else {
+    span_.span_id = NewId();
+    span_.parent_span_id = ctx.span_id;
+  }
+  prev_ = CurrentContext();
+  SetCurrentContext(TraceContext{ctx.trace_id, span_.span_id, ctx.flags});
+  sink_->BeginActive(span_);
+}
+
+ScopedSpan::~ScopedSpan() {
+  if (sink_ == nullptr) return;
+  span_.duration = Now() - span_.start;
+  sink_->EndActive(span_.span_id);
+  sink_->Record(std::move(span_));
+  SetCurrentContext(prev_);
+}
+
+PendingSpan::PendingSpan(SpanSink* sink, const char* name,
+                         const TraceContext& ctx) {
+  if (sink == nullptr || !ctx.sampled()) return;
+  sink_ = sink;
+  span_.trace_id = ctx.trace_id;
+  span_.span_id = NewId();
+  span_.parent_span_id = ctx.span_id;
+  span_.name = name;
+  span_.start = Now();
+  sink_->BeginActive(span_);
+}
+
+PendingSpan& PendingSpan::operator=(PendingSpan&& other) noexcept {
+  if (this != &other) {
+    Finish();
+    sink_ = other.sink_;
+    span_ = std::move(other.span_);
+    other.sink_ = nullptr;
+  }
+  return *this;
+}
+
+void PendingSpan::Finish() {
+  if (sink_ == nullptr) return;
+  span_.duration = Now() - span_.start;
+  sink_->EndActive(span_.span_id);
+  sink_->Record(std::move(span_));
+  sink_ = nullptr;
+}
+
+}  // namespace dstampede::trace

@@ -1,0 +1,153 @@
+// Cross-address-space request tracing.
+//
+// A TraceContext (trace id + span id + flags) rides the existing wire
+// protocols as an optional header field (see core/wire.hpp: the high
+// bit of the op word marks its presence, so untraced peers
+// interoperate unchanged). The context is carried per-thread: the
+// dispatcher installs the incoming context before executing a request,
+// every outgoing EncodeRequestHeader re-emits the current context, and
+// spans opened along the way parent onto the context's span id — so a
+// client call fans out into a tree: client.call -> surrogate.dispatch
+// -> owner.serve / owner.parked, across processes and suspensions.
+//
+// Spans land in a per-address-space SpanSink ring buffer, exported
+// through the sys/metrics snapshot. Everything here is no-op cheap
+// when the current context is unsampled (a TLS read and a branch).
+//
+// Locking: "trace.span_sink.mu" is leaf-level — Record/Snapshot only;
+// no user code, no blocking, no other lock is ever taken under it.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "dstampede/common/clock.hpp"
+#include "dstampede/common/sync.hpp"
+
+namespace dstampede::trace {
+
+struct TraceContext {
+  std::uint64_t trace_id = 0;
+  std::uint64_t span_id = 0;
+  std::uint32_t flags = 0;
+
+  static constexpr std::uint32_t kSampled = 1u;
+  bool sampled() const { return trace_id != 0 && (flags & kSampled) != 0; }
+};
+
+// The calling thread's ambient context (empty/unsampled by default).
+TraceContext CurrentContext();
+// Installs `ctx` (also mirrors the trace id into the log prefix, see
+// logging.hpp). Pass {} to clear.
+void SetCurrentContext(const TraceContext& ctx);
+
+// Fresh nonzero id (thread-local splitmix64, collision-free enough
+// for ring-buffer lifetimes).
+std::uint64_t NewId();
+
+// RAII: install a context for the current scope, restore on exit.
+class ScopedContext {
+ public:
+  explicit ScopedContext(const TraceContext& ctx) : prev_(CurrentContext()) {
+    SetCurrentContext(ctx);
+  }
+  ~ScopedContext() { SetCurrentContext(prev_); }
+  ScopedContext(const ScopedContext&) = delete;
+  ScopedContext& operator=(const ScopedContext&) = delete;
+
+ private:
+  TraceContext prev_;
+};
+
+// One completed (or still-active) span.
+struct Span {
+  std::uint64_t trace_id = 0;
+  std::uint64_t span_id = 0;
+  std::uint64_t parent_span_id = 0;
+  std::string name;
+  TimePoint start{};
+  Duration duration{};  // zero while active
+};
+
+// Bounded per-address-space span store: a ring of completed spans plus
+// the set of currently active ones. All methods are safe from any
+// thread.
+class SpanSink {
+ public:
+  explicit SpanSink(std::size_t capacity = 2048) : capacity_(capacity) {}
+  SpanSink(const SpanSink&) = delete;
+  SpanSink& operator=(const SpanSink&) = delete;
+
+  void Record(Span span) DS_EXCLUDES(mu_);
+  void BeginActive(const Span& span) DS_EXCLUDES(mu_);
+  void EndActive(std::uint64_t span_id) DS_EXCLUDES(mu_);
+
+  std::vector<Span> Snapshot() const DS_EXCLUDES(mu_);
+  std::vector<Span> ActiveSnapshot() const DS_EXCLUDES(mu_);
+  std::uint64_t dropped() const DS_EXCLUDES(mu_);
+
+  // Appends completed + active spans as a JSON array to `out`.
+  void WriteJson(std::string& out) const DS_EXCLUDES(mu_);
+
+ private:
+  const std::size_t capacity_;
+  mutable ds::Mutex mu_{"trace.span_sink.mu"};
+  std::deque<Span> spans_ DS_GUARDED_BY(mu_);
+  std::unordered_map<std::uint64_t, Span> active_ DS_GUARDED_BY(mu_);
+  std::uint64_t dropped_ DS_GUARDED_BY(mu_) = 0;
+};
+
+// RAII span: opens a child of the calling thread's current context
+// (or adopts an explicit context as the span's own identity, for the
+// first server-side span of a wire request), installs itself as the
+// current context, and records into `sink` on destruction. Inactive —
+// zero work beyond the TLS read — when the context is unsampled or
+// `sink` is null.
+class ScopedSpan {
+ public:
+  // Child of the current thread context.
+  ScopedSpan(SpanSink* sink, const char* name)
+      : ScopedSpan(sink, name, CurrentContext(), /*adopt_span_id=*/false) {}
+  // `adopt_span_id` true: this span IS ctx.span_id (the wire span the
+  // remote sender created); false: a fresh child of ctx.span_id.
+  ScopedSpan(SpanSink* sink, const char* name, const TraceContext& ctx,
+             bool adopt_span_id);
+  ~ScopedSpan();
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  bool active() const { return sink_ != nullptr; }
+  std::uint64_t span_id() const { return span_.span_id; }
+
+ private:
+  SpanSink* sink_ = nullptr;  // null: inactive
+  Span span_;
+  TraceContext prev_;
+};
+
+// A span whose end is decoupled from scope: started when a request is
+// suspended into a waiter, finished (possibly on another thread) when
+// the continuation fires. Movable; Finish() is idempotent.
+class PendingSpan {
+ public:
+  PendingSpan() = default;
+  // Child of `ctx` (no-op when unsampled or sink null).
+  PendingSpan(SpanSink* sink, const char* name, const TraceContext& ctx);
+  PendingSpan(PendingSpan&& other) noexcept { *this = std::move(other); }
+  PendingSpan& operator=(PendingSpan&& other) noexcept;
+  ~PendingSpan() { Finish(); }
+  PendingSpan(const PendingSpan&) = delete;
+  PendingSpan& operator=(const PendingSpan&) = delete;
+
+  void Finish();
+  bool active() const { return sink_ != nullptr; }
+
+ private:
+  SpanSink* sink_ = nullptr;
+  Span span_;
+};
+
+}  // namespace dstampede::trace

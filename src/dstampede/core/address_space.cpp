@@ -1,10 +1,25 @@
 #include "dstampede/core/address_space.hpp"
 
+#include <cinttypes>
+#include <cstdio>
 #include <utility>
 
 #include "dstampede/common/logging.hpp"
 
 namespace dstampede::core {
+
+namespace {
+
+// "0123456789abcdef" for sampled contexts, "-" otherwise; used when a
+// request is dropped so the warn line still names its trace.
+std::string TraceTag(const trace::TraceContext& ctx) {
+  if (!ctx.sampled()) return "-";
+  char buf[20];
+  std::snprintf(buf, sizeof(buf), "%016" PRIx64, ctx.trace_id);
+  return buf;
+}
+
+}  // namespace
 
 Result<std::unique_ptr<AddressSpace>> AddressSpace::Create(
     const Options& options) {
@@ -26,15 +41,114 @@ Result<std::unique_ptr<AddressSpace>> AddressSpace::Create(
       [raw = as.get()](const transport::SockAddr& addr) {
         raw->OnPeerUp(addr);
       });
-  as->dispatcher_ = std::make_unique<ThreadPool>(options.dispatcher_threads);
+  as->dispatcher_ = std::make_unique<ThreadPool>(
+      options.dispatcher_threads,
+      "AS" + std::to_string(AsIndex(options.id)));
   as->gc_ = std::make_unique<GcService>(options.gc_interval);
   if (options.host_name_server) {
     as->name_server_ = std::make_unique<NameServer>();
     as->ns_as_ = options.id;
   }
+  as->InitObservability();
   as->gc_->Start();
   as->receiver_ = std::thread([raw = as.get()] { raw->ReceiveLoop(); });
   return as;
+}
+
+void AddressSpace::InitObservability() {
+  // Hot-path instruments, cached once: registry addresses are stable
+  // for the registry's lifetime, so the fast paths hit only atomics.
+  m_dispatch_requests_ = &registry_.GetCounter("dispatch.requests");
+  m_dispatch_deferred_ = &registry_.GetCounter("dispatch.deferred");
+  m_dropped_or_expired_ = &registry_.GetCounter("dispatch.dropped_or_expired");
+  stm_metrics_.puts = &registry_.GetCounter("stm.puts");
+  stm_metrics_.gets = &registry_.GetCounter("stm.gets");
+  stm_metrics_.reclaimed = &registry_.GetCounter("stm.reclaimed_items");
+  stm_metrics_.reclaim_lag_us = &registry_.GetHistogram("stm.reclaim_lag_us");
+  endpoint_->set_metrics_registry(&registry_);  // per-peer RTT histograms
+
+  // Pull providers, evaluated at snapshot time. They read atomics or
+  // take only leaf locks (containers_mu_ -> container mu is the same
+  // order Shutdown uses), and this object outlives the registry's
+  // users, so the raw captures are safe.
+  registry_.AddProvider("dispatcher.queue_depth",
+                        [this] { return static_cast<std::int64_t>(
+                                     dispatcher_->pending()); });
+  registry_.AddProvider("containers.channels", [this] {
+    ds::MutexLock lock(containers_mu_);
+    return static_cast<std::int64_t>(channels_.size());
+  });
+  registry_.AddProvider("containers.queues", [this] {
+    ds::MutexLock lock(containers_mu_);
+    return static_cast<std::int64_t>(queues_.size());
+  });
+  registry_.AddProvider("containers.parked_waiters", [this] {
+    std::vector<std::shared_ptr<LocalChannel>> channels;
+    std::vector<std::shared_ptr<LocalQueue>> queues;
+    {
+      ds::MutexLock lock(containers_mu_);
+      for (auto& [slot, ch] : channels_) channels.push_back(ch);
+      for (auto& [slot, q] : queues_) queues.push_back(q);
+    }
+    std::int64_t parked = 0;
+    for (auto& ch : channels) {
+      parked += static_cast<std::int64_t>(ch->parked_get_waiters() +
+                                          ch->parked_put_waiters());
+    }
+    for (auto& q : queues) {
+      parked += static_cast<std::int64_t>(q->parked_get_waiters() +
+                                          q->parked_put_waiters());
+    }
+    return parked;
+  });
+
+  // CLF transport mirror: expose the endpoint's atomics through the
+  // registry so one snapshot covers every layer.
+  const clf::EndpointStats* clf_stats = &endpoint_->stats();
+  registry_.AddProvider("clf.data_packets_sent", [clf_stats] {
+    return static_cast<std::int64_t>(
+        clf_stats->data_packets_sent.load(std::memory_order_relaxed));
+  });
+  registry_.AddProvider("clf.data_packets_received", [clf_stats] {
+    return static_cast<std::int64_t>(
+        clf_stats->data_packets_received.load(std::memory_order_relaxed));
+  });
+  registry_.AddProvider("clf.retransmissions", [clf_stats] {
+    return static_cast<std::int64_t>(
+        clf_stats->retransmissions.load(std::memory_order_relaxed));
+  });
+  registry_.AddProvider("clf.duplicates_discarded", [clf_stats] {
+    return static_cast<std::int64_t>(
+        clf_stats->duplicates_discarded.load(std::memory_order_relaxed));
+  });
+  registry_.AddProvider("clf.messages_delivered", [clf_stats] {
+    return static_cast<std::int64_t>(
+        clf_stats->messages_delivered.load(std::memory_order_relaxed));
+  });
+  registry_.AddProvider("clf.keepalive_probes_sent", [clf_stats] {
+    return static_cast<std::int64_t>(
+        clf_stats->keepalive_probes_sent.load(std::memory_order_relaxed));
+  });
+  registry_.AddProvider("clf.peers_declared_dead", [clf_stats] {
+    return static_cast<std::int64_t>(
+        clf_stats->peers_declared_dead.load(std::memory_order_relaxed));
+  });
+
+  if (name_server_) {
+    NameServer* ns = name_server_.get();
+    registry_.AddProvider("ns.entries", [ns] {
+      return static_cast<std::int64_t>(ns->size());
+    });
+    registry_.AddProvider("ns.sessions", [ns] {
+      return static_cast<std::int64_t>(ns->session_count());
+    });
+    registry_.AddProvider("ns.lookups", [ns] {
+      return static_cast<std::int64_t>(ns->total_lookups());
+    });
+    registry_.AddProvider("ns.purged_entries", [ns] {
+      return static_cast<std::int64_t>(ns->total_purged());
+    });
+  }
 }
 
 AddressSpace::AddressSpace(const Options& options) : options_(options) {}
@@ -303,6 +417,7 @@ Result<Buffer> AddressSpace::Call(AsId target, Buffer request,
 }
 
 void AddressSpace::ReceiveLoop() {
+  SetThreadLogContext("AS" + std::to_string(AsIndex(options_.id)) + ".rx");
   Buffer message;
   transport::SockAddr from;
   while (!stopping_.load(std::memory_order_relaxed)) {
@@ -351,20 +466,32 @@ void AddressSpace::DispatchRequest(transport::SockAddr from, Buffer message) {
     auto it = peer_by_addr_.find(from);
     if (it != peer_by_addr_.end()) origin = it->second;
   }
-  // Peek the request id before the message is moved so a refusal can
-  // still be addressed to the caller instead of leaving it to time out.
+  // Peek the request id (and trace context) before the message is
+  // moved, so a refusal can still be addressed to the caller instead of
+  // leaving it to time out — and attributed to its trace.
   std::uint64_t request_id = 0;
   bool have_id = false;
+  trace::TraceContext tctx;
   {
     marshal::XdrDecoder peek(message);
     if (auto hdr = DecodeRequestHeader(peek); hdr.ok()) {
       request_id = hdr->request_id;
       have_id = true;
+      tctx = hdr->trace;
     }
   }
-  auto task = [this, from, origin, request_id, have_id,
+  m_dispatch_requests_->Add();
+  auto task = [this, from, origin, request_id, have_id, tctx,
                msg = std::move(message)]() {
+    // The caller's context rides the whole execution of this request:
+    // spans opened below parent onto it and every outgoing
+    // EncodeRequestHeader re-emits it (trace propagation).
+    trace::ScopedContext tracing(tctx);
     if (stopping_.load()) {
+      m_dropped_or_expired_->Add();
+      DS_LOG(kWarn) << "dropping request " << request_id
+                    << " (address space shutting down), trace="
+                    << TraceTag(tctx);
       if (have_id) {
         (void)endpoint_->Send(
             from, EncodeStatusReply(
@@ -382,7 +509,9 @@ void AddressSpace::DispatchRequest(transport::SockAddr from, Buffer message) {
     }
   };
   if (!dispatcher_->Submit(std::move(task))) {
-    DS_LOG(kWarn) << "dispatcher rejected request (shutting down)";
+    m_dropped_or_expired_->Add();
+    DS_LOG(kWarn) << "dispatcher rejected request " << request_id
+                  << " (shutting down), trace=" << TraceTag(tctx);
     if (have_id) {
       (void)endpoint_->Send(
           from, EncodeStatusReply(
@@ -428,8 +557,22 @@ bool AddressSpace::ServeDeferred(std::span<const std::uint8_t> message,
     if (OwnerOf(req->container_bits) != options_.id) return false;
     stats_.requests_served.fetch_add(1, std::memory_order_relaxed);
     stats_.gets.fetch_add(1, std::memory_order_relaxed);
-    auto done = [this, id, reply](Result<ItemView> item) {
+    m_dispatch_deferred_->Add();
+    // The suspension itself is a span: it starts here (request arrives,
+    // try phase may park it) and ends — possibly on the producer's or
+    // the timer wheel's thread — when the continuation fires. Shared
+    // because GetCompletion is a copyable std::function.
+    auto parked = std::make_shared<trace::PendingSpan>(
+        &span_sink_, "owner.parked", hdr->trace);
+    auto done = [this, id, reply, parked,
+                 tctx = hdr->trace](Result<ItemView> item) {
+      parked->Finish();
       if (!item.ok()) {
+        if (item.status().code() == StatusCode::kTimeout) {
+          m_dropped_or_expired_->Add();
+          DS_LOG(kWarn) << "parked get " << id
+                        << " expired at deadline, trace=" << TraceTag(tctx);
+        }
         (void)reply->Complete(EncodeStatusReply(id, item.status()));
         return;
       }
@@ -463,12 +606,21 @@ bool AddressSpace::ServeDeferred(std::span<const std::uint8_t> message,
   stats_.requests_served.fetch_add(1, std::memory_order_relaxed);
   stats_.puts.fetch_add(1, std::memory_order_relaxed);
   stats_.bytes_put.fetch_add(req->payload.size(), std::memory_order_relaxed);
+  m_dispatch_deferred_->Add();
   if (!CanOutput(req->mode)) {
     (void)reply->Complete(EncodeStatusReply(
         id, PermissionDeniedError("connection is input-only")));
     return true;
   }
-  auto done = [id, reply](Status st) {
+  auto parked = std::make_shared<trace::PendingSpan>(
+      &span_sink_, "owner.parked", hdr->trace);
+  auto done = [this, id, reply, parked, tctx = hdr->trace](Status st) {
+    parked->Finish();
+    if (st.code() == StatusCode::kTimeout) {
+      m_dropped_or_expired_->Add();
+      DS_LOG(kWarn) << "parked put " << id
+                    << " expired at deadline, trace=" << TraceTag(tctx);
+    }
     (void)reply->Complete(EncodeStatusReply(id, st));
   };
   const Deadline deadline = DecodeDeadline(req->deadline_ms);
@@ -671,6 +823,19 @@ Buffer AddressSpace::ProcessRequest(std::span<const std::uint8_t> message,
       if (!req.ok()) return EncodeStatusReply(id, req.status());
       return EncodeStatusReply(id, SessionTick(req->session_id, req->ticket));
     }
+    case Op::kMetrics: {
+      auto req = MetricsReq::Decode(dec);
+      if (!req.ok()) return EncodeStatusReply(id, req.status());
+      // Serve locally or forward to the target space (same pattern as
+      // the NS ops), so a surrogate can introspect any space for its
+      // end device and dsctl can fan out from one peer.
+      auto snapshot = MetricsSnapshot(static_cast<AsId>(req->target_as));
+      if (!snapshot.ok()) return EncodeStatusReply(id, snapshot.status());
+      marshal::XdrEncoder enc;
+      EncodeResponseHeader(enc, id, OkStatus());
+      enc.PutString(*snapshot);
+      return enc.Take();
+    }
     case Op::kReply:
       break;
   }
@@ -687,6 +852,7 @@ Result<ChannelId> AddressSpace::CreateChannel(const ChannelAttr& attr) {
     ds::MutexLock lock(containers_mu_);
     slot = next_container_slot_++;
     ch = std::make_shared<LocalChannel>(attr, wheel_.get());
+    ch->set_metrics(stm_metrics_);
     channels_[slot] = ch;
   }
   const ChannelId cid(options_.id, slot);
@@ -702,6 +868,7 @@ Result<QueueId> AddressSpace::CreateQueue(const QueueAttr& attr) {
     ds::MutexLock lock(containers_mu_);
     slot = next_container_slot_++;
     q = std::make_shared<LocalQueue>(attr, wheel_.get());
+    q->set_metrics(stm_metrics_);
     queues_[slot] = q;
   }
   const QueueId qid(options_.id, slot);
@@ -857,6 +1024,10 @@ Status AddressSpace::Put(const Connection& conn, Timestamp ts, Buffer payload,
     return PermissionDeniedError("connection is input-only");
   }
   if (conn.owner() == options_.id) {
+    // The owner serving the op is a span of its own; for a blocking
+    // put (channel at capacity) its duration is the block time.
+    // Inactive (a TLS read) when the calling context is unsampled.
+    trace::ScopedSpan serve(&span_sink_, "owner.serve");
     SharedBuffer shared(std::move(payload));
     if (conn.is_queue()) {
       auto q = FindQueue(conn.container_bits());
@@ -889,6 +1060,9 @@ Result<ItemView> AddressSpace::Get(const Connection& conn, GetSpec spec,
   if (!conn.valid()) return InvalidArgumentError("invalid connection");
   stats_.gets.fetch_add(1, std::memory_order_relaxed);
   if (conn.owner() == options_.id) {
+    // Owner-side serving span; for a blocking get the duration is the
+    // time parked waiting for the producer.
+    trace::ScopedSpan serve(&span_sink_, "owner.serve");
     Result<ItemView> item = InternalError("unset");
     if (conn.is_queue()) {
       auto q = FindQueue(conn.container_bits());
@@ -1196,6 +1370,113 @@ Status AddressSpace::SessionTick(std::uint64_t session_id,
   marshal::XdrDecoder dec(reply);
   DS_ASSIGN_OR_RETURN(auto hdr, DecodeResponseHeader(dec));
   return hdr.status;
+}
+
+// --- observability ---------------------------------------------------------------
+
+namespace {
+
+void AppendJsonString(std::string& out, const std::string& s) {
+  out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+}  // namespace
+
+std::string AddressSpace::MetricsJson() {
+  // Snapshot container pointers under containers_mu_, then query each
+  // container outside it (each query takes only the container's own
+  // leaf lock).
+  std::vector<std::pair<std::uint32_t, std::shared_ptr<LocalChannel>>> channels;
+  std::vector<std::pair<std::uint32_t, std::shared_ptr<LocalQueue>>> queues;
+  {
+    ds::MutexLock lock(containers_mu_);
+    channels.assign(channels_.begin(), channels_.end());
+    queues.assign(queues_.begin(), queues_.end());
+  }
+
+  std::string out;
+  out += "{\"as\":" + std::to_string(AsIndex(options_.id));
+  out += ",\"registry\":";
+  registry_.WriteJson(out);
+  out += ",\"spans\":";
+  span_sink_.WriteJson(out);
+  out += ",\"channels\":[";
+  for (std::size_t i = 0; i < channels.size(); ++i) {
+    const auto& [slot, ch] = channels[i];
+    if (i != 0) out += ',';
+    out += "{\"id\":" + std::to_string(ChannelId(options_.id, slot).bits());
+    out += ",\"name\":";
+    AppendJsonString(out, ch->attr().debug_name);
+    out += ",\"live_items\":" + std::to_string(ch->live_items());
+    const Timestamp frontier = ch->timestamp_frontier();
+    out += ",\"frontier\":" +
+           std::to_string(frontier == kInvalidTimestamp ? -1 : frontier);
+    out += ",\"parked_gets\":" + std::to_string(ch->parked_get_waiters());
+    out += ",\"parked_puts\":" + std::to_string(ch->parked_put_waiters());
+    out += ",\"total_puts\":" + std::to_string(ch->total_puts());
+    out += ",\"reclaimed\":" + std::to_string(ch->total_reclaimed());
+    out += '}';
+  }
+  out += "],\"queues\":[";
+  for (std::size_t i = 0; i < queues.size(); ++i) {
+    const auto& [slot, q] = queues[i];
+    if (i != 0) out += ',';
+    out += "{\"id\":" + std::to_string(QueueId(options_.id, slot).bits());
+    out += ",\"name\":";
+    AppendJsonString(out, q->attr().debug_name);
+    out += ",\"queued_items\":" + std::to_string(q->queued_items());
+    out += ",\"in_flight\":" + std::to_string(q->in_flight_items());
+    out += ",\"parked_gets\":" + std::to_string(q->parked_get_waiters());
+    out += ",\"parked_puts\":" + std::to_string(q->parked_put_waiters());
+    out += ",\"total_puts\":" + std::to_string(q->total_puts());
+    out += ",\"reclaimed\":" + std::to_string(q->total_consumed());
+    out += '}';
+  }
+  out += "]}";
+  return out;
+}
+
+Result<std::string> AddressSpace::MetricsSnapshot(AsId target) {
+  if (target == options_.id) return MetricsJson();
+  MetricsReq req;
+  req.target_as = AsIndex(target);
+  marshal::XdrEncoder enc;
+  EncodeRequestHeader(enc, Op::kMetrics, next_request_id_.fetch_add(1));
+  req.Encode(enc);
+  DS_ASSIGN_OR_RETURN(Buffer reply,
+                      Call(target, enc.Take(), InternalDeadline()));
+  marshal::XdrDecoder dec(reply);
+  DS_ASSIGN_OR_RETURN(auto hdr, DecodeResponseHeader(dec));
+  if (!hdr.status.ok()) return hdr.status;
+  return dec.GetString();
+}
+
+Status AddressSpace::AdvertiseMetrics() {
+  NsEntry entry;
+  entry.name = "sys/metrics/" + std::to_string(AsIndex(options_.id));
+  entry.kind = NsEntry::Kind::kOther;
+  entry.id_bits = AsIndex(options_.id);
+  entry.meta = "sys/metrics snapshot endpoint; clf=" +
+               endpoint_->addr().ToString();
+  entry.owner_as = options_.id;
+  return NsRegister(entry);
 }
 
 // --- threads -----------------------------------------------------------------------

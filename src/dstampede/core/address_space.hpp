@@ -22,8 +22,10 @@
 
 #include "dstampede/clf/endpoint.hpp"
 #include "dstampede/common/ids.hpp"
+#include "dstampede/common/metrics.hpp"
 #include "dstampede/common/sync.hpp"
 #include "dstampede/common/thread_pool.hpp"
+#include "dstampede/common/trace.hpp"
 #include "dstampede/common/waiter.hpp"
 #include "dstampede/core/channel.hpp"
 #include "dstampede/core/gc.hpp"
@@ -199,6 +201,22 @@ class AddressSpace {
   clf::FaultInjector& fault_injector() { return endpoint_->fault_injector(); }
   clf::Endpoint& clf_endpoint() { return *endpoint_; }
 
+  // --- observability ------------------------------------------------------
+  // This space's metrics registry and span sink (see
+  // docs/OBSERVABILITY.md). Instruments live as long as the AS.
+  metrics::Registry& metrics_registry() { return registry_; }
+  trace::SpanSink& span_sink() { return span_sink_; }
+  // JSON snapshot of this space: registry + recorded/active spans +
+  // per-container space-time state (occupancy, frontier, parked
+  // waiters, GC counters).
+  std::string MetricsJson();
+  // Snapshot of `target` — local, or fetched over CLF when the target
+  // is a peer (the sys/metrics RPC, forwarded like the NS ops).
+  Result<std::string> MetricsSnapshot(AsId target);
+  // Registers "sys/metrics/<id>" with the name server so tools (dsctl)
+  // can discover every space in the cluster.
+  Status AdvertiseMetrics();
+
   // --- services ------------------------------------------------------------
   GcService& gc() { return *gc_; }
   // Null unless this AS hosts the name server.
@@ -219,6 +237,10 @@ class AddressSpace {
 
  private:
   explicit AddressSpace(const Options& options);
+
+  // Caches hot-path instruments and registers pull providers; runs once
+  // during Create, after the endpoint/dispatcher/name server exist.
+  void InitObservability();
 
   struct PendingCall {
     // One node for every in-flight call: a thread completing call A
@@ -287,6 +309,16 @@ class AddressSpace {
  private:
   Options options_;
   AsStats stats_;
+  // Observability state is declared before (so destroyed after) every
+  // component that caches instrument pointers into it: containers,
+  // endpoint, dispatcher, surrogates via metrics_registry().
+  metrics::Registry registry_;
+  trace::SpanSink span_sink_;
+  // Cached hot-path instruments (stable addresses inside registry_).
+  metrics::Counter* m_dispatch_requests_ = nullptr;
+  metrics::Counter* m_dispatch_deferred_ = nullptr;
+  metrics::Counter* m_dropped_or_expired_ = nullptr;
+  StmMetrics stm_metrics_;
   std::unique_ptr<clf::Endpoint> endpoint_;
   // Deadline service for parked container waiters. Declared before the
   // container maps so it outlives every channel/queue holding a raw

@@ -81,6 +81,9 @@ std::optional<Status> LocalChannel::TryPutLocked(Timestamp ts,
   const std::size_t bytes = payload.size();
   items_.emplace(ts, std::move(payload));
   ++total_puts_;
+  if (frontier_ == kInvalidTimestamp || ts > frontier_) frontier_ = ts;
+  if (metrics_.puts != nullptr) metrics_.puts->Add();
+  if (metrics_.reclaim_lag_us != nullptr) put_times_[ts] = Now();
   // An item can be born garbage: every attached input has already
   // consumed past it (or filters it out). Reclaim it on the spot so
   // its GC handler fires promptly instead of on the next sweep.
@@ -238,6 +241,10 @@ std::uint64_t LocalChannel::GetAsync(std::uint32_t slot, GetSpec spec,
     if (!inline_result.has_value() && deadline.expired()) {
       inline_result = Result<ItemView>(TimeoutError("channel get"));
     }
+    if (metrics_.gets != nullptr && inline_result.has_value() &&
+        inline_result->ok()) {
+      metrics_.gets->Add();
+    }
     if (!inline_result.has_value()) {
       id = next_waiter_id_++;
       GetWaiter waiter{slot, spec, std::move(done), origin, 0};
@@ -341,6 +348,7 @@ void LocalChannel::EvaluateWaitersLocked(Wakeups& out) {
         ++it;
         continue;
       }
+      if (tried->ok() && metrics_.gets != nullptr) metrics_.gets->Add();
       if (it->second.timer != 0) out.timers.push_back(it->second.timer);
       out.completions.push_back(
           [done = std::move(it->second.done),
@@ -435,6 +443,15 @@ void LocalChannel::ReclaimLocked(Wakeups& out) {
       out.freed.emplace_back(it->first, std::move(it->second));
       max_reclaimed_ = std::max(max_reclaimed_, it->first);
       ++total_reclaimed_;
+      if (metrics_.reclaimed != nullptr) metrics_.reclaimed->Add();
+      if (metrics_.reclaim_lag_us != nullptr) {
+        auto born = put_times_.find(it->first);
+        if (born != put_times_.end()) {
+          // Histogram::Observe is lock-free; safe under mu_.
+          metrics_.reclaim_lag_us->Observe(ToMicros(Now() - born->second));
+          put_times_.erase(born);
+        }
+      }
       it = items_.erase(it);
     } else {
       ++it;

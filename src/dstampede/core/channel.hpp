@@ -131,6 +131,12 @@ class LocalChannel {
   std::size_t live_items() const;
   std::size_t input_connections() const;
   Timestamp newest_timestamp() const;  // kInvalidTimestamp when empty
+  // Highest timestamp ever put, surviving GC reclamation (the
+  // space-time frontier); kInvalidTimestamp before the first put.
+  Timestamp timestamp_frontier() const {
+    ds::MutexLock lock(mu_);
+    return frontier_;
+  }
   std::size_t parked_get_waiters() const;
   std::size_t parked_put_waiters() const;
   std::uint64_t total_puts() const {
@@ -140,6 +146,14 @@ class LocalChannel {
   std::uint64_t total_reclaimed() const {
     ds::MutexLock lock(mu_);
     return total_reclaimed_;
+  }
+
+  // Wires registry instruments (owner AS calls this once, before the
+  // container is published). Also turns on reclaim-lag measurement:
+  // puts stamp a birth time, reclaims observe the lag.
+  void set_metrics(const StmMetrics& m) {
+    ds::MutexLock lock(mu_);
+    metrics_ = m;
   }
 
  private:
@@ -243,6 +257,13 @@ class LocalChannel {
   std::vector<GcNotice> pending_notices_ DS_GUARDED_BY(mu_);
   std::uint64_t total_puts_ DS_GUARDED_BY(mu_) = 0;
   std::uint64_t total_reclaimed_ DS_GUARDED_BY(mu_) = 0;
+
+  // Observability (see StmMetrics). put_times_ shadows items_ with each
+  // item's birth time; only maintained when metrics_.reclaim_lag_us is
+  // wired, so uninstrumented channels skip the clock read per put.
+  StmMetrics metrics_ DS_GUARDED_BY(mu_);
+  std::map<Timestamp, TimePoint> put_times_ DS_GUARDED_BY(mu_);
+  Timestamp frontier_ DS_GUARDED_BY(mu_) = kInvalidTimestamp;
 };
 
 }  // namespace dstampede::core

@@ -8,8 +8,21 @@
 
 #include "dstampede/common/bytes.hpp"
 #include "dstampede/common/ids.hpp"
+#include "dstampede/common/metrics.hpp"
 
 namespace dstampede::core {
+
+// Registry instruments an address space hands to every container it
+// creates (set_metrics). All pointers are stable for the container's
+// lifetime; null pointers (standalone containers in tests/benches)
+// skip instrumentation entirely — including the clock read that feeds
+// the reclaim-lag histogram, so uninstrumented hot paths pay nothing.
+struct StmMetrics {
+  metrics::Counter* puts = nullptr;
+  metrics::Counter* gets = nullptr;
+  metrics::Counter* reclaimed = nullptr;
+  metrics::Histogram* reclaim_lag_us = nullptr;  // put -> reclaim, microseconds
+};
 
 // What a get() returns: the timestamp the item was put with and a
 // shared, immutable view of its payload.

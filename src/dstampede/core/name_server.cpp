@@ -24,6 +24,7 @@ Status NameServer::Unregister(const std::string& name) {
 
 Result<NsEntry> NameServer::Lookup(const std::string& name,
                                    Deadline deadline) {
+  lookups_.fetch_add(1, std::memory_order_relaxed);
   ds::MutexLock lock(mu_);
   for (;;) {
     auto it = entries_.find(name);
@@ -55,6 +56,7 @@ std::size_t NameServer::PurgeOwner(AsId owner) {
       ++it;
     }
   }
+  purged_.fetch_add(purged, std::memory_order_relaxed);
   return purged;
 }
 

@@ -6,6 +6,8 @@
 // (and through the client protocol from end devices).
 #pragma once
 
+#include <atomic>
+#include <cstdint>
 #include <map>
 #include <string>
 #include <vector>
@@ -55,11 +57,21 @@ class NameServer {
   Status TickSession(std::uint64_t session_id, std::uint64_t ticket);
   std::size_t session_count() const;
 
+  // --- observability ---------------------------------------------------
+  std::uint64_t total_lookups() const {
+    return lookups_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t total_purged() const {
+    return purged_.load(std::memory_order_relaxed);
+  }
+
  private:
   mutable ds::Mutex mu_{"name_server.mu"};
   ds::CondVar cv_;  // signalled on Register (Lookup blocks on it)
   std::map<std::string, NsEntry> entries_ DS_GUARDED_BY(mu_);
   std::map<std::uint64_t, SessionRecord> sessions_ DS_GUARDED_BY(mu_);
+  std::atomic<std::uint64_t> lookups_{0};
+  std::atomic<std::uint64_t> purged_{0};  // entries dropped by PurgeOwner
 };
 
 }  // namespace dstampede::core

@@ -50,8 +50,11 @@ std::optional<Status> LocalQueue::TryPutLocked(Timestamp ts,
   if (attr_.capacity_items != 0 && items_.size() >= attr_.capacity_items) {
     return std::nullopt;  // back-pressure: park
   }
-  items_.push_back(Entry{ts, std::move(payload), next_order_++});
+  Entry entry{ts, std::move(payload), next_order_++};
+  if (metrics_.reclaim_lag_us != nullptr) entry.put_at = Now();
+  items_.push_back(std::move(entry));
   ++total_puts_;
+  if (metrics_.puts != nullptr) metrics_.puts->Add();
   return OkStatus();
 }
 
@@ -114,6 +117,7 @@ std::optional<Result<ItemView>> LocalQueue::TryGetLocked(std::uint32_t slot) {
   items_.pop_front();
   ItemView view{entry.ts, entry.payload};
   it->second.in_flight.push_back(std::move(entry));
+  if (metrics_.gets != nullptr) metrics_.gets->Add();
   return Result<ItemView>(std::move(view));
 }
 
@@ -279,6 +283,11 @@ Status LocalQueue::Consume(std::uint32_t slot, Timestamp ts) {
     freed_payload = entry_it->payload;
     pending_notices_.push_back(
         GcNotice{0, /*is_queue=*/true, freed_ts, freed_payload.size()});
+    if (metrics_.reclaimed != nullptr) metrics_.reclaimed->Add();
+    if (metrics_.reclaim_lag_us != nullptr &&
+        entry_it->put_at != TimePoint{}) {
+      metrics_.reclaim_lag_us->Observe(ToMicros(Now() - entry_it->put_at));
+    }
     in_flight.erase(entry_it);
     ++total_consumed_;
     handler_copy = gc_handler_;

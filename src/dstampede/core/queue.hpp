@@ -100,11 +100,23 @@ class LocalQueue {
     return total_consumed_;
   }
 
+  // Wires registry instruments (owner AS calls this once, before the
+  // container is published). Also turns on reclaim-lag measurement:
+  // puts stamp a birth time, consumes observe put->consume lag.
+  void set_metrics(const StmMetrics& m) {
+    ds::MutexLock lock(mu_);
+    metrics_ = m;
+  }
+
  private:
   struct Entry {
     Timestamp ts;
     SharedBuffer payload;
     std::uint64_t order;  // put order, for returning in-flight items
+    // Birth time for the reclaim-lag histogram. Only stamped when the
+    // queue is instrumented (default-constructed otherwise), so
+    // uninstrumented queues skip the clock read per put.
+    TimePoint put_at{};
   };
   struct ConnState {
     ConnMode mode;
@@ -159,6 +171,9 @@ class LocalQueue {
   std::vector<GcNotice> pending_notices_ DS_GUARDED_BY(mu_);
   std::uint64_t total_puts_ DS_GUARDED_BY(mu_) = 0;
   std::uint64_t total_consumed_ DS_GUARDED_BY(mu_) = 0;
+
+  // Observability (see StmMetrics). Null instruments = uninstrumented.
+  StmMetrics metrics_ DS_GUARDED_BY(mu_);
 };
 
 }  // namespace dstampede::core

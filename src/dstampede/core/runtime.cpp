@@ -1,5 +1,7 @@
 #include "dstampede/core/runtime.hpp"
 
+#include "dstampede/common/logging.hpp"
+
 namespace dstampede::core {
 
 Result<std::unique_ptr<Runtime>> Runtime::Create(const Options& options) {
@@ -39,6 +41,18 @@ Result<AddressSpace*> Runtime::AddAddressSpace() {
                       ? static_cast<AsId>(options_.first_as_id)
                       : options_.name_server_as;
   space->SetNameServerAs(ns);
+  // Advertise the sys/metrics endpoint so tools (dsctl) can discover
+  // every space through the name server. Only when this cluster hosts
+  // its own NS: a federation-secondary cluster may not be able to
+  // reach its NS yet, and a blocking registration here would stall
+  // cluster bring-up.
+  if (options_.host_name_server) {
+    Status advertised = space->AdvertiseMetrics();
+    if (!advertised.ok()) {
+      DS_LOG(kWarn) << "sys/metrics advertisement failed: "
+                    << advertised.message();
+    }
+  }
   spaces_.push_back(std::move(space));
   return spaces_.back().get();
 }

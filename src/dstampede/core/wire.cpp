@@ -33,8 +33,13 @@ Buffer EncodeItemReply(std::uint64_t request_id, const ItemView& item) {
 Result<RequestHeader> DecodeRequestHeader(marshal::XdrDecoder& dec) {
   RequestHeader hdr;
   DS_ASSIGN_OR_RETURN(std::uint32_t op, dec.GetU32());
-  hdr.op = static_cast<Op>(op);
+  hdr.op = static_cast<Op>(op & ~kTraceFlag);
   DS_ASSIGN_OR_RETURN(hdr.request_id, dec.GetU64());
+  if (op & kTraceFlag) {
+    DS_ASSIGN_OR_RETURN(hdr.trace.trace_id, dec.GetU64());
+    DS_ASSIGN_OR_RETURN(hdr.trace.span_id, dec.GetU64());
+    DS_ASSIGN_OR_RETURN(hdr.trace.flags, dec.GetU32());
+  }
   return hdr;
 }
 
@@ -185,6 +190,12 @@ Result<SessionTickReq> SessionTickReq::Decode(marshal::XdrDecoder& dec) {
   SessionTickReq req;
   DS_ASSIGN_OR_RETURN(req.session_id, dec.GetU64());
   DS_ASSIGN_OR_RETURN(req.ticket, dec.GetU64());
+  return req;
+}
+
+Result<MetricsReq> MetricsReq::Decode(marshal::XdrDecoder& dec) {
+  MetricsReq req;
+  DS_ASSIGN_OR_RETURN(req.target_as, dec.GetU32());
   return req;
 }
 

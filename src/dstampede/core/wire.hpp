@@ -10,6 +10,16 @@
 // Framing: requests are  [u32 op][u64 request_id][op fields...];
 // responses are          [u32 kReply][u64 request_id][u32 status]
 //                        [string status_msg][op result fields...].
+//
+// Trace context (optional, telemetry layer): a request whose op word
+// has the high bit (kTraceFlag) set carries
+//   [u64 trace_id][u64 span_id][u32 trace_flags]
+// between request_id and the op fields. Untraced peers never set the
+// bit, so both directions of old/new interop decode unchanged;
+// responses never carry trace fields. EncodeRequestHeader injects the
+// calling thread's current trace context automatically, which is how
+// the context propagates across every AS->AS hop (including requests
+// re-issued on behalf of a suspended DeferredReply).
 #pragma once
 
 #include <cstdint>
@@ -18,6 +28,7 @@
 #include "dstampede/common/clock.hpp"
 #include "dstampede/common/ids.hpp"
 #include "dstampede/common/status.hpp"
+#include "dstampede/common/trace.hpp"
 #include "dstampede/core/item.hpp"
 #include "dstampede/marshal/xdr.hpp"
 
@@ -43,8 +54,14 @@ enum class Op : std::uint32_t {
   kSessionGet = 14,
   kSessionDrop = 15,
   kSessionTick = 16,
+  // Introspection: returns the target address space's sys/metrics
+  // JSON snapshot (registry + spans + per-container space-time state).
+  kMetrics = 17,
   kReply = 100,
 };
+
+// High bit of the wire op word: this request carries a trace context.
+inline constexpr std::uint32_t kTraceFlag = 0x80000000u;
 
 // Deadline on the wire: milliseconds the callee may block.
 // kDeadlineInfinite = block forever; 0 = poll.
@@ -56,12 +73,23 @@ Deadline DecodeDeadline(std::int64_t wire_ms);
 struct RequestHeader {
   Op op = Op::kReply;
   std::uint64_t request_id = 0;
+  // Unsampled/empty unless the frame carried kTraceFlag.
+  trace::TraceContext trace;
 };
 
 template <class Enc>
 void EncodeRequestHeader(Enc& enc, Op op, std::uint64_t request_id) {
-  enc.PutU32(static_cast<std::uint32_t>(op));
-  enc.PutU64(request_id);
+  const trace::TraceContext ctx = trace::CurrentContext();
+  if (ctx.sampled()) {
+    enc.PutU32(static_cast<std::uint32_t>(op) | kTraceFlag);
+    enc.PutU64(request_id);
+    enc.PutU64(ctx.trace_id);
+    enc.PutU64(ctx.span_id);
+    enc.PutU32(ctx.flags);
+  } else {
+    enc.PutU32(static_cast<std::uint32_t>(op));
+    enc.PutU64(request_id);
+  }
 }
 Result<RequestHeader> DecodeRequestHeader(marshal::XdrDecoder& dec);
 
@@ -250,6 +278,19 @@ struct SessionTickReq {  // kSessionTick
   static Result<SessionTickReq> Decode(marshal::XdrDecoder& dec);
 };
 
+struct MetricsReq {  // kMetrics
+  // Address space whose snapshot is wanted; the receiving space
+  // forwards when it is not the target (same pattern as the NS ops,
+  // so a TCP client can introspect any space through its surrogate).
+  std::uint32_t target_as = 0;
+
+  template <class Enc>
+  void Encode(Enc& enc) const {
+    enc.PutU32(target_as);
+  }
+  static Result<MetricsReq> Decode(marshal::XdrDecoder& dec);
+};
+
 struct NsLookupReq {  // kNsLookup (also kNsUnregister: name only)
   std::string name;
   std::int64_t deadline_ms = 0;
@@ -267,7 +308,12 @@ struct NsLookupReq {  // kNsLookup (also kNsUnregister: name only)
 template <class Enc>
 void EncodeResponseHeader(Enc& enc, std::uint64_t request_id,
                           const Status& status) {
-  EncodeRequestHeader(enc, Op::kReply, request_id);
+  // Raw puts, NOT EncodeRequestHeader: responses never carry a trace
+  // context (a deferred completion may run on a thread whose ambient
+  // context is sampled, and DecodeResponseHeader requires a bare
+  // kReply op word).
+  enc.PutU32(static_cast<std::uint32_t>(Op::kReply));
+  enc.PutU64(request_id);
   enc.PutU32(static_cast<std::uint32_t>(status.code()));
   enc.PutString(status.message());
 }

@@ -1,0 +1,193 @@
+// dsctl: cluster introspection CLI (docs/OBSERVABILITY.md).
+//
+// Joins the cluster through a listener like any end device, discovers
+// every address space via the name server's `sys/metrics/` convention,
+// pulls each space's sys/metrics JSON snapshot and prints a
+// cluster-wide table: per-space counters, and per-container occupancy,
+// timestamp frontier and GC reclaim counts.
+//
+// Usage:
+//   dsctl <host:port | port> [--check] [--json]
+//
+//   --check  exit non-zero when discovery finds no spaces or any
+//            snapshot is empty/unparsable (CI smoke gate)
+//   --json   dump the raw snapshots instead of the table
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "dstampede/client/client.hpp"
+#include "dstampede/common/json.hpp"
+
+using namespace dstampede;
+
+namespace {
+
+int Fail(const std::string& what) {
+  std::fprintf(stderr, "dsctl: %s\n", what.c_str());
+  return 1;
+}
+
+Result<transport::SockAddr> ParseTarget(const char* arg) {
+  if (std::strchr(arg, ':') != nullptr) {
+    return transport::SockAddr::FromString(arg);
+  }
+  const long port = std::atol(arg);
+  if (port <= 0 || port > 65535) {
+    return InvalidArgumentError("bad port: " + std::string(arg));
+  }
+  return transport::SockAddr::Loopback(static_cast<std::uint16_t>(port));
+}
+
+// Pulls a named entry out of the snapshot's registry counters /
+// providers; 0 when absent (an uninstrumented or idle space).
+std::int64_t RegistryValue(const json::Value& snapshot, const char* section,
+                           const std::string& name) {
+  const json::Value* table =
+      snapshot.FindPath("registry." + std::string(section));
+  if (table == nullptr) return 0;
+  const json::Value* v = table->Find(name);
+  return v != nullptr && v->is_number() ? v->AsInt() : 0;
+}
+
+void PrintContainers(const json::Value& snapshot, std::int64_t as_index) {
+  for (const char* kind : {"channels", "queues"}) {
+    const json::Value* list = snapshot.Find(kind);
+    if (list == nullptr || !list->is_array()) continue;
+    const bool is_queue = std::strcmp(kind, "queues") == 0;
+    for (const json::Value& c : list->AsArray()) {
+      const json::Value* name = c.Find("name");
+      const json::Value* live =
+          is_queue ? c.Find("queued_items") : c.Find("live_items");
+      const json::Value* frontier = c.Find("frontier");
+      const json::Value* puts = c.Find("total_puts");
+      const json::Value* reclaimed = c.Find("reclaimed");
+      const json::Value* parked_g = c.Find("parked_gets");
+      const json::Value* parked_p = c.Find("parked_puts");
+      char frontier_text[24];
+      if (!is_queue && frontier != nullptr && frontier->AsInt() >= 0) {
+        std::snprintf(frontier_text, sizeof(frontier_text), "%lld",
+                      static_cast<long long>(frontier->AsInt()));
+      } else {
+        std::snprintf(frontier_text, sizeof(frontier_text), "-");
+      }
+      std::printf("%4lld %-8s %-24s %9lld %9s %10lld %10lld %7lld/%lld\n",
+                  static_cast<long long>(as_index),
+                  is_queue ? "queue" : "channel",
+                  name != nullptr ? name->AsString().c_str() : "?",
+                  live != nullptr ? static_cast<long long>(live->AsInt()) : 0,
+                  frontier_text,
+                  puts != nullptr ? static_cast<long long>(puts->AsInt()) : 0,
+                  reclaimed != nullptr
+                      ? static_cast<long long>(reclaimed->AsInt())
+                      : 0,
+                  parked_g != nullptr
+                      ? static_cast<long long>(parked_g->AsInt())
+                      : 0,
+                  parked_p != nullptr
+                      ? static_cast<long long>(parked_p->AsInt())
+                      : 0);
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: dsctl <host:port | port> [--check] [--json]\n");
+    return 2;
+  }
+  bool check = false;
+  bool raw_json = false;
+  for (int i = 2; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--check") == 0) check = true;
+    else if (std::strcmp(argv[i], "--json") == 0) raw_json = true;
+    else return Fail("unknown flag: " + std::string(argv[i]));
+  }
+
+  auto target = ParseTarget(argv[1]);
+  if (!target.ok()) return Fail(target.status().ToString());
+
+  client::CClient::Options opts;
+  opts.server = *target;
+  opts.name = "dsctl";
+  auto session = client::CClient::Join(opts);
+  if (!session.ok()) return Fail("join: " + session.status().ToString());
+
+  auto spaces = (*session)->NsList("sys/metrics/");
+  if (!spaces.ok()) return Fail("discovery: " + spaces.status().ToString());
+  if (spaces->empty()) {
+    std::fprintf(stderr, "dsctl: no sys/metrics/ advertisements found\n");
+    return check ? 1 : 0;
+  }
+
+  std::printf("%zu address space(s) advertised\n\n", spaces->size());
+  bool header_printed = false;
+  int bad = 0;
+  std::vector<std::pair<std::int64_t, json::Value>> snapshots;
+  for (const auto& entry : *spaces) {
+    const auto as_id =
+        static_cast<AsId>(static_cast<std::uint32_t>(entry.id_bits));
+    auto text = (*session)->MetricsSnapshot(as_id);
+    if (!text.ok()) {
+      std::fprintf(stderr, "dsctl: %s: %s\n", entry.name.c_str(),
+                   text.status().ToString().c_str());
+      ++bad;
+      continue;
+    }
+    if (raw_json) {
+      std::printf("%s\n", text->c_str());
+      if (!json::Parse(*text).ok()) ++bad;
+      continue;
+    }
+    auto parsed = json::Parse(*text);
+    if (!parsed.ok() || !parsed->is_object() ||
+        parsed->Find("registry") == nullptr) {
+      std::fprintf(stderr, "dsctl: %s: unparsable snapshot (%s)\n",
+                   entry.name.c_str(),
+                   parsed.ok() ? "missing registry"
+                               : parsed.status().ToString().c_str());
+      ++bad;
+      continue;
+    }
+    const json::Value* as_field = parsed->Find("as");
+    const std::int64_t as_index =
+        as_field != nullptr ? as_field->AsInt() : entry.id_bits;
+    if (!header_printed) {
+      std::printf("%4s %-10s %10s %10s %10s %12s %12s\n", "as", "", "puts",
+                  "gets", "reclaimed", "dispatched", "deferred");
+      header_printed = true;
+    }
+    std::printf("%4lld %-10s %10lld %10lld %10lld %12lld %12lld\n",
+                static_cast<long long>(as_index), "space",
+                static_cast<long long>(
+                    RegistryValue(*parsed, "counters", "stm.puts")),
+                static_cast<long long>(
+                    RegistryValue(*parsed, "counters", "stm.gets")),
+                static_cast<long long>(
+                    RegistryValue(*parsed, "counters", "stm.reclaimed_items")),
+                static_cast<long long>(
+                    RegistryValue(*parsed, "counters", "dispatch.requests")),
+                static_cast<long long>(
+                    RegistryValue(*parsed, "counters", "dispatch.deferred")));
+    snapshots.emplace_back(as_index, std::move(*parsed));
+  }
+
+  if (!raw_json && !snapshots.empty()) {
+    std::printf("\n%4s %-8s %-24s %9s %9s %10s %10s %12s\n", "as", "kind",
+                "name", "occupancy", "frontier", "total_puts", "reclaimed",
+                "parked(g/p)");
+    for (const auto& [as_index, snapshot] : snapshots) {
+      PrintContainers(snapshot, as_index);
+    }
+  }
+
+  if (check && (bad > 0 || (raw_json ? false : snapshots.empty()))) {
+    std::fprintf(stderr, "dsctl: --check failed (%d bad snapshot(s))\n", bad);
+    return 1;
+  }
+  return bad > 0 ? 1 : 0;
+}
