@@ -184,7 +184,7 @@ Result<VideoConfReport> VideoConfApp::Run(core::Runtime& runtime,
     while (c0_local->input_connections() < k) {
       if (fail.failed()) return CancelledError("run failed");
       if (deadline.expired()) return TimeoutError("displays never connected");
-      std::this_thread::sleep_for(Millis(1));
+      dstampede::SleepFor(Millis(1));
     }
     return OkStatus();
   };

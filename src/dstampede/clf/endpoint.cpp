@@ -94,6 +94,17 @@ void Endpoint::Shutdown() {
   }
   if (shm_ring_) ShmRegistry::Instance().Unregister(addr_);
   if (receiver_.joinable()) receiver_.join();
+  // Last-gasp flush: ship the reorder-held packet and everything still
+  // parked in the modeled-network queue before the socket goes away,
+  // so no datagram is stranded by shutdown ordering.
+  if (injector_.active() || injector_.delayed_pending() > 0) {
+    if (auto held = injector_.Flush()) {
+      if (held->to.has_value()) {
+        (void)socket_.SendTo(*held->to, held->datagram);
+      }
+    }
+    DrainModeledNetwork(TimePoint::max());
+  }
   socket_.Close();
   window_cv_.NotifyAll();
   inbox_cv_.NotifyAll();
@@ -104,8 +115,18 @@ void Endpoint::WireSend(const transport::SockAddr& to, Buffer datagram) {
     (void)socket_.SendTo(to, datagram);
     return;
   }
-  for (Buffer& d : injector_.Filter(to, std::move(datagram))) {
-    (void)socket_.SendTo(to, d);
+  // Each delivery carries its own destination: a released reorder-hold
+  // or a modeled-link release may be bound for a different peer than
+  // the packet that triggered it.
+  for (FaultInjector::Delivery& d : injector_.Filter(to, std::move(datagram))) {
+    (void)socket_.SendTo(d.to, d.datagram);
+  }
+}
+
+void Endpoint::DrainModeledNetwork(TimePoint now) {
+  if (injector_.delayed_pending() == 0) return;
+  for (FaultInjector::Delivery& d : injector_.TakeDue(now)) {
+    (void)socket_.SendTo(d.to, d.datagram);
   }
 }
 
@@ -535,14 +556,20 @@ void Endpoint::RetransmitScan() {
   for (const auto& addr : silent) {
     DeclarePeerDead(addr, "silent past peer_timeout");
   }
-  // Don't let a reorder-held packet rot while the link is idle.
+  // Don't let a reorder-held packet rot while the link is idle: held
+  // packets remember their destination, so the idle scan can actually
+  // deliver them instead of dropping them on the floor.
   if (injector_.active()) {
     if (auto held = injector_.Flush()) {
-      // Held datagrams lost their destination; they were loopback-bound
-      // to the single peer in the tests, so this flush path only runs
-      // under injection where tests use one peer. Retransmission covers
-      // any residual loss regardless.
+      if (held->to.has_value()) {
+        (void)socket_.SendTo(*held->to, held->datagram);
+      }
     }
+    // Release modeled-network packets whose (virtual) delivery time has
+    // arrived. The receive loop calls RetransmitScan at least every
+    // 5ms of real time, which bounds release lag; under virtual time
+    // the SimController's advance step paces this instead.
+    DrainModeledNetwork(Now());
   }
 }
 

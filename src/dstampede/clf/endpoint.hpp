@@ -190,6 +190,9 @@ class Endpoint {
   void RetransmitScan();
   // Applies fault injection and writes datagrams to the socket.
   void WireSend(const transport::SockAddr& to, Buffer datagram);
+  // Sends every modeled-network packet due at or before `now`
+  // (TimePoint::max() drains the whole queue on shutdown).
+  void DrainModeledNetwork(TimePoint now);
 
   // Tracks the sender's epoch; resets ARQ state on a new incarnation
   // and resurrects a dead peer. Returns false when the packet must be

@@ -1,4 +1,4 @@
-// Deterministic packet-fault injection for CLF tests.
+// Deterministic packet-fault injection and network modeling for CLF.
 //
 // CLF promises reliable, ordered delivery over an unreliable datagram
 // layer; the property tests drive it through this injector, which can
@@ -9,13 +9,27 @@
 // chosen peer set is dropped, optionally only inside a time window.
 // Crashes and network partitions become reproducible in tests and in
 // bench_ablation's failure-detection tables.
+//
+// The third layer is a *modeled network*: per-link latency / jitter /
+// bandwidth / loss profiles (LinkProfile). A datagram surviving the
+// probabilistic faults is assigned a delivery time — serialization
+// delay from the link's bandwidth (with per-link back-to-back queuing
+// via busy_until), plus base latency, plus seeded-RNG jitter — and
+// parked in a delayed-delivery queue keyed on (due time, sequence).
+// The endpoint's retransmit scan drains TakeDue(Now()); under an
+// installed VirtualClock the due times are virtual, so a simulated
+// slow WAN runs at full speed and releases packets deterministically
+// in (virtual time, enqueue order). See docs/SIMULATION.md.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
+#include <map>
 #include <optional>
 #include <random>
+#include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "dstampede/common/bytes.hpp"
@@ -38,21 +52,87 @@ class FaultInjector {
     std::uint64_t seed = 1;
   };
 
+  // Shape of one directed link (this endpoint -> one peer). All-zero
+  // (the default) means "not modeled": packets pass through untimed.
+  struct LinkProfile {
+    Duration latency = Duration::zero();   // one-way propagation delay
+    Duration jitter = Duration::zero();    // uniform [0, jitter) extra
+    double loss = 0.0;                     // per-packet loss probability
+    std::int64_t bandwidth_bps = 0;        // 0 = infinite (no serialization)
+
+    bool modeled() const {
+      return latency != Duration::zero() || jitter != Duration::zero() ||
+             loss > 0.0 || bandwidth_bps > 0;
+    }
+  };
+
+  // A datagram bound for a specific destination. Filter/TakeDue return
+  // these so a released reorder-hold or a matured delayed packet keeps
+  // its own destination instead of inheriting the caller's.
+  struct Delivery {
+    transport::SockAddr to;
+    Buffer datagram;
+  };
+
+  // A reorder-held packet surfaced by Flush(). `to` is empty when the
+  // packet came through the destination-less Filter overload.
+  struct HeldPacket {
+    std::optional<transport::SockAddr> to;
+    Buffer datagram;
+  };
+
+  // Totals across all links (see also PerLinkCounters).
+  struct Counters {
+    std::uint64_t dropped = 0;       // probabilistic drops
+    std::uint64_t duplicated = 0;
+    std::uint64_t reordered = 0;
+    std::uint64_t blackholed = 0;    // partition drops
+    std::uint64_t link_dropped = 0;  // modeled-link loss
+    std::uint64_t delayed = 0;       // parked in the delivery queue
+    std::uint64_t delivered = 0;     // released from the delivery queue
+  };
+  struct LinkCounters {
+    std::uint64_t delivered = 0;  // immediate + released-from-queue
+    std::uint64_t dropped = 0;    // modeled-link loss only
+    std::uint64_t delayed = 0;
+  };
+
   FaultInjector() : FaultInjector(Config{}) {}
   explicit FaultInjector(const Config& config);
 
   // Given one datagram about to go on the wire, returns the datagrams
   // that should actually be sent now (possibly none, possibly several:
-  // duplicates or a previously held-back packet). Thread-safe.
+  // duplicates or a previously held-back packet). Destination-less:
+  // probabilistic faults only, no partition check, no link model.
+  // Thread-safe.
   std::vector<Buffer> Filter(Buffer datagram);
 
   // Destination-aware variant used by the endpoint: datagrams toward a
-  // partitioned peer are blackholed before the probabilistic faults run.
-  std::vector<Buffer> Filter(const transport::SockAddr& to, Buffer datagram);
+  // partitioned peer are blackholed before the probabilistic faults
+  // run, and the link model may park survivors in the delayed-delivery
+  // queue (drain with TakeDue) instead of returning them.
+  std::vector<Delivery> Filter(const transport::SockAddr& to, Buffer datagram);
 
-  // Releases any held-back packet (call when idle so reordered packets
-  // are not stranded forever).
-  std::optional<Buffer> Flush();
+  // Releases any held-back packet (the endpoint's idle/shutdown path
+  // calls this so reordered packets are not stranded forever).
+  std::optional<HeldPacket> Flush();
+
+  // --- modeled network -------------------------------------------------
+  void SetLinkProfile(const transport::SockAddr& peer,
+                      const LinkProfile& profile);
+  // Profile applied to links with no specific profile.
+  void SetDefaultLinkProfile(const LinkProfile& profile);
+  void ClearLinkProfiles();
+
+  // Removes and returns every delayed packet due at or before `now`,
+  // ordered by (due time, enqueue sequence). Pass TimePoint::max() to
+  // drain everything (shutdown).
+  std::vector<Delivery> TakeDue(TimePoint now);
+  // Due time of the earliest parked packet, if any.
+  std::optional<TimePoint> NextDeliveryTime() const;
+  std::size_t delayed_pending() const {
+    return delayed_count_.load(std::memory_order_relaxed);
+  }
 
   // --- partition / blackhole mode ------------------------------------
   // Drops every datagram toward `peer` until `until` passes (the
@@ -91,31 +171,49 @@ class FaultInjector {
   }
   std::uint64_t dropped() const {
     ds::MutexLock lock(mu_);
-    return dropped_;
+    return counters_.dropped;
   }
   std::uint64_t duplicated() const {
     ds::MutexLock lock(mu_);
-    return duplicated_;
+    return counters_.duplicated;
   }
   std::uint64_t reordered() const {
     ds::MutexLock lock(mu_);
-    return reordered_;
+    return counters_.reordered;
   }
   std::uint64_t blackholed() const {
     ds::MutexLock lock(mu_);
-    return blackholed_;
+    return counters_.blackholed;
   }
+  // Snapshot of the aggregate counters / per-link counters.
+  Counters TotalCounters() const;
+  std::unordered_map<transport::SockAddr, LinkCounters> PerLinkCounters() const;
+  // One-line human-readable counter dump for test-failure diagnostics,
+  // e.g. "dropped=3 dup=0 reorder=1 blackholed=12 link_dropped=4
+  // delayed=87 delivered=83 pending=4 links=2".
+  std::string Summary() const;
+
   bool active() const {
     return config_.drop_probability > 0 || config_.duplicate_probability > 0 ||
            config_.reorder_probability > 0 ||
-           partition_count_.load(std::memory_order_relaxed) > 0;
+           partition_count_.load(std::memory_order_relaxed) > 0 ||
+           links_modeled_.load(std::memory_order_relaxed);
   }
 
  private:
   bool Chance(double p) DS_REQUIRES(mu_);
   // Lazily expires a time-windowed partition; caller holds mu_.
   bool IsPartitionedLocked(const transport::SockAddr& peer) DS_REQUIRES(mu_);
-  std::vector<Buffer> FilterLocked(Buffer datagram) DS_REQUIRES(mu_);
+  // Probabilistic drop/duplicate/reorder stage. Emits surviving
+  // packets with their own destinations (a released held packet keeps
+  // the destination it was captured with, falling back to `to`).
+  std::vector<Delivery> FilterLocked(std::optional<transport::SockAddr> to,
+                                     Buffer datagram) DS_REQUIRES(mu_);
+  // Link-model stage: loss, then delivery-time assignment. Returns the
+  // packet if it should ship immediately, nullopt if dropped or parked.
+  std::optional<Delivery> ModelLinkLocked(Delivery d) DS_REQUIRES(mu_);
+  const LinkProfile* ProfileForLocked(const transport::SockAddr& to) const
+      DS_REQUIRES(mu_);
 
   Config config_;
   // Leaf lock: taken inside the endpoint's send path with clf.send_mu
@@ -123,15 +221,32 @@ class FaultInjector {
   mutable ds::Mutex mu_{"fault_injector.mu"};
   std::mt19937_64 rng_ DS_GUARDED_BY(mu_);
   std::uniform_real_distribution<double> unit_ DS_GUARDED_BY(mu_){0.0, 1.0};
-  std::optional<Buffer> held_ DS_GUARDED_BY(mu_);
+  std::optional<HeldPacket> held_ DS_GUARDED_BY(mu_);
   std::unordered_map<transport::SockAddr, TimePoint> partitions_
       DS_GUARDED_BY(mu_);
   // Mirrors partitions_.size() so active() stays lock-free.
   std::atomic<std::size_t> partition_count_{0};
-  std::uint64_t dropped_ DS_GUARDED_BY(mu_) = 0;
-  std::uint64_t duplicated_ DS_GUARDED_BY(mu_) = 0;
-  std::uint64_t reordered_ DS_GUARDED_BY(mu_) = 0;
-  std::uint64_t blackholed_ DS_GUARDED_BY(mu_) = 0;
+
+  // --- modeled network state ---
+  std::unordered_map<transport::SockAddr, LinkProfile> link_profiles_
+      DS_GUARDED_BY(mu_);
+  std::optional<LinkProfile> default_profile_ DS_GUARDED_BY(mu_);
+  // (due, seq) -> packet; seq keeps same-instant deliveries in enqueue
+  // order so a seeded run releases packets in a reproducible order.
+  std::map<std::pair<TimePoint, std::uint64_t>, Delivery> delayed_
+      DS_GUARDED_BY(mu_);
+  std::uint64_t delay_seq_ DS_GUARDED_BY(mu_) = 0;
+  // Per-link "transmitter busy until": serialization delays queue
+  // back-to-back instead of overlapping.
+  std::unordered_map<transport::SockAddr, TimePoint> busy_until_
+      DS_GUARDED_BY(mu_);
+  std::unordered_map<transport::SockAddr, LinkCounters> link_counters_
+      DS_GUARDED_BY(mu_);
+  // Mirror flags so active()/delayed_pending() stay lock-free.
+  std::atomic<bool> links_modeled_{false};
+  std::atomic<std::size_t> delayed_count_{0};
+
+  Counters counters_ DS_GUARDED_BY(mu_);
   std::size_t armed_kills_before_ DS_GUARDED_BY(mu_) = 0;
   std::size_t armed_kills_after_ DS_GUARDED_BY(mu_) = 0;
   // Fast path: lets TakeConnectionKill skip the lock entirely when no

@@ -22,7 +22,9 @@
 // end devices anyway.
 #pragma once
 
+#include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -53,25 +55,54 @@ struct JavaCodec {
   static constexpr std::uint32_t kKind = kClientKindJava;
 };
 
+// Transparent-reconnect policy (session resilience). On a transport
+// failure mid-call the client reconnects with exponential backoff and
+// jitter, re-binds its session via a Resume handshake (to the same
+// listener, an alternate, or one discovered through the name
+// server), and idempotently replays the in-flight call by its
+// per-call ticket. Hello and Bye are never retried.
+struct ReconnectPolicy {
+  bool enabled = true;
+  Duration initial_backoff = Millis(10);
+  Duration max_backoff = Millis(250);
+  double jitter = 0.5;  // backoff is scaled by [1, 1+jitter)
+  // Total budget per failed call before the error surfaces.
+  Duration give_up_after = Millis(3000);
+};
+
+// The production backoff schedule, factored out of the reconnect loop
+// so the simulated reconnect-storm scenario can run a thousand modeled
+// devices through the exact code path real clients use. Each call to
+// NextNap() yields the nap before the next reconnect round: the
+// current backoff scaled by seeded jitter in [1, 1+policy.jitter),
+// then doubled toward max_backoff.
+class ReconnectBackoff {
+ public:
+  ReconnectBackoff(const ReconnectPolicy& policy, std::uint64_t seed)
+      : policy_(policy), rng_(seed), next_(policy.initial_backoff) {}
+
+  Duration NextNap() {
+    std::uniform_real_distribution<double> jitter(
+        1.0, 1.0 + std::max(0.0, policy_.jitter));
+    const auto nap =
+        std::chrono::duration_cast<Duration>(next_ * jitter(rng_));
+    next_ = std::min(next_ * 2, policy_.max_backoff);
+    return nap;
+  }
+
+ private:
+  ReconnectPolicy policy_;
+  std::mt19937_64 rng_;
+  Duration next_;
+};
+
 template <typename Codec>
 class BasicClient {
  public:
   using GcNoticeHandler = std::function<void(const core::GcNotice&)>;
 
-  // Transparent-reconnect policy (session resilience). On a transport
-  // failure mid-call the client reconnects with exponential backoff and
-  // jitter, re-binds its session via a Resume handshake (to the same
-  // listener, an alternate, or one discovered through the name
-  // server), and idempotently replays the in-flight call by its
-  // per-call ticket. Hello and Bye are never retried.
-  struct ReconnectPolicy {
-    bool enabled = true;
-    Duration initial_backoff = Millis(10);
-    Duration max_backoff = Millis(250);
-    double jitter = 0.5;  // backoff is scaled by [1, 1+jitter)
-    // Total budget per failed call before the error surfaces.
-    Duration give_up_after = Millis(3000);
-  };
+  // Kept as a nested alias: call sites say BasicClient<C>::ReconnectPolicy.
+  using ReconnectPolicy = client::ReconnectPolicy;
 
   struct Options {
     transport::SockAddr server;       // the cluster listener

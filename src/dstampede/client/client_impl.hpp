@@ -156,9 +156,11 @@ Status BasicClient<Codec>::ReconnectLocked(
   conn_.Close();
   const ReconnectPolicy& policy = options_.reconnect;
   const Deadline give_up = Deadline::After(policy.give_up_after);
-  Duration backoff = policy.initial_backoff;
-  std::uniform_real_distribution<double> jitter(
-      1.0, 1.0 + std::max(0.0, policy.jitter));
+  // The shared ReconnectBackoff helper *is* the production schedule
+  // (the sim's reconnect-storm scenario instantiates it directly);
+  // seeding it from jitter_rng_ keeps this client's nap sequence
+  // deterministic per session.
+  ReconnectBackoff backoff(policy, jitter_rng_());
   Status last = UnavailableError("no reconnect candidates");
   for (;;) {
     for (const auto& addr : ReconnectCandidatesLocked()) {
@@ -178,10 +180,7 @@ Status BasicClient<Codec>::ReconnectLocked(
     if (give_up.expired()) {
       return UnavailableError("reconnect gave up: " + last.message());
     }
-    Duration nap = std::chrono::duration_cast<Duration>(
-        backoff * jitter(jitter_rng_));
-    std::this_thread::sleep_for(nap);
-    backoff = std::min(backoff * 2, policy.max_backoff);
+    dstampede::SleepFor(backoff.NextNap());
   }
 }
 

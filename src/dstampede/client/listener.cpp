@@ -203,7 +203,7 @@ void Listener::HandleResume(transport::TcpConnection conn,
     const Deadline park_wait = Deadline::After(options_.resume_park_wait);
     while (existing->state() == Surrogate::State::kActive &&
            !park_wait.expired() && !stopping_.load()) {
-      std::this_thread::sleep_for(Millis(2));
+      dstampede::SleepFor(Millis(2));
     }
     if (existing->state() == Surrogate::State::kParked &&
         existing->Adopt(std::move(conn)).ok()) {
@@ -339,7 +339,14 @@ std::size_t Listener::ReapParked() {
 
 void Listener::JanitorLoop() {
   while (!stopping_.load()) {
-    std::this_thread::sleep_for(Millis(10));
+    {
+      // Interruptible pacing: Shutdown() notifies so the janitor exits
+      // promptly even when this deadline sits on a frozen VirtualClock.
+      ds::MutexLock lock(janitor_mu_);
+      if (stopping_.load()) break;
+      (void)janitor_cv_.WaitUntil(janitor_mu_, Deadline::AfterMillis(10));
+    }
+    if (stopping_.load()) break;
     ReapFinishedThreads();
     if (options_.reap_parked_after <= Duration::zero()) continue;
     std::vector<Surrogate*> expired;
@@ -362,6 +369,10 @@ void Listener::JanitorLoop() {
 void Listener::Shutdown() {
   bool expected = false;
   if (!stopping_.compare_exchange_strong(expected, true)) return;
+  {
+    ds::MutexLock lock(janitor_mu_);
+    janitor_cv_.NotifyAll();
+  }
   for (std::uint64_t token : provider_tokens_) {
     runtime_.as(0).metrics_registry().RemoveProvider(token);
   }

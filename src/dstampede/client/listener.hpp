@@ -120,6 +120,10 @@ class Listener {
   // Start before any thread exists, cleared once in Shutdown).
   std::vector<std::uint64_t> provider_tokens_;
   std::atomic<bool> stopping_{false};
+  // Janitor pacing: WaitUntil instead of raw sleeps so Shutdown() can
+  // interrupt the nap and virtual time drives the reap cadence.
+  ds::Mutex janitor_mu_{"listener.janitor_mu"};
+  ds::CondVar janitor_cv_;
   std::thread accept_thread_;
   std::thread janitor_thread_;
 };

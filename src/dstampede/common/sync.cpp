@@ -322,13 +322,54 @@ bool CondVar::WaitUntil(Mutex& mu, Deadline deadline) {
     Wait(mu);
     return true;
   }
+  VirtualClock* vc = InstalledVirtualClock();
   Detector::OnUnlock(&mu);
   std::unique_lock<std::mutex> ul(mu.mu_, std::adopt_lock);
-  const bool notified =
-      cv_.wait_until(ul, deadline.when()) == std::cv_status::no_timeout;
+  bool notified;
+  if (vc == nullptr) {
+    notified =
+        cv_.wait_until(ul, deadline.when()) == std::cv_status::no_timeout;
+  } else {
+    notified = WaitUntilVirtual(ul, deadline, vc);
+  }
   ul.release();
   Detector::AfterLock(&mu);
   return notified;
+}
+
+bool CondVar::WaitUntilVirtual(std::unique_lock<std::mutex>& ul,
+                               Deadline deadline, VirtualClock* vc) {
+  // Virtual-time timed wait: the deadline matures when the installed
+  // VirtualClock is advanced past it, not when the wall clock gets
+  // there. Each pass registers with the clock's timed-wait registry
+  // (AdvanceTo past `when` notify_all()s our cv), then waits a short
+  // *real* slice as belt-and-braces against the register/notify race —
+  // a notification sent between our registry insert and the wait_for
+  // is re-sent by the controller's next Advance, and the slice bounds
+  // the damage of any missed wakeup to 2ms of wall time.
+  const TimePoint when = deadline.when();
+  // Snapshot under the caller's mutex: any notify bumped after this
+  // (even one landing in the unprotected gap between two slices, where
+  // cv_ has no formal waiter to receive it) is detected below instead
+  // of being lost against a frozen virtual deadline.
+  const std::uint64_t entry_gen = gen_.load(std::memory_order_acquire);
+  for (;;) {
+    if (vc->Now() >= when) return false;  // timed out (in virtual time)
+    const VirtualClock::WaitToken token =
+        vc->RegisterTimedWait(when, &cv_);
+    const std::cv_status st = cv_.wait_for(ul, std::chrono::milliseconds(2));
+    vc->UnregisterTimedWait(token);
+    if (vc->Now() >= when) return false;
+    if (st == std::cv_status::no_timeout) return true;  // maybe-notified
+    if (gen_.load(std::memory_order_acquire) != entry_gen) {
+      return true;  // notified between slices; the caller rechecks
+    }
+    if (!vc->installed()) {
+      // Clock torn down mid-wait: finish on real time so callers see
+      // ordinary timeout behaviour instead of spinning forever.
+      return cv_.wait_until(ul, when) == std::cv_status::no_timeout;
+    }
+  }
 }
 
 }  // namespace dstampede::sync

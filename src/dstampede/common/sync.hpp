@@ -38,6 +38,7 @@
 //    bodies without the enclosing capability context.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
@@ -156,11 +157,29 @@ class CondVar {
   // predicate as usual.
   bool WaitUntil(Mutex& mu, Deadline deadline) DS_REQUIRES(mu);
 
-  void NotifyOne() { cv_.notify_one(); }
-  void NotifyAll() { cv_.notify_all(); }
+  // The generation bump latches the notification for sliced virtual
+  // waits: a notify that lands while a WaitUntilVirtual waiter is
+  // between two wait_for slices (not formally waiting on cv_) would
+  // otherwise be lost, and with the virtual deadline frozen the waiter
+  // would re-arm slices forever.
+  void NotifyOne() {
+    gen_.fetch_add(1, std::memory_order_release);
+    cv_.notify_one();
+  }
+  void NotifyAll() {
+    gen_.fetch_add(1, std::memory_order_release);
+    cv_.notify_all();
+  }
 
  private:
+  // Timed wait against an installed VirtualClock: registers with the
+  // clock's timed-wait registry and re-checks virtual now in short
+  // real-time slices. `ul` holds the waiter's mutex on entry and exit.
+  bool WaitUntilVirtual(std::unique_lock<std::mutex>& ul, Deadline deadline,
+                        VirtualClock* vc);
+
   std::condition_variable cv_;
+  std::atomic<std::uint64_t> gen_{0};
 };
 
 // --- runtime deadlock detection -------------------------------------------

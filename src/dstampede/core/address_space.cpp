@@ -134,6 +134,29 @@ void AddressSpace::InitObservability() {
         clf_stats->peers_declared_dead.load(std::memory_order_relaxed));
   });
 
+  // Fault-injector counters: zero in production, load-bearing in
+  // simulation — a scenario that asserts on behaviour under loss wants
+  // to see how much loss the modeled network actually injected.
+  clf::FaultInjector* faults = &endpoint_->fault_injector();
+  registry_.AddProvider("clf.fault.dropped", [faults] {
+    return static_cast<std::int64_t>(faults->TotalCounters().dropped);
+  });
+  registry_.AddProvider("clf.fault.blackholed", [faults] {
+    return static_cast<std::int64_t>(faults->TotalCounters().blackholed);
+  });
+  registry_.AddProvider("clf.fault.link_dropped", [faults] {
+    return static_cast<std::int64_t>(faults->TotalCounters().link_dropped);
+  });
+  registry_.AddProvider("clf.fault.delayed", [faults] {
+    return static_cast<std::int64_t>(faults->TotalCounters().delayed);
+  });
+  registry_.AddProvider("clf.fault.delivered", [faults] {
+    return static_cast<std::int64_t>(faults->TotalCounters().delivered);
+  });
+  registry_.AddProvider("clf.fault.delayed_pending", [faults] {
+    return static_cast<std::int64_t>(faults->delayed_pending());
+  });
+
   if (name_server_) {
     NameServer* ns = name_server_.get();
     registry_.AddProvider("ns.entries", [ns] {

@@ -79,6 +79,10 @@ void GcService::Start() {
 
 void GcService::Stop() {
   if (!running_.exchange(false)) return;
+  {
+    ds::MutexLock lock(stop_mu_);
+    stop_cv_.NotifyAll();
+  }
   if (thread_.joinable()) thread_.join();
   // Final drain so nothing reclaimable is left unreported.
   (void)SweepOnce();
@@ -87,11 +91,11 @@ void GcService::Stop() {
 void GcService::Loop() {
   while (running_.load(std::memory_order_relaxed)) {
     (void)SweepOnce();
-    // Sleep in small slices so Stop() is prompt.
-    const TimePoint until = Now() + interval_;
-    while (running_.load(std::memory_order_relaxed) && Now() < until) {
-      std::this_thread::sleep_for(Millis(1));
-    }
+    // Notify-able wait instead of sliced sleeping: Stop() is prompt
+    // even when the interval's deadline lives on a frozen VirtualClock.
+    ds::MutexLock lock(stop_mu_);
+    if (!running_.load(std::memory_order_relaxed)) break;
+    (void)stop_cv_.WaitUntil(stop_mu_, Deadline::After(interval_));
   }
 }
 

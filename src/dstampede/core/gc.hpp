@@ -69,6 +69,10 @@ class GcService {
   std::atomic<bool> running_{false};
   std::atomic<std::uint64_t> sweeps_{0};
   std::atomic<std::uint64_t> notices_total_{0};
+  // Pacing for Loop(): WaitUntil instead of sliced sleeping, so Stop()
+  // can interrupt the interval and virtual time drives the cadence.
+  ds::Mutex stop_mu_{"gc_service.stop_mu"};
+  ds::CondVar stop_cv_;
   std::thread thread_;
 };
 

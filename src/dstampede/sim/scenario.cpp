@@ -1,0 +1,131 @@
+#include "dstampede/sim/scenario.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace dstampede::sim {
+
+std::string FaultEvent::ToString() const {
+  const char* name = "?";
+  switch (kind) {
+    case Kind::kPartition:      name = "partition"; break;
+    case Kind::kHeal:           name = "heal"; break;
+    case Kind::kDegradeLink:    name = "degrade"; break;
+    case Kind::kRestoreLink:    name = "restore"; break;
+    case Kind::kKillConnection: name = "kill_conn"; break;
+  }
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "at_us=%lld %s a=%u b=%u latency_us=%lld loss=%.3f",
+                static_cast<long long>(ToMicros(at)), name, space_a, space_b,
+                static_cast<long long>(ToMicros(latency)), loss);
+  return buf;
+}
+
+FaultSchedule GenerateSchedule(std::mt19937_64& rng,
+                               const ScheduleParams& params) {
+  FaultSchedule schedule;
+  if (params.num_spaces < 2 || params.num_events == 0) return schedule;
+
+  auto uniform_offset = [&rng, &params]() {
+    const auto span = static_cast<std::uint64_t>(params.horizon.count());
+    return Duration(static_cast<Duration::rep>(rng() % (span + 1)));
+  };
+  auto pick_pair = [&rng, &params](std::uint32_t& a, std::uint32_t& b) {
+    a = static_cast<std::uint32_t>(rng() % params.num_spaces);
+    b = static_cast<std::uint32_t>(rng() % (params.num_spaces - 1));
+    if (b >= a) ++b;  // distinct
+  };
+
+  const double total = params.partition_weight + params.degrade_weight +
+                       params.kill_weight;
+  std::uniform_real_distribution<double> unit(0.0, 1.0);
+  for (std::size_t i = 0; i < params.num_events; ++i) {
+    FaultEvent ev;
+    ev.at = uniform_offset();
+    const double roll = unit(rng) * (total > 0 ? total : 1.0);
+    if (roll < params.partition_weight) {
+      ev.kind = FaultEvent::Kind::kPartition;
+      pick_pair(ev.space_a, ev.space_b);
+      schedule.push_back(ev);
+      // Pair every partition with a heal later in the horizon so the
+      // schedule itself can't leave the cluster permanently split.
+      FaultEvent heal;
+      heal.kind = FaultEvent::Kind::kHeal;
+      heal.space_a = ev.space_a;
+      heal.space_b = ev.space_b;
+      const Duration rest = params.horizon - ev.at;
+      heal.at = ev.at + Duration(static_cast<Duration::rep>(
+                            rng() % (static_cast<std::uint64_t>(rest.count()) +
+                                     1)));
+      schedule.push_back(heal);
+    } else if (roll < params.partition_weight + params.degrade_weight) {
+      ev.kind = FaultEvent::Kind::kDegradeLink;
+      pick_pair(ev.space_a, ev.space_b);
+      // 1..50ms extra latency, 0..20% loss — a credible bad WAN hop.
+      ev.latency = Millis(1 + static_cast<std::int64_t>(rng() % 50));
+      ev.loss = 0.2 * unit(rng);
+      schedule.push_back(ev);
+      FaultEvent restore;
+      restore.kind = FaultEvent::Kind::kRestoreLink;
+      restore.space_a = ev.space_a;
+      restore.space_b = ev.space_b;
+      const Duration rest = params.horizon - ev.at;
+      restore.at =
+          ev.at + Duration(static_cast<Duration::rep>(
+                      rng() % (static_cast<std::uint64_t>(rest.count()) + 1)));
+      schedule.push_back(restore);
+    } else {
+      ev.kind = FaultEvent::Kind::kKillConnection;
+      ev.space_a = static_cast<std::uint32_t>(rng() % params.num_spaces);
+      schedule.push_back(ev);
+    }
+  }
+  std::stable_sort(schedule.begin(), schedule.end(),
+                   [](const FaultEvent& x, const FaultEvent& y) {
+                     return x.at < y.at;
+                   });
+  return schedule;
+}
+
+std::string ScheduleToString(const FaultSchedule& schedule) {
+  std::string out;
+  for (const FaultEvent& ev : schedule) {
+    out += ev.ToString();
+    out += '\n';
+  }
+  return out;
+}
+
+FaultSchedule ShrinkSchedule(
+    const FaultSchedule& schedule,
+    const std::function<bool(const FaultSchedule&)>& fails) {
+  FaultSchedule current = schedule;
+  std::size_t granularity = 2;
+  while (current.size() >= 2) {
+    const std::size_t chunk =
+        std::max<std::size_t>(1, current.size() / granularity);
+    bool reduced = false;
+    for (std::size_t start = 0; start < current.size(); start += chunk) {
+      // Candidate: current minus [start, start+chunk).
+      FaultSchedule candidate;
+      candidate.reserve(current.size());
+      for (std::size_t i = 0; i < current.size(); ++i) {
+        if (i < start || i >= start + chunk) candidate.push_back(current[i]);
+      }
+      if (candidate.size() < current.size() && fails(candidate)) {
+        current = std::move(candidate);
+        granularity = std::max<std::size_t>(2, granularity - 1);
+        reduced = true;
+        break;
+      }
+    }
+    if (!reduced) {
+      if (chunk <= 1) break;  // minimal at single-event granularity
+      granularity = std::min(current.size(), granularity * 2);
+    }
+  }
+  return current;
+}
+
+}  // namespace dstampede::sim

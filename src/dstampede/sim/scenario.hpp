@@ -1,0 +1,76 @@
+// Seed-derived fault schedules for the scenario swarm, plus the
+// failing-seed shrinker.
+//
+// A scenario's faults (partitions, heals, connection kills, link
+// degradations) are generated up front as a FaultSchedule — a pure
+// function of the seed — then applied by advancing virtual time to
+// each event's offset. Because the schedule is data, a failing seed
+// can be *shrunk*: ddmin-style bisection re-runs the scenario with
+// subsets of the schedule and reports the smallest subset that still
+// fails, which is usually one or two events instead of dozens.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "dstampede/common/clock.hpp"
+
+namespace dstampede::sim {
+
+struct FaultEvent {
+  enum class Kind : std::uint8_t {
+    kPartition = 0,      // cut space a -> b (directed)
+    kHeal = 1,           // restore a -> b
+    kDegradeLink = 2,    // set a slow/lossy profile on a -> b
+    kRestoreLink = 3,    // clear the profile on a -> b
+    kKillConnection = 4  // arm one TCP-edge kill on space a
+  };
+
+  Duration at = Duration::zero();  // offset from scenario start
+  Kind kind = Kind::kPartition;
+  std::uint32_t space_a = 0;
+  std::uint32_t space_b = 0;
+  // kDegradeLink parameters (ignored otherwise).
+  Duration latency = Duration::zero();
+  double loss = 0.0;
+
+  std::string ToString() const;
+};
+
+using FaultSchedule = std::vector<FaultEvent>;
+
+struct ScheduleParams {
+  std::uint32_t num_spaces = 2;
+  std::size_t num_events = 8;
+  Duration horizon = Millis(2000);  // events land in [0, horizon)
+  // Relative likelihood of each kind; kHeal events are paired with a
+  // preceding partition on the same link when possible.
+  double partition_weight = 0.5;
+  double degrade_weight = 0.3;
+  double kill_weight = 0.2;
+};
+
+// Deterministic: same rng state + params => same schedule. Events come
+// back sorted by offset. Partitions are eventually healed (a matching
+// kHeal is appended within the horizon) so schedules don't strand the
+// cluster by construction; a *cascade* still happens while windows
+// overlap.
+FaultSchedule GenerateSchedule(std::mt19937_64& rng,
+                               const ScheduleParams& params);
+
+// One event per line, for trace recording and failure diagnostics.
+std::string ScheduleToString(const FaultSchedule& schedule);
+
+// ddmin-style shrink: returns a minimal (not necessarily unique)
+// subsequence of `schedule` for which `fails` still returns true.
+// `fails(schedule)` must re-run the scenario from scratch with the
+// given schedule. Call only when the full schedule is known to fail;
+// returns the input unchanged if no smaller subset reproduces.
+FaultSchedule ShrinkSchedule(
+    const FaultSchedule& schedule,
+    const std::function<bool(const FaultSchedule&)>& fails);
+
+}  // namespace dstampede::sim

@@ -1,0 +1,88 @@
+// Deterministic simulation controller.
+//
+// SimController ties the clock seam (common/clock.hpp) and the modeled
+// network (clf/fault_injector.hpp) into one reproducible harness: it
+// owns the seed, installs a VirtualClock for its lifetime, derives
+// every random choice a scenario makes from one seeded RNG, and
+// records an event trace whose hash proves that two runs with the same
+// seed made byte-for-byte identical decisions.
+//
+// Determinism contract: the trace records *scenario-driver* events
+// only — schedule generation, explicit time advancement, scripted
+// faults — all of which happen on the single scenario thread as pure
+// functions of the seed. It deliberately does NOT record events from
+// runtime worker threads (packet arrivals, retransmissions), whose
+// interleaving the OS scheduler owns; the runtime's correctness under
+// any such interleaving is exactly what the scenarios assert. Same
+// seed => same schedule, same virtual timeline, same fault sequence,
+// same trace hash. See docs/SIMULATION.md.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "dstampede/common/clock.hpp"
+
+namespace dstampede::sim {
+
+class SimController {
+ public:
+  // Seeds from DSTAMPEDE_SIM_SEED when set (the reproduction
+  // workflow), otherwise `fallback`.
+  static std::uint64_t SeedFromEnv(std::uint64_t fallback);
+
+  // Installs a VirtualClock (starting at real now) for the controller's
+  // lifetime. One controller at a time per process.
+  explicit SimController(std::uint64_t seed);
+  ~SimController();
+
+  SimController(const SimController&) = delete;
+  SimController& operator=(const SimController&) = delete;
+
+  std::uint64_t seed() const { return seed_; }
+  VirtualClock& clock() { return clock_; }
+  TimePoint Now() const { return clock_.Now(); }
+
+  // --- seeded randomness (single scenario thread only) ----------------
+  std::mt19937_64& rng() { return rng_; }
+  std::uint64_t NextU64() { return rng_(); }
+  // Uniform in [0, 1).
+  double NextUnit() {
+    return std::uniform_real_distribution<double>(0.0, 1.0)(rng_);
+  }
+  bool Chance(double p) { return p > 0.0 && NextUnit() < p; }
+  Duration UniformDuration(Duration lo, Duration hi);
+  std::uint64_t UniformInt(std::uint64_t lo, std::uint64_t hi);  // inclusive
+
+  // --- time advancement ------------------------------------------------
+  // Advances virtual time by `d`, stepping deadline-to-deadline so
+  // timers fire in order and runtime threads get real time to react.
+  // Records one trace event (the advancement, not what the runtime did
+  // during it — see the determinism contract above).
+  void RunFor(Duration d);
+  // Advances until `done` returns true or `horizon` virtual time has
+  // elapsed. Returns true iff `done` held before the horizon.
+  bool RunUntil(const std::function<bool()>& done, Duration horizon);
+
+  // --- event trace -----------------------------------------------------
+  // Appends a scenario-driver event. Only call from the scenario
+  // thread with seed-derived (or constant) strings.
+  void Record(std::string event);
+  const std::vector<std::string>& trace() const { return trace_; }
+  // FNV-1a over the concatenated trace (with separators): equal across
+  // same-seed runs, distinct across different schedules.
+  std::uint64_t TraceHash() const;
+  // The full trace, one event per line, for failure diagnostics.
+  std::string TraceDump() const;
+
+ private:
+  const std::uint64_t seed_;
+  std::mt19937_64 rng_;
+  VirtualClock clock_;
+  std::vector<std::string> trace_;
+};
+
+}  // namespace dstampede::sim

@@ -6,6 +6,7 @@
 #include <poll.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <sstream>
 
 namespace dstampede::transport {
@@ -36,10 +37,26 @@ void FdHandle::Reset() {
 }
 
 Status WaitReadable(int fd, Deadline deadline) {
+  // Under an installed VirtualClock a frozen deadline.remaining() never
+  // shrinks, so retrying "spurious" poll timeouts would spin forever and
+  // the CLF receiver / accept loops would never observe their stop
+  // flags. The wire is real even when time is virtual: bound the wait
+  // by the entry-time remaining as a *real* budget (virtual expiry is
+  // still honoured each round when the scenario thread advances time).
+  const bool virt = InstalledVirtualClock() != nullptr;
+  TimePoint real_give_up = TimePoint::max();
+  if (virt && !deadline.infinite()) {
+    const Duration rem = deadline.remaining();
+    real_give_up = (rem >= Duration::max() - Millis(1))
+                       ? TimePoint::max()
+                       : SteadyClock::now() + rem;
+  }
   for (;;) {
     int timeout_ms = -1;
     if (!deadline.infinite()) {
-      auto rem = deadline.remaining();
+      const Duration rem = virt ? std::min(deadline.remaining(),
+                                           real_give_up - SteadyClock::now())
+                                : deadline.remaining();
       timeout_ms = static_cast<int>(
           std::chrono::duration_cast<std::chrono::milliseconds>(rem).count());
       if (timeout_ms <= 0) {
@@ -54,6 +71,9 @@ Status WaitReadable(int fd, Deadline deadline) {
     if (rc > 0) return OkStatus();
     if (rc == 0) {
       if (deadline.expired() || timeout_ms == 0) return TimeoutError("poll");
+      if (virt && SteadyClock::now() >= real_give_up) {
+        return TimeoutError("poll");
+      }
       continue;  // spurious zero before the deadline; retry
     }
     if (errno == EINTR) continue;

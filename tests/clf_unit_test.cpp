@@ -82,7 +82,9 @@ TEST(FaultInjectorTest, ReorderHoldsThenReleases) {
   EXPECT_TRUE(third.empty());
   auto flushed = injector.Flush();
   ASSERT_TRUE(flushed.has_value());
-  EXPECT_EQ(*flushed, (Buffer{3}));
+  EXPECT_EQ(flushed->datagram, (Buffer{3}));
+  // Destination-less Filter overload: the hold has no recorded peer.
+  EXPECT_FALSE(flushed->to.has_value());
   EXPECT_FALSE(injector.Flush().has_value());
 }
 

@@ -105,7 +105,10 @@ TEST(ClfFailureTest, PartitionedPeerDeclaredDeadWithinBound) {
   // Bound: 5 retransmits under a 20ms rto cap plus the 150ms silence
   // timeout, with generous scheduling slack.
   EXPECT_LT(Now() - start, Millis(5000));
-  EXPECT_TRUE(down_fired.load());
+  // The dead flag flips under the lock before the callback runs
+  // outside it, so IsPeerDead() can be observed a beat ahead of the
+  // notification: wait rather than sample.
+  EXPECT_TRUE(WaitFor([&] { return down_fired.load(); }, Millis(2000)));
   EXPECT_GE(a->stats().peers_declared_dead.load(), 1u);
 
   // Further sends fail fast instead of hanging.

@@ -399,6 +399,13 @@ TEST_F(TelemetryClusterTest, DeferredTimeoutCountsDroppedOrExpired) {
   auto item = rt_->as(0).Get(*in, GetSpec::Exact(0),
                              Deadline::AfterMillis(150));
   EXPECT_EQ(item.status().code(), StatusCode::kTimeout) << item.status();
+  // The caller's timeout races the owning space's expiry sweep: the
+  // Get returns the moment its deadline passes, the counter bumps when
+  // AS 1 notices. Poll instead of sampling.
+  const TimePoint give_up = Now() + Millis(2000);
+  while (dropped.Value() < before + 1 && Now() < give_up) {
+    std::this_thread::sleep_for(Millis(5));
+  }
   EXPECT_GE(dropped.Value(), before + 1);
 }
 

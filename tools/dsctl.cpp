@@ -111,6 +111,14 @@ int main(int argc, char** argv) {
   auto target = ParseTarget(argv[1]);
   if (!target.ok()) return Fail(target.status().ToString());
 
+  // When this process (or the cluster under test) runs inside the
+  // deterministic simulation harness, surface the scenario seed so a
+  // pasted dsctl dump is reproducible (docs/SIMULATION.md).
+  if (const char* seed = std::getenv("DSTAMPEDE_SIM_SEED");
+      seed != nullptr && *seed != '\0') {
+    std::printf("sim seed: %s (DSTAMPEDE_SIM_SEED)\n", seed);
+  }
+
   client::CClient::Options opts;
   opts.server = *target;
   opts.name = "dsctl";
@@ -182,6 +190,38 @@ int main(int argc, char** argv) {
                 "parked(g/p)");
     for (const auto& [as_index, snapshot] : snapshots) {
       PrintContainers(snapshot, as_index);
+    }
+
+    // Fault-injection counters (clf.fault.* providers): all zero on a
+    // healthy production cluster, so the table only appears when some
+    // space actually injected faults or modeled a link.
+    bool fault_header = false;
+    for (const auto& [as_index, snapshot] : snapshots) {
+      const std::int64_t blackholed =
+          RegistryValue(snapshot, "providers", "clf.fault.blackholed");
+      const std::int64_t dropped =
+          RegistryValue(snapshot, "providers", "clf.fault.dropped") +
+          RegistryValue(snapshot, "providers", "clf.fault.link_dropped");
+      const std::int64_t delayed =
+          RegistryValue(snapshot, "providers", "clf.fault.delayed");
+      const std::int64_t delivered =
+          RegistryValue(snapshot, "providers", "clf.fault.delivered");
+      const std::int64_t pending =
+          RegistryValue(snapshot, "providers", "clf.fault.delayed_pending");
+      if (blackholed + dropped + delayed + delivered + pending == 0) continue;
+      if (!fault_header) {
+        std::printf("\n%4s %-10s %10s %10s %10s %10s %10s\n", "as", "",
+                    "blackholed", "dropped", "delayed", "delivered",
+                    "pending");
+        fault_header = true;
+      }
+      std::printf("%4lld %-10s %10lld %10lld %10lld %10lld %10lld\n",
+                  static_cast<long long>(as_index), "faults",
+                  static_cast<long long>(blackholed),
+                  static_cast<long long>(dropped),
+                  static_cast<long long>(delayed),
+                  static_cast<long long>(delivered),
+                  static_cast<long long>(pending));
     }
   }
 

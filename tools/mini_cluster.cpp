@@ -75,12 +75,12 @@ int main(int argc, char** argv) {
     if (!s.ok()) return Die(s, "queue consume");
   }
   // Give the GC sweep a chance to reclaim the consumed items.
-  std::this_thread::sleep_for(Millis(100));
+  dstampede::SleepFor(Millis(100));
 
   std::printf("DSCTL_PORT=%u\n", (*listener)->addr().port);
   std::fflush(stdout);
 
-  std::this_thread::sleep_for(std::chrono::seconds(linger));
+  dstampede::SleepFor(std::chrono::seconds(linger));
 
   (*listener)->Shutdown();
   (*runtime)->Shutdown();
