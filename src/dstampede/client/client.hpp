@@ -205,7 +205,9 @@ class BasicClient {
 
   // Re-reads `sys/listener/` advertisements from the name server so a
   // later reconnect can fail over to listeners started since Join.
-  // Called automatically on Join when reconnect is enabled.
+  // Called automatically on Join when reconnect is enabled, and after
+  // every successful Resume (the topology that killed the old
+  // connection has likely also changed the listener set).
   Status RefreshListenerCache();
 
  private:
@@ -229,6 +231,11 @@ class BasicClient {
                          std::vector<core::GcNotice>& deferred)
       DS_REQUIRES(mu_);
   std::vector<transport::SockAddr> ReconnectCandidatesLocked() const
+      DS_REQUIRES(mu_);
+  // RefreshListenerCache's body: one NsList round trip on the current
+  // connection, no reconnect machinery (it runs *inside* the reconnect
+  // loop). Notices from the reply's trailer land in `deferred`.
+  Status RefreshListenerCacheLocked(std::vector<core::GcNotice>& deferred)
       DS_REQUIRES(mu_);
   std::uint64_t NextId() {
     return next_request_id_.fetch_add(1, std::memory_order_relaxed);

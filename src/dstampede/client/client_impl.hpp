@@ -167,6 +167,11 @@ Status BasicClient<Codec>::ReconnectLocked(
       Status s = TryResumeLocked(addr, deferred);
       if (s.ok()) {
         ++reconnects_;
+        // Re-resolve the failover targets through the surviving name
+        // service: whatever killed the old connection (host death, a
+        // migrated listener) has likely also changed the advertised
+        // set, and the copy cached at Join would go stale forever.
+        (void)RefreshListenerCacheLocked(deferred);
         return OkStatus();
       }
       if (s.code() == StatusCode::kNotFound) {
@@ -239,21 +244,53 @@ BasicClient<Codec>::ReconnectCandidatesLocked() const {
 
 template <typename Codec>
 Status BasicClient<Codec>::RefreshListenerCache() {
-  DS_ASSIGN_OR_RETURN(auto entries, NsList("sys/listener/"));
-  ds::MutexLock lock(mu_);
-  listener_cache_.clear();
-  for (const auto& entry : entries) {
+  std::vector<core::GcNotice> deferred;
+  Status s = [&] {
+    ds::MutexLock lock(mu_);
+    return RefreshListenerCacheLocked(deferred);
+  }();
+  DispatchNotices(deferred);
+  return s;
+}
+
+template <typename Codec>
+Status BasicClient<Codec>::RefreshListenerCacheLocked(
+    std::vector<core::GcNotice>& deferred) {
+  typename Codec::Encoder enc;
+  // Request id 0 = untracked read: this refresh may run between a
+  // resume and the replay of the in-flight call, and a real ticket
+  // would evict the surrogate's cached reply that the replay needs.
+  core::EncodeRequestHeader(enc, core::Op::kNsList, 0);
+  core::NsLookupReq req;
+  req.name = "sys/listener/";
+  req.Encode(enc);
+  DS_RETURN_IF_ERROR(conn_.SendFrame(enc.Take()));
+  Buffer reply;
+  DS_RETURN_IF_ERROR(conn_.RecvFrame(reply, Deadline::AfterMillis(2000)));
+  typename Codec::Decoder dec(reply);
+  DS_ASSIGN_OR_RETURN(auto hdr, DecodeResponseHeaderT(dec));
+  if (!hdr.status.ok()) return hdr.status;
+  DS_ASSIGN_OR_RETURN(std::uint32_t count, dec.GetU32());
+  std::vector<transport::SockAddr> fresh;
+  fresh.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    DS_ASSIGN_OR_RETURN(core::NsEntry entry, DecodeNsEntryT(dec));
     // The listener advertises its full address in the entry's meta;
     // entries without one (foreign registrations under the prefix)
     // fall back to loopback plus the port carried in id_bits.
     auto addr = transport::SockAddr::FromString(entry.meta);
     if (addr.ok() && addr->ip_host_order != 0 && addr->port != 0) {
-      listener_cache_.push_back(*addr);
+      fresh.push_back(*addr);
     } else {
-      listener_cache_.push_back(transport::SockAddr::Loopback(
+      fresh.push_back(transport::SockAddr::Loopback(
           static_cast<std::uint16_t>(entry.id_bits)));
     }
   }
+  auto notices = DecodeNoticeTrailerT(dec);
+  if (notices.ok()) {
+    deferred.insert(deferred.end(), notices->begin(), notices->end());
+  }
+  listener_cache_ = std::move(fresh);
   return OkStatus();
 }
 

@@ -47,6 +47,10 @@ Surrogate::Surrogate(std::uint64_t session_id, core::AddressSpace& host,
   m_replay_hits_ = &host_.metrics_registry().GetCounter(
       "surrogate.replay_cache_hits");
   m_calls_ = &host_.metrics_registry().GetCounter("surrogate.calls");
+  m_redo_journaled_ =
+      &host_.metrics_registry().GetCounter("surrogate.redo_journaled");
+  m_redo_replayed_ =
+      &host_.metrics_registry().GetCounter("surrogate.redo_replayed");
   gc_sink_token_ = host_.gc().AddSink(
       [this](const std::vector<core::GcNotice>& batch) {
         ds::MutexLock lock(gc_mu_);
@@ -232,7 +236,19 @@ Buffer Surrogate::HandleFrame(std::span<const std::uint8_t> frame, bool& bye,
     ds::MutexLock lock(session_mu_);
     if (ticket == cached_reply_ticket_ && !cached_reply_.empty()) {
       m_replay_hits_->Add();
+      // Destructive-read replay answered from the journal instead of
+      // dequeuing a second item.
+      if (ticket == redo_ticket_) m_redo_replayed_->Add();
       return cached_reply_;  // resend the very reply that was lost
+    }
+    if (ticket == redo_ticket_ && !redo_payload_.empty()) {
+      // The reply cache has moved on (e.g. the client's post-resume
+      // listener-cache refresh ran before this replay arrived), but a
+      // destructive read's reply outlives the cache in the redo
+      // journal. Answer from it rather than dequeuing a second item.
+      m_replay_hits_->Add();
+      m_redo_replayed_->Add();
+      return redo_payload_;
     }
     if (ticket <= last_executed_ticket_ && IsIdempotentSynthOp(op)) {
       // Executed before a failover; the original reply died with the
@@ -281,18 +297,87 @@ Buffer Surrogate::HandleFrame(std::span<const std::uint8_t> frame, bool& bye,
   }
 
   TrackSessionState(effective, reply);
+  // Exactly-once destructive reads: a successful Get on a *remote*
+  // queue dequeued an item whose only copy is now this reply. Journal
+  // the reply into the (replicated) session registry before it is sent,
+  // so if both the reply and this host die, the rehydrated surrogate
+  // answers the device's replay from the journal instead of dequeuing
+  // a second item. Host-owned queues die with the host, so they skip
+  // the journal like MirrorTicket skips the high-water mark.
+  bool journal_redo = false;
+  core::ConsumeReq journal_commit;  // the dequeue to commit, iff journal_redo
+  if (durable_ && op == core::Op::kGet) {
+    marshal::XdrDecoder body(effective);
+    (void)core::DecodeRequestHeader(body);
+    auto get_req = core::GetReq::Decode(body);
+    marshal::XdrDecoder reply_dec(reply);
+    auto reply_hdr = core::DecodeResponseHeader(reply_dec);
+    journal_redo =
+        get_req.ok() && get_req->is_queue &&
+        QueueId::FromBits(get_req->container_bits).owner() != host_.id() &&
+        reply_hdr.ok() && reply_hdr->status.ok();
+    if (journal_redo) {
+      auto ts = reply_dec.GetI64();
+      if (ts.ok()) {
+        journal_commit.container_bits = get_req->container_bits;
+        journal_commit.is_queue = true;
+        journal_commit.mode = get_req->mode;
+        journal_commit.slot = get_req->slot;
+        journal_commit.ts = *ts;
+      } else {
+        journal_redo = false;
+      }
+    }
+  }
   {
     ds::MutexLock lock(session_mu_);
     if (ticket > last_executed_ticket_) last_executed_ticket_ = ticket;
-    cached_reply_ticket_ = ticket;
-    cached_reply_ = reply;  // pre-trailer; trailer is appended per send
+    // Ticket 0 marks an untracked read (the client's post-resume
+    // listener-cache refresh): it must not evict the cached reply the
+    // still-unreplayed in-flight call is about to be answered from.
+    if (ticket != 0) {
+      cached_reply_ticket_ = ticket;
+      cached_reply_ = reply;  // pre-trailer; trailer is appended per send
+    }
+    if (journal_redo) {
+      redo_ticket_ = ticket;
+      redo_payload_ = reply;
+    }
   }
-  MirrorTicket(ticket, op, [&] {
-    marshal::XdrDecoder body(effective);
-    (void)core::DecodeRequestHeader(body);
-    auto bits = body.GetU64();
-    return bits.ok() ? *bits : 0;
-  }());
+  if (journal_redo) {
+    // Full-record mirror carries the redo journal; must complete before
+    // the reply leaves (a failed mirror degrades to at-most-once-per-
+    // live-surrogate, logged by MirrorSession).
+    MirrorSession();
+    m_redo_journaled_->Add();
+    // A journaled read is consumed on delivery: once the reply is
+    // answerable from the journal, the item's only copy is the journal,
+    // so the owner's in-flight entry must not survive — otherwise the
+    // owner's host-death recovery would requeue it (Detach returns
+    // unconsumed in-flight items to the queue head) and the next Get
+    // would deliver it a second time. Commit the dequeue now; if the
+    // commit fails the item may be redelivered after a host death
+    // (at-least-once, logged), which beats silently losing it.
+    marshal::XdrEncoder cenc(64);
+    core::EncodeRequestHeader(cenc, core::Op::kConsume, 0);
+    journal_commit.Encode(cenc);
+    Buffer commit_frame = cenc.Take();
+    Buffer commit_reply = host_.ExecuteWireRequest(commit_frame);
+    marshal::XdrDecoder cdec(commit_reply);
+    auto chdr = core::DecodeResponseHeader(cdec);
+    if (!chdr.ok() || !chdr->status.ok()) {
+      DS_LOG(kWarn) << "surrogate " << session_id_
+                    << ": journaled-read dequeue commit failed: "
+                    << (chdr.ok() ? chdr->status : chdr.status());
+    }
+  } else {
+    MirrorTicket(ticket, op, [&] {
+      marshal::XdrDecoder body(effective);
+      (void)core::DecodeRequestHeader(body);
+      auto bits = body.GetU64();
+      return bits.ok() ? *bits : 0;
+    }());
+  }
 
   if (edge_faults_ && IsStmOp(op) &&
       edge_faults_->TakeConnectionKill(
@@ -325,7 +410,7 @@ void Surrogate::TrackSessionState(std::span<const std::uint8_t> request,
         auto slot = reply_dec.GetU32();
         if (req.ok() && slot.ok()) {
           attachments_.push_back(Attachment{
-              req->container_bits, req->is_queue, *slot,
+              req->container_bits, req->is_queue, *slot, *slot,
               static_cast<std::uint8_t>(req->mode), req->label});
         }
         break;
@@ -366,10 +451,12 @@ core::SessionRecord Surrogate::SnapshotRecord() {
   {
     ds::MutexLock lock(session_mu_);
     record.last_executed_ticket = last_executed_ticket_;
+    record.redo_ticket = redo_ticket_;
+    record.redo_payload = redo_payload_;
     record.attachments.reserve(attachments_.size());
     for (const Attachment& a : attachments_) {
       record.attachments.push_back(core::SessionAttachment{
-          a.container_bits, a.is_queue, a.mode, a.slot, a.label});
+          a.container_bits, a.is_queue, a.mode, a.device_slot, a.label});
     }
     record.registered_names = registered_names_;
   }
@@ -455,8 +542,10 @@ Status Surrogate::Rehydrate(const core::SessionRecord& record) {
     remap.old_slot = a.slot;
     if (conn.ok()) {
       remap.new_slot = conn->slot();
+      // a.slot is the device-visible slot (what the record mirrors);
+      // keep it so a further migration still remaps the device's frames.
       restored.push_back(Attachment{a.container_bits, a.is_queue, conn->slot(),
-                                    a.mode, a.label});
+                                    a.slot, a.mode, a.label});
     } else {
       // Container gone (owned by the dead address space, or already
       // reclaimed): the device's handle is now dangling; calls on it
@@ -477,6 +566,15 @@ Status Surrogate::Rehydrate(const core::SessionRecord& record) {
       last_executed_ticket_ = record.last_executed_ticket;
     }
     slot_remaps_ = std::move(remaps);
+    // Restore the destructive-read journal into the replay cache: the
+    // old host died, so the device will replay its last Get — answer it
+    // with the journaled reply, never by re-executing the dequeue.
+    if (record.redo_ticket != 0 && !record.redo_payload.empty()) {
+      redo_ticket_ = record.redo_ticket;
+      redo_payload_ = record.redo_payload;
+      cached_reply_ticket_ = record.redo_ticket;
+      cached_reply_ = record.redo_payload;
+    }
   }
   // The record now lives on this host: update host_as and slots.
   MirrorSession();

@@ -129,7 +129,15 @@ class Surrogate {
   struct Attachment {
     std::uint64_t container_bits;
     bool is_queue;
+    // The slot on the *current* host. After a migration this differs
+    // from device_slot, the number the device's Connection handle
+    // carries (allocated by the original attach and never re-issued —
+    // the device cannot learn new slots, so every frame it sends is
+    // keyed by device_slot). The mirrored session record stores
+    // device_slot: a record written by an intermediate migration must
+    // still remap the device's frames, not the intermediate host's.
     std::uint32_t slot;
+    std::uint32_t device_slot;
     std::uint8_t mode;
     std::string label;
   };
@@ -150,6 +158,8 @@ class Surrogate {
   // Host-registry instruments (stable addresses, cached at construction).
   metrics::Counter* m_replay_hits_ = nullptr;
   metrics::Counter* m_calls_ = nullptr;
+  metrics::Counter* m_redo_journaled_ = nullptr;
+  metrics::Counter* m_redo_replayed_ = nullptr;
 
   // GC interest set (bits -> is_queue) and pending notices, fed by the
   // GC-service sink. Leaf lock: taken inside the GC sink callback, so
@@ -171,6 +181,12 @@ class Surrogate {
   std::uint64_t last_executed_ticket_ DS_GUARDED_BY(session_mu_) = 0;
   std::uint64_t cached_reply_ticket_ DS_GUARDED_BY(session_mu_) = 0;
   Buffer cached_reply_ DS_GUARDED_BY(session_mu_);
+  // Exactly-once redo log for destructive reads: the last remote-queue
+  // Get reply, journaled into the session registry *before* it is sent
+  // to the device (see SessionRecord::redo_ticket). Survives host
+  // death, unlike cached_reply_.
+  std::uint64_t redo_ticket_ DS_GUARDED_BY(session_mu_) = 0;
+  Buffer redo_payload_ DS_GUARDED_BY(session_mu_);
   // Post-migration slot translation (old surrogate's slot -> ours).
   std::vector<SlotRemap> slot_remaps_ DS_GUARDED_BY(session_mu_);
   TimePoint parked_since_{};

@@ -1,5 +1,6 @@
 #include "dstampede/core/address_space.hpp"
 
+#include <algorithm>
 #include <cinttypes>
 #include <cstdio>
 #include <utility>
@@ -45,13 +46,57 @@ Result<std::unique_ptr<AddressSpace>> AddressSpace::Create(
       options.dispatcher_threads,
       "AS" + std::to_string(AsIndex(options.id)));
   as->gc_ = std::make_unique<GcService>(options.gc_interval);
-  if (options.host_name_server) {
+  const bool is_ns_replica =
+      std::find(options.ns_replicas.begin(), options.ns_replicas.end(),
+                options.id) != options.ns_replicas.end();
+  if (options.host_name_server || is_ns_replica) {
     as->name_server_ = std::make_unique<NameServer>();
+  }
+  if (!options.ns_replicas.empty()) {
+    as->ns_as_ = options.ns_replicas.front();
+  } else if (options.host_name_server) {
     as->ns_as_ = options.id;
+  }
+  if (is_ns_replica && options.ns_replicas.size() > 1) {
+    RepLog::Options ro;
+    ro.self = options.id;
+    ro.replicas = options.ns_replicas;
+    std::sort(ro.replicas.begin(), ro.replicas.end());
+    ro.lease = options.ns_lease;
+    ro.heartbeat = options.ns_heartbeat;
+    ro.rpc_deadline = std::max<Duration>(options.ns_heartbeat * 2, Millis(50));
+    AddressSpace* raw = as.get();
+    as->replog_ = std::make_unique<RepLog>(
+        ro,
+        /*apply=*/
+        [raw](const Buffer& entry) {
+          auto m = DecodeNsMutation(entry);
+          if (!m.ok()) {
+            DS_LOG(kWarn) << "undecodable replicated ns mutation: "
+                          << m.status().message();
+            return;
+          }
+          // Re-applied entries may report their usual app error
+          // (duplicate register, tick of a dropped session); state
+          // still converges, so only the appender cares.
+          (void)raw->name_server_->Apply(*m);
+        },
+        /*send=*/
+        [raw](AsId target, Op op,
+              const std::function<void(marshal::XdrEncoder&)>& body,
+              Deadline deadline) -> Result<Buffer> {
+          marshal::XdrEncoder enc;
+          EncodeRequestHeader(enc, op, raw->next_request_id_.fetch_add(1));
+          body(enc);
+          return raw->Call(target, enc.Take(), deadline);
+        },
+        /*peer_dead=*/[raw](AsId peer) { return raw->IsPeerDown(peer); });
+    as->replog_->set_on_became_leader([raw] { raw->OnBecameNsLeader(); });
   }
   as->InitObservability();
   as->gc_->Start();
   as->receiver_ = std::thread([raw = as.get()] { raw->ReceiveLoop(); });
+  if (as->replog_) as->replog_->Start();
   return as;
 }
 
@@ -172,6 +217,23 @@ void AddressSpace::InitObservability() {
       return static_cast<std::int64_t>(ns->total_purged());
     });
   }
+  if (replog_) {
+    RepLog* rl = replog_.get();
+    registry_.AddProvider("ns.leader_changes", [rl] {
+      return static_cast<std::int64_t>(rl->leader_changes());
+    });
+    registry_.AddProvider("ns.log_appends", [rl] {
+      return static_cast<std::int64_t>(rl->log_appends());
+    });
+    registry_.AddProvider("ns.replica_lag", [rl] {
+      return static_cast<std::int64_t>(rl->replica_lag());
+    });
+    registry_.AddProvider("ns.replog.is_leader",
+                          [rl] { return rl->IsLeader() ? 1 : 0; });
+    registry_.AddProvider("ns.replog.term", [rl] {
+      return static_cast<std::int64_t>(rl->term());
+    });
+  }
 }
 
 AddressSpace::AddressSpace(const Options& options) : options_(options) {}
@@ -222,6 +284,9 @@ void AddressSpace::Shutdown() {
     call->status = CancelledError("address space shut down");
     call->cv.NotifyAll();
   }
+  // After the orphan sweep so a ticker blocked in Call wakes promptly
+  // instead of riding out its RPC deadline.
+  if (replog_) replog_->Stop();
 }
 
 // --- topology -------------------------------------------------------------
@@ -330,8 +395,26 @@ void AddressSpace::OnPeerDown(const transport::SockAddr& addr) {
   // 4. If we host the name server, the dead space's names must not
   // satisfy later lookups. (Session records are NOT purged: a session
   // hosted on the dead space is exactly what a listener needs to
-  // migrate that session to a live space.)
-  if (name_server_) {
+  // migrate that session to a live space.) Replicated deployments feed
+  // the liveness signal to the replication log (election input) and
+  // let the leader drive the purge through the log, so every replica
+  // converges on the same post-recovery state; the purge runs on the
+  // dispatcher pool because appending blocks on replica RPCs and this
+  // callback runs on the CLF receiver thread.
+  if (replog_) {
+    replog_->OnPeerDown(dead);
+    (void)dispatcher_->Submit([this, dead] {
+      if (!replog_->IsLeader()) return;  // the leader's own signal purges
+      NsMutation purge;
+      purge.kind = NsMutation::Kind::kPurgeOwner;
+      purge.owner = dead;
+      Status s = replog_->Append(EncodeNsMutation(purge));
+      if (!s.ok()) {
+        DS_LOG(kWarn) << "replicated purge of AS" << AsIndex(dead)
+                      << " names failed: " << s.message();
+      }
+    });
+  } else if (name_server_) {
     const std::size_t purged = name_server_->PurgeOwner(dead);
     if (purged != 0) {
       DS_LOG(kInfo) << "purged " << purged << " name-server entries of AS"
@@ -787,22 +870,41 @@ Buffer AddressSpace::ProcessRequest(std::span<const std::uint8_t> message,
                             req->slot);
       return EncodeStatusReply(id, SetFilter(conn, req->filter));
     }
-    // Name-server ops run through the public API: executed locally on
-    // the NS address space, forwarded over CLF from anywhere else (so
-    // surrogates on any AS can serve their devices).
+    // Name-server ops. A request from a peer AS (origin known) was
+    // routed here by that peer's failover wrapper, so a replica serves
+    // it or answers with a "leader=<id>" redirect — never forwards
+    // onward (no replica-to-replica chains). A request with no origin
+    // came from an end device via a surrogate on this AS: the public
+    // wrapper routes it, retries and all.
     case Op::kNsRegister: {
       auto entry = DecodeNsEntry(dec);
       if (!entry.ok()) return EncodeStatusReply(id, entry.status());
+      if (replog_ && origin != kInvalidAsId) {
+        NsMutation m;
+        m.kind = NsMutation::Kind::kRegister;
+        m.entry = *entry;
+        if (m.entry.owner_as == kInvalidAsId) m.entry.owner_as = options_.id;
+        return EncodeStatusReply(id, ServeNsMutation(m));
+      }
       return EncodeStatusReply(id, NsRegister(*entry));
     }
     case Op::kNsUnregister: {
       auto req = NsLookupReq::Decode(dec);
       if (!req.ok()) return EncodeStatusReply(id, req.status());
+      if (replog_ && origin != kInvalidAsId) {
+        NsMutation m;
+        m.kind = NsMutation::Kind::kUnregister;
+        m.name = req->name;
+        return EncodeStatusReply(id, ServeNsMutation(m));
+      }
       return EncodeStatusReply(id, NsUnregister(req->name));
     }
     case Op::kNsLookup: {
       auto req = NsLookupReq::Decode(dec);
       if (!req.ok()) return EncodeStatusReply(id, req.status());
+      if (replog_ && origin != kInvalidAsId && !replog_->LeaseFresh()) {
+        return EncodeStatusReply(id, StaleNsError());
+      }
       auto entry = NsLookup(req->name, DecodeDeadline(req->deadline_ms));
       if (!entry.ok()) return EncodeStatusReply(id, entry.status());
       marshal::XdrEncoder enc;
@@ -813,6 +915,9 @@ Buffer AddressSpace::ProcessRequest(std::span<const std::uint8_t> message,
     case Op::kNsList: {
       auto req = NsLookupReq::Decode(dec);
       if (!req.ok()) return EncodeStatusReply(id, req.status());
+      if (replog_ && origin != kInvalidAsId && !replog_->LeaseFresh()) {
+        return EncodeStatusReply(id, StaleNsError());
+      }
       auto entries = NsList(req->name);
       if (!entries.ok()) return EncodeStatusReply(id, entries.status());
       marshal::XdrEncoder enc;
@@ -824,11 +929,20 @@ Buffer AddressSpace::ProcessRequest(std::span<const std::uint8_t> message,
     case Op::kSessionPut: {
       auto rec = DecodeSessionRecord(dec);
       if (!rec.ok()) return EncodeStatusReply(id, rec.status());
+      if (replog_ && origin != kInvalidAsId) {
+        NsMutation m;
+        m.kind = NsMutation::Kind::kPutSession;
+        m.session = *rec;
+        return EncodeStatusReply(id, ServeNsMutation(m));
+      }
       return EncodeStatusReply(id, SessionPut(*rec));
     }
     case Op::kSessionGet: {
       auto req = SessionIdReq::Decode(dec);
       if (!req.ok()) return EncodeStatusReply(id, req.status());
+      if (replog_ && origin != kInvalidAsId && !replog_->LeaseFresh()) {
+        return EncodeStatusReply(id, StaleNsError());
+      }
       auto rec = SessionGet(req->session_id);
       if (!rec.ok()) return EncodeStatusReply(id, rec.status());
       marshal::XdrEncoder enc;
@@ -839,12 +953,56 @@ Buffer AddressSpace::ProcessRequest(std::span<const std::uint8_t> message,
     case Op::kSessionDrop: {
       auto req = SessionIdReq::Decode(dec);
       if (!req.ok()) return EncodeStatusReply(id, req.status());
+      if (replog_ && origin != kInvalidAsId) {
+        NsMutation m;
+        m.kind = NsMutation::Kind::kDropSession;
+        m.session_id = req->session_id;
+        return EncodeStatusReply(id, ServeNsMutation(m));
+      }
       return EncodeStatusReply(id, SessionDrop(req->session_id));
     }
     case Op::kSessionTick: {
       auto req = SessionTickReq::Decode(dec);
       if (!req.ok()) return EncodeStatusReply(id, req.status());
+      if (replog_ && origin != kInvalidAsId) {
+        NsMutation m;
+        m.kind = NsMutation::Kind::kTickSession;
+        m.session_id = req->session_id;
+        m.ticket = req->ticket;
+        return EncodeStatusReply(id, ServeNsMutation(m));
+      }
       return EncodeStatusReply(id, SessionTick(req->session_id, req->ticket));
+    }
+    // Control-plane replication (replica-internal; see core/replog.hpp).
+    case Op::kRepAppend: {
+      auto req = RepAppendReq::Decode(dec);
+      if (!req.ok()) return EncodeStatusReply(id, req.status());
+      if (!replog_) {
+        return EncodeStatusReply(id,
+                                 FailedPreconditionError("not an ns replica"));
+      }
+      RepAppendAck ack;
+      const Status st = replog_->HandleAppend(*req, ack);
+      // The ack body rides along even on rejection: it carries this
+      // replica's term, which is how a deposed leader learns to step
+      // down.
+      marshal::XdrEncoder enc;
+      EncodeResponseHeader(enc, id, st);
+      ack.Encode(enc);
+      return enc.Take();
+    }
+    case Op::kRepFetch: {
+      auto req = RepFetchReq::Decode(dec);
+      if (!req.ok()) return EncodeStatusReply(id, req.status());
+      if (!replog_) {
+        return EncodeStatusReply(id,
+                                 FailedPreconditionError("not an ns replica"));
+      }
+      const RepFetchResp resp = replog_->HandleFetch(*req);
+      marshal::XdrEncoder enc;
+      EncodeResponseHeader(enc, id, OkStatus());
+      resp.Encode(enc);
+      return enc.Take();
     }
     case Op::kMetrics: {
       auto req = MetricsReq::Decode(dec);
@@ -1234,61 +1392,218 @@ Status AddressSpace::SetQueueGcHandler(QueueId q, GcHandler handler) {
 
 // --- name server ------------------------------------------------------------------
 
+namespace {
+
+// A follower's routing redirect (as opposed to a definitive
+// kUnavailable like "replication lost quorum", which must surface).
+bool IsNsRedirect(const Status& s) {
+  return s.code() == StatusCode::kUnavailable &&
+         s.message().rfind("not leader", 0) == 0;
+}
+
+Op MutationOp(NsMutation::Kind kind) {
+  switch (kind) {
+    case NsMutation::Kind::kRegister: return Op::kNsRegister;
+    case NsMutation::Kind::kUnregister: return Op::kNsUnregister;
+    case NsMutation::Kind::kPutSession: return Op::kSessionPut;
+    case NsMutation::Kind::kDropSession: return Op::kSessionDrop;
+    case NsMutation::Kind::kTickSession: return Op::kSessionTick;
+    case NsMutation::Kind::kPurgeOwner: break;  // log-only, never routed
+  }
+  return Op::kReply;
+}
+
+void EncodeMutationBody(marshal::XdrEncoder& enc, const NsMutation& m) {
+  switch (m.kind) {
+    case NsMutation::Kind::kRegister:
+      EncodeNsEntry(enc, m.entry);
+      return;
+    case NsMutation::Kind::kUnregister: {
+      NsLookupReq req;
+      req.name = m.name;
+      req.Encode(enc);
+      return;
+    }
+    case NsMutation::Kind::kPutSession:
+      EncodeSessionRecord(enc, m.session);
+      return;
+    case NsMutation::Kind::kDropSession: {
+      SessionIdReq req;
+      req.session_id = m.session_id;
+      req.Encode(enc);
+      return;
+    }
+    case NsMutation::Kind::kTickSession: {
+      SessionTickReq req;
+      req.session_id = m.session_id;
+      req.ticket = m.ticket;
+      req.Encode(enc);
+      return;
+    }
+    case NsMutation::Kind::kPurgeOwner:
+      return;
+  }
+}
+
+}  // namespace
+
+std::vector<AsId> AddressSpace::NsTargets() const {
+  if (!options_.ns_replicas.empty()) return options_.ns_replicas;
+  if (ns_as_ != kInvalidAsId) return {ns_as_};
+  return {};
+}
+
+void AddressSpace::NoteNsLeader(AsId leader) {
+  ds::MutexLock lock(ns_route_mu_);
+  ns_leader_hint_ = leader;
+}
+
+Status AddressSpace::StaleNsError() const {
+  const AsId leader = replog_->leader();
+  return UnavailableError(
+      "ns lease stale; leader=" +
+      (leader == kInvalidAsId ? std::string("none")
+                              : std::to_string(AsIndex(leader))));
+}
+
+Status AddressSpace::ServeNsMutation(const NsMutation& m) {
+  if (!replog_) {
+    return name_server_ ? name_server_->Apply(m)
+                        : FailedPreconditionError("not an ns replica");
+  }
+  return replog_->Append(EncodeNsMutation(m));
+}
+
+Result<Buffer> AddressSpace::CallNsService(
+    const std::function<Buffer(std::uint64_t request_id)>& make_request,
+    Deadline deadline) {
+  std::vector<AsId> targets = NsTargets();
+  if (targets.empty()) {
+    return FailedPreconditionError("no name-server address space set");
+  }
+  // The last replica that answered definitively (usually the leader)
+  // goes first; the rest keep replica order for deterministic rotation.
+  {
+    ds::MutexLock lock(ns_route_mu_);
+    auto it = std::find(targets.begin(), targets.end(), ns_leader_hint_);
+    if (it != targets.end()) std::rotate(targets.begin(), it, it + 1);
+  }
+  Status last = UnavailableError("name service unavailable");
+  constexpr int kRounds = 3;
+  for (int round = 0; round < kRounds; ++round) {
+    for (AsId target : targets) {
+      if (target == options_.id) continue;  // local paths already failed
+      if (IsPeerDown(target)) {
+        last = UnavailableError("ns replica declared dead");
+        continue;
+      }
+      auto reply =
+          Call(target, make_request(next_request_id_.fetch_add(1)), deadline);
+      if (!reply.ok()) {
+        last = reply.status();
+        continue;  // transport failure: rotate
+      }
+      marshal::XdrDecoder dec(*reply);
+      auto hdr = DecodeResponseHeader(dec);
+      if (!hdr.ok()) {
+        last = hdr.status();
+        continue;
+      }
+      if (hdr->status.code() == StatusCode::kUnavailable) {
+        // Redirect ("not leader"), stale lease, or lost quorum: note
+        // any leader hint for future calls and keep rotating.
+        last = hdr->status;
+        const AsId hint = RepLog::LeaderHintFromMessage(hdr->status.message());
+        if (hint != kInvalidAsId) NoteNsLeader(hint);
+        continue;
+      }
+      // Definitive answer — ok or an application error (kNotFound,
+      // kAlreadyExists, ...) that retrying elsewhere would not change.
+      NoteNsLeader(target);
+      return reply;
+    }
+    if (!deadline.infinite() && deadline.expired()) break;
+    if (round + 1 < kRounds) SleepFor(Millis(100));  // let an election settle
+  }
+  return last;
+}
+
+Status AddressSpace::MutateNs(const NsMutation& m) {
+  if (replog_) {
+    Status s = replog_->Append(EncodeNsMutation(m));
+    if (!IsNsRedirect(s)) return s;
+    // This replica is a follower: fall through and route to the leader.
+  } else if (name_server_) {
+    return name_server_->Apply(m);
+  }
+  auto reply = CallNsService(
+      [&m](std::uint64_t request_id) {
+        marshal::XdrEncoder enc;
+        EncodeRequestHeader(enc, MutationOp(m.kind), request_id);
+        EncodeMutationBody(enc, m);
+        return enc.Take();
+      },
+      InternalDeadline());
+  if (!reply.ok()) return reply.status();
+  marshal::XdrDecoder dec(*reply);
+  DS_ASSIGN_OR_RETURN(auto hdr, DecodeResponseHeader(dec));
+  return hdr.status;
+}
+
 Status AddressSpace::NsRegister(const NsEntry& entry) {
   stats_.ns_ops.fetch_add(1, std::memory_order_relaxed);
   // Stamp ownership before the entry crosses the wire: recovery purges
   // a dead space's names by this field. Entries arriving with ownership
   // already set (forwarded registrations) keep it; entries from end
   // devices get their host AS, since the host is what can die.
-  NsEntry stamped = entry;
-  if (stamped.owner_as == kInvalidAsId) stamped.owner_as = options_.id;
-  if (name_server_) return name_server_->Register(stamped);
-  if (ns_as_ == kInvalidAsId) {
-    return FailedPreconditionError("no name-server address space set");
-  }
-  marshal::XdrEncoder enc;
-  EncodeRequestHeader(enc, Op::kNsRegister, next_request_id_.fetch_add(1));
-  EncodeNsEntry(enc, stamped);
-  DS_ASSIGN_OR_RETURN(Buffer reply,
-                      Call(ns_as_, enc.Take(), InternalDeadline()));
-  marshal::XdrDecoder dec(reply);
-  DS_ASSIGN_OR_RETURN(auto hdr, DecodeResponseHeader(dec));
-  return hdr.status;
+  NsMutation m;
+  m.kind = NsMutation::Kind::kRegister;
+  m.entry = entry;
+  if (m.entry.owner_as == kInvalidAsId) m.entry.owner_as = options_.id;
+  return MutateNs(m);
 }
 
 Status AddressSpace::NsUnregister(const std::string& name) {
   stats_.ns_ops.fetch_add(1, std::memory_order_relaxed);
-  if (name_server_) return name_server_->Unregister(name);
-  if (ns_as_ == kInvalidAsId) {
-    return FailedPreconditionError("no name-server address space set");
-  }
-  NsLookupReq req;
-  req.name = name;
-  marshal::XdrEncoder enc;
-  EncodeRequestHeader(enc, Op::kNsUnregister, next_request_id_.fetch_add(1));
-  req.Encode(enc);
-  DS_ASSIGN_OR_RETURN(Buffer reply,
-                      Call(ns_as_, enc.Take(), InternalDeadline()));
-  marshal::XdrDecoder dec(reply);
-  DS_ASSIGN_OR_RETURN(auto hdr, DecodeResponseHeader(dec));
-  return hdr.status;
+  NsMutation m;
+  m.kind = NsMutation::Kind::kUnregister;
+  m.name = name;
+  return MutateNs(m);
 }
 
 Result<NsEntry> AddressSpace::NsLookup(const std::string& name,
                                        Deadline deadline) {
   stats_.ns_ops.fetch_add(1, std::memory_order_relaxed);
-  if (name_server_) return name_server_->Lookup(name, deadline);
-  if (ns_as_ == kInvalidAsId) {
-    return FailedPreconditionError("no name-server address space set");
+  // Reads are served from the local replica while its lease view is
+  // fresh — this is the payoff of replication: lookups keep working on
+  // any survivor without a round trip.
+  if (name_server_ && (!replog_ || replog_->LeaseFresh())) {
+    return name_server_->Lookup(name, deadline);
   }
   NsLookupReq req;
   req.name = name;
   req.deadline_ms = EncodeDeadline(deadline);
-  marshal::XdrEncoder enc;
-  EncodeRequestHeader(enc, Op::kNsLookup, next_request_id_.fetch_add(1));
-  req.Encode(enc);
-  DS_ASSIGN_OR_RETURN(Buffer reply, Call(ns_as_, enc.Take(), deadline));
-  marshal::XdrDecoder dec(reply);
+  auto reply = CallNsService(
+      [&req](std::uint64_t request_id) {
+        marshal::XdrEncoder enc;
+        EncodeRequestHeader(enc, Op::kNsLookup, request_id);
+        req.Encode(enc);
+        return enc.Take();
+      },
+      deadline);
+  if (!reply.ok()) {
+    if (name_server_) {
+      // Degraded read: every peer replica is unreachable (we may be
+      // the only survivor). A possibly-stale local answer beats total
+      // refusal; docs/FAILURES.md spells out the trade.
+      DS_LOG(kWarn) << "AS" << AsIndex(options_.id) << ": ns failover lost ("
+                    << reply.status().message()
+                    << "); serving stale local replica";
+      return name_server_->Lookup(name, deadline);
+    }
+    return reply.status();
+  }
+  marshal::XdrDecoder dec(*reply);
   DS_ASSIGN_OR_RETURN(auto hdr, DecodeResponseHeader(dec));
   if (!hdr.status.ok()) return hdr.status;
   return DecodeNsEntry(dec);
@@ -1296,18 +1611,24 @@ Result<NsEntry> AddressSpace::NsLookup(const std::string& name,
 
 Result<std::vector<NsEntry>> AddressSpace::NsList(const std::string& prefix) {
   stats_.ns_ops.fetch_add(1, std::memory_order_relaxed);
-  if (name_server_) return name_server_->List(prefix);
-  if (ns_as_ == kInvalidAsId) {
-    return FailedPreconditionError("no name-server address space set");
+  if (name_server_ && (!replog_ || replog_->LeaseFresh())) {
+    return name_server_->List(prefix);
   }
   NsLookupReq req;
   req.name = prefix;
-  marshal::XdrEncoder enc;
-  EncodeRequestHeader(enc, Op::kNsList, next_request_id_.fetch_add(1));
-  req.Encode(enc);
-  DS_ASSIGN_OR_RETURN(Buffer reply,
-                      Call(ns_as_, enc.Take(), InternalDeadline()));
-  marshal::XdrDecoder dec(reply);
+  auto reply = CallNsService(
+      [&req](std::uint64_t request_id) {
+        marshal::XdrEncoder enc;
+        EncodeRequestHeader(enc, Op::kNsList, request_id);
+        req.Encode(enc);
+        return enc.Take();
+      },
+      InternalDeadline());
+  if (!reply.ok()) {
+    if (name_server_) return name_server_->List(prefix);  // degraded read
+    return reply.status();
+  }
+  marshal::XdrDecoder dec(*reply);
   DS_ASSIGN_OR_RETURN(auto hdr, DecodeResponseHeader(dec));
   if (!hdr.status.ok()) return hdr.status;
   DS_ASSIGN_OR_RETURN(std::uint32_t count, dec.GetU32());
@@ -1320,38 +1641,55 @@ Result<std::vector<NsEntry>> AddressSpace::NsList(const std::string& prefix) {
   return out;
 }
 
+void AddressSpace::OnBecameNsLeader() {
+  std::vector<AsId> dead;
+  {
+    ds::MutexLock lock(peers_mu_);
+    dead.reserve(dead_peers_.size());
+    for (std::uint32_t idx : dead_peers_) dead.push_back(static_cast<AsId>(idx));
+  }
+  for (AsId peer : dead) {
+    NsMutation purge;
+    purge.kind = NsMutation::Kind::kPurgeOwner;
+    purge.owner = peer;
+    Status s = replog_->Append(EncodeNsMutation(purge));
+    if (!s.ok()) {
+      DS_LOG(kWarn) << "post-election purge of AS" << AsIndex(peer)
+                    << " names failed: " << s.message();
+    }
+  }
+}
+
 // --- end-device session registry -----------------------------------------------
 
 Status AddressSpace::SessionPut(const SessionRecord& record) {
   stats_.ns_ops.fetch_add(1, std::memory_order_relaxed);
-  if (name_server_) return name_server_->PutSession(record);
-  if (ns_as_ == kInvalidAsId) {
-    return FailedPreconditionError("no name-server address space set");
-  }
-  marshal::XdrEncoder enc;
-  EncodeRequestHeader(enc, Op::kSessionPut, next_request_id_.fetch_add(1));
-  EncodeSessionRecord(enc, record);
-  DS_ASSIGN_OR_RETURN(Buffer reply,
-                      Call(ns_as_, enc.Take(), InternalDeadline()));
-  marshal::XdrDecoder dec(reply);
-  DS_ASSIGN_OR_RETURN(auto hdr, DecodeResponseHeader(dec));
-  return hdr.status;
+  NsMutation m;
+  m.kind = NsMutation::Kind::kPutSession;
+  m.session = record;
+  return MutateNs(m);
 }
 
 Result<SessionRecord> AddressSpace::SessionGet(std::uint64_t session_id) {
   stats_.ns_ops.fetch_add(1, std::memory_order_relaxed);
-  if (name_server_) return name_server_->GetSession(session_id);
-  if (ns_as_ == kInvalidAsId) {
-    return FailedPreconditionError("no name-server address space set");
+  if (name_server_ && (!replog_ || replog_->LeaseFresh())) {
+    return name_server_->GetSession(session_id);
   }
   SessionIdReq req;
   req.session_id = session_id;
-  marshal::XdrEncoder enc;
-  EncodeRequestHeader(enc, Op::kSessionGet, next_request_id_.fetch_add(1));
-  req.Encode(enc);
-  DS_ASSIGN_OR_RETURN(Buffer reply,
-                      Call(ns_as_, enc.Take(), InternalDeadline()));
-  marshal::XdrDecoder dec(reply);
+  auto reply = CallNsService(
+      [&req](std::uint64_t request_id) {
+        marshal::XdrEncoder enc;
+        EncodeRequestHeader(enc, Op::kSessionGet, request_id);
+        req.Encode(enc);
+        return enc.Take();
+      },
+      InternalDeadline());
+  if (!reply.ok()) {
+    if (name_server_) return name_server_->GetSession(session_id);  // degraded
+    return reply.status();
+  }
+  marshal::XdrDecoder dec(*reply);
   DS_ASSIGN_OR_RETURN(auto hdr, DecodeResponseHeader(dec));
   if (!hdr.status.ok()) return hdr.status;
   return DecodeSessionRecord(dec);
@@ -1359,40 +1697,20 @@ Result<SessionRecord> AddressSpace::SessionGet(std::uint64_t session_id) {
 
 Status AddressSpace::SessionDrop(std::uint64_t session_id) {
   stats_.ns_ops.fetch_add(1, std::memory_order_relaxed);
-  if (name_server_) return name_server_->DropSession(session_id);
-  if (ns_as_ == kInvalidAsId) {
-    return FailedPreconditionError("no name-server address space set");
-  }
-  SessionIdReq req;
-  req.session_id = session_id;
-  marshal::XdrEncoder enc;
-  EncodeRequestHeader(enc, Op::kSessionDrop, next_request_id_.fetch_add(1));
-  req.Encode(enc);
-  DS_ASSIGN_OR_RETURN(Buffer reply,
-                      Call(ns_as_, enc.Take(), InternalDeadline()));
-  marshal::XdrDecoder dec(reply);
-  DS_ASSIGN_OR_RETURN(auto hdr, DecodeResponseHeader(dec));
-  return hdr.status;
+  NsMutation m;
+  m.kind = NsMutation::Kind::kDropSession;
+  m.session_id = session_id;
+  return MutateNs(m);
 }
 
 Status AddressSpace::SessionTick(std::uint64_t session_id,
                                  std::uint64_t ticket) {
   stats_.ns_ops.fetch_add(1, std::memory_order_relaxed);
-  if (name_server_) return name_server_->TickSession(session_id, ticket);
-  if (ns_as_ == kInvalidAsId) {
-    return FailedPreconditionError("no name-server address space set");
-  }
-  SessionTickReq req;
-  req.session_id = session_id;
-  req.ticket = ticket;
-  marshal::XdrEncoder enc;
-  EncodeRequestHeader(enc, Op::kSessionTick, next_request_id_.fetch_add(1));
-  req.Encode(enc);
-  DS_ASSIGN_OR_RETURN(Buffer reply,
-                      Call(ns_as_, enc.Take(), InternalDeadline()));
-  marshal::XdrDecoder dec(reply);
-  DS_ASSIGN_OR_RETURN(auto hdr, DecodeResponseHeader(dec));
-  return hdr.status;
+  NsMutation m;
+  m.kind = NsMutation::Kind::kTickSession;
+  m.session_id = session_id;
+  m.ticket = ticket;
+  return MutateNs(m);
 }
 
 // --- observability ---------------------------------------------------------------
@@ -1498,6 +1816,17 @@ Status AddressSpace::AdvertiseMetrics() {
   entry.id_bits = AsIndex(options_.id);
   entry.meta = "sys/metrics snapshot endpoint; clf=" +
                endpoint_->addr().ToString();
+  entry.owner_as = options_.id;
+  return NsRegister(entry);
+}
+
+Status AddressSpace::AdvertiseNsReplica() {
+  if (!name_server_) return OkStatus();
+  NsEntry entry;
+  entry.name = "sys/ns/" + std::to_string(AsIndex(options_.id));
+  entry.kind = NsEntry::Kind::kOther;
+  entry.id_bits = AsIndex(options_.id);
+  entry.meta = "name-server replica; clf=" + endpoint_->addr().ToString();
   entry.owner_as = options_.id;
   return NsRegister(entry);
 }

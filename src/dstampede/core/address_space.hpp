@@ -32,6 +32,7 @@
 #include "dstampede/core/item.hpp"
 #include "dstampede/core/name_server.hpp"
 #include "dstampede/core/queue.hpp"
+#include "dstampede/core/replog.hpp"
 #include "dstampede/core/wire.hpp"
 
 namespace dstampede::core {
@@ -100,6 +101,16 @@ class AddressSpace {
     std::size_t clf_max_retransmits = 0;           // 0 = retransmit forever
     Duration peer_keepalive_interval = Duration::zero();
     Duration peer_timeout = Duration::zero();
+    // --- control-plane replication (core/replog.hpp) ------------------
+    // When this list names more than one space and contains `id`, this
+    // AS hosts a NameServer replica wired into the leader-lease
+    // replication log (host_name_server is then redundant). Every AS —
+    // replica or not — uses the list to route mutations to the leader
+    // and to fail reads over to a surviving replica; it must be
+    // identical (and sorted) on every space of the application.
+    std::vector<AsId> ns_replicas;
+    Duration ns_lease = Millis(1200);
+    Duration ns_heartbeat = Millis(300);
   };
 
   static Result<std::unique_ptr<AddressSpace>> Create(const Options& options);
@@ -216,11 +227,20 @@ class AddressSpace {
   // Registers "sys/metrics/<id>" with the name server so tools (dsctl)
   // can discover every space in the cluster.
   Status AdvertiseMetrics();
+  // Registers "sys/ns/<id>": this AS hosts a name-server replica.
+  // Clients and listeners list the sys/ns/ prefix to learn the replica
+  // set for failover; the ad is owned by this AS, so it disappears
+  // from the set when this replica dies. No-op when this AS hosts no
+  // replica.
+  Status AdvertiseNsReplica();
 
   // --- services ------------------------------------------------------------
   GcService& gc() { return *gc_; }
   // Null unless this AS hosts the name server.
   NameServer* local_name_server() { return name_server_.get(); }
+  // Null unless this AS hosts a NameServer replica in a replicated
+  // (ns_replicas.size() > 1) deployment.
+  RepLog* replication() { return replog_.get(); }
   const clf::EndpointStats& transport_stats() const {
     return endpoint_->stats();
   }
@@ -295,6 +315,34 @@ class AddressSpace {
   void OnPeerDown(const transport::SockAddr& addr);
   void OnPeerUp(const transport::SockAddr& addr);
 
+  // --- replicated name-service plumbing --------------------------------
+  // Local-first mutation entry point behind the public Ns*/Session*
+  // wrappers: leader appends to the log, everyone else routes to the
+  // leader with hint-guided failover.
+  Status MutateNs(const NsMutation& m);
+  // Serving side for mutations arriving over CLF at a replica: append
+  // if leader, else answer with the "not leader; leader=<id>" redirect
+  // (the calling wrapper retries — no forwarding chains between
+  // replicas).
+  Status ServeNsMutation(const NsMutation& m);
+  // kUnavailable carrying this replica's current leader hint, returned
+  // for reads while the local lease view is stale.
+  Status StaleNsError() const;
+  // One bounded failover loop: tries the last known leader first, then
+  // rotates through the replica set, following "leader=<id>" hints and
+  // pausing between rounds so an election can settle. Returns the raw
+  // reply frame of the first definitive answer.
+  Result<Buffer> CallNsService(
+      const std::function<Buffer(std::uint64_t request_id)>& make_request,
+      Deadline deadline);
+  // Replica set when replicated, else the single ns_as_ (may be empty).
+  std::vector<AsId> NsTargets() const;
+  void NoteNsLeader(AsId leader);
+  // Election callback: the new leader re-drives PurgeOwner for every
+  // peer already known dead, so purges the old leader issued (or died
+  // before issuing) are not lost.
+  void OnBecameNsLeader();
+
   // Typed op executors (shared by the CLF dispatcher and, via public
   // wrappers, the client surrogates).
  public:
@@ -328,6 +376,14 @@ class AddressSpace {
   std::unique_ptr<ThreadPool> dispatcher_;
   std::unique_ptr<GcService> gc_;
   std::unique_ptr<NameServer> name_server_;
+  // Replication log over name_server_ (null unless this AS is one of
+  // options_.ns_replicas in a multi-replica deployment). Declared
+  // after name_server_ so the apply callback's target outlives it.
+  std::unique_ptr<RepLog> replog_;
+  // Route preference: last replica that answered a name-service call
+  // definitively (usually the leader). Leaf lock.
+  mutable ds::Mutex ns_route_mu_{"as.ns_route_mu"};
+  AsId ns_leader_hint_ DS_GUARDED_BY(ns_route_mu_) = kInvalidAsId;
 
   mutable ds::Mutex peers_mu_{"as.peers_mu"};
   std::unordered_map<std::uint32_t, transport::SockAddr> peers_

@@ -1,5 +1,7 @@
 #include "dstampede/core/federation.hpp"
 
+#include <algorithm>
+
 namespace dstampede::core {
 
 Result<std::unique_ptr<Federation>> Federation::Create(
@@ -18,6 +20,17 @@ Result<std::unique_ptr<Federation>> Federation::Create(
   fed->options_ = options;
   const AsId global_ns = static_cast<AsId>(0);  // cluster 0, first AS
 
+  // The NameServer replica set lives in cluster 0 (clamped to its
+  // size); every other cluster gets the list verbatim so its spaces
+  // fail over across it.
+  const std::size_t replica_count =
+      std::min(std::max<std::size_t>(options.ns_replicas, 1),
+               options.clusters.front().num_address_spaces);
+  for (std::size_t r = 0; r < replica_count; ++r) {
+    fed->ns_replica_ids_.push_back(
+        static_cast<AsId>(static_cast<std::uint32_t>(r)));
+  }
+
   for (std::size_t i = 0; i < options.clusters.size(); ++i) {
     const ClusterSpec& spec = options.clusters[i];
     Runtime::Options rt_opts;
@@ -29,6 +42,13 @@ Result<std::unique_ptr<Federation>> Federation::Create(
         static_cast<std::uint32_t>(i) * options.as_id_stride;
     rt_opts.host_name_server = (i == 0);
     rt_opts.name_server_as = global_ns;
+    if (i == 0) {
+      rt_opts.ns_replicas = replica_count;
+      rt_opts.ns_lease = options.ns_lease;
+      rt_opts.ns_heartbeat = options.ns_heartbeat;
+    } else if (replica_count > 1) {
+      rt_opts.ns_replica_ids = fed->ns_replica_ids_;
+    }
     rt_opts.clf_max_retransmits = options.clf_max_retransmits;
     rt_opts.peer_keepalive_interval = options.peer_keepalive_interval;
     rt_opts.peer_timeout = options.peer_timeout;
@@ -97,6 +117,23 @@ std::size_t Federation::DeadSpacesIn(std::size_t i) const {
   if (i >= clusters_.size()) return 0;
   ds::MutexLock lock(down_mu_);
   return down_[i].size();
+}
+
+bool Federation::IsNameServiceDown() const {
+  if (clusters_.empty()) return true;
+  ds::MutexLock lock(down_mu_);
+  if (ns_replica_ids_.size() <= 1) {
+    return down_[0].count(0) != 0;  // single NS: AS 0 of cluster 0
+  }
+  std::size_t dead = 0;
+  for (AsId replica : ns_replica_ids_) {
+    if (down_[0].count(AsIndex(replica) % options_.as_id_stride) != 0) {
+      ++dead;
+    }
+  }
+  // A majority must survive to elect a leader or renew the lease.
+  const std::size_t quorum = ns_replica_ids_.size() / 2 + 1;
+  return ns_replica_ids_.size() - dead < quorum;
 }
 
 Result<AddressSpace*> Federation::AddAddressSpace(std::size_t i) {

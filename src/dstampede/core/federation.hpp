@@ -50,6 +50,13 @@ class Federation {
     Duration peer_keepalive_interval = Duration::zero();
     Duration peer_timeout = Duration::zero();
     Duration internal_rpc_deadline = Millis(10000);
+    // Control-plane HA: number of NameServer replicas hosted by the
+    // first `ns_replicas` spaces of cluster 0 (clamped to its size).
+    // 1 keeps the paper's single name server. Every other cluster's
+    // spaces route name-service calls across the replica set.
+    std::size_t ns_replicas = 1;
+    Duration ns_lease = Millis(1200);
+    Duration ns_heartbeat = Millis(300);
   };
 
   static Result<std::unique_ptr<Federation>> Create(const Options& options);
@@ -73,9 +80,20 @@ class Federation {
   // A space that comes back with a fresh CLF incarnation is un-counted,
   // so a recovered cluster is reported live again. Requires failure
   // detection to be enabled in Options.
+  // Note: cluster-down is a data-plane notion (every space dead). The
+  // control plane has its own, replication-aware availability check
+  // below — with a replicated name server, losing the bootstrap NS
+  // space no longer means losing the name service.
   bool IsClusterDown(std::size_t i) const;
   // How many address spaces of cluster `i` are currently declared dead.
   std::size_t DeadSpacesIn(std::size_t i) const;
+  // Control-plane availability, consulting the replicated view: true
+  // once a majority of the name-server replica set is dead (the
+  // survivors can no longer elect or renew a lease). Unreplicated:
+  // true once the single NS space is dead.
+  bool IsNameServiceDown() const;
+  // The federation's name-server replica set (cluster 0).
+  const std::vector<AsId>& ns_replica_ids() const { return ns_replica_ids_; }
 
   void Shutdown();
 
@@ -86,6 +104,8 @@ class Federation {
 
   Options options_;
   std::vector<std::unique_ptr<Runtime>> clusters_;
+  // Cluster 0's NameServer replica spaces ({AS 0} when unreplicated).
+  std::vector<AsId> ns_replica_ids_;
 
   // Dead-peer bookkeeping, fed by every address space's PeerDown and
   // PeerUp observers (cluster index -> set of dead AS indices within

@@ -160,6 +160,14 @@ struct SessionRecord {
   std::vector<SessionAttachment> attachments;
   std::vector<SessionGcInterest> gc_interests;
   std::vector<std::string> registered_names;
+  // Exactly-once redo log for destructive reads: the pre-trailer reply
+  // bytes of the last remote queue Get, journaled *before* the reply
+  // is sent to the device. If both the reply and the surrogate's host
+  // die, the rehydrated surrogate answers the client's replay of
+  // `redo_ticket` from this payload instead of dequeuing a second
+  // item. Empty payload (ticket 0) = nothing journaled.
+  std::uint64_t redo_ticket = 0;
+  Buffer redo_payload;
 };
 
 // Reclamation notice produced by the garbage collector and delivered

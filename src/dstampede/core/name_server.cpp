@@ -111,4 +111,23 @@ std::size_t NameServer::session_count() const {
   return sessions_.size();
 }
 
+Status NameServer::Apply(const NsMutation& m) {
+  switch (m.kind) {
+    case NsMutation::Kind::kRegister:
+      return Register(m.entry);
+    case NsMutation::Kind::kUnregister:
+      return Unregister(m.name);
+    case NsMutation::Kind::kPurgeOwner:
+      PurgeOwner(m.owner);
+      return OkStatus();
+    case NsMutation::Kind::kPutSession:
+      return PutSession(m.session);
+    case NsMutation::Kind::kDropSession:
+      return DropSession(m.session_id);
+    case NsMutation::Kind::kTickSession:
+      return TickSession(m.session_id, m.ticket);
+  }
+  return InternalError("bad NsMutation kind");
+}
+
 }  // namespace dstampede::core

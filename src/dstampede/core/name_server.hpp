@@ -16,6 +16,7 @@
 #include "dstampede/common/status.hpp"
 #include "dstampede/common/sync.hpp"
 #include "dstampede/core/item.hpp"
+#include "dstampede/core/wire.hpp"
 
 namespace dstampede::core {
 
@@ -56,6 +57,18 @@ class NameServer {
   // Advances last_executed_ticket monotonically (never rewinds).
   Status TickSession(std::uint64_t session_id, std::uint64_t ticket);
   std::size_t session_count() const;
+
+  // --- replication (core/replog.hpp) -----------------------------------
+  //
+  // Applies one replicated mutation. Every replica — leader included —
+  // routes log entries through here, so the local and replicated write
+  // paths share one state machine. Every Apply is deterministic and
+  // commutes into the same final state on every replica that applies
+  // the same log prefix; mutations that target missing state
+  // (re-applied Unregister, TickSession for a dropped session) return
+  // their usual error to the *caller* but leave all replicas
+  // identical.
+  Status Apply(const NsMutation& m);
 
   // --- observability ---------------------------------------------------
   std::uint64_t total_lookups() const {

@@ -1,5 +1,7 @@
 #include "dstampede/core/runtime.hpp"
 
+#include <algorithm>
+
 #include "dstampede/common/logging.hpp"
 
 namespace dstampede::core {
@@ -25,6 +27,26 @@ Result<AddressSpace*> Runtime::AddAddressSpace() {
   as_opts.shm_fastpath = options_.shm_fastpath;
   as_opts.gc_interval = options_.gc_interval;
   as_opts.host_name_server = spaces_.empty() && options_.host_name_server;
+  // Every space — replica or not — carries the replica list so its
+  // name-service calls route to the leader and fail over on replica
+  // death. Spaces added dynamically later use the same (fixed) list.
+  const std::size_t replica_count =
+      options_.host_name_server
+          ? std::min(std::max<std::size_t>(options_.ns_replicas, 1),
+                     std::max<std::size_t>(options_.num_address_spaces, 1))
+          : 0;
+  if (!options_.ns_replica_ids.empty()) {
+    // Federation secondary: the replicas live in another cluster.
+    as_opts.ns_replicas = options_.ns_replica_ids;
+  } else if (replica_count > 1) {
+    for (std::size_t i = 0; i < replica_count; ++i) {
+      as_opts.ns_replicas.push_back(
+          static_cast<AsId>(options_.first_as_id +
+                            static_cast<std::uint32_t>(i)));
+    }
+    as_opts.ns_lease = options_.ns_lease;
+    as_opts.ns_heartbeat = options_.ns_heartbeat;
+  }
   as_opts.faults = options_.faults;
   as_opts.internal_rpc_deadline = options_.internal_rpc_deadline;
   as_opts.clf_max_retransmits = options_.clf_max_retransmits;
@@ -51,6 +73,17 @@ Result<AddressSpace*> Runtime::AddAddressSpace() {
     if (!advertised.ok()) {
       DS_LOG(kWarn) << "sys/metrics advertisement failed: "
                     << advertised.message();
+    }
+    // Replica spaces also advertise sys/ns/<id>, which is how clients
+    // and listeners discover the replica set for failover (each ad is
+    // owned by its replica, so a dead replica's ad is purged and the
+    // advertised set tracks the live membership).
+    if (space->local_name_server() != nullptr) {
+      advertised = space->AdvertiseNsReplica();
+      if (!advertised.ok()) {
+        DS_LOG(kWarn) << "sys/ns advertisement failed: "
+                      << advertised.message();
+      }
     }
   }
   spaces_.push_back(std::move(space));

@@ -177,6 +177,8 @@ Result<SessionRecord> DecodeSessionRecord(marshal::XdrDecoder& dec) {
     DS_ASSIGN_OR_RETURN(std::string name, dec.GetString());
     rec.registered_names.push_back(std::move(name));
   }
+  DS_ASSIGN_OR_RETURN(rec.redo_ticket, dec.GetU64());
+  DS_ASSIGN_OR_RETURN(rec.redo_payload, dec.GetOpaque());
   return rec;
 }
 
@@ -204,6 +206,114 @@ Result<NsLookupReq> NsLookupReq::Decode(marshal::XdrDecoder& dec) {
   DS_ASSIGN_OR_RETURN(req.name, dec.GetString());
   DS_ASSIGN_OR_RETURN(req.deadline_ms, dec.GetI64());
   return req;
+}
+
+Buffer EncodeNsMutation(const NsMutation& m) {
+  marshal::XdrEncoder enc;
+  enc.PutU32(static_cast<std::uint32_t>(m.kind));
+  switch (m.kind) {
+    case NsMutation::Kind::kRegister:
+      EncodeNsEntry(enc, m.entry);
+      break;
+    case NsMutation::Kind::kUnregister:
+      enc.PutString(m.name);
+      break;
+    case NsMutation::Kind::kPurgeOwner:
+      enc.PutU32(AsIndex(m.owner));
+      break;
+    case NsMutation::Kind::kPutSession:
+      EncodeSessionRecord(enc, m.session);
+      break;
+    case NsMutation::Kind::kDropSession:
+      enc.PutU64(m.session_id);
+      break;
+    case NsMutation::Kind::kTickSession:
+      enc.PutU64(m.session_id);
+      enc.PutU64(m.ticket);
+      break;
+  }
+  return enc.Take();
+}
+
+Result<NsMutation> DecodeNsMutation(const Buffer& bytes) {
+  marshal::XdrDecoder dec(bytes);
+  NsMutation m;
+  DS_ASSIGN_OR_RETURN(std::uint32_t kind, dec.GetU32());
+  if (kind < 1 || kind > 6) return InternalError("bad NsMutation kind");
+  m.kind = static_cast<NsMutation::Kind>(kind);
+  switch (m.kind) {
+    case NsMutation::Kind::kRegister: {
+      DS_ASSIGN_OR_RETURN(m.entry, DecodeNsEntry(dec));
+      break;
+    }
+    case NsMutation::Kind::kUnregister: {
+      DS_ASSIGN_OR_RETURN(m.name, dec.GetString());
+      break;
+    }
+    case NsMutation::Kind::kPurgeOwner: {
+      DS_ASSIGN_OR_RETURN(std::uint32_t owner, dec.GetU32());
+      m.owner = static_cast<AsId>(owner);
+      break;
+    }
+    case NsMutation::Kind::kPutSession: {
+      DS_ASSIGN_OR_RETURN(m.session, DecodeSessionRecord(dec));
+      break;
+    }
+    case NsMutation::Kind::kDropSession: {
+      DS_ASSIGN_OR_RETURN(m.session_id, dec.GetU64());
+      break;
+    }
+    case NsMutation::Kind::kTickSession: {
+      DS_ASSIGN_OR_RETURN(m.session_id, dec.GetU64());
+      DS_ASSIGN_OR_RETURN(m.ticket, dec.GetU64());
+      break;
+    }
+  }
+  return m;
+}
+
+Result<RepAppendReq> RepAppendReq::Decode(marshal::XdrDecoder& dec) {
+  RepAppendReq req;
+  DS_ASSIGN_OR_RETURN(req.term, dec.GetU64());
+  DS_ASSIGN_OR_RETURN(req.leader_as, dec.GetU32());
+  DS_ASSIGN_OR_RETURN(req.leader_last_index, dec.GetU64());
+  DS_ASSIGN_OR_RETURN(req.first_index, dec.GetU64());
+  DS_ASSIGN_OR_RETURN(std::uint32_t count, dec.GetU32());
+  if (count > 1u << 20) return InternalError("bad entry count");
+  req.entries.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    DS_ASSIGN_OR_RETURN(Buffer entry, dec.GetOpaque());
+    req.entries.push_back(std::move(entry));
+  }
+  return req;
+}
+
+Result<RepAppendAck> RepAppendAck::Decode(marshal::XdrDecoder& dec) {
+  RepAppendAck ack;
+  DS_ASSIGN_OR_RETURN(ack.term, dec.GetU64());
+  DS_ASSIGN_OR_RETURN(ack.applied_index, dec.GetU64());
+  return ack;
+}
+
+Result<RepFetchReq> RepFetchReq::Decode(marshal::XdrDecoder& dec) {
+  RepFetchReq req;
+  DS_ASSIGN_OR_RETURN(req.from_index, dec.GetU64());
+  return req;
+}
+
+Result<RepFetchResp> RepFetchResp::Decode(marshal::XdrDecoder& dec) {
+  RepFetchResp resp;
+  DS_ASSIGN_OR_RETURN(resp.term, dec.GetU64());
+  DS_ASSIGN_OR_RETURN(resp.applied_index, dec.GetU64());
+  DS_ASSIGN_OR_RETURN(resp.first_index, dec.GetU64());
+  DS_ASSIGN_OR_RETURN(std::uint32_t count, dec.GetU32());
+  if (count > 1u << 20) return InternalError("bad entry count");
+  resp.entries.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    DS_ASSIGN_OR_RETURN(Buffer entry, dec.GetOpaque());
+    resp.entries.push_back(std::move(entry));
+  }
+  return resp;
 }
 
 Result<ResponseHeader> DecodeResponseHeader(marshal::XdrDecoder& dec) {

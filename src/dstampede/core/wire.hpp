@@ -24,6 +24,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "dstampede/common/clock.hpp"
 #include "dstampede/common/ids.hpp"
@@ -57,6 +58,11 @@ enum class Op : std::uint32_t {
   // Introspection: returns the target address space's sys/metrics
   // JSON snapshot (registry + spans + per-container space-time state).
   kMetrics = 17,
+  // Control-plane replication (core/replog.hpp): leader -> follower
+  // log append / heartbeat, and follower/candidate -> peer catch-up
+  // fetch. Replica-internal; never issued by clients.
+  kRepAppend = 18,
+  kRepFetch = 19,
   kReply = 100,
 };
 
@@ -253,6 +259,8 @@ void EncodeSessionRecord(Enc& enc, const SessionRecord& rec) {
   }
   enc.PutU32(static_cast<std::uint32_t>(rec.registered_names.size()));
   for (const auto& n : rec.registered_names) enc.PutString(n);
+  enc.PutU64(rec.redo_ticket);
+  enc.PutOpaque(rec.redo_payload);
 }
 Result<SessionRecord> DecodeSessionRecord(marshal::XdrDecoder& dec);
 
@@ -301,6 +309,98 @@ struct NsLookupReq {  // kNsLookup (also kNsUnregister: name only)
     enc.PutI64(deadline_ms);
   }
   static Result<NsLookupReq> Decode(marshal::XdrDecoder& dec);
+};
+
+// ---- control-plane replication (core/replog.hpp) ----------------------
+
+// One replicated name-server / session-registry state-machine op. The
+// leader encodes the mutation, appends it to the replication log, and
+// every replica (leader included) applies the identical bytes through
+// NameServer::Apply — one code path for local and replicated writes.
+struct NsMutation {
+  enum class Kind : std::uint32_t {
+    kRegister = 1,
+    kUnregister = 2,
+    kPurgeOwner = 3,
+    kPutSession = 4,
+    kDropSession = 5,
+    kTickSession = 6,
+  };
+  Kind kind = Kind::kRegister;
+  NsEntry entry;                   // kRegister
+  std::string name;                // kUnregister
+  AsId owner = kInvalidAsId;       // kPurgeOwner
+  SessionRecord session;           // kPutSession
+  std::uint64_t session_id = 0;    // kDropSession / kTickSession
+  std::uint64_t ticket = 0;        // kTickSession
+};
+Buffer EncodeNsMutation(const NsMutation& m);
+Result<NsMutation> DecodeNsMutation(const Buffer& bytes);
+
+struct RepAppendReq {  // kRepAppend (no entries = leader heartbeat)
+  std::uint64_t term = 0;
+  std::uint32_t leader_as = 0;
+  // Leader's last appended index; a follower that is behind reports
+  // its own applied index in the ack and catches up via kRepFetch.
+  std::uint64_t leader_last_index = 0;
+  // Index of entries[0]; entries are consecutive.
+  std::uint64_t first_index = 0;
+  std::vector<Buffer> entries;
+
+  template <class Enc>
+  void Encode(Enc& enc) const {
+    enc.PutU64(term);
+    enc.PutU32(leader_as);
+    enc.PutU64(leader_last_index);
+    enc.PutU64(first_index);
+    enc.PutU32(static_cast<std::uint32_t>(entries.size()));
+    for (const auto& e : entries) enc.PutOpaque(e);
+  }
+  static Result<RepAppendReq> Decode(marshal::XdrDecoder& dec);
+};
+
+// kRepAppend ack body (after the status header): the follower's term
+// and applied index, so the leader tracks replica lag and steps down
+// on a stale term.
+struct RepAppendAck {
+  std::uint64_t term = 0;
+  std::uint64_t applied_index = 0;
+
+  template <class Enc>
+  void Encode(Enc& enc) const {
+    enc.PutU64(term);
+    enc.PutU64(applied_index);
+  }
+  static Result<RepAppendAck> Decode(marshal::XdrDecoder& dec);
+};
+
+struct RepFetchReq {  // kRepFetch: send me your log from this index on
+  std::uint64_t from_index = 0;
+
+  template <class Enc>
+  void Encode(Enc& enc) const {
+    enc.PutU64(from_index);
+  }
+  static Result<RepFetchReq> Decode(marshal::XdrDecoder& dec);
+};
+
+// kRepFetch reply body: the replica's term/applied index and every log
+// entry it holds in [from_index, applied_index].
+struct RepFetchResp {
+  std::uint64_t term = 0;
+  std::uint64_t applied_index = 0;
+  std::uint64_t first_index = 0;  // index of entries[0]
+  std::vector<Buffer> entries;
+
+  template <class Enc>
+  void Encode(Enc& enc) const {
+    enc.PutU64(term);
+    enc.PutU64(applied_index);
+    enc.PutU64(first_index);
+    enc.PutU32(static_cast<std::uint32_t>(entries.size()));
+    for (const auto& e : entries) enc.PutOpaque(e);
+  }
+  static Result<RepFetchResp> Decode(marshal::XdrDecoder& dec);
 };
 
 // ---- responses --------------------------------------------------------

@@ -3,8 +3,10 @@
 #include <gtest/gtest.h>
 
 #include <thread>
+#include <vector>
 
 #include "dstampede/core/name_server.hpp"
+#include "dstampede/core/wire.hpp"
 
 namespace dstampede::core {
 namespace {
@@ -135,6 +137,95 @@ TEST(SessionRegistryTest, StaleMirrorNeverRewindsTicket) {
   ASSERT_TRUE(ns.TickSession(7, 11).ok());  // monotone: ignored
   EXPECT_EQ(ns.GetSession(7)->last_executed_ticket, 12u);
   EXPECT_EQ(ns.TickSession(99, 1).code(), StatusCode::kNotFound);
+}
+
+TEST(SessionRegistryTest, PurgeOwnerRacesSessionUpdate) {
+  // Control-plane HA: when a peer dies, the (leader) replica appends a
+  // PurgeOwner while surrogates keep mirroring session state. The two
+  // interleave arbitrarily in the log; whatever the order, purges must
+  // only ever touch names and session tickets must stay monotone.
+  NameServer ns;
+  const AsId dead = static_cast<AsId>(2);
+  constexpr std::uint64_t kRounds = 500;
+
+  std::thread purger([&] {
+    for (std::uint64_t i = 0; i < kRounds; ++i) {
+      NsEntry entry = Entry("owned/" + std::to_string(i));
+      entry.owner_as = dead;
+      ASSERT_TRUE(ns.Register(entry).ok());
+      ns.PurgeOwner(dead);
+    }
+  });
+  std::thread mirrorer([&] {
+    ASSERT_TRUE(ns.PutSession(Session(7, 1)).ok());
+    for (std::uint64_t t = 2; t <= kRounds; ++t) {
+      // Alternate full-record mirrors and high-water-mark ticks, the
+      // two write shapes a live surrogate emits.
+      if (t % 2 == 0) {
+        ASSERT_TRUE(ns.PutSession(Session(7, t)).ok());
+      } else {
+        ASSERT_TRUE(ns.TickSession(7, t).ok());
+      }
+    }
+  });
+  purger.join();
+  mirrorer.join();
+
+  // Every purged round removed its name; the session survived them all
+  // with the highest ticket it ever saw.
+  ns.PurgeOwner(dead);
+  EXPECT_EQ(ns.List("owned/").size(), 0u);
+  auto got = ns.GetSession(7);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got->last_executed_ticket, kRounds);
+}
+
+TEST(SessionRegistryTest, TicketMonotoneAcrossLeaderChange) {
+  // Two replicas driven by the same mutation log (encoded/decoded as
+  // on the wire). The follower catches up *after* the leader dies —
+  // and the client's first post-failover mirror may carry a snapshot
+  // older than the last entry the old leader journaled. The high-water
+  // mark must never rewind on either replica.
+  NameServer old_leader;
+  NameServer new_leader;
+  std::vector<Buffer> log;
+  auto append = [&](const NsMutation& m) {
+    log.push_back(EncodeNsMutation(m));
+    auto decoded = DecodeNsMutation(log.back());
+    ASSERT_TRUE(decoded.ok());
+    (void)old_leader.Apply(*decoded);
+  };
+
+  NsMutation put;
+  put.kind = NsMutation::Kind::kPutSession;
+  put.session = Session(7, 5);
+  append(put);
+  NsMutation tick;
+  tick.kind = NsMutation::Kind::kTickSession;
+  tick.session_id = 7;
+  tick.ticket = 9;
+  append(tick);
+  tick.ticket = 12;
+  append(tick);
+  ASSERT_EQ(old_leader.GetSession(7)->last_executed_ticket, 12u);
+
+  // Leader change: the new leader replays the full log.
+  for (const Buffer& entry : log) {
+    auto decoded = DecodeNsMutation(entry);
+    ASSERT_TRUE(decoded.ok());
+    (void)new_leader.Apply(*decoded);
+  }
+  EXPECT_EQ(new_leader.GetSession(7)->last_executed_ticket, 12u);
+
+  // Stale post-failover writes: a re-delivered log entry and a client
+  // mirror snapshotted before the crash. Both are ignored.
+  tick.ticket = 9;
+  (void)new_leader.Apply(tick);
+  NsMutation stale_put;
+  stale_put.kind = NsMutation::Kind::kPutSession;
+  stale_put.session = Session(7, 4);
+  ASSERT_TRUE(new_leader.Apply(stale_put).ok());
+  EXPECT_EQ(new_leader.GetSession(7)->last_executed_ticket, 12u);
 }
 
 TEST(SessionRegistryTest, PurgeOwnerLeavesSessionsAlone) {

@@ -6,7 +6,9 @@
 //   1. 50-space cluster bring-up with cross-cluster STM traffic;
 //   2. partition cascade during surrogate failover (schedule-driven);
 //   3. 1k-device reconnect storm over the production backoff schedule;
-//   4. slow-link tail latency through the modeled network.
+//   4. slow-link tail latency through the modeled network;
+//   5. control-plane failover: the name-server leader and the session's
+//      host die while a destructive queue read's reply is in flight.
 //
 // Scale contract (ISSUE acceptance): scenarios 1 and 3 each finish in
 // under 10s of wall clock while covering minutes of simulated time.
@@ -21,10 +23,13 @@
 #include <vector>
 
 #include "dstampede/clf/endpoint.hpp"
+#include "dstampede/clf/fault_injector.hpp"
 #include "dstampede/client/client.hpp"
 #include "dstampede/client/listener.hpp"
 #include "dstampede/common/clock.hpp"
+#include "dstampede/common/metrics.hpp"
 #include "dstampede/common/waiter.hpp"
+#include "dstampede/core/replog.hpp"
 #include "dstampede/core/runtime.hpp"
 #include "dstampede/sim/scenario.hpp"
 #include "dstampede/sim/sim.hpp"
@@ -583,6 +588,206 @@ TEST(ScenarioSwarmTest, SlowLinkTailLatencyIsQueueingDelay) {
       << "tail latency shows no queueing delay";
   sim.Record("slowlink.tail_ms=" +
              std::to_string(ToMicros(delivery_offsets[kMessages - 1]) / 1000));
+}
+
+// --- scenario 5: control-plane failover + exactly-once destructive read ---
+
+TEST(ScenarioSwarmTest, NsFailoverExactlyOnceDestructiveRead) {
+  const std::uint64_t seed = SimController::SeedFromEnv(6);
+  SCOPED_TRACE(ReproHint(seed));
+
+  // Worker-touched state lives on the heap, shared with the driven
+  // worker lambdas (same discipline as the cascade scenario). The
+  // edge-fault injector is borrowed, not owned, by the listener, so it
+  // sits first in the struct and outlives everything that uses it.
+  struct NsFailoverState {
+    std::unique_ptr<clf::FaultInjector> edge =
+        std::make_unique<clf::FaultInjector>();
+    std::unique_ptr<core::Runtime> rt;
+    std::unique_ptr<client::Listener> listener;
+    std::unique_ptr<client::CClient> client;
+    Result<QueueId> q = InvalidArgumentError("unset");
+    Result<core::Connection> out = InvalidArgumentError("unset");
+    Result<core::Connection> in = InvalidArgumentError("unset");
+    Result<core::ItemView> first = InvalidArgumentError("unset");
+    Result<core::ItemView> second = InvalidArgumentError("unset");
+    Result<core::NsEntry> resolved = InvalidArgumentError("unset");
+    std::string diag;
+  };
+  auto st = std::make_shared<NsFailoverState>();
+  SimController sim(seed);
+
+  const bool setup_done = DriveToCompletion(sim, [st] {
+    core::Runtime::Options ropts;
+    ropts.num_address_spaces = 5;
+    ropts.dispatcher_threads = 2;
+    // Three-replica control plane with a lease short enough that the
+    // failover matures inside the scenario, plus the failure-detection
+    // knobs every resilience test runs with.
+    ropts.ns_replicas = 3;
+    ropts.ns_lease = Millis(300);
+    ropts.ns_heartbeat = Millis(75);
+    ropts.clf_max_retransmits = 5;
+    ropts.peer_keepalive_interval = Millis(25);
+    ropts.peer_timeout = Millis(150);
+    auto created = core::Runtime::Create(ropts);
+    if (!created.ok()) {
+      st->diag = "runtime: " + created.status().ToString();
+      return;
+    }
+    st->rt = std::move(*created);
+    client::Listener::Options lopts;
+    lopts.edge_faults = st->edge.get();
+    auto l = client::Listener::Start(*st->rt, lopts);
+    if (!l.ok()) {
+      st->diag = "listener: " + l.status().ToString();
+      return;
+    }
+    st->listener = std::move(*l);
+    client::CClient::Options copts;
+    copts.server = st->listener->addr();
+    copts.name = "ns-failover-device";
+    // Host the session on AS 3: not a name-server replica, so its death
+    // exercises session migration without touching the replog quorum.
+    copts.preferred_as = 3;
+    copts.reconnect.give_up_after = Millis(600'000);
+    auto joined = client::CClient::Join(copts);
+    if (!joined.ok()) {
+      st->diag = "join: " + joined.status().ToString();
+      return;
+    }
+    st->client = std::move(*joined);
+    // The queue homes on AS 4, which survives both scripted deaths.
+    st->q = st->rt->as(4).CreateQueue();
+    if (!st->q.ok()) {
+      st->diag = "queue: " + st->q.status().ToString();
+      return;
+    }
+    st->out = st->client->Connect(*st->q, core::ConnMode::kOutput);
+    st->in = st->client->Connect(*st->q, core::ConnMode::kInput);
+    if (!st->out.ok() || !st->in.ok()) {
+      st->diag = "connect failed";
+      return;
+    }
+    // Register from the queue's owner (AS 4) so the entry's owner_as
+    // survives both deaths below — a client-side register would stamp
+    // the device's host (AS 3) as owner and the entry would be purged
+    // with it, by design.
+    core::NsEntry entry{"swarm/sensor-q", core::NsEntry::Kind::kQueue,
+                        st->q->bits(), "scenario 5"};
+    if (Status s = st->rt->as(4).NsRegister(entry); !s.ok()) {
+      st->diag = "register: " + s.ToString();
+      return;
+    }
+    for (std::uint8_t i = 1; i <= 2; ++i) {
+      Status s = st->client->Put(*st->out, i - 1, Buffer{i},
+                                 Deadline::AfterMillis(600'000));
+      if (!s.ok()) {
+        st->diag = "put: " + s.ToString();
+        return;
+      }
+    }
+  });
+  ASSERT_TRUE(setup_done) << "setup never completed inside the drive budget";
+  ASSERT_TRUE(st->diag.empty()) << st->diag;
+
+  // The destructive read executes (item 1 leaves the queue, the redo
+  // record is journaled with the session) — then the link dies before
+  // the reply crosses. The client must recover the reply, not rerun
+  // the dequeue.
+  st->edge->ArmConnectionKill(1, clf::FaultInjector::KillPoint::kAfterExecute);
+  auto got_first = std::make_shared<std::atomic<bool>>(false);
+  std::thread getter([st, got_first] {
+    st->first = st->client->Get(*st->in, Deadline::AfterMillis(600'000));
+    got_first->store(true);
+  });
+  ASSERT_TRUE(sim.RunUntil(
+      [&] {
+        return got_first->load() ||
+               st->listener->surrogates_in(client::Surrogate::State::kParked) >=
+                   1;
+      },
+      Millis(600'000)))
+      << "surrogate never parked after the connection kill";
+
+  // While the resume is in flight, kill the session's host AND the
+  // bootstrap name-server leader. The resume now depends on the
+  // control plane it is recovering through: AS 1 must take the lease
+  // and serve the session lookup, and the journaled reply must answer
+  // the replayed Get exactly once.
+  auto hosts_down = std::make_shared<std::atomic<bool>>(false);
+  std::thread killer([st, hosts_down] {
+    st->rt->as(3).Shutdown();
+    st->rt->as(0).Shutdown();
+    hosts_down->store(true);
+  });
+  ASSERT_TRUE(sim.RunUntil(
+      [&] { return got_first->load() && hosts_down->load(); },
+      Millis(1'200'000)))
+      << "first get never completed across the double death";
+  getter.join();
+  killer.join();
+  // Everything below is EXPECT + guard, never ASSERT: an early return
+  // here would skip the *driven* teardown at the bottom, and tearing
+  // the runtime down with nobody advancing virtual time wedges.
+  EXPECT_TRUE(st->first.ok()) << st->first.status();
+  if (st->first.ok()) {
+    EXPECT_EQ(st->first->payload.ToString(), std::string(1, '\x01'));
+  }
+
+  // Deterministic election: AS 1 is the first live replica.
+  core::RepLog* replog = st->rt->as(1).replication();
+  EXPECT_NE(replog, nullptr) << "AS 1 is not a replica";
+  if (replog != nullptr) {
+    EXPECT_TRUE(
+        sim.RunUntil([&] { return replog->IsLeader(); }, Millis(600'000)))
+        << "AS 1 never took over the lease";
+    EXPECT_GE(replog->leader_changes(), 1u);
+  }
+
+  // The second read and a post-failover lookup run against the new
+  // leader; the session has migrated off the dead host by now.
+  if (!DriveToCompletion(sim, [st] {
+        st->second = st->client->Get(*st->in, Deadline::AfterMillis(600'000));
+        st->resolved = st->client->NsLookup("swarm/sensor-q");
+      })) {
+    ADD_FAILURE() << "post-failover traffic wedged past the drive budget";
+  }
+  EXPECT_TRUE(st->second.ok()) << st->second.status();
+  if (st->second.ok()) {
+    EXPECT_EQ(st->second->payload.ToString(), std::string(1, '\x02'))
+        << "destructive read re-ran instead of replaying its journaled reply";
+  }
+  EXPECT_TRUE(st->resolved.ok()) << st->resolved.status();
+  if (st->resolved.ok()) {
+    EXPECT_EQ(st->resolved->id_bits, st->q->bits());
+  }
+  if (replog != nullptr) {
+    EXPECT_GT(replog->log_appends(), 0u)
+        << "the migration never journaled through the new leader";
+  }
+
+  // The redo journal must have been written once and consulted once,
+  // whichever resume path (park-adopt or migrate) the race picked.
+  std::uint64_t journaled = 0;
+  std::uint64_t replayed = 0;
+  for (std::size_t i = 0; i < 5; ++i) {
+    metrics::Registry& reg = st->rt->as(i).metrics_registry();
+    journaled += reg.GetCounter("surrogate.redo_journaled").Value();
+    replayed += reg.GetCounter("surrogate.redo_replayed").Value();
+  }
+  EXPECT_GE(journaled, 1u) << "no surrogate journaled the destructive reply";
+  EXPECT_GE(replayed, 1u) << "the journaled reply was never replayed";
+  sim.Record("nsfailover.journaled=" + std::to_string(journaled));
+  sim.Record("nsfailover.replayed=" + std::to_string(replayed));
+
+  if (!DriveToCompletion(sim, [st] {
+        (void)st->client->Leave();
+        st->listener->Shutdown();
+        st->rt->Shutdown();
+      })) {
+    FAIL() << "teardown wedged past the drive budget";
+  }
 }
 
 // --- determinism proof across a full scenario -----------------------------

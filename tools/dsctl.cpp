@@ -225,8 +225,51 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Control plane: one row per name-server replica (spaces exporting
+  // ns.replog.* providers). Absent entirely on an unreplicated cluster.
+  int replicas_seen = 0;
+  int leaders_seen = 0;
+  if (!raw_json) {
+    bool ns_header = false;
+    for (const auto& [as_index, snapshot] : snapshots) {
+      const json::Value* providers = snapshot.FindPath("registry.providers");
+      if (providers == nullptr ||
+          providers->Find("ns.replog.term") == nullptr) {
+        continue;
+      }
+      ++replicas_seen;
+      const std::int64_t is_leader =
+          RegistryValue(snapshot, "providers", "ns.replog.is_leader");
+      if (is_leader != 0) ++leaders_seen;
+      if (!ns_header) {
+        std::printf("\n%4s %-10s %8s %6s %10s %12s %10s\n", "as", "",
+                    "role", "term", "appends", "ldr_changes", "lag");
+        ns_header = true;
+      }
+      std::printf("%4lld %-10s %8s %6lld %10lld %12lld %10lld\n",
+                  static_cast<long long>(as_index), "ns",
+                  is_leader != 0 ? "leader" : "follower",
+                  static_cast<long long>(
+                      RegistryValue(snapshot, "providers", "ns.replog.term")),
+                  static_cast<long long>(
+                      RegistryValue(snapshot, "providers", "ns.log_appends")),
+                  static_cast<long long>(RegistryValue(snapshot, "providers",
+                                                       "ns.leader_changes")),
+                  static_cast<long long>(
+                      RegistryValue(snapshot, "providers", "ns.replica_lag")));
+    }
+  }
+
   if (check && (bad > 0 || (raw_json ? false : snapshots.empty()))) {
     std::fprintf(stderr, "dsctl: --check failed (%d bad snapshot(s))\n", bad);
+    return 1;
+  }
+  // A replicated control plane with no leader in sight cannot serve
+  // fresh reads or any mutation: that's an outage, not a table quirk.
+  if (check && replicas_seen > 0 && leaders_seen == 0) {
+    std::fprintf(stderr,
+                 "dsctl: --check failed (%d ns replica(s), no leader)\n",
+                 replicas_seen);
     return 1;
   }
   return bad > 0 ? 1 : 0;
