@@ -217,7 +217,7 @@ int main() {
       auto owned = rt->as(1).FindChannel(ch->bits());
       while (owned->parked_get_waiters() <
              static_cast<std::size_t>(waiters_n)) {
-        std::this_thread::sleep_for(Millis(5));
+        SleepFor(Millis(5));
       }
       // Starvation probe: a control-plane op through the same pool.
       const TimePoint attach_start = Now();
@@ -292,7 +292,7 @@ int main() {
       detect_ms = static_cast<double>(ToMicros(Now() - cut)) / 1e3;
       observed = item.status().code();
     });
-    std::this_thread::sleep_for(Millis(100));  // let the request park
+    SleepFor(Millis(100));  // let the request park
     cut = Now();
     (*rt)->as(0).fault_injector().Partition((*rt)->as(1).clf_addr());
     (*rt)->as(1).fault_injector().Partition((*rt)->as(0).clf_addr());

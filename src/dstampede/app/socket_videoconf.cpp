@@ -2,11 +2,11 @@
 
 #include <algorithm>
 #include <atomic>
-#include <mutex>
-#include <thread>
 
 #include "dstampede/app/image.hpp"
 #include "dstampede/common/stats.hpp"
+#include "dstampede/common/sync.hpp"
+#include "dstampede/common/thread.hpp"
 #include "dstampede/transport/tcp.hpp"
 
 namespace dstampede::app {
@@ -46,19 +46,19 @@ class FailBox {
  public:
   void Set(const Status& status) {
     if (status.ok()) return;
-    std::lock_guard<std::mutex> lock(mu_);
+    ds::MutexLock lock(mu_);
     if (first_.ok()) first_ = status;
     failed_.store(true);
   }
   bool failed() const { return failed_.load(std::memory_order_relaxed); }
   Status first() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    ds::MutexLock lock(mu_);
     return first_;
   }
 
  private:
-  mutable std::mutex mu_;
-  Status first_;
+  mutable ds::Mutex mu_{"app.failbox.mu"};
+  Status first_ DS_GUARDED_BY(mu_);
   std::atomic<bool> failed_{false};
 };
 
@@ -76,7 +76,7 @@ Result<SocketVideoConfReport> SocketVideoConfApp::Run(
   FailBox fail;
   SocketVideoConfReport report;
   report.display_fps.assign(k, 0.0);
-  std::vector<std::thread> threads;
+  std::vector<Thread> threads;
 
   // --- the single-threaded socket mixer -----------------------------------
   threads.emplace_back([&] {

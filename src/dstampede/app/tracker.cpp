@@ -2,10 +2,10 @@
 
 #include <atomic>
 #include <map>
-#include <mutex>
-#include <thread>
 
 #include "dstampede/common/bytes.hpp"
+#include "dstampede/common/sync.hpp"
+#include "dstampede/common/thread.hpp"
 
 namespace dstampede::app {
 namespace {
@@ -36,19 +36,19 @@ class FailBox {
  public:
   void Set(const Status& status) {
     if (status.ok()) return;
-    std::lock_guard<std::mutex> lock(mu_);
+    ds::MutexLock lock(mu_);
     if (first_.ok()) first_ = status;
     failed_.store(true);
   }
   bool failed() const { return failed_.load(std::memory_order_relaxed); }
   Status first() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    ds::MutexLock lock(mu_);
     return first_;
   }
 
  private:
-  mutable std::mutex mu_;
-  Status first_;
+  mutable ds::Mutex mu_{"app.failbox.mu"};
+  Status first_ DS_GUARDED_BY(mu_);
   std::atomic<bool> failed_{false};
 };
 
@@ -88,7 +88,7 @@ Result<TrackerReport> SplitJoinPipeline::Run(core::Runtime& runtime,
   const std::uint32_t frag_count =
       static_cast<std::uint32_t>(config.fragments_per_frame);
 
-  std::vector<std::thread> threads;
+  std::vector<Thread> threads;
 
   // --- splitter ---------------------------------------------------------
   threads.emplace_back([&] {

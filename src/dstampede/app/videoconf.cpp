@@ -3,13 +3,13 @@
 #include <algorithm>
 #include <atomic>
 #include <barrier>
-#include <mutex>
-#include <thread>
 
 #include "dstampede/app/image.hpp"
 #include "dstampede/client/client.hpp"
 #include "dstampede/common/logging.hpp"
 #include "dstampede/common/stats.hpp"
+#include "dstampede/common/sync.hpp"
+#include "dstampede/common/thread.hpp"
 #include "dstampede/core/rt_sync.hpp"
 
 namespace dstampede::app {
@@ -27,19 +27,19 @@ class FailBox {
  public:
   void Set(const Status& status) {
     if (status.ok()) return;
-    std::lock_guard<std::mutex> lock(mu_);
+    ds::MutexLock lock(mu_);
     if (first_.ok()) first_ = status;
     failed_.store(true);
   }
   bool failed() const { return failed_.load(std::memory_order_relaxed); }
   Status first() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    ds::MutexLock lock(mu_);
     return first_;
   }
 
  private:
-  mutable std::mutex mu_;
-  Status first_;
+  mutable ds::Mutex mu_{"app.failbox.mu"};
+  Status first_ DS_GUARDED_BY(mu_);
   std::atomic<bool> failed_{false};
 };
 
@@ -70,7 +70,7 @@ Result<VideoConfReport> VideoConfApp::Run(core::Runtime& runtime,
   VideoConfReport report;
   report.display_fps.assign(k, 0.0);
   std::atomic<std::uint64_t> producer_slips{0};
-  std::vector<std::thread> threads;
+  std::vector<Thread> threads;
 
   // --- producers: one camera end device per participant -------------------
   for (std::size_t j = 0; j < k; ++j) {
@@ -238,7 +238,7 @@ Result<VideoConfReport> VideoConfApp::Run(core::Runtime& runtime,
       };
       std::barrier bar(static_cast<std::ptrdiff_t>(k), publish);
 
-      std::vector<std::thread> blenders;
+      std::vector<Thread> blenders;
       for (std::size_t j = 0; j < k; ++j) {
         blenders.emplace_back([&, j] {
           for (Timestamp ts = 0; ts < config.num_frames; ++ts) {

@@ -77,7 +77,7 @@ Result<std::unique_ptr<Endpoint>> Endpoint::Create(const Options& options) {
         });
     ShmRegistry::Instance().Register(ep->addr_, ep->shm_ring_);
   }
-  ep->receiver_ = std::thread([raw = ep.get()] { raw->ReceiverLoop(); });
+  ep->receiver_ = Thread([raw = ep.get()] { raw->ReceiverLoop(); });
   return ep;
 }
 

@@ -30,7 +30,6 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <thread>
 #include <unordered_map>
 
 #include "dstampede/clf/fault_injector.hpp"
@@ -40,6 +39,7 @@
 #include "dstampede/common/metrics.hpp"
 #include "dstampede/common/status.hpp"
 #include "dstampede/common/sync.hpp"
+#include "dstampede/common/thread.hpp"
 #include "dstampede/transport/udp.hpp"
 
 namespace dstampede::clf {
@@ -244,7 +244,7 @@ class Endpoint {
   std::shared_ptr<ShmRing> shm_ring_;
 
   std::atomic<bool> stopping_{false};
-  std::thread receiver_;
+  Thread receiver_;
 };
 
 }  // namespace dstampede::clf

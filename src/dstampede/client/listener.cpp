@@ -85,11 +85,11 @@ Result<std::unique_ptr<Listener>> Listener::Start(core::Runtime& runtime,
     };
   }
   listener->accept_thread_ =
-      std::thread([raw = listener.get()] { raw->AcceptLoop(); });
+      Thread("listener", [raw = listener.get()] { raw->AcceptLoop(); });
   // The janitor always runs: it joins exited surrogate Run threads.
   // Reaping of long-parked surrogates stays opt-in via the option.
   listener->janitor_thread_ =
-      std::thread([raw = listener.get()] { raw->JanitorLoop(); });
+      Thread("listener.janitor", [raw = listener.get()] { raw->JanitorLoop(); });
   return listener;
 }
 
@@ -274,7 +274,7 @@ void Listener::HandleResume(transport::TcpConnection conn,
 
 void Listener::SpawnRun(Surrogate* surrogate) {
   auto done = std::make_shared<std::atomic<bool>>(false);
-  std::thread thread([surrogate, done] {
+  Thread thread([surrogate, done] {
     surrogate->Run();
     done->store(true);
   });
@@ -283,7 +283,7 @@ void Listener::SpawnRun(Surrogate* surrogate) {
 }
 
 std::size_t Listener::ReapFinishedThreads() {
-  std::vector<std::thread> finished;
+  std::vector<Thread> finished;
   {
     ds::MutexLock lock(mu_);
     for (auto it = threads_.begin(); it != threads_.end();) {

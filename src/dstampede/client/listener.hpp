@@ -17,11 +17,11 @@
 
 #include <atomic>
 #include <memory>
-#include <thread>
 #include <vector>
 
 #include "dstampede/client/surrogate.hpp"
 #include "dstampede/common/sync.hpp"
+#include "dstampede/common/thread.hpp"
 #include "dstampede/core/runtime.hpp"
 #include "dstampede/transport/tcp.hpp"
 
@@ -97,7 +97,7 @@ class Listener {
   // or migrates gets a fresh activation, so under reconnect churn the
   // janitor must reap exited threads instead of accumulating them.
   struct RunThread {
-    std::thread thread;
+    Thread thread;
     std::shared_ptr<std::atomic<bool>> done;
   };
 
@@ -124,8 +124,8 @@ class Listener {
   // interrupt the nap and virtual time drives the reap cadence.
   ds::Mutex janitor_mu_{"listener.janitor_mu"};
   ds::CondVar janitor_cv_;
-  std::thread accept_thread_;
-  std::thread janitor_thread_;
+  Thread accept_thread_;
+  Thread janitor_thread_;
 };
 
 }  // namespace dstampede::client

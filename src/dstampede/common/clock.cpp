@@ -19,6 +19,12 @@ void WallSleep(Duration d) {
   std::this_thread::sleep_for(d);
 }
 
+void WallSleepUntil(TimePoint until) {
+  assert(InstalledVirtualClock() == nullptr &&
+         "wall-clock sleep while a VirtualClock is installed");
+  std::this_thread::sleep_until(until);
+}
+
 }  // namespace clock_internal
 
 VirtualClock::VirtualClock(TimePoint start)

@@ -141,10 +141,11 @@ class VirtualClock {
 
 namespace clock_internal {
 extern std::atomic<VirtualClock*> g_virtual;
-// Real std::this_thread sleep. Debug-asserts that no VirtualClock is
+// Real std::this_thread sleeps. Debug-assert that no VirtualClock is
 // installed: reaching a wall-clock sleep while simulating means some
 // call site bypassed the seam.
 void WallSleep(Duration d);
+void WallSleepUntil(TimePoint until);
 }  // namespace clock_internal
 
 // The installed VirtualClock, or nullptr when running on real time.
@@ -166,6 +167,16 @@ inline void SleepFor(Duration d) {
     return;
   }
   clock_internal::WallSleep(d);
+}
+
+// Absolute-deadline companion to SleepFor (used by the soft-real-time
+// tick loop): virtual when a VirtualClock is installed.
+inline void SleepUntil(TimePoint until) {
+  if (VirtualClock* vc = InstalledVirtualClock()) {
+    vc->SleepUntil(until);
+    return;
+  }
+  clock_internal::WallSleepUntil(until);
 }
 
 // A point in time after which a blocking call gives up with kTimeout.

@@ -1,9 +1,10 @@
 #include "dstampede/common/logging.hpp"
 
-#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <mutex>
+
+#include "dstampede/common/clock.hpp"
 
 namespace dstampede {
 namespace {
@@ -27,6 +28,8 @@ void SetThreadLogContext(std::string_view name) {
 void SetThreadLogTraceId(std::uint64_t trace_id) {
   t_log_state.trace_id = trace_id;
 }
+
+std::string_view ThreadLogContextName() { return t_log_state.name; }
 
 namespace {
 
@@ -60,10 +63,9 @@ Logger& Logger::Instance() {
 
 void Logger::Write(LogLevel level, std::string_view file, int line,
                    std::string_view message) {
-  using namespace std::chrono;
-  const auto now = duration_cast<microseconds>(
-                       steady_clock::now().time_since_epoch())
-                       .count();
+  // Through the clock seam, so simulated runs log virtual timestamps
+  // that line up with the trace they produce.
+  const auto now = ToMicros(Now().time_since_epoch());
   std::string_view base = Basename(file);
   // Per-thread context prefix: "[AS0] " / "[AS0 trace=1f..] ".
   char ctx[64] = {0};

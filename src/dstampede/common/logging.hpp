@@ -19,6 +19,9 @@ enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
 // Both are no-ops on threads that never set them.
 void SetThreadLogContext(std::string_view name);
 void SetThreadLogTraceId(std::uint64_t trace_id);  // 0 clears
+// The calling thread's installed context name ("" if none). The view
+// stays valid until the thread's next SetThreadLogContext.
+std::string_view ThreadLogContextName();
 
 class Logger {
  public:

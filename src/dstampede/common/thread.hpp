@@ -1,0 +1,67 @@
+// ds::Thread: the one sanctioned way to spawn a thread outside common/.
+//
+// A thin wrapper over std::thread that exists for the same reason
+// ds::Mutex does: every thread the runtime creates should pass through
+// one seam. Concretely the wrapper buys three things today:
+//
+//  1. Log attribution. The child inherits the spawner's per-thread log
+//     context (logging.hpp), or installs an explicit name, so a
+//     receiver loop spawned by "AS3" logs as "[AS3 recv]" instead of
+//     anonymously. Before this wrapper, every spawn site had to
+//     remember to call SetThreadLogContext itself — most didn't.
+//  2. A future instrumentation point (thread registry, per-thread
+//     metrics, sim-aware scheduling) that does not require touching
+//     every spawn site again.
+//  3. A static enforcement anchor: dslint's dstampede-raw-sync-
+//     primitive check (docs/STATIC_ANALYSIS.md) flags raw std::thread
+//     outside common/, so new code cannot silently bypass the seam.
+//
+// The API is the subset of std::thread the tree actually uses:
+// default-construct, construct-with-callable, move, joinable, join.
+// detach() is deliberately absent — every thread in the runtime is
+// joined by an owner; a detached thread outliving its state is a bug
+// class we opt out of wholesale.
+#pragma once
+
+#include <string>
+#include <thread>
+#include <utility>
+
+#include "dstampede/common/logging.hpp"
+
+namespace dstampede {
+
+class Thread {
+ public:
+  Thread() = default;
+
+  // Spawns `fn` with the spawner's log context propagated into the
+  // child (no-op if the spawner never set one).
+  template <typename F>
+  explicit Thread(F fn) : Thread(std::string(), std::move(fn)) {}
+
+  // Spawns `fn` logging as `name`; "" inherits the spawner's context.
+  // The capture initializers run on the spawning thread, so the
+  // inherited name is read before the child exists.
+  template <typename F>
+  Thread(std::string name, F fn)
+      : impl_([name = name.empty() ? std::string(ThreadLogContextName())
+                                   : std::move(name),
+               fn = std::move(fn)]() mutable {
+          if (!name.empty()) SetThreadLogContext(name);
+          fn();
+        }) {}
+
+  Thread(Thread&&) = default;
+  Thread& operator=(Thread&&) = default;
+  Thread(const Thread&) = delete;
+  Thread& operator=(const Thread&) = delete;
+
+  bool joinable() const { return impl_.joinable(); }
+  void join() { impl_.join(); }
+
+ private:
+  std::thread impl_;
+};
+
+}  // namespace dstampede

@@ -27,7 +27,11 @@ std::uint64_t NewId() {
   static const std::uint64_t base = [] {
     std::random_device rd;
     std::uint64_t b = (static_cast<std::uint64_t>(rd()) << 32) ^ rd();
+    // Wall clock on purpose: this is entropy for cross-process id
+    // uniqueness, not timing — virtual time would make two simulated
+    // processes walk identical id sequences.
     return b ^ static_cast<std::uint64_t>(
+                   // NOLINTNEXTLINE(dstampede-raw-clock): uniqueness entropy, not timing
                    std::chrono::system_clock::now().time_since_epoch().count());
   }();
   static std::atomic<std::uint64_t> seed{0x9E3779B97F4A7C15ull};

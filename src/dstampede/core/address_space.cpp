@@ -95,7 +95,7 @@ Result<std::unique_ptr<AddressSpace>> AddressSpace::Create(
   }
   as->InitObservability();
   as->gc_->Start();
-  as->receiver_ = std::thread([raw = as.get()] { raw->ReceiveLoop(); });
+  as->receiver_ = Thread([raw = as.get()] { raw->ReceiveLoop(); });
   if (as->replog_) as->replog_->Start();
   return as;
 }
@@ -1836,14 +1836,15 @@ Status AddressSpace::AdvertiseNsReplica() {
 ThreadId AddressSpace::Spawn(std::string name, std::function<void()> body) {
   ds::MutexLock lock(threads_mu_);
   const std::uint32_t slot = next_thread_slot_++;
-  (void)name;  // kept for debuggers; thread names are advisory
-  threads_.emplace_back(std::move(body));
+  // The advisory name becomes the thread's log prefix; "" inherits
+  // this address space's context.
+  threads_.emplace_back(Thread(std::move(name), std::move(body)));
   return ThreadId(options_.id, slot);
 }
 
 void AddressSpace::JoinThreads() {
   for (;;) {
-    std::vector<std::thread> batch;
+    std::vector<Thread> batch;
     {
       ds::MutexLock lock(threads_mu_);
       if (threads_.empty()) return;

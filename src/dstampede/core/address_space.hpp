@@ -15,7 +15,6 @@
 #include <functional>
 #include <memory>
 #include <string>
-#include <thread>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
@@ -24,6 +23,7 @@
 #include "dstampede/common/ids.hpp"
 #include "dstampede/common/metrics.hpp"
 #include "dstampede/common/sync.hpp"
+#include "dstampede/common/thread.hpp"
 #include "dstampede/common/thread_pool.hpp"
 #include "dstampede/common/trace.hpp"
 #include "dstampede/common/waiter.hpp"
@@ -423,11 +423,11 @@ class AddressSpace {
   std::atomic<std::uint64_t> next_request_id_{1};
 
   mutable ds::Mutex threads_mu_{"as.threads_mu"};
-  std::vector<std::thread> threads_ DS_GUARDED_BY(threads_mu_);
+  std::vector<Thread> threads_ DS_GUARDED_BY(threads_mu_);
   std::uint32_t next_thread_slot_ DS_GUARDED_BY(threads_mu_) = 1;
 
   std::atomic<bool> stopping_{false};
-  std::thread receiver_;
+  Thread receiver_;
 };
 
 }  // namespace dstampede::core

@@ -74,7 +74,7 @@ std::vector<GcNotice> GcService::SweepOnce() {
 void GcService::Start() {
   bool expected = false;
   if (!running_.compare_exchange_strong(expected, true)) return;
-  thread_ = std::thread([this] { Loop(); });
+  thread_ = Thread([this] { Loop(); });
 }
 
 void GcService::Stop() {

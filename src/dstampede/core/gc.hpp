@@ -11,12 +11,12 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <thread>
 #include <unordered_map>
 #include <vector>
 
 #include "dstampede/common/clock.hpp"
 #include "dstampede/common/sync.hpp"
+#include "dstampede/common/thread.hpp"
 #include "dstampede/core/channel.hpp"
 #include "dstampede/core/queue.hpp"
 
@@ -73,7 +73,7 @@ class GcService {
   // can interrupt the interval and virtual time drives the cadence.
   ds::Mutex stop_mu_{"gc_service.stop_mu"};
   ds::CondVar stop_cv_;
-  std::thread thread_;
+  Thread thread_;
 };
 
 }  // namespace dstampede::core

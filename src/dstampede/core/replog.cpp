@@ -28,7 +28,7 @@ RepLog::~RepLog() { Stop(); }
 void RepLog::Start() {
   ds::MutexLock lock(tick_mu_);
   if (ticker_.joinable() || stopping_) return;
-  ticker_ = std::thread([this] { TickerMain(); });
+  ticker_ = Thread([this] { TickerMain(); });
 }
 
 void RepLog::Stop() {

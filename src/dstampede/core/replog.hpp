@@ -48,12 +48,12 @@
 #include <functional>
 #include <map>
 #include <set>
-#include <thread>
 #include <vector>
 
 #include "dstampede/common/clock.hpp"
 #include "dstampede/common/status.hpp"
 #include "dstampede/common/sync.hpp"
+#include "dstampede/common/thread.hpp"
 #include "dstampede/core/wire.hpp"
 #include "dstampede/marshal/xdr.hpp"
 
@@ -204,7 +204,7 @@ class RepLog {
   ds::CondVar tick_cv_;
   bool stopping_ DS_GUARDED_BY(tick_mu_) = false;
   bool tick_now_ DS_GUARDED_BY(tick_mu_) = false;
-  std::thread ticker_;
+  Thread ticker_;
 };
 
 }  // namespace dstampede::core

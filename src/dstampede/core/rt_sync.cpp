@@ -1,6 +1,6 @@
 #include "dstampede/core/rt_sync.hpp"
 
-#include <thread>
+#include "dstampede/common/clock.hpp"
 
 namespace dstampede::core {
 
@@ -15,7 +15,7 @@ Status RtSync::Synchronize() {
   ++ticks_;
   const TimePoint now = Now();
   if (now <= next_tick_) {
-    std::this_thread::sleep_until(next_tick_);
+    SleepUntil(next_tick_);
     next_tick_ += tick_;
     return OkStatus();
   }

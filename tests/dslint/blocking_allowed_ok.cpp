@@ -1,0 +1,29 @@
+// dslint fixture: dstampede-blocking-under-lock negatives — the
+// documented kBlockingAllowed exemption, and releasing the lock
+// before the blocking call. Expected findings: 0.
+
+namespace fixture {
+
+struct Session {
+  // Held across the socket round trip by design, declared so at
+  // construction (docs/CONCURRENCY.md, blocking-allowed list).
+  ds::Mutex mu_{"fixture.session_mu", ds::Mutex::kBlockingAllowed};
+  ds::Mutex idle_mu_{"fixture.idle_mu"};
+  Endpoint* ep_;
+  int generation_ = 0;
+};
+
+void RoundTrip(Session& session, Frame frame) {
+  ds::MutexLock lock(session.mu_);
+  session.ep_->Send(frame);
+  session.ep_->Recv(&frame);
+}
+
+void ReleaseThenSend(Session& session, Frame frame) {
+  ds::MutexLock lock(session.idle_mu_);
+  session.generation_ += 1;
+  lock.Unlock();
+  session.ep_->Send(frame);
+}
+
+}  // namespace fixture

@@ -1,0 +1,21 @@
+// dslint fixture: dstampede-blocking-under-lock positives — an RPC
+// and a CLF send while an ordinary (not kBlockingAllowed) lock is
+// live. Expected findings: 2.
+
+namespace fixture {
+
+struct Peer {
+  ds::Mutex mu_{"fixture.state_mu"};
+  Endpoint* ep_;
+  AddressSpace* as_;
+  int epoch_ = 0;
+};
+
+void PokePeer(Peer& peer, Frame frame) {
+  ds::MutexLock lock(peer.mu_);
+  peer.epoch_ += 1;
+  peer.ep_->Send(frame);
+  peer.as_->Call(frame);
+}
+
+}  // namespace fixture

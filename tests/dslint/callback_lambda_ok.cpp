@@ -1,0 +1,27 @@
+// dslint fixture: dstampede-callback-under-lock negatives — the
+// doctrine pattern (collect under the lock, Finish() after release)
+// and a continuation *written* under the lock, which runs later and
+// so is not "under" it. Expected findings: 0.
+
+namespace fixture {
+
+struct Chan {
+  ds::Mutex mu_{"fixture.chan_mu"};
+  Wakeups wakeups_;
+  std::vector<Payload> slots_;
+};
+
+void PutThenFinish(Chan& chan, Payload payload) {
+  Wakeups wakeups;
+  {
+    ds::MutexLock lock(chan.mu_);
+    chan.slots_.push_back(payload);
+    chan.CollectLocked(&wakeups);
+    // Written under the lock, runs when the waiter completes: the
+    // enclosing lock does not apply inside the lambda body.
+    wakeups.Add([&chan] { chan.wakeups_.Finish(); });
+  }
+  wakeups.Finish();
+}
+
+}  // namespace fixture

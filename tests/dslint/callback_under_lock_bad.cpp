@@ -1,0 +1,19 @@
+// dslint fixture: dstampede-callback-under-lock positive —
+// completions fired while the container lock is still live.
+// Expected findings: 2.
+
+namespace fixture {
+
+struct Chan {
+  ds::Mutex mu_{"fixture.chan_mu"};
+  Wakeups wakeups_;
+  DeferredReply* reply_;
+};
+
+void DrainWrong(Chan& chan) {
+  ds::MutexLock lock(chan.mu_);
+  chan.wakeups_.Finish();
+  chan.reply_->Complete();
+}
+
+}  // namespace fixture

@@ -1,0 +1,22 @@
+// dslint fixture: suppression paths. A justified NOLINT suppresses
+// its line's finding; an unjustified one is converted into a
+// dstampede-nolint-justification finding; NOLINTNEXTLINE covers the
+// following line. Expected findings: 1 (the justification nag).
+#include <chrono>
+
+namespace fixture {
+
+long Entropy() {
+  return std::chrono::system_clock::now().time_since_epoch().count();  // NOLINT(dstampede-raw-clock): entropy, not timing
+}
+
+long Unjustified() {
+  return std::chrono::system_clock::now().time_since_epoch().count();  // NOLINT(dstampede-raw-clock)
+}
+
+long NextLine() {
+  // NOLINTNEXTLINE(dstampede-raw-clock): wall-clock stamp for humans
+  return std::chrono::system_clock::now().time_since_epoch().count();
+}
+
+}  // namespace fixture

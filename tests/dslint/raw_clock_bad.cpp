@@ -1,0 +1,20 @@
+// dslint fixture: dstampede-raw-clock positives. Never compiled —
+// the checker lexes it (see tests/dslint_test.cpp). Expected
+// findings: 4.
+#include <chrono>
+#include <thread>
+
+namespace fixture {
+
+long StampWall() {
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto wall = std::chrono::system_clock::now();
+  return t0.time_since_epoch().count() + wall.time_since_epoch().count();
+}
+
+void NapRaw(State& state) {
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  state.cv.wait_for(state.lk, std::chrono::milliseconds(5));
+}
+
+}  // namespace fixture

@@ -1,0 +1,13 @@
+// dslint fixture: dstampede-raw-clock negatives — all time goes
+// through the clock seam (common/clock.hpp). Expected findings: 0.
+#include "dstampede/common/clock.hpp"
+
+namespace fixture {
+
+void NapSeam() {
+  const dstampede::TimePoint start = dstampede::Now();
+  dstampede::SleepFor(std::chrono::milliseconds(5));
+  dstampede::SleepUntil(start + std::chrono::milliseconds(10));
+}
+
+}  // namespace fixture

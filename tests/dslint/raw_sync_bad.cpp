@@ -1,0 +1,22 @@
+// dslint fixture: dstampede-raw-sync-primitive positives — standard
+// primitives where the ds:: wrappers are required. Expected
+// findings: 4.
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+
+namespace fixture {
+
+struct Worker {
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::thread runner_;
+  bool stop_ = false;
+};
+
+void Tick(Worker& worker) {
+  std::unique_lock hold(worker.mu_);
+  worker.stop_ = true;
+}
+
+}  // namespace fixture

@@ -1,0 +1,419 @@
+//===--- DsLintModule.cpp - D-Stampede project checks for clang-tidy -----===//
+//
+// The clang-tidy plugin flavor of dslint (docs/STATIC_ANALYSIS.md).
+// Loaded with `clang-tidy -load libdslint.so -checks=dstampede-*`; the
+// registry anchor below makes the five checks visible to the host
+// binary. The standalone `dslint` binary (../engine.cpp) implements
+// the same checks without a clang dependency and is what the CI gate
+// runs; this module exists so clang builds get the findings inline in
+// the normal tidy output, with fix-it-quality locations from the AST.
+//
+// Checks (names and semantics match the standalone engine 1:1):
+//   dstampede-raw-clock           raw std::chrono clock reads / sleeps /
+//                                 timed waits outside common/clock+sync
+//   dstampede-blocking-under-lock known-blocking call while a
+//                                 ds::MutexLock is live (minus
+//                                 kBlockingAllowed mutexes)
+//   dstampede-callback-under-lock DeferredReply/Wakeups completion run
+//                                 inside a MutexLock scope
+//   dstampede-raw-sync-primitive  std::mutex/condition_variable/thread
+//                                 outside common/
+//   dstampede-lock-order          statically nested MutexLocks whose
+//                                 edge is absent from the documented
+//                                 hierarchy (option: HierarchyFile)
+//
+//===----------------------------------------------------------------------===//
+
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <utility>
+
+#include "clang-tidy/ClangTidy.h"
+#include "clang-tidy/ClangTidyCheck.h"
+#include "clang-tidy/ClangTidyModule.h"
+#include "clang-tidy/ClangTidyModuleRegistry.h"
+#include "clang/AST/ASTContext.h"
+#include "clang/ASTMatchers/ASTMatchFinder.h"
+#include "clang/Lex/Lexer.h"
+
+namespace clang {
+namespace tidy {
+namespace dstampede {
+
+using namespace clang::ast_matchers;
+
+namespace {
+
+bool pathContains(StringRef Path, StringRef Needle) {
+  return Path.contains(Needle);
+}
+
+// Walks up the parent chain from `S` collecting every ds::MutexLock
+// variable whose declaration precedes `S` in an enclosing compound
+// statement. Lambda bodies are barriers: a lock live at the point a
+// lambda is *written* is not live when the lambda *runs*.
+void collectLiveMutexLocks(ASTContext &Ctx, const Stmt *S,
+                           llvm::SmallVectorImpl<const VarDecl *> &Locks) {
+  const Stmt *Child = S;
+  DynTypedNodeList Parents = Ctx.getParents(*S);
+  while (!Parents.empty()) {
+    const DynTypedNode &Parent = Parents[0];
+    if (Parent.get<LambdaExpr>() != nullptr)
+      return;  // deferred continuation: enclosing locks do not apply
+    if (const auto *CS = Parent.get<CompoundStmt>()) {
+      for (const Stmt *Sibling : CS->body()) {
+        if (Sibling == Child)
+          break;  // only declarations lexically before the call site
+        const auto *DS = dyn_cast<DeclStmt>(Sibling);
+        if (DS == nullptr)
+          continue;
+        for (const Decl *D : DS->decls()) {
+          const auto *VD = dyn_cast<VarDecl>(D);
+          if (VD == nullptr)
+            continue;
+          const CXXRecordDecl *RD =
+              VD->getType().getNonReferenceType()->getAsCXXRecordDecl();
+          if (RD != nullptr && RD->getName() == "MutexLock")
+            Locks.push_back(VD);
+        }
+      }
+      Child = CS;
+    } else if (const Stmt *PS = Parent.get<Stmt>()) {
+      Child = PS;
+    } else {
+      return;  // crossed out of the function body
+    }
+    Parents = Ctx.getParents(Parent);
+  }
+}
+
+// Best-effort name of the lock class guarded by a MutexLock variable:
+// resolve the constructor argument to the underlying ds::Mutex
+// declaration and pull the first string literal out of its
+// initializer's source text. Returns "" when unresolvable.
+std::string lockClassName(ASTContext &Ctx, const VarDecl *LockVar) {
+  const auto *Ctor = dyn_cast_or_null<CXXConstructExpr>(LockVar->getInit());
+  if (Ctor == nullptr || Ctor->getNumArgs() == 0)
+    return "";
+  const Expr *Arg = Ctor->getArg(0)->IgnoreParenImpCasts();
+  const ValueDecl *MutexDecl = nullptr;
+  if (const auto *ME = dyn_cast<MemberExpr>(Arg))
+    MutexDecl = ME->getMemberDecl();
+  else if (const auto *DRE = dyn_cast<DeclRefExpr>(Arg))
+    MutexDecl = DRE->getDecl();
+  if (MutexDecl == nullptr)
+    return "";
+  SourceRange Range = MutexDecl->getSourceRange();
+  if (const auto *FD = dyn_cast<FieldDecl>(MutexDecl);
+      FD != nullptr && FD->hasInClassInitializer())
+    Range = FD->getInClassInitializer()->getSourceRange();
+  else if (const auto *VD = dyn_cast<VarDecl>(MutexDecl);
+           VD != nullptr && VD->hasInit())
+    Range = VD->getInit()->getSourceRange();
+  const StringRef Text = Lexer::getSourceText(
+      CharSourceRange::getTokenRange(Range), Ctx.getSourceManager(),
+      Ctx.getLangOpts());
+  const size_t Open = Text.find('"');
+  if (Open == StringRef::npos)
+    return "";
+  const size_t Close = Text.find('"', Open + 1);
+  if (Close == StringRef::npos)
+    return "";
+  return Text.substr(Open + 1, Close - Open - 1).str();
+}
+
+// Whether the mutex a MutexLock guards was constructed with
+// ds::Mutex::kBlockingAllowed (lexical test against the declaration's
+// initializer, same contract as the standalone engine).
+bool isBlockingAllowed(ASTContext &Ctx, const VarDecl *LockVar) {
+  const auto *Ctor = dyn_cast_or_null<CXXConstructExpr>(LockVar->getInit());
+  if (Ctor == nullptr || Ctor->getNumArgs() == 0)
+    return false;
+  const Expr *Arg = Ctor->getArg(0)->IgnoreParenImpCasts();
+  const ValueDecl *MutexDecl = nullptr;
+  if (const auto *ME = dyn_cast<MemberExpr>(Arg))
+    MutexDecl = ME->getMemberDecl();
+  else if (const auto *DRE = dyn_cast<DeclRefExpr>(Arg))
+    MutexDecl = DRE->getDecl();
+  if (MutexDecl == nullptr)
+    return false;
+  const StringRef Text = Lexer::getSourceText(
+      CharSourceRange::getTokenRange(MutexDecl->getSourceRange()),
+      Ctx.getSourceManager(), Ctx.getLangOpts());
+  return Text.contains("kBlockingAllowed");
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- raw-clock
+
+class RawClockCheck : public ClangTidyCheck {
+public:
+  using ClangTidyCheck::ClangTidyCheck;
+
+  void registerMatchers(MatchFinder *Finder) override {
+    Finder->addMatcher(
+        callExpr(callee(functionDecl(
+                     hasName("now"),
+                     hasParent(cxxRecordDecl(hasAnyName(
+                         "::std::chrono::steady_clock",
+                         "::std::chrono::system_clock",
+                         "::std::chrono::high_resolution_clock"))))))
+            .bind("call"),
+        this);
+    Finder->addMatcher(
+        callExpr(callee(functionDecl(hasAnyName(
+                     "::std::this_thread::sleep_for",
+                     "::std::this_thread::sleep_until"))))
+            .bind("call"),
+        this);
+    Finder->addMatcher(
+        cxxMemberCallExpr(
+            callee(cxxMethodDecl(
+                hasAnyName("wait_for", "wait_until"),
+                ofClass(hasAnyName("::std::condition_variable",
+                                   "::std::condition_variable_any")))))
+            .bind("call"),
+        this);
+  }
+
+  void check(const MatchFinder::MatchResult &Result) override {
+    const auto *Call = Result.Nodes.getNodeAs<CallExpr>("call");
+    const StringRef File = Result.SourceManager->getFilename(
+        Result.SourceManager->getExpansionLoc(Call->getBeginLoc()));
+    if (pathContains(File, "common/clock") || pathContains(File, "common/sync"))
+      return;  // the seam itself
+    diag(Call->getBeginLoc(),
+         "raw clock/sleep bypasses the clock seam; use dstampede::Now()/"
+         "SleepFor()/SleepUntil() or ds::CondVar deadline waits "
+         "(common/clock.hpp) so virtual time stays deterministic");
+  }
+};
+
+// ---------------------------------------------------- blocking-under-lock
+
+class BlockingUnderLockCheck : public ClangTidyCheck {
+public:
+  using ClangTidyCheck::ClangTidyCheck;
+
+  void registerMatchers(MatchFinder *Finder) override {
+    Finder->addMatcher(
+        cxxMemberCallExpr(callee(cxxMethodDecl(hasAnyName(
+                              "Call", "Send", "Recv", "AwaitUntil",
+                              "TakeResult", "Get", "Put"))))
+            .bind("call"),
+        this);
+  }
+
+  void check(const MatchFinder::MatchResult &Result) override {
+    const auto *Call = Result.Nodes.getNodeAs<CXXMemberCallExpr>("call");
+    llvm::SmallVector<const VarDecl *, 4> Locks;
+    collectLiveMutexLocks(*Result.Context, Call, Locks);
+    for (const VarDecl *Lock : Locks) {
+      if (isBlockingAllowed(*Result.Context, Lock))
+        continue;
+      diag(Call->getBeginLoc(),
+           "potentially blocking call while ds::MutexLock '%0' is live; "
+           "release the lock first or declare the mutex "
+           "ds::Mutex::kBlockingAllowed with a justification "
+           "(docs/CONCURRENCY.md)")
+          << Lock->getName();
+      return;
+    }
+  }
+};
+
+// ---------------------------------------------------- callback-under-lock
+
+class CallbackUnderLockCheck : public ClangTidyCheck {
+public:
+  using ClangTidyCheck::ClangTidyCheck;
+
+  void registerMatchers(MatchFinder *Finder) override {
+    Finder->addMatcher(
+        cxxMemberCallExpr(callee(cxxMethodDecl(
+                              hasAnyName("Finish", "Complete"),
+                              ofClass(hasAnyName("Wakeups", "DeferredReply")))))
+            .bind("call"),
+        this);
+  }
+
+  void check(const MatchFinder::MatchResult &Result) override {
+    const auto *Call = Result.Nodes.getNodeAs<CXXMemberCallExpr>("call");
+    llvm::SmallVector<const VarDecl *, 4> Locks;
+    collectLiveMutexLocks(*Result.Context, Call, Locks);
+    if (Locks.empty())
+      return;
+    diag(Call->getBeginLoc(),
+         "deferred completion runs user/wire callbacks; it must fire after "
+         "ds::MutexLock '%0' is released (collect under the lock, Finish() "
+         "outside — docs/CONCURRENCY.md callback rules)")
+        << Locks.front()->getName();
+  }
+};
+
+// ---------------------------------------------------- raw-sync-primitive
+
+class RawSyncPrimitiveCheck : public ClangTidyCheck {
+public:
+  using ClangTidyCheck::ClangTidyCheck;
+
+  void registerMatchers(MatchFinder *Finder) override {
+    const auto RawType = hasUnqualifiedDesugaredType(recordType(
+        hasDeclaration(cxxRecordDecl(hasAnyName(
+            "::std::mutex", "::std::timed_mutex", "::std::recursive_mutex",
+            "::std::recursive_timed_mutex", "::std::shared_mutex",
+            "::std::shared_timed_mutex", "::std::condition_variable",
+            "::std::condition_variable_any", "::std::thread", "::std::jthread",
+            "::std::lock_guard", "::std::unique_lock", "::std::scoped_lock",
+            "::std::shared_lock")))));
+    Finder->addMatcher(valueDecl(hasType(RawType)).bind("decl"), this);
+  }
+
+  void check(const MatchFinder::MatchResult &Result) override {
+    const auto *D = Result.Nodes.getNodeAs<ValueDecl>("decl");
+    const StringRef File = Result.SourceManager->getFilename(
+        Result.SourceManager->getExpansionLoc(D->getBeginLoc()));
+    if (pathContains(File, "src/dstampede/common/"))
+      return;  // the wrappers themselves
+    diag(D->getBeginLoc(),
+         "raw standard sync/thread primitive; use ds::Mutex/ds::MutexLock/"
+         "ds::CondVar (common/sync.hpp) or dstampede::Thread "
+         "(common/thread.hpp) so deadlock detection, thread-safety "
+         "annotations and log context keep working");
+  }
+};
+
+// ------------------------------------------------------------- lock-order
+
+class LockOrderCheck : public ClangTidyCheck {
+public:
+  LockOrderCheck(StringRef Name, ClangTidyContext *Context)
+      : ClangTidyCheck(Name, Context),
+        HierarchyFile(Options.get("HierarchyFile", "docs/lock_hierarchy.txt")) {
+    std::ifstream In(HierarchyFile);
+    std::string Line;
+    while (std::getline(In, Line)) {
+      const size_t Hash = Line.find('#');
+      if (Hash != std::string::npos)
+        Line.resize(Hash);
+      const size_t Arrow = Line.find("->");
+      if (Arrow == std::string::npos)
+        continue;
+      auto Trim = [](std::string S) {
+        const size_t B = S.find_first_not_of(" \t");
+        const size_t E = S.find_last_not_of(" \t");
+        return B == std::string::npos ? std::string() : S.substr(B, E - B + 1);
+      };
+      const std::string From = Trim(Line.substr(0, Arrow));
+      const std::string To = Trim(Line.substr(Arrow + 2));
+      if (!From.empty() && !To.empty())
+        Edges.insert(From + "\n" + To);
+    }
+  }
+
+  void storeOptions(ClangTidyOptions::OptionMap &Opts) override {
+    Options.store(Opts, "HierarchyFile", HierarchyFile);
+  }
+
+  void registerMatchers(MatchFinder *Finder) override {
+    Finder->addMatcher(
+        varDecl(hasType(cxxRecordDecl(hasName("MutexLock")))).bind("lock"),
+        this);
+  }
+
+  void check(const MatchFinder::MatchResult &Result) override {
+    const auto *Inner = Result.Nodes.getNodeAs<VarDecl>("lock");
+    const auto *DS = dyn_cast_or_null<DeclStmt>(
+        Result.Context->getParents(*Inner).empty()
+            ? nullptr
+            : Result.Context->getParents(*Inner)[0].get<Stmt>());
+    if (DS == nullptr)
+      return;
+    llvm::SmallVector<const VarDecl *, 4> Outer;
+    collectLiveMutexLocks(*Result.Context, DS, Outer);
+    if (Outer.empty())
+      return;
+    const std::string InnerClass = lockClassName(*Result.Context, Inner);
+    const std::string OuterClass =
+        lockClassName(*Result.Context, Outer.back());
+    if (InnerClass.empty() || OuterClass.empty())
+      return;  // unresolvable lock class: the standalone engine matches
+    if (InnerClass == OuterClass) {
+      diag(Inner->getBeginLoc(),
+           "nested MutexLocks of the same lock class '%0'; the runtime "
+           "detector records no edge for same-class nesting, so this order "
+           "is unverifiable — give the inner mutex its own name")
+          << InnerClass;
+      return;
+    }
+    if (reachable(OuterClass, InnerClass))
+      return;
+    if (reachable(InnerClass, OuterClass)) {
+      diag(Inner->getBeginLoc(),
+           "lock nesting '%0' -> '%1' inverts the documented order "
+           "(docs/lock_hierarchy.txt documents the reverse path)")
+          << OuterClass << InnerClass;
+    } else {
+      diag(Inner->getBeginLoc(),
+           "undocumented lock edge '%0' -> '%1'; add it to "
+           "docs/lock_hierarchy.txt and the docs/CONCURRENCY.md table, or "
+           "restructure to avoid the nesting")
+          << OuterClass << InnerClass;
+    }
+  }
+
+private:
+  bool reachable(const std::string &From, const std::string &To) const {
+    std::set<std::string> Seen;
+    llvm::SmallVector<std::string, 8> Stack{From};
+    while (!Stack.empty()) {
+      const std::string Node = Stack.pop_back_val();
+      if (!Seen.insert(Node).second)
+        continue;
+      for (const std::string &Edge : Edges) {
+        const size_t NL = Edge.find('\n');
+        if (Edge.compare(0, NL, Node) != 0)
+          continue;
+        const std::string Next = Edge.substr(NL + 1);
+        if (Next == To)
+          return true;
+        Stack.push_back(Next);
+      }
+    }
+    return false;
+  }
+
+  const std::string HierarchyFile;
+  std::set<std::string> Edges;  // "from\nto"
+};
+
+// ----------------------------------------------------------------- module
+
+class DsLintModule : public ClangTidyModule {
+public:
+  void addCheckFactories(ClangTidyCheckFactories &Factories) override {
+    Factories.registerCheck<RawClockCheck>("dstampede-raw-clock");
+    Factories.registerCheck<BlockingUnderLockCheck>(
+        "dstampede-blocking-under-lock");
+    Factories.registerCheck<CallbackUnderLockCheck>(
+        "dstampede-callback-under-lock");
+    Factories.registerCheck<RawSyncPrimitiveCheck>(
+        "dstampede-raw-sync-primitive");
+    Factories.registerCheck<LockOrderCheck>("dstampede-lock-order");
+  }
+};
+
+}  // namespace dstampede
+
+// Anchor: forces the module registration object to be linked into the
+// plugin and keeps the registry entry alive.
+static ClangTidyModuleRegistry::Add<dstampede::DsLintModule>
+    X("dstampede-module", "D-Stampede concurrency/determinism checks.");
+
+volatile int DsLintModuleAnchorSource = 0;
+
+}  // namespace tidy
+}  // namespace clang

@@ -10,7 +10,6 @@
 // Usage: mini_cluster [linger_seconds]
 #include <cstdio>
 #include <cstdlib>
-#include <thread>
 
 #include "dstampede/client/listener.hpp"
 #include "dstampede/core/runtime.hpp"
